@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablations from Sections IV and VI-A on the paper's highlight
+ * benchmarks:
+ *  - FIFO history depth sweep (32/128/256/1024) + the DDT alternative
+ *    (Section VI-A2: 128 entries suffice; FIFO beats the 16KB DDT);
+ *  - ISRB size sweep (Section VI-A3: 24 entries are enough);
+ *  - hash width sweep (Section IV-A: 14-bit fold; power-of-two widths
+ *    collide more, hurting training via false pairs);
+ *  - distance predictor size (42.6KB ideal vs 10.1KB realistic).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace rsep;
+
+sim::SimConfig
+rsepArm(const std::string &label)
+{
+    sim::SimConfig c = sim::SimConfig::rsepIdeal();
+    c.label = label;
+    bench::applyBenchDefaults(c);
+    return c;
+}
+
+void
+sweep(const std::string &title,
+      const std::vector<sim::SimConfig> &configs)
+{
+    std::cout << "\n=== " << title << " ===\n";
+    auto rows = sim::runMatrix(configs, bench::highlightBenchmarks());
+    sim::printSpeedupTable(std::cout, rows, configs);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rsep;
+
+    sim::SimConfig base = sim::SimConfig::baseline();
+    bench::applyBenchDefaults(base);
+
+    // --- history depth / DDT (Section VI-A2) ---
+    {
+        std::vector<sim::SimConfig> configs = {base};
+        for (unsigned depth : {32u, 128u, 256u, 1024u}) {
+            sim::SimConfig c = rsepArm("fifo-" + std::to_string(depth));
+            c.mech.rsep.historyDepth = depth;
+            configs.push_back(c);
+        }
+        sim::SimConfig ddt = rsepArm("ddt-16KB");
+        ddt.mech.rsep.useDdt = true;
+        configs.push_back(ddt);
+        sweep("history depth sweep + DDT (VI-A2)", configs);
+        std::cout << "paper shape: 128 entries reach most of the "
+                     "potential (32 suffices except hmmer/xalancbmk); "
+                     "the FIFO is >= the DDT by 0-2.5 points.\n";
+    }
+
+    // --- ISRB size (Section VI-A3) ---
+    {
+        std::vector<sim::SimConfig> configs = {base};
+        for (unsigned entries : {4u, 8u, 24u, 64u}) {
+            sim::SimConfig c = rsepArm("isrb-" + std::to_string(entries));
+            c.mech.rsep.isrbEntries = entries;
+            configs.push_back(c);
+        }
+        sweep("ISRB size sweep (VI-A3)", configs);
+        std::cout << "paper shape: 24 entries of two 6-bit counters are "
+                     "not detrimental vs larger buffers.\n";
+    }
+
+    // --- hash width (Section IV-A) ---
+    {
+        std::vector<sim::SimConfig> configs = {base};
+        for (unsigned bits : {8u, 10u, 14u, 16u}) {
+            sim::SimConfig c = rsepArm("hash-" + std::to_string(bits));
+            c.mech.rsep.hashBits = bits;
+            configs.push_back(c);
+        }
+        sweep("hash width sweep (IV-A)", configs);
+        std::cout << "paper shape: 14 bits behave like full compare; "
+                     "narrow and power-of-two folds add false pairs.\n";
+    }
+
+    // --- predictor size (IV-C vs VI-B) ---
+    {
+        std::vector<sim::SimConfig> configs = {base};
+        sim::SimConfig ideal = rsepArm("pred-42.6KB");
+        configs.push_back(ideal);
+        sim::SimConfig small = rsepArm("pred-10.1KB");
+        small.mech.rsep.idealPredictor = false;
+        configs.push_back(small);
+        sweep("distance predictor size (IV-C/VI-B)", configs);
+        std::cout << "paper shape: good results persist at ~10KB.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: default run sizing
+ * (overridable via RSEP_SIM_SCALE / RSEP_CHECKPOINTS) and common
+ * benchmark subsets.
+ */
+
+#ifndef RSEP_BENCH_BENCH_UTIL_HH
+#define RSEP_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "wl/suite.hh"
+
+namespace rsep::bench
+{
+
+/**
+ * Apply the bench-default run size: harnesses default to a smaller
+ * window (2 checkpoints, 0.4x instructions) than the library default
+ * so the full figure suite completes in minutes on one core. Both are
+ * overridable through the environment.
+ */
+inline void
+applyBenchDefaults(sim::SimConfig &cfg)
+{
+    if (!std::getenv("RSEP_SIM_SCALE")) {
+        cfg.warmupInsts = static_cast<u64>(cfg.warmupInsts * 0.4);
+        cfg.measureInsts = static_cast<u64>(cfg.measureInsts * 0.4);
+    }
+    if (!std::getenv("RSEP_CHECKPOINTS"))
+        cfg.checkpoints = 2;
+}
+
+/** The benchmarks the paper highlights for RSEP (Section VI-B). */
+inline std::vector<std::string>
+highlightBenchmarks()
+{
+    return {"mcf", "dealII", "hmmer", "libquantum", "omnetpp",
+            "xalancbmk"};
+}
+
+} // namespace rsep::bench
+
+#endif // RSEP_BENCH_BENCH_UTIL_HH

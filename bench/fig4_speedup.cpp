@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces Fig. 4: speedup over the baseline of zero prediction,
+ * move elimination, RSEP (ideal validation, large history), value
+ * prediction (D-VTAGE ~256KB) and RSEP+VP, across all 29 benchmarks.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace rsep;
+
+    std::vector<sim::SimConfig> configs = {
+        sim::SimConfig::baseline(),     sim::SimConfig::zeroPredOnly(),
+        sim::SimConfig::moveElimOnly(), sim::SimConfig::rsepIdeal(),
+        sim::SimConfig::vpOnly(),       sim::SimConfig::rsepPlusVp(),
+    };
+    for (auto &cfg : configs)
+        bench::applyBenchDefaults(cfg);
+
+    auto rows = sim::runMatrix(configs, wl::suiteNames());
+
+    std::cout << "=== Fig. 4: speedup over baseline ===\n";
+    sim::printSpeedupTable(std::cout, rows, configs);
+    std::cout << "\npaper shape: RSEP 5-11% in {mcf, dealII, hmmer, "
+                 "libquantum, omnetpp, xalancbmk}; VP better in "
+                 "{perlbench, wrf, xalancbmk}; zero pred only helps "
+                 "gamess/libquantum; move elim only dealII/xalancbmk; "
+                 "RSEP+VP >= max(RSEP, VP) except perlbench where VP "
+                 "subsumes RSEP.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Fig. 5: percentage of committed instructions covered by
+ * each mechanism. Two configurations per benchmark as in the paper:
+ * RSEP alone, then VP on top of RSEP (bars split loads vs others).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace rsep;
+    using core::PipelineStats;
+
+    sim::SimConfig rsep_cfg = sim::SimConfig::rsepIdeal();
+    rsep_cfg.mech.zeroPred = true; // Fig. 5 includes zero-pred bars.
+    sim::SimConfig both_cfg = sim::SimConfig::rsepPlusVp();
+    both_cfg.mech.zeroPred = true;
+    bench::applyBenchDefaults(rsep_cfg);
+    bench::applyBenchDefaults(both_cfg);
+
+    std::printf("=== Fig. 5: %% of committed instructions covered ===\n");
+    std::printf("(first row per benchmark: RSEP; second: RSEP + VP)\n");
+    std::printf("%-12s %8s %8s %8s %8s %8s %8s %8s %8s\n", "benchmark",
+                "zidiom", "move", "zp", "zp-ld", "dist", "dist-ld", "vp",
+                "vp-ld");
+
+    auto row = [&](const sim::RunResult &rr) {
+        double insts =
+            static_cast<double>(rr.sum(&PipelineStats::committedInsts));
+        auto pct = [&](StatCounter PipelineStats::* m) {
+            return 100.0 * static_cast<double>(rr.sum(m)) / insts;
+        };
+        std::printf(" %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+                    pct(&PipelineStats::zeroIdiomElim),
+                    pct(&PipelineStats::moveElim),
+                    pct(&PipelineStats::zeroPredOther),
+                    pct(&PipelineStats::zeroPredLoad),
+                    pct(&PipelineStats::distPredOther),
+                    pct(&PipelineStats::distPredLoad),
+                    pct(&PipelineStats::valuePredOther),
+                    pct(&PipelineStats::valuePredLoad));
+    };
+
+    for (const auto &bench : wl::suiteNames()) {
+        sim::RunResult r1 = sim::runWorkload(rsep_cfg, bench);
+        sim::RunResult r2 = sim::runWorkload(both_cfg, bench);
+        std::printf("%-12s", bench.c_str());
+        row(r1);
+        std::printf("%-12s", "");
+        row(r2);
+        // Overlap diagnostic (perlbench: VP covers RSEP's catch).
+        double overlap =
+            100.0 *
+            static_cast<double>(r2.sum(&PipelineStats::rsepVpOverlap)) /
+            static_cast<double>(r2.sum(&PipelineStats::committedInsts));
+        std::printf("%-12s rsep&vp-overlap: %.2f%%\n", "", overlap);
+    }
+    return 0;
+}

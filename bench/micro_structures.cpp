@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot hardware-model
+ * structures: result-hash folding, FIFO history matching (the paper's
+ * comparator-power concern, Section IV-B2), distance predictor
+ * lookup/update, ISRB operations, cache tag access and TAGE lookup.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "pred/tage.hh"
+#include "rsep/distance_pred.hh"
+#include "rsep/fifo_history.hh"
+#include "rsep/hash.hh"
+#include "rsep/isrb.hh"
+
+namespace
+{
+
+using namespace rsep;
+
+void
+BM_FoldHash(benchmark::State &state)
+{
+    Rng rng(1);
+    u64 v = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(equality::foldHash(v));
+        v += 0x9e3779b9;
+    }
+}
+BENCHMARK(BM_FoldHash);
+
+void
+BM_FifoHistoryMatch(benchmark::State &state)
+{
+    const unsigned depth = static_cast<unsigned>(state.range(0));
+    equality::FifoHistory fifo(depth);
+    Rng rng(2);
+    for (unsigned i = 0; i < depth; ++i)
+        fifo.push(static_cast<u16>(rng.below(1 << 14)), i, i, true);
+    u32 csn = depth;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fifo.match(static_cast<u16>(rng.below(1 << 14)), csn,
+                       std::nullopt));
+        ++csn;
+    }
+}
+BENCHMARK(BM_FifoHistoryMatch)->Arg(32)->Arg(128)->Arg(256);
+
+void
+BM_FifoHistoryPush(benchmark::State &state)
+{
+    equality::FifoHistory fifo(128);
+    Rng rng(3);
+    u32 csn = 0;
+    for (auto _ : state) {
+        fifo.push(static_cast<u16>(rng.below(1 << 14)), csn, csn, true);
+        ++csn;
+    }
+}
+BENCHMARK(BM_FifoHistoryPush);
+
+void
+BM_DistancePredictorLookup(benchmark::State &state)
+{
+    equality::DistancePredictor dp;
+    pred::GlobalHist h;
+    Rng rng(4);
+    for (auto _ : state) {
+        Addr pc = 0x400000 + (rng.below(256) << 2);
+        benchmark::DoNotOptimize(dp.lookup(pc, h));
+    }
+}
+BENCHMARK(BM_DistancePredictorLookup);
+
+void
+BM_DistancePredictorTrain(benchmark::State &state)
+{
+    equality::DistancePredictor dp;
+    pred::GlobalHist h;
+    Rng rng(5);
+    for (auto _ : state) {
+        Addr pc = 0x400000 + (rng.below(256) << 2);
+        equality::DistLookup lk = dp.lookup(pc, h);
+        dp.train(lk, static_cast<u32>(rng.below(128)));
+    }
+}
+BENCHMARK(BM_DistancePredictorTrain);
+
+void
+BM_IsrbShareRelease(benchmark::State &state)
+{
+    equality::Isrb isrb(24);
+    Rng rng(6);
+    for (auto _ : state) {
+        PhysReg p = static_cast<PhysReg>(1 + rng.below(64));
+        if (isrb.share(p)) {
+            isrb.release(p);
+            isrb.release(p);
+        }
+    }
+}
+BENCHMARK(BM_IsrbShareRelease);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheLevel l1({.name = "l1", .sizeBytes = 32 * 1024, .assoc = 8,
+                        .latency = 4, .mshrs = 64});
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            l1.accessTags(rng.below(1 << 20) << 3, false));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TagePredict(benchmark::State &state)
+{
+    pred::Tage tage;
+    pred::GlobalHist h;
+    Rng rng(8);
+    for (auto _ : state) {
+        Addr pc = 0x400000 + (rng.below(1024) << 2);
+        pred::TageLookup lk = tage.predict(pc, h);
+        benchmark::DoNotOptimize(lk);
+        bool taken = rng.chance(1, 2);
+        tage.update(lk, pc, taken);
+        h.insert(taken, pc);
+    }
+}
+BENCHMARK(BM_TagePredict);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Table I (simulator configuration overview) and prints the
+ * storage accounting the paper reports for its structures.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "rsep/costmodel.hh"
+
+int
+main()
+{
+    using namespace rsep;
+
+    sim::SimConfig cfg = sim::SimConfig::baseline();
+    std::cout << sim::describeTable1(cfg) << "\n";
+
+    unsigned pregs = cfg.core.intPregs + cfg.core.fpPregs;
+
+    std::cout << "RSEP structure storage (paper Sections IV-C/VI-B):\n";
+    std::cout << "  ideal:     "
+              << equality::describeStorage(
+                     equality::RsepConfig::idealLarge(), pregs,
+                     cfg.core.robSize)
+              << "\n";
+    std::cout << "  realistic: "
+              << equality::describeStorage(
+                     equality::RsepConfig::realistic(), pregs,
+                     cfg.core.robSize)
+              << "\n";
+
+    std::cout << "\nComparator budget (Section IV-B2/IV-D2):\n";
+    std::printf("  256-entry FIFO @ commit width 8: %llu comparators "
+                "(paper: 2076)\n",
+                (unsigned long long)equality::fifoComparators(256, 8));
+    std::printf("  128-entry FIFO @ commit width 8: %llu comparators\n",
+                (unsigned long long)equality::fifoComparators(128, 8));
+
+    double hrf_frac = equality::hrfAreaFraction(16, 8, 64, 8, 8, 14);
+    std::printf("\nHRF area vs PRF (Zyuban-Kogge trend, Section IV-D1): "
+                "%.2f%% (paper: < 5%%)\n",
+                100.0 * hrf_frac);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Authoring a custom workload with the public API: build a mini-ISA
+ * program with ProgramBuilder, give it data, and measure how much
+ * equality prediction helps it.
+ *
+ * The kernel accumulates a checksum into a *saturating* counter (a
+ * branchless min against a limit). While saturated, the min result
+ * repeats every iteration, so equality prediction severs the
+ * loop-carried recurrence -- the same physics behind the paper's
+ * hmmer/dealII wins. A recomputed expression adds extra coverage.
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.hh"
+#include "wl/emulator.hh"
+
+int
+main()
+{
+    using namespace rsep;
+    constexpr ArchReg Z = isa::zeroReg;
+
+    // 1. Write the program.
+    isa::ProgramBuilder b("checksum");
+    b.label("top");
+    b.ldrx(1, 10, 20);       // v = data[i]
+    b.eori(2, 1, 0x5a5a);    // t = v ^ K
+    b.add(7, 3, 2);          // cand = sum + t
+    b.cmplt(8, 9, 7);        // limit < cand ?
+    b.sub(11, Z, 8);         // mask
+    b.and_(12, 9, 11);
+    b.eori(13, 11, -1);
+    b.and_(14, 7, 13);
+    b.orr(3, 12, 14);        // sum = min(cand, limit): repeats when
+                             // saturated -> RSEP severs the recurrence
+    b.ldrx(4, 10, 20);       // v again (spill reload)
+    b.eori(5, 4, 0x5a5a);    // == t (recompute)
+    b.add(6, 6, 5);          // check += t
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.lsri(3, 3, 2);         // leave saturation at each sweep wrap
+    b.b("top");
+    isa::Program prog = b.build();
+
+    // 2. Instantiate and initialize architectural state.
+    auto run_once = [&prog](bool enable_rsep) {
+        wl::Emulator em(prog);
+        em.resetArchState();
+        Rng rng(7);
+        for (u64 i = 0; i < 4096; ++i)
+            em.memory().write(0x100000 + i * 8, rng.next() & 0xffff);
+        em.setReg(10, 0x100000);
+        em.setReg(21, 4096);
+        em.setReg(9, 40'000'000); // saturation limit.
+
+        // 3. Run it on the Table I core.
+        core::MechConfig mech;
+        if (enable_rsep) {
+            mech.moveElim = true;
+            mech.equalityPred = true;
+            mech.rsep = equality::RsepConfig::idealLarge();
+        }
+        core::Pipeline pipe(core::CoreParams{}, mech, em, 99);
+        pipe.run(60000);
+        pipe.resetStats();
+        pipe.run(120000);
+        return pipe.stats();
+    };
+
+    core::PipelineStats base = run_once(false);
+    core::PipelineStats rsep = run_once(true);
+
+    double cov = 100.0 *
+                 double(rsep.distPredLoad.value() +
+                        rsep.distPredOther.value()) /
+                 double(rsep.committedInsts.value());
+    std::printf("custom checksum kernel on the Table I core:\n");
+    std::printf("  baseline IPC: %.3f\n", base.ipc());
+    std::printf("  RSEP IPC:     %.3f (%+.2f%%)\n", rsep.ipc(),
+                (rsep.ipc() / base.ipc() - 1.0) * 100.0);
+    std::printf("  equality coverage: %.2f%% of committed instructions\n",
+                cov);
+    std::printf("  mispredictions: %llu\n",
+                (unsigned long long)rsep.rsepMispredicts.value());
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bit manipulation helpers used by predictors, hashing and cache indexing.
+ */
+
+#ifndef RSEP_COMMON_BITUTILS_HH
+#define RSEP_COMMON_BITUTILS_HH
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hh"
+
+namespace rsep
+{
+
+/** Return a mask with the low @p nbits bits set (nbits may be 0..64). */
+constexpr u64
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~u64{0} : ((u64{1} << nbits) - 1);
+}
+
+/** Extract bits [hi..lo] (inclusive) of @p val, right-aligned. */
+constexpr u64
+bits(u64 val, unsigned hi, unsigned lo)
+{
+    assert(hi >= lo && hi < 64);
+    return (val >> lo) & mask(hi - lo + 1);
+}
+
+/** True iff @p v is a (non-zero) power of two. */
+constexpr bool
+isPowerOf2(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(@p v); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(u64 v)
+{
+    assert(v != 0);
+    return 63 - std::countl_zero(v);
+}
+
+/** Ceil of log2(@p v); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(u64 v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Rotate @p val (treated as @p width bits wide) left by @p amt. */
+constexpr u64
+rotateLeft(u64 val, unsigned width, unsigned amt)
+{
+    assert(width > 0 && width <= 64);
+    amt %= width;
+    val &= mask(width);
+    return ((val << amt) | (val >> (width - amt))) & mask(width);
+}
+
+/**
+ * XOR-fold @p val down to @p nbits bits by iteratively XORing
+ * consecutive nbits-wide chunks. This is the paper's result-hash
+ * primitive (Section IV-A); n should not be a power of two to avoid
+ * trivial collisions between 0 and -1.
+ */
+constexpr u64
+xorFold(u64 val, unsigned nbits)
+{
+    assert(nbits > 0 && nbits <= 64);
+    u64 out = 0;
+    while (val != 0) {
+        out ^= val & mask(nbits);
+        val >>= nbits;
+    }
+    return out;
+}
+
+} // namespace rsep
+
+#endif // RSEP_COMMON_BITUTILS_HH

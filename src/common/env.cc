@@ -1,0 +1,40 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+
+namespace rsep
+{
+
+u64
+envU64(const char *name, u64 def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 0);
+    if (end == v)
+        return def;
+    return parsed;
+}
+
+double
+envDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v)
+        return def;
+    return parsed;
+}
+
+double
+simScale()
+{
+    return envDouble("RSEP_SIM_SCALE", 1.0);
+}
+
+} // namespace rsep

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Environment-variable helpers for scaling experiment sizes.
+ */
+
+#ifndef RSEP_COMMON_ENV_HH
+#define RSEP_COMMON_ENV_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace rsep
+{
+
+/** Read an integer env var; return @p def when unset/invalid. */
+u64 envU64(const char *name, u64 def);
+
+/** Read a floating-point env var; return @p def when unset/invalid. */
+double envDouble(const char *name, double def);
+
+/**
+ * Global simulation scale factor (RSEP_SIM_SCALE, default 1.0).
+ * Experiment drivers multiply warmup/measure windows by this.
+ */
+double simScale();
+
+} // namespace rsep
+
+#endif // RSEP_COMMON_ENV_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic/fatal/warn/inform.
+ *
+ * panic() signals a simulator bug (aborts); fatal() signals a user error
+ * (clean exit); warn()/inform() never stop the simulation.
+ */
+
+#ifndef RSEP_COMMON_LOGGING_HH
+#define RSEP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rsep
+{
+
+namespace detail
+{
+std::string vformat(const char *fmt, std::va_list ap);
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+} // namespace detail
+
+/** Abort on an internal invariant violation (simulator bug). */
+#define rsep_panic(...) \
+    ::rsep::detail::panicImpl(__FILE__, __LINE__, \
+                              ::rsep::detail::format(__VA_ARGS__))
+
+/** Exit cleanly on a user/configuration error. */
+#define rsep_fatal(...) \
+    ::rsep::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::rsep::detail::format(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define rsep_warn(...) \
+    ::rsep::detail::warnImpl(::rsep::detail::format(__VA_ARGS__))
+
+/** Informational status message. */
+#define rsep_inform(...) \
+    ::rsep::detail::informImpl(::rsep::detail::format(__VA_ARGS__))
+
+} // namespace rsep
+
+#endif // RSEP_COMMON_LOGGING_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Saturating counters: the workhorse of every predictor in the design.
+ */
+
+#ifndef RSEP_COMMON_SAT_COUNTER_HH
+#define RSEP_COMMON_SAT_COUNTER_HH
+
+#include <cassert>
+
+#include "common/types.hh"
+
+namespace rsep
+{
+
+/**
+ * An unsigned saturating counter with a runtime-configurable bit width.
+ *
+ * Used for TAGE useful bits, confidence counters (in their deterministic
+ * embodiment) and the ISRB reference counters.
+ */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned nbits = 2, u32 initial = 0)
+        : maxVal((u32{1} << nbits) - 1), val(initial)
+    {
+        assert(nbits >= 1 && nbits <= 31);
+        assert(initial <= maxVal);
+    }
+
+    /** Increment, clamping at max. @return true if it was already at max. */
+    bool
+    increment()
+    {
+        if (val == maxVal)
+            return true;
+        ++val;
+        return false;
+    }
+
+    /** Decrement, clamping at zero. @return true if it was already zero. */
+    bool
+    decrement()
+    {
+        if (val == 0)
+            return true;
+        --val;
+        return false;
+    }
+
+    void reset(u32 v = 0) { assert(v <= maxVal); val = v; }
+    void setMax() { val = maxVal; }
+
+    u32 value() const { return val; }
+    u32 max() const { return maxVal; }
+    bool saturated() const { return val == maxVal; }
+    bool zero() const { return val == 0; }
+
+  private:
+    u32 maxVal;
+    u32 val;
+};
+
+/**
+ * A signed-style up/down counter expressed over an unsigned range, with
+ * "taken" interpreted as value >= midpoint (classic bimodal counter).
+ */
+class BimodalCounter
+{
+  public:
+    explicit BimodalCounter(unsigned nbits = 2, bool init_taken = false)
+        : ctr(nbits, init_taken ? (u32{1} << (nbits - 1)) : ((u32{1} << (nbits - 1)) - 1)),
+          mid(u32{1} << (nbits - 1))
+    {
+    }
+
+    void
+    update(bool taken)
+    {
+        if (taken)
+            ctr.increment();
+        else
+            ctr.decrement();
+    }
+
+    bool taken() const { return ctr.value() >= mid; }
+    /** Confidence: distance from the decision boundary, 0 = weakest. */
+    u32
+    strength() const
+    {
+        u32 v = ctr.value();
+        return v >= mid ? v - mid : mid - 1 - v;
+    }
+    u32 value() const { return ctr.value(); }
+    void reset(u32 v) { ctr.reset(v); }
+
+  private:
+    SatCounter ctr;
+    u32 mid;
+};
+
+} // namespace rsep
+
+#endif // RSEP_COMMON_SAT_COUNTER_HH

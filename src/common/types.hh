@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every module of the RSEP simulator.
+ */
+
+#ifndef RSEP_COMMON_TYPES_HH
+#define RSEP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace rsep
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** A simulated byte address. */
+using Addr = u64;
+
+/** A simulation cycle count. */
+using Cycle = u64;
+
+/** Global dynamic instruction sequence number (never wraps in practice). */
+using SeqNum = u64;
+
+/** Architectural register index. */
+using ArchReg = u16;
+
+/** Physical register index. */
+using PhysReg = u16;
+
+/** Sentinel meaning "no physical register". */
+constexpr PhysReg invalidPhysReg = std::numeric_limits<PhysReg>::max();
+
+/** Sentinel meaning "no architectural register". */
+constexpr ArchReg invalidArchReg = std::numeric_limits<ArchReg>::max();
+
+/** Sentinel for an unknown/unset cycle. */
+constexpr Cycle invalidCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace rsep
+
+#endif // RSEP_COMMON_TYPES_HH

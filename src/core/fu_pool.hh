@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Issue ports / functional units (Table I): 8-issue over 4 ALU ports
+ * (one with the multiplier, one with the unpipelined divider), 3 FP
+ * ports (FPMul / unpipelined FPDiv), 2 load/store AGU ports and 1
+ * store-only port. Also arbitrates RSEP validation micro-ops, which by
+ * policy either lock the instruction's own FU class or may use any
+ * port through the global bypass network (Section IV-F).
+ */
+
+#ifndef RSEP_CORE_FU_POOL_HH
+#define RSEP_CORE_FU_POOL_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/params.hh"
+#include "isa/opcode.hh"
+
+namespace rsep::core
+{
+
+/** Bitmask over isa::OpClass. */
+constexpr u16
+classBit(isa::OpClass c)
+{
+    return static_cast<u16>(1u << static_cast<unsigned>(c));
+}
+
+/** The per-cycle port arbiter. */
+class FuPool
+{
+  public:
+    explicit FuPool(const CoreParams &params) : p(params)
+    {
+        using isa::OpClass;
+        auto add = [this](u16 mask, bool is_load_capable) {
+            ports.push_back({mask, 0, 0, is_load_capable});
+        };
+        u16 alu = classBit(OpClass::IntAlu) | classBit(OpClass::Branch);
+        add(alu, false);
+        add(alu | classBit(OpClass::IntMul), false);
+        add(alu | classBit(OpClass::IntDiv), false);
+        add(alu, false);
+        u16 fp = classBit(OpClass::FpAlu);
+        add(fp | classBit(OpClass::FpMul), false);
+        add(fp | classBit(OpClass::FpDiv), false);
+        add(fp, false);
+        u16 ldst = classBit(OpClass::Load) | classBit(OpClass::Store);
+        add(ldst, true);
+        add(ldst, true);
+        add(classBit(OpClass::Store), false);
+    }
+
+    /** Start a new cycle. */
+    void
+    beginCycle(Cycle now)
+    {
+        issuedThisCycle = 0;
+        for (auto &port : ports)
+            port.usedThisCycle = 0;
+        cur = now;
+    }
+
+    /**
+     * Try to claim a port for an instruction of class @p c.
+     * @return port index or -1.
+     */
+    int
+    tryIssue(isa::OpClass c)
+    {
+        if (issuedThisCycle >= p.issueWidth)
+            return -1;
+        u16 bit = classBit(c);
+        for (size_t i = 0; i < ports.size(); ++i) {
+            Port &port = ports[i];
+            if ((port.classes & bit) && !port.usedThisCycle &&
+                port.busyUntil <= cur) {
+                port.usedThisCycle = 1;
+                ++issuedThisCycle;
+                return static_cast<int>(i);
+            }
+        }
+        return -1;
+    }
+
+    /**
+     * Try to claim a port for a validation micro-op of an instruction
+     * whose class is @p c. With @p lock_fu the micro-op must use a port
+     * of the instruction's own class; otherwise any port may perform
+     * the 64-bit compare, with non-load ports given priority.
+     */
+    int
+    tryIssueValidation(isa::OpClass c, bool lock_fu)
+    {
+        if (issuedThisCycle >= p.issueWidth)
+            return -1;
+        if (lock_fu)
+            return tryIssue(c);
+        // Any-FU: prefer non-load ports (Section IV-F1b).
+        for (int pass = 0; pass < 2; ++pass) {
+            bool want_load = pass == 1;
+            for (size_t i = 0; i < ports.size(); ++i) {
+                Port &port = ports[i];
+                if (port.loadCapable != want_load)
+                    continue;
+                if (!port.usedThisCycle && port.busyUntil <= cur) {
+                    port.usedThisCycle = 1;
+                    ++issuedThisCycle;
+                    return static_cast<int>(i);
+                }
+            }
+        }
+        return -1;
+    }
+
+    /** Mark @p port busy until @p until (unpipelined dividers). */
+    void
+    markUnpipelined(int port, Cycle until)
+    {
+        ports.at(static_cast<size_t>(port)).busyUntil = until;
+    }
+
+    unsigned issued() const { return issuedThisCycle; }
+
+  private:
+    struct Port
+    {
+        u16 classes;
+        Cycle busyUntil;
+        u8 usedThisCycle;
+        bool loadCapable;
+    };
+
+    CoreParams p;
+    std::vector<Port> ports;
+    unsigned issuedThisCycle = 0;
+    Cycle cur = 0;
+};
+
+} // namespace rsep::core
+
+#endif // RSEP_CORE_FU_POOL_HH

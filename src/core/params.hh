@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Core microarchitecture parameters. Defaults reproduce Table I of the
+ * paper (aggressive 8-wide core on par with Intel Haswell).
+ */
+
+#ifndef RSEP_CORE_PARAMS_HH
+#define RSEP_CORE_PARAMS_HH
+
+#include "common/types.hh"
+
+namespace rsep::core
+{
+
+/** Table I core configuration. */
+struct CoreParams
+{
+    // Widths.
+    unsigned fetchWidth = 8;
+    unsigned renameWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+
+    // Windows.
+    unsigned robSize = 192;
+    unsigned iqSize = 60;
+    unsigned lqSize = 72;
+    unsigned sqSize = 48;
+
+    // Registers (Table I: 235 INT + 235 FP physical registers).
+    unsigned intPregs = 235;
+    unsigned fpPregs = 235;
+
+    /**
+     * Fetch-to-rename depth in cycles. With execute-time redirects this
+     * yields the Table I minimum branch misprediction penalty of ~17
+     * cycles (redirect + refill).
+     */
+    unsigned frontendDepth = 15;
+
+    /** Decode-redirect bubble for BTB-missing direct branches. */
+    unsigned decodeRedirectPenalty = 3;
+
+    // Execution latencies (Table I).
+    Cycle intAluLat = 1;
+    Cycle intMulLat = 3;
+    Cycle intDivLat = 25;   ///< unpipelined.
+    Cycle fpAluLat = 3;
+    Cycle fpMulLat = 3;
+    Cycle fpDivLat = 11;    ///< unpipelined.
+    Cycle branchLat = 1;
+    Cycle storeLat = 1;     ///< AGU + SQ write.
+    Cycle stlfLat = 4;      ///< store-to-load forwarding latency.
+
+    /** Taken branches fetchable per cycle ("over 1 taken branch"). */
+    unsigned takenBranchesPerFetch = 1;
+};
+
+} // namespace rsep::core
+
+#endif // RSEP_CORE_PARAMS_HH

@@ -1,0 +1,938 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace rsep::core
+{
+
+using isa::OpClass;
+
+Pipeline::Pipeline(const CoreParams &core_params, const MechConfig &mech_cfg,
+                   wl::Emulator &emu, u64 seed)
+    : cp(core_params), mech(mech_cfg), emul(emu), trace(emu),
+      hier(mem::HierarchyParams{}),
+      bru(pred::TageParams{}, seed ^ 0x1111),
+      vp(mech.vp, seed ^ 0x2222),
+      distPred(mech.rsep.distParams(), seed ^ 0x3333),
+      fifo(mech.rsep.historyDepth, mech.rsep.implicitHistory),
+      ddt(mech.rsep.ddtEntries),
+      isrbUnit(mech.rsep.isrbEntries, mech.rsep.isrbCounterBits),
+      zeroPred(4096, mech.rsep.confKind),
+      hrfUnit(core_params.intPregs + core_params.fpPregs,
+              mech.rsep.hashBits),
+      rename(core_params), fuPool(core_params),
+      pregReady(core_params.intPregs + core_params.fpPregs, 0),
+      pregValue(core_params.intPregs + core_params.fpPregs, 0),
+      rng(seed ^ 0x4444)
+{
+    // The hardwired zero register and all initial architectural
+    // mappings hold value 0 and are ready from cycle 0.
+    for (unsigned p = 0; p < pregReady.size(); ++p)
+        pregReady[p] = 0;
+    if (mech.fig1Probe) {
+        // Initial mappings (1 per arch reg + zero reg) all hold 0.
+        liveValues[0] = isa::numArchRegs;
+    }
+}
+
+Cycle
+Pipeline::opLatency(OpClass c) const
+{
+    switch (c) {
+      case OpClass::IntAlu: return cp.intAluLat;
+      case OpClass::IntMul: return cp.intMulLat;
+      case OpClass::IntDiv: return cp.intDivLat;
+      case OpClass::FpAlu: return cp.fpAluLat;
+      case OpClass::FpMul: return cp.fpMulLat;
+      case OpClass::FpDiv: return cp.fpDivLat;
+      case OpClass::Branch: return cp.branchLat;
+      case OpClass::Store: return cp.storeLat;
+      default: return 1;
+    }
+}
+
+void
+Pipeline::resetStats()
+{
+    st = PipelineStats{};
+}
+
+InflightInst *
+Pipeline::findBySeq(u64 seq)
+{
+    if (rob.empty() || seq < rob.front().traceIdx)
+        return nullptr;
+    u64 pos = seq - rob.front().traceIdx;
+    if (pos >= rob.size())
+        return nullptr;
+    return &rob[static_cast<size_t>(pos)];
+}
+
+// ---------------------------------------------------------------- fetch
+
+void
+Pipeline::doFetch()
+{
+    if (cycle < fetchResumeCycle || fetchWaitingExec)
+        return;
+    // Front-end backpressure.
+    if (frontendQ.size() >= cp.frontendDepth * cp.fetchWidth + 16)
+        return;
+
+    unsigned taken_seen = 0;
+    for (unsigned n = 0; n < cp.fetchWidth; ++n) {
+        const wl::DynRecord &rec = trace.at(fetchIdx);
+        const isa::StaticInst &si = emul.program().at(rec.staticIdx);
+        Addr pc = isa::Program::pcOf(rec.staticIdx);
+
+        // I-cache: fetching a new line may stall the group.
+        Addr line = pc >> mem::lineShift;
+        if (line != lastFetchLine) {
+            Cycle ready = hier.ifetch(pc, cycle);
+            lastFetchLine = line;
+            if (ready > cycle + hier.params().l1i.latency) {
+                fetchResumeCycle = ready;
+                break;
+            }
+        }
+
+        InflightInst di;
+        di.traceIdx = fetchIdx;
+        di.si = &si;
+        di.pc = pc;
+        di.rec = rec;
+        di.fetchCycle = cycle;
+        di.histFetch = bru.history();
+        di.rasSnap = bru.rasSnapshot();
+
+        bool stop_after = false;
+        if (si.isBranch()) {
+            Addr target = isa::Program::pcOf(rec.nextIdx);
+            di.bp = bru.onFetchBranch(pc, si, rec.taken, target);
+            if (di.bp.redirect == pred::Redirect::Execute) {
+                fetchWaitingExec = true;
+                stop_after = true;
+            } else if (di.bp.redirect == pred::Redirect::Decode) {
+                fetchResumeCycle = cycle + cp.decodeRedirectPenalty;
+                stop_after = true;
+            } else if (rec.taken) {
+                if (++taken_seen > cp.takenBranchesPerFetch)
+                    stop_after = true; // cannot follow a 2nd taken branch.
+                lastFetchLine = ~Addr{0}; // next fetch starts a new line.
+            }
+        }
+
+        frontendQ.push_back(std::move(di));
+        ++fetchIdx;
+        if (stop_after)
+            break;
+    }
+}
+
+// --------------------------------------------------------------- rename
+
+bool
+Pipeline::tryEqualityPredict(InflightInst &di)
+{
+    if (!di.distLk.usePred)
+        return false;
+    u32 dist = di.distLk.distance;
+    if (dist == 0 || dist > di.traceIdx)
+        return false;
+    InflightInst *prod = findBySeq(di.traceIdx - dist);
+    if (!prod || !prod->producesReg || prod->destPreg == invalidPhysReg) {
+        ++st.shareFailNoProducer;
+        return false;
+    }
+    PhysReg preg = prod->destPreg;
+    if (preg == zeroPreg) {
+        // Sharing with the hardwired zero register needs no ISRB entry
+        // (Section III: "register sharing would be trivial").
+        di.action = RenameAction::RsepShared;
+        di.destPreg = zeroPreg;
+        di.needsValidation = true;
+        di.shareProducerSeq = prod->traceIdx;
+        di.shareProducerValue = 0;
+        return true;
+    }
+    if (!isrbUnit.share(preg)) {
+        ++st.shareFailIsrb;
+        return false;
+    }
+    di.action = RenameAction::RsepShared;
+    di.destPreg = preg;
+    di.shareProducerSeq = prod->traceIdx;
+    di.shareProducerValue = prod->rec.result;
+    di.needsValidation = true;
+    return true;
+}
+
+void
+Pipeline::resolveLikelyCandidate(InflightInst &di)
+{
+    u32 dist = di.distLk.distance;
+    if (dist == 0 || dist > di.traceIdx)
+        return;
+    InflightInst *prod = findBySeq(di.traceIdx - dist);
+    if (!prod || !prod->producesReg)
+        return;
+    di.likelyCandidate = true;
+    di.candidateHasPartner = true;
+    di.candidatePartnerPreg = prod->destPreg;
+    di.candidateProducerSeq = prod->traceIdx;
+    di.candidatePartnerValue = prod->rec.result;
+    di.needsValidation = true;
+    ++st.likelyCandidates;
+}
+
+void
+Pipeline::renameOne(InflightInst &di)
+{
+    const isa::StaticInst &si = *di.si;
+
+    // Source renaming.
+    di.numSrcs = 0;
+    si.forEachSrc([&](ArchReg r) {
+        di.srcPregs[di.numSrcs++] =
+            r == isa::zeroReg ? zeroPreg : rename.map(r);
+    });
+    di.producesReg = si.writesReg();
+    di.dispatchCycle = cycle;
+
+    bool handled = false;
+
+    // 1. Zero-idiom elimination (baseline, non-speculative).
+    if (mech.zeroIdiomElim && si.isZeroIdiom()) {
+        di.action = RenameAction::ZeroIdiom;
+        di.destPreg = zeroPreg;
+        di.needsExec = false;
+        di.completeCycle = cycle;
+        handled = true;
+    }
+
+    // 2. Move elimination (non-speculative; uses the sharing machinery).
+    if (!handled && mech.moveElim && si.isEliminableMove()) {
+        PhysReg src = di.srcPregs[0];
+        if (src == zeroPreg || isrbUnit.share(src)) {
+            di.action = RenameAction::MoveElim;
+            di.destPreg = src;
+            di.needsExec = false;
+            di.completeCycle = cycle;
+            handled = true;
+        }
+    }
+
+    // Predictor lookups (performed under the fetch-time history).
+    bool eligible = di.producesReg && !handled;
+    if (eligible && mech.zeroPred) {
+        di.zeroPredLookedUp = true;
+        if (zeroPred.predict(di.pc)) {
+            di.action = RenameAction::ZeroPredicted;
+            di.destPreg = zeroPreg;
+            di.needsValidation = true;
+            ++zeroPred.predictions;
+            handled = true;
+        }
+    }
+    if (di.producesReg && mech.equalityPred &&
+        !(mech.moveElim && si.isEliminableMove()) && !si.isZeroIdiom()) {
+        di.distLk = distPred.lookup(di.pc, di.histFetch);
+        if (!handled)
+            handled = tryEqualityPredict(di);
+    }
+    if (di.producesReg && mech.valuePred && !si.isZeroIdiom()) {
+        di.vpLk = vp.lookup(di.pc, di.histFetch);
+        if (!handled && di.vpLk.confident) {
+            di.action = RenameAction::ValuePredicted;
+            vp.notifySpeculated(di.vpLk);
+            handled = true;
+        }
+    }
+    // Likely-candidate training through the validation datapath
+    // (sampling mode, Section IV-B3a).
+    if (!handled && !di.likelyCandidate && mech.equalityPred &&
+        mech.rsep.sampling && di.distLk.valid && !di.distLk.usePred &&
+        di.distLk.confidence >= mech.rsep.startTrainThreshold) {
+        resolveLikelyCandidate(di);
+    }
+
+    // Under the ideal validation policy (Fig. 4 / Fig. 6 "Ideal
+    // Validation") checking costs nothing: no second issue, no IQ
+    // retention, no producer dependency. Correctness verdicts are
+    // still enforced at commit.
+    if (mech.rsep.validation == equality::ValidationPolicy::Ideal)
+        di.needsValidation = false;
+
+    // Destination allocation + map update.
+    if (di.producesReg) {
+        di.oldPreg = rename.map(si.dst);
+        if (di.action == RenameAction::None ||
+            di.action == RenameAction::ValuePredicted) {
+            di.destPreg = rename.allocate(si.dst);
+            if (di.destPreg == invalidPhysReg)
+                rsep_panic("free list empty despite rename gating");
+            di.allocatedPreg = true;
+            pregReady[di.destPreg] =
+                di.action == RenameAction::ValuePredicted ? cycle
+                                                          : invalidCycle;
+        }
+        rename.setMap(si.dst, di.destPreg);
+    }
+
+    // Memory dependences. The LFST is not rolled back on squashes
+    // (Table I), so after a squash it can name a store slot that now
+    // belongs to a *younger* instruction; such stale entries are
+    // unusable (hardware would find the slot empty) and are dropped.
+    SeqNum dep = si.isStore()
+        ? storeSets.storeRename(di.pc, di.traceIdx + 1)
+        : (si.isLoad() ? storeSets.loadRename(di.pc) : 0);
+    if (dep && dep - 1 < di.traceIdx)
+        di.storeDepSeq = dep;
+
+    // Queues.
+    if (si.opClass() == OpClass::Nop) {
+        di.needsExec = false;
+        di.completeCycle = cycle;
+    }
+    if (di.needsExec) {
+        di.inIq = true;
+        ++iqUsed;
+    }
+    if (si.isLoad())
+        ++lqUsed;
+    if (si.isStore())
+        ++sqUsed;
+}
+
+void
+Pipeline::doRename()
+{
+    for (unsigned n = 0; n < cp.renameWidth && !frontendQ.empty(); ++n) {
+        InflightInst &head = frontendQ.front();
+        if (head.fetchCycle + cp.frontendDepth > cycle)
+            break;
+        const isa::StaticInst &si = *head.si;
+        if (rob.size() >= cp.robSize) {
+            ++st.renameStallRob;
+            break;
+        }
+        bool needs_exec = !(mech.zeroIdiomElim && si.isZeroIdiom()) &&
+                          !(mech.moveElim && si.isEliminableMove()) &&
+                          si.opClass() != OpClass::Nop;
+        if (needs_exec && iqUsed >= cp.iqSize) {
+            ++st.renameStallIq;
+            break;
+        }
+        if ((si.isLoad() && lqUsed >= cp.lqSize) ||
+            (si.isStore() && sqUsed >= cp.sqSize)) {
+            ++st.renameStallLsq;
+            break;
+        }
+        if (si.writesReg() && !rename.hasFree(si.dst)) {
+            ++st.renameStallRegs;
+            break;
+        }
+        rob.push_back(std::move(frontendQ.front()));
+        frontendQ.pop_front();
+        renameOne(rob.back());
+    }
+}
+
+// ---------------------------------------------------------------- issue
+
+bool
+Pipeline::sourcesReady(const InflightInst &di) const
+{
+    for (unsigned i = 0; i < di.numSrcs; ++i)
+        if (pregReady[di.srcPregs[i]] > cycle)
+            return false;
+    return true;
+}
+
+Cycle
+Pipeline::executeMemOrAlu(InflightInst &di, int port)
+{
+    const isa::StaticInst &si = *di.si;
+    OpClass c = si.opClass();
+    if (c == OpClass::Load) {
+        // Store-to-load forwarding: youngest older store to the same
+        // doubleword that has already executed.
+        Addr dword = di.rec.effAddr & ~Addr{7};
+        u64 base_seq = rob.front().traceIdx;
+        if (di.traceIdx > base_seq) {
+            for (u64 s = di.traceIdx - 1; s + 1 > base_seq; --s) {
+                InflightInst *older = findBySeq(s);
+                if (!older)
+                    break;
+                if (!older->isStore())
+                    continue;
+                if ((older->rec.effAddr & ~Addr{7}) != dword)
+                    continue;
+                if (older->issued)
+                    return std::max(cycle, older->completeCycle) +
+                           cp.stlfLat;
+                break; // unexecuted conflicting store: speculate past it.
+            }
+        }
+        return hier.load(di.pc, di.rec.effAddr, cycle);
+    }
+    Cycle lat = opLatency(c);
+    Cycle done = cycle + lat;
+    if (c == OpClass::IntDiv || c == OpClass::FpDiv)
+        fuPool.markUnpipelined(port, done); // unpipelined units.
+    return done;
+}
+
+void
+Pipeline::doIssueAndValidate()
+{
+    fuPool.beginCycle(cycle);
+    const bool lock_fu =
+        mech.rsep.validation == equality::ValidationPolicy::Issue2xLockFu;
+    const bool ideal_val =
+        mech.rsep.validation == equality::ValidationPolicy::Ideal;
+
+    // 1. Validation micro-ops (picker gives them priority, IV-F1).
+    for (auto &di : rob) {
+        if (!di.needsValidation || di.validationIssued)
+            continue;
+        if (!di.issued || di.completeCycle > cycle)
+            continue;
+        // The shared/partner value must be available (back-to-back
+        // with the producer via the bypass network).
+        u64 prod_seq = di.action == RenameAction::RsepShared
+            ? di.shareProducerSeq
+            : (di.likelyCandidate ? di.candidateProducerSeq : 0);
+        if (prod_seq) {
+            InflightInst *prod = findBySeq(prod_seq);
+            if (prod && (!prod->issued || prod->completeCycle > cycle))
+                continue;
+        }
+        if (ideal_val) {
+            di.validationIssued = true;
+            di.validationCycle = cycle;
+            if (di.inIq) {
+                di.inIq = false;
+                --iqUsed;
+            }
+            continue;
+        }
+        int port = fuPool.tryIssueValidation(di.si->opClass(), lock_fu);
+        if (port < 0)
+            continue;
+        di.validationIssued = true;
+        di.validationCycle = cycle;
+        if (di.inIq) {
+            di.inIq = false;
+            --iqUsed;
+        }
+    }
+
+    // 2. Regular issue, oldest first.
+    for (size_t pos = 0; pos < rob.size(); ++pos) {
+        InflightInst &di = rob[pos];
+        if (!di.needsExec || di.issued)
+            continue;
+        if (di.dispatchCycle >= cycle)
+            continue;
+        if (!sourcesReady(di))
+            continue;
+
+        // Equality-predicted instructions (and likely candidates) are
+        // made dependent on their producer so the validation micro-op
+        // can catch the shared value on the bypass network (IV-F1).
+        // The ideal-validation arm has no such constraint.
+        u64 extra_seq = di.action == RenameAction::RsepShared
+            ? di.shareProducerSeq
+            : (di.likelyCandidate ? di.candidateProducerSeq : 0);
+        if (ideal_val)
+            extra_seq = 0;
+        if (extra_seq) {
+            InflightInst *prod = findBySeq(extra_seq);
+            if (prod && (!prod->issued || prod->completeCycle > cycle))
+                continue;
+        }
+
+        // Memory dependence (store sets).
+        if (di.storeDepSeq) {
+            InflightInst *dep = findBySeq(di.storeDepSeq - 1);
+            if (dep && dep->isStore() &&
+                (!dep->issued || dep->completeCycle > cycle))
+                continue;
+        }
+
+        int port = fuPool.tryIssue(di.si->opClass());
+        if (port < 0)
+            continue;
+
+        di.issued = true;
+        di.completeCycle = executeMemOrAlu(di, port);
+
+        if (di.allocatedPreg &&
+            di.action != RenameAction::ValuePredicted)
+            pregReady[di.destPreg] = di.completeCycle;
+
+        if (!di.needsValidation && di.inIq) {
+            di.inIq = false;
+            --iqUsed;
+        }
+
+        // Branch resolution releases a stalled front end.
+        if (di.si->isBranch() &&
+            di.bp.redirect == pred::Redirect::Execute) {
+            fetchResumeCycle = di.completeCycle + 1;
+            fetchWaitingExec = false;
+            lastFetchLine = ~Addr{0};
+        }
+
+        // Stores: detect memory-order violations against younger loads
+        // that already issued to the same doubleword.
+        if (di.si->isStore()) {
+            Addr dword = di.rec.effAddr & ~Addr{7};
+            for (size_t j = pos + 1; j < rob.size(); ++j) {
+                InflightInst &yng = rob[j];
+                if (yng.isLoad() && yng.issued &&
+                    (yng.rec.effAddr & ~Addr{7}) == dword) {
+                    storeSets.reportViolation(yng.pc, di.pc);
+                    ++st.memOrderSquashes;
+                    squashFrom(j, true);
+                    return; // ROB changed; end the stage.
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- squash
+
+void
+Pipeline::undoRename(InflightInst &di)
+{
+    if (!di.producesReg || di.destPreg == invalidPhysReg)
+        return;
+    rename.setMap(di.si->dst, di.oldPreg);
+    switch (di.action) {
+      case RenameAction::None:
+      case RenameAction::ValuePredicted:
+        rename.release(di.destPreg);
+        break;
+      case RenameAction::RsepShared:
+      case RenameAction::MoveElim:
+        if (di.destPreg != zeroPreg &&
+            isrbUnit.squashSharer(di.destPreg) ==
+                equality::IsrbRelease::Freed)
+            releaseMapping(di.destPreg); // entry gone; free for real.
+        break;
+      case RenameAction::ZeroIdiom:
+      case RenameAction::ZeroPredicted:
+        break; // zero preg: nothing allocated.
+    }
+}
+
+void
+Pipeline::releaseMapping(PhysReg preg)
+{
+    rename.release(preg);
+    if (mech.fig1Probe) {
+        auto it = liveValues.find(pregValue[preg]);
+        if (it != liveValues.end() && --it->second == 0)
+            liveValues.erase(it);
+    }
+}
+
+void
+Pipeline::squashFrom(size_t rob_pos, bool refetch_penalty)
+{
+    // Restore front-end state to the first squashed instruction. When
+    // the squash removes only fetched-not-renamed instructions, the
+    // snapshot lives at the front of the frontend queue instead.
+    if (rob_pos < rob.size()) {
+        const InflightInst &first = rob[rob_pos];
+        bru.restore(first.histFetch, first.rasSnap);
+        fetchIdx = first.traceIdx;
+    } else if (!frontendQ.empty()) {
+        const InflightInst &first = frontendQ.front();
+        bru.restore(first.histFetch, first.rasSnap);
+        fetchIdx = first.traceIdx;
+    }
+
+    for (size_t i = rob.size(); i-- > rob_pos;) {
+        InflightInst &di = rob[i];
+        undoRename(di);
+        if (di.inIq)
+            --iqUsed;
+        if (di.isLoad())
+            --lqUsed;
+        if (di.isStore())
+            --sqUsed;
+        rob.pop_back();
+    }
+    frontendQ.clear();
+    vp.squash();
+    fetchWaitingExec = false;
+    lastFetchLine = ~Addr{0};
+    fetchResumeCycle = cycle + (refetch_penalty ? 1 : 0);
+}
+
+// --------------------------------------------------------------- commit
+
+bool
+Pipeline::commitBlocked(const InflightInst &di) const
+{
+    if (di.needsExec && (!di.issued || di.completeCycle >= cycle))
+        return true;
+    if (!di.needsExec && di.completeCycle >= cycle)
+        return true;
+    if (di.needsValidation &&
+        (!di.validationIssued || di.validationCycle >= cycle))
+        return true;
+    return false;
+}
+
+void
+Pipeline::commitTrainEquality(InflightInst &di)
+{
+    if (!mech.equalityPred)
+        return;
+    const bool producer = di.producesReg;
+    if (!producer)
+        return;
+
+    u32 csn = static_cast<u32>(committed & equality::csnMask);
+    u16 hash = equality::foldHash(di.rec.result, mech.rsep.hashBits);
+
+    bool eliminated = di.action == RenameAction::ZeroIdiom ||
+                      di.action == RenameAction::MoveElim;
+
+    // Predicted instructions and likely candidates train through the
+    // validation path and do not probe the history (IV-B3b).
+    if (di.action == RenameAction::RsepShared) {
+        if (di.rec.result == di.shareProducerValue)
+            distPred.train(di.distLk, di.distLk.distance);
+        // (mispredicting instances never reach here; see doCommit).
+    } else if (di.likelyCandidate && di.candidateHasPartner) {
+        if (di.rec.result == di.candidatePartnerValue)
+            distPred.train(di.distLk, di.distLk.distance);
+        else
+            distPred.trainIncorrect(di.distLk);
+    }
+
+    // Push every committed register producer whose value lives in the
+    // PRF (eliminated results live in shared/zero registers already).
+    if (!eliminated) {
+        hrfUnit.write(di.destPreg == invalidPhysReg ? zeroPreg : di.destPreg,
+                      hash);
+        if (mech.rsep.useDdt) {
+            if (auto m = ddt.accessAndUpdate(hash, csn, di.traceIdx)) {
+                if (m->producerValue != di.rec.result)
+                    ++st.hashFalsePositives;
+                if (!di.likelyCandidate &&
+                    di.action != RenameAction::RsepShared &&
+                    di.distLk.valid)
+                    distPred.train(di.distLk, m->distance);
+            }
+        } else {
+            fifo.push(hash, csn, di.traceIdx, true, di.rec.result);
+        }
+    }
+}
+
+void
+Pipeline::commitOne(InflightInst &di)
+{
+    const isa::StaticInst &si = *di.si;
+    ++st.committedInsts;
+    if (si.isLoad())
+        ++st.committedLoads;
+    if (si.isStore())
+        ++st.committedStores;
+    if (si.isBranch())
+        ++st.committedBranches;
+    if (di.producesReg)
+        ++st.committedProducers;
+
+    // Coverage accounting (Fig. 5).
+    switch (di.action) {
+      case RenameAction::ZeroIdiom: ++st.zeroIdiomElim; break;
+      case RenameAction::MoveElim: ++st.moveElim; break;
+      case RenameAction::ZeroPredicted:
+        ++(si.isLoad() ? st.zeroPredLoad : st.zeroPredOther);
+        ++st.zeroCorrect;
+        break;
+      case RenameAction::RsepShared:
+        ++(si.isLoad() ? st.distPredLoad : st.distPredOther);
+        ++st.rsepCorrect;
+        if (di.vpLk.valid && di.vpLk.confident)
+            ++st.rsepVpOverlap;
+        break;
+      case RenameAction::ValuePredicted:
+        ++(si.isLoad() ? st.valuePredLoad : st.valuePredOther);
+        ++st.vpCorrect;
+        break;
+      default: break;
+    }
+
+    // Fig. 1 probe: result redundancy at commit.
+    if (mech.fig1Probe && di.producesReg) {
+        if (di.rec.result == 0 && !si.isZeroIdiom())
+            ++(si.isLoad() ? st.fig1ZeroLoad : st.fig1ZeroOther);
+        if (liveValues.count(di.rec.result))
+            ++(si.isLoad() ? st.fig1InPrfLoad : st.fig1InPrfOther);
+    }
+
+    // Predictor training.
+    if (mech.zeroPred && di.zeroPredLookedUp &&
+        di.action != RenameAction::ZeroPredicted)
+        zeroPred.update(di.pc, di.rec.result == 0, &rng);
+    if (mech.valuePred && di.vpLk.valid)
+        vp.commit(di.vpLk, di.rec.result);
+    commitTrainEquality(di);
+
+    // Structural commit actions.
+    if (si.isBranch())
+        bru.onCommitBranch(di.bp, di.pc, si,
+                           isa::Program::pcOf(di.rec.nextIdx));
+    if (si.isStore()) {
+        hier.storeCommit(di.rec.effAddr, cycle);
+        storeSets.storeRetire(di.pc, di.traceIdx + 1);
+        --sqUsed;
+    }
+    if (si.isLoad())
+        --lqUsed;
+
+    // Release the previous mapping of the destination register.
+    if (di.producesReg && di.oldPreg != invalidPhysReg &&
+        di.oldPreg != zeroPreg) {
+        switch (isrbUnit.release(di.oldPreg)) {
+          case equality::IsrbRelease::NotShared:
+          case equality::IsrbRelease::Freed:
+            releaseMapping(di.oldPreg);
+            break;
+          case equality::IsrbRelease::StillLive:
+            break;
+        }
+    }
+
+    // Fig. 1 probe bookkeeping: the new mapping's value becomes live.
+    if (mech.fig1Probe && di.allocatedPreg) {
+        pregValue[di.destPreg] = di.rec.result;
+        ++liveValues[di.rec.result];
+    }
+
+    ++committed;
+}
+
+void
+Pipeline::doCommit()
+{
+    unsigned producers_this_cycle = 0;
+    /** Deferred FIFO probes for the sampling policy. */
+    struct PendingProbe
+    {
+        u16 hash;
+        u32 csn;
+        u64 result;
+        equality::DistLookup distLk;
+    };
+    std::vector<PendingProbe> sample_pool;
+
+    unsigned n = 0;
+    while (n < cp.commitWidth && !rob.empty()) {
+        InflightInst &di = rob.front();
+        if (commitBlocked(di))
+            break;
+
+        // Speculation verdicts (commit-time validation).
+        if (di.action == RenameAction::RsepShared &&
+            di.rec.result != di.shareProducerValue) {
+            ++st.rsepMispredicts;
+            ++st.commitSquashes;
+            distPred.trainIncorrect(di.distLk);
+            squashFrom(0, true);
+            break;
+        }
+        if (di.action == RenameAction::ZeroPredicted &&
+            di.rec.result != 0) {
+            ++st.zeroMispredicts;
+            ++zeroPred.mispredictions;
+            ++st.commitSquashes;
+            zeroPred.update(di.pc, false, &rng);
+            if (di.distLk.valid && di.shareProducerSeq)
+                distPred.trainIncorrect(di.distLk);
+            squashFrom(0, true);
+            break;
+        }
+        if (di.action == RenameAction::ValuePredicted &&
+            di.vpLk.predicted != di.rec.result) {
+            // VP commits the instruction (its own execution wrote the
+            // correct result to its register) and squashes everything
+            // younger, including not-yet-renamed fetches.
+            ++st.vpMispredicts;
+            ++st.commitSquashes;
+            if (std::getenv("RSEP_VP_DEBUG"))
+                std::fprintf(stderr, "vp-miss pc=%llx pred=%llx actual=%llx\n",
+                             (unsigned long long)di.pc,
+                             (unsigned long long)di.vpLk.predicted,
+                             (unsigned long long)di.rec.result);
+            commitOne(di);
+            u64 next_idx = di.traceIdx + 1;
+            rob.pop_front();
+            squashFrom(0, true);
+            fetchIdx = next_idx;
+            trace.trimBelow(next_idx);
+            break;
+        }
+
+        // Sampling pool: plain producers that would probe the FIFO.
+        bool fifo_probes = mech.equalityPred && !mech.rsep.useDdt &&
+            di.producesReg && di.distLk.valid &&
+            di.action != RenameAction::RsepShared &&
+            di.action != RenameAction::ZeroIdiom &&
+            di.action != RenameAction::MoveElim && !di.likelyCandidate;
+
+        commitOne(di);
+        if (di.producesReg)
+            ++producers_this_cycle;
+
+        // FIFO probing & training for unpredicted producers. Without
+        // sampling every producer probes; with sampling one random
+        // instruction per commit cycle does (IV-B3).
+        if (fifo_probes) {
+            sample_pool.push_back(PendingProbe{
+                equality::foldHash(di.rec.result, mech.rsep.hashBits),
+                static_cast<u32>((committed - 1) & equality::csnMask),
+                di.rec.result, di.distLk});
+        }
+
+        rob.pop_front();
+        if (!rob.empty()) {
+            trace.trimBelow(rob.front().traceIdx);
+        } else {
+            // Careful: fetched-but-unrenamed instructions may still be
+            // squashed and re-fetched; keep their records reachable.
+            u64 low = fetchIdx;
+            if (!frontendQ.empty())
+                low = std::min(low, frontendQ.front().traceIdx);
+            trace.trimBelow(low);
+        }
+        ++n;
+    }
+
+    if (mech.equalityPred)
+        st.commitGroupProducers.sample(producers_this_cycle);
+
+    // Execute the probes: all of them (full training) or one randomly
+    // sampled per cycle. Probing happens after the group's pushes, so
+    // within-group pairs are visible, matching the paper's "compared
+    // with each other" requirement; the self-entry is skipped by the
+    // zero-distance guard.
+    if (!sample_pool.empty()) {
+        size_t lo = 0, hi = sample_pool.size();
+        if (mech.rsep.sampling) {
+            lo = static_cast<size_t>(rng.below(sample_pool.size()));
+            hi = lo + 1;
+        }
+        for (size_t i = lo; i < hi; ++i) {
+            PendingProbe &probe = sample_pool[i];
+            std::optional<u32> pdist;
+            if (mech.rsep.propagatePredictedDistance &&
+                probe.distLk.valid && probe.distLk.distance != 0)
+                pdist = probe.distLk.distance;
+            if (auto m = fifo.match(probe.hash, probe.csn, pdist)) {
+                if (m->producerValue != probe.result)
+                    ++st.hashFalsePositives;
+                distPred.train(probe.distLk, m->distance);
+            } else {
+                distPred.train(probe.distLk, 0);
+            }
+        }
+    }
+}
+
+bool
+Pipeline::checkRegisterConservation() const
+{
+    // A physical register is LIVE iff it is the current mapping of an
+    // architectural register or the old mapping recorded by an
+    // in-flight instruction (to be released at its commit). Everything
+    // else must be on a free list, and nothing may be both.
+    std::vector<u8> live(rename.totalPregs(), 0);
+    live[zeroPreg] = 1;
+    for (ArchReg r = 0; r < isa::numArchRegs; ++r) {
+        PhysReg p_ = rename.map(r);
+        if (p_ != invalidPhysReg && p_ != zeroPreg)
+            live[p_] = 1;
+    }
+    for (const auto &di : rob) {
+        if (di.producesReg && di.oldPreg != invalidPhysReg &&
+            di.oldPreg != zeroPreg)
+            live[di.oldPreg] = 1;
+    }
+
+    std::vector<u8> free_marks(rename.totalPregs(), 0);
+    size_t free_total = rename.intFreeCount() + rename.fpFreeCount();
+    size_t live_total = 0;
+    for (unsigned p_ = 0; p_ < rename.totalPregs(); ++p_)
+        live_total += live[p_];
+
+    if (free_total + live_total != rename.totalPregs()) {
+        rsep_warn("register conservation violated: %zu free + %zu live "
+                  "!= %u total",
+                  free_total, live_total, rename.totalPregs());
+        return false;
+    }
+    (void)free_marks;
+    return true;
+}
+
+void
+Pipeline::run(u64 ninsts)
+{
+    u64 target = committed + ninsts;
+    while (committed < target) {
+        ++cycle;
+        ++st.cycles;
+        doCommit();
+        doIssueAndValidate();
+        doRename();
+        doFetch();
+        if (cycle > (target + 1) * 1000) {
+            if (!rob.empty()) {
+                const InflightInst &h = rob.front();
+                rsep_panic("pipeline livelock: cycle %llu committed %llu "
+                           "head seq %llu pc %llx action %d needsExec %d "
+                           "issued %d complete %llu srcs %u "
+                           "ready [%llu %llu %llu] storeDep %llu",
+                           static_cast<unsigned long long>(cycle),
+                           static_cast<unsigned long long>(committed),
+                           static_cast<unsigned long long>(h.traceIdx),
+                           static_cast<unsigned long long>(h.pc),
+                           static_cast<int>(h.action), h.needsExec,
+                           h.issued,
+                           static_cast<unsigned long long>(h.completeCycle),
+                           h.numSrcs,
+                           static_cast<unsigned long long>(
+                               h.numSrcs > 0 ? pregReady[h.srcPregs[0]] : 0),
+                           static_cast<unsigned long long>(
+                               h.numSrcs > 1 ? pregReady[h.srcPregs[1]] : 0),
+                           static_cast<unsigned long long>(
+                               h.numSrcs > 2 ? pregReady[h.srcPregs[2]] : 0),
+                           static_cast<unsigned long long>(h.storeDepSeq));
+            }
+            rsep_panic("pipeline livelock: cycle %llu committed %llu "
+                       "(empty rob, frontendQ %zu, fetchIdx %llu, "
+                       "resume %llu, waitingExec %d)",
+                       static_cast<unsigned long long>(cycle),
+                       static_cast<unsigned long long>(committed),
+                       frontendQ.size(),
+                       static_cast<unsigned long long>(fetchIdx),
+                       static_cast<unsigned long long>(fetchResumeCycle),
+                       fetchWaitingExec);
+        }
+    }
+}
+
+} // namespace rsep::core

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The cycle-level 8-wide out-of-order core (Table I) with the RSEP
+ * mechanisms of the paper integrated at Rename / Execute / Commit
+ * (Fig. 3): zero-idiom elimination (baseline), move elimination, zero
+ * prediction, register-sharing equality prediction (distance predictor
+ * + ROB lookup + ISRB + HRF + FIFO history + validation µ-ops) and
+ * D-VTAGE value prediction.
+ *
+ * Modelling approach (see DESIGN.md): trace-driven replay of the
+ * committed path. Branch mispredictions stall fetch until the branch
+ * executes (wrong-path fetch is not simulated); value/equality/zero
+ * mispredictions squash at commit and rewind the trace cursor, which is
+ * exact because they do not change architectural state.
+ */
+
+#ifndef RSEP_CORE_PIPELINE_HH
+#define RSEP_CORE_PIPELINE_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "core/dyninst.hh"
+#include "core/fu_pool.hh"
+#include "core/params.hh"
+#include "core/rename.hh"
+#include "core/trace_buffer.hh"
+#include "mem/hierarchy.hh"
+#include "pred/branch_unit.hh"
+#include "pred/dvtage.hh"
+#include "pred/storesets.hh"
+#include "rsep/config.hh"
+#include "rsep/ddt.hh"
+#include "rsep/distance_pred.hh"
+#include "rsep/fifo_history.hh"
+#include "rsep/hash.hh"
+#include "rsep/hrf.hh"
+#include "rsep/isrb.hh"
+#include "rsep/zero_pred.hh"
+
+namespace rsep::core
+{
+
+/** Which speculation mechanisms are active (the Fig. 4 arms). */
+struct MechConfig
+{
+    bool zeroIdiomElim = true;  ///< baseline feature (Table I).
+    bool moveElim = false;
+    bool zeroPred = false;
+    bool equalityPred = false;  ///< RSEP.
+    bool valuePred = false;     ///< D-VTAGE.
+    equality::RsepConfig rsep{};
+    pred::DvtageParams vp{};
+    bool fig1Probe = false;     ///< collect Fig. 1 redundancy stats.
+};
+
+/** Aggregated pipeline statistics. */
+struct PipelineStats
+{
+    StatCounter cycles;
+    StatCounter committedInsts;
+    StatCounter committedProducers;
+    StatCounter committedLoads;
+    StatCounter committedStores;
+    StatCounter committedBranches;
+
+    // Coverage (Fig. 5), split loads vs others where the paper does.
+    StatCounter zeroIdiomElim;
+    StatCounter moveElim;
+    StatCounter zeroPredOther;
+    StatCounter zeroPredLoad;
+    StatCounter distPredOther;
+    StatCounter distPredLoad;
+    StatCounter valuePredOther;
+    StatCounter valuePredLoad;
+
+    // Speculation outcomes.
+    StatCounter rsepCorrect;
+    StatCounter rsepMispredicts;
+    StatCounter zeroCorrect;
+    StatCounter zeroMispredicts;
+    StatCounter vpCorrect;
+    StatCounter vpMispredicts;
+    StatCounter commitSquashes;
+    StatCounter memOrderSquashes;
+    StatCounter likelyCandidates;
+    StatCounter shareFailNoProducer;
+    StatCounter shareFailIsrb;
+    StatCounter hashFalsePositives;
+    StatCounter rsepVpOverlap; ///< RSEP-covered insts VP would also cover.
+
+    // Fig. 1 probe.
+    StatCounter fig1ZeroLoad;
+    StatCounter fig1ZeroOther;
+    StatCounter fig1InPrfLoad;
+    StatCounter fig1InPrfOther;
+
+    // Commit-group eligibility histogram (Section IV-D comparators).
+    StatHistogram commitGroupProducers{9};
+
+    // Front-end.
+    StatCounter fetchStallCycles;
+    StatCounter renameStallRob;
+    StatCounter renameStallIq;
+    StatCounter renameStallLsq;
+    StatCounter renameStallRegs;
+
+    double
+    ipc() const
+    {
+        return cycles.value()
+            ? static_cast<double>(committedInsts.value()) /
+                  static_cast<double>(cycles.value())
+            : 0.0;
+    }
+};
+
+/** The core. */
+class Pipeline
+{
+  public:
+    Pipeline(const CoreParams &core_params, const MechConfig &mech,
+             wl::Emulator &emu, u64 seed = 1234);
+
+    /** Run until @p ninsts more instructions commit. */
+    void run(u64 ninsts);
+
+    /** Zero all statistics (end of warmup). */
+    void resetStats();
+
+    PipelineStats &stats() { return st; }
+    const CoreParams &coreParams() const { return cp; }
+    const MechConfig &mechConfig() const { return mech; }
+
+    pred::BranchUnit &branchUnit() { return bru; }
+    mem::MemoryHierarchy &memory() { return hier; }
+    equality::Isrb &isrb() { return isrbUnit; }
+    equality::FifoHistory &fifoHistory() { return fifo; }
+    equality::DistancePredictor &distancePredictor() { return distPred; }
+    pred::Dvtage &valuePredictor() { return vp; }
+    equality::HashRegisterFile &hrf() { return hrfUnit; }
+
+    /** Architectural commit count (CSN source). */
+    u64 committedCount() const { return committed; }
+
+    /**
+     * Debug invariant: every physical register is accounted for exactly
+     * once (free list, architectural mapping, or in-flight allocation,
+     * with ISRB-shared registers counted once). @return true if sound.
+     */
+    bool checkRegisterConservation() const;
+
+  private:
+    // --- stages ---
+    void doFetch();
+    void doRename();
+    void doIssueAndValidate();
+    void doCommit();
+
+    // --- helpers ---
+    void renameOne(InflightInst &di);
+    bool tryEqualityPredict(InflightInst &di);
+    void resolveLikelyCandidate(InflightInst &di);
+    InflightInst *findBySeq(u64 seq);
+    bool sourcesReady(const InflightInst &di) const;
+    Cycle executeMemOrAlu(InflightInst &di, int port);
+    void squashFrom(size_t rob_pos, bool refetch_penalty);
+    void undoRename(InflightInst &di);
+    void commitTrainEquality(InflightInst &di);
+    void commitOne(InflightInst &di);
+    void releaseMapping(PhysReg preg);
+    bool commitBlocked(const InflightInst &di) const;
+
+    Cycle
+    opLatency(isa::OpClass c) const;
+
+    // --- configuration ---
+    CoreParams cp;
+    MechConfig mech;
+
+    // --- substrate ---
+    wl::Emulator &emul;
+    TraceBuffer trace;
+    mem::MemoryHierarchy hier;
+    pred::BranchUnit bru;
+    pred::StoreSets storeSets;
+    pred::Dvtage vp;
+
+    // --- RSEP structures ---
+    equality::DistancePredictor distPred;
+    equality::FifoHistory fifo;
+    equality::Ddt ddt;
+    equality::Isrb isrbUnit;
+    equality::ZeroPredictor zeroPred;
+    equality::HashRegisterFile hrfUnit;
+
+    // --- core state ---
+    RenameState rename;
+    FuPool fuPool;
+    std::deque<InflightInst> rob;
+    std::deque<InflightInst> frontendQ; ///< fetched, waiting for rename.
+    std::vector<Cycle> pregReady;
+    std::vector<u64> pregValue;  ///< Fig. 1 probe bookkeeping.
+    std::unordered_map<u64, u64> liveValues; ///< value -> live preg count.
+
+    unsigned iqUsed = 0;
+    unsigned lqUsed = 0;
+    unsigned sqUsed = 0;
+
+    u64 fetchIdx = 0;       ///< next trace index to fetch.
+    Cycle cycle = 0;
+    Cycle fetchResumeCycle = 0;
+    bool fetchWaitingExec = false; ///< stalled on an exec-redirect branch.
+    u64 committed = 0;
+    Addr lastFetchLine = ~Addr{0};
+
+    Rng rng;
+    PipelineStats st;
+};
+
+} // namespace rsep::core
+
+#endif // RSEP_CORE_PIPELINE_HH

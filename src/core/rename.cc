@@ -1,0 +1,53 @@
+#include "core/rename.hh"
+
+namespace rsep::core
+{
+
+RenameState::RenameState(const CoreParams &params)
+    : total(params.intPregs + params.fpPregs),
+      fpBase(static_cast<PhysReg>(params.intPregs)),
+      mapTable(isa::numArchRegs, invalidPhysReg)
+{
+    if (params.intPregs <= isa::numIntArchRegs ||
+        params.fpPregs <= isa::numFpArchRegs)
+        rsep_fatal("too few physical registers");
+
+    // Initial architectural mappings. INT arch r maps to preg r+1
+    // except the zero register which owns preg 0 permanently.
+    PhysReg next = 1;
+    for (ArchReg r = 0; r < isa::numIntArchRegs; ++r) {
+        if (r == isa::zeroReg)
+            mapTable[r] = zeroPreg;
+        else
+            mapTable[r] = next++;
+    }
+    for (PhysReg p = next; p < fpBase; ++p)
+        intFree.push_back(p);
+
+    PhysReg fnext = fpBase;
+    for (ArchReg r = isa::fpRegBase; r < isa::numArchRegs; ++r)
+        mapTable[r] = fnext++;
+    for (PhysReg p = fnext; p < total; ++p)
+        fpFree.push_back(p);
+}
+
+PhysReg
+RenameState::allocate(ArchReg areg)
+{
+    auto &pool = isa::isFpReg(areg) ? fpFree : intFree;
+    if (pool.empty())
+        return invalidPhysReg;
+    PhysReg p = pool.back();
+    pool.pop_back();
+    return p;
+}
+
+void
+RenameState::release(PhysReg preg)
+{
+    if (preg == zeroPreg || preg == invalidPhysReg)
+        rsep_panic("releasing reserved preg %u", preg);
+    (isFpPreg(preg) ? fpFree : intFree).push_back(preg);
+}
+
+} // namespace rsep::core

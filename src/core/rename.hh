@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Register renaming state: map table, free lists and physical register
+ * metadata. Recovery is walk-based (the pipeline undoes ROB entries
+ * youngest-first), which is exact and composes with the ISRB.
+ */
+
+#ifndef RSEP_CORE_RENAME_HH
+#define RSEP_CORE_RENAME_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/params.hh"
+#include "isa/opcode.hh"
+
+namespace rsep::core
+{
+
+/** The hardwired zero physical register (always ready, value 0). */
+constexpr PhysReg zeroPreg = 0;
+
+/** Rename map + free lists over a unified preg numbering:
+ *  [0, intPregs) are INT (0 is the zero register), [intPregs, total)
+ *  are FP. */
+class RenameState
+{
+  public:
+    explicit RenameState(const CoreParams &params);
+
+    /** Current mapping of @p areg. */
+    PhysReg
+    map(ArchReg areg) const
+    {
+        return mapTable.at(areg);
+    }
+
+    /** Point @p areg at @p preg (rename or walk-undo). */
+    void
+    setMap(ArchReg areg, PhysReg preg)
+    {
+        mapTable.at(areg) = preg;
+    }
+
+    /** Pop a free register of the class of @p areg; invalidPhysReg if none. */
+    PhysReg allocate(ArchReg areg);
+
+    /** Return @p preg to its free list. */
+    void release(PhysReg preg);
+
+    bool
+    hasFree(ArchReg areg) const
+    {
+        return isa::isFpReg(areg) ? !fpFree.empty() : !intFree.empty();
+    }
+
+    size_t intFreeCount() const { return intFree.size(); }
+    size_t fpFreeCount() const { return fpFree.size(); }
+    unsigned totalPregs() const { return total; }
+
+    bool
+    isFpPreg(PhysReg preg) const
+    {
+        return preg >= fpBase;
+    }
+
+  private:
+    unsigned total;
+    PhysReg fpBase;
+    std::vector<PhysReg> mapTable;
+    std::vector<PhysReg> intFree;
+    std::vector<PhysReg> fpFree;
+};
+
+} // namespace rsep::core
+
+#endif // RSEP_CORE_RENAME_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Replayable window over the functional emulator's committed-path
+ * stream. Commit-time squashes (value/equality mispredictions) rewind
+ * the fetch cursor; this is legal because such squashes do not change
+ * architectural state, so re-reading the same records is exact.
+ */
+
+#ifndef RSEP_CORE_TRACE_BUFFER_HH
+#define RSEP_CORE_TRACE_BUFFER_HH
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "wl/emulator.hh"
+
+namespace rsep::core
+{
+
+/** Indexed access to the dynamic instruction stream. */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(wl::Emulator &emu) : em(emu)
+    {
+    }
+
+    /** Record of dynamic instruction @p idx (0-based, grows forever). */
+    const wl::DynRecord &
+    at(u64 idx)
+    {
+        if (idx < base)
+            rsep_panic("trace rewind below trimmed base (%llu < %llu)",
+                       static_cast<unsigned long long>(idx),
+                       static_cast<unsigned long long>(base));
+        while (base + window.size() <= idx)
+            window.push_back(em.step());
+        return window[static_cast<size_t>(idx - base)];
+    }
+
+    /** Drop records below @p idx (the commit point). */
+    void
+    trimBelow(u64 idx)
+    {
+        while (base < idx && !window.empty()) {
+            window.pop_front();
+            ++base;
+        }
+    }
+
+    u64 baseIndex() const { return base; }
+    size_t windowSize() const { return window.size(); }
+
+  private:
+    wl::Emulator &em;
+    std::deque<wl::DynRecord> window;
+    u64 base = 0;
+};
+
+} // namespace rsep::core
+
+#endif // RSEP_CORE_TRACE_BUFFER_HH

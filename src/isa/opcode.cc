@@ -1,0 +1,172 @@
+#include "isa/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace rsep::isa
+{
+
+OpClass
+opClassOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Orr: case Opcode::Eor: case Opcode::Lsl:
+      case Opcode::Lsr: case Opcode::Asr:
+      case Opcode::AddI: case Opcode::SubI: case Opcode::AndI:
+      case Opcode::OrrI: case Opcode::EorI: case Opcode::LslI:
+      case Opcode::LsrI: case Opcode::AsrI:
+      case Opcode::CmpLt: case Opcode::CmpLtU: case Opcode::CmpEq:
+      case Opcode::Mov: case Opcode::MovI:
+        return OpClass::IntAlu;
+      case Opcode::Mul:
+        return OpClass::IntMul;
+      case Opcode::Div:
+        return OpClass::IntDiv;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMov:
+      case Opcode::FCvtI: case Opcode::FCvtF: case Opcode::FAbs:
+      case Opcode::FNeg: case Opcode::FMin: case Opcode::FMax:
+        return OpClass::FpAlu;
+      case Opcode::FMul:
+        return OpClass::FpMul;
+      case Opcode::FDiv:
+        return OpClass::FpDiv;
+      case Opcode::Ldr: case Opcode::LdrX:
+      case Opcode::FLdr: case Opcode::FLdrX:
+        return OpClass::Load;
+      case Opcode::Str: case Opcode::StrX:
+      case Opcode::FStr: case Opcode::FStrX:
+        return OpClass::Store;
+      case Opcode::B: case Opcode::Beq: case Opcode::Bne:
+      case Opcode::Blt: case Opcode::Bge: case Opcode::Bltu:
+      case Opcode::Bgeu: case Opcode::Cbz: case Opcode::Cbnz:
+      case Opcode::Bl: case Opcode::Ret: case Opcode::BrInd:
+        return OpClass::Branch;
+      case Opcode::Nop: case Opcode::Halt:
+        return OpClass::Nop;
+      default:
+        rsep_panic("opClassOf: bad opcode %d", static_cast<int>(op));
+    }
+}
+
+std::string_view
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Orr: return "orr";
+      case Opcode::Eor: return "eor";
+      case Opcode::Lsl: return "lsl";
+      case Opcode::Lsr: return "lsr";
+      case Opcode::Asr: return "asr";
+      case Opcode::AddI: return "addi";
+      case Opcode::SubI: return "subi";
+      case Opcode::AndI: return "andi";
+      case Opcode::OrrI: return "orri";
+      case Opcode::EorI: return "eori";
+      case Opcode::LslI: return "lsli";
+      case Opcode::LsrI: return "lsri";
+      case Opcode::AsrI: return "asri";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLtU: return "cmpltu";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Mov: return "mov";
+      case Opcode::MovI: return "movi";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::FMov: return "fmov";
+      case Opcode::FCvtI: return "fcvti";
+      case Opcode::FCvtF: return "fcvtf";
+      case Opcode::FAbs: return "fabs";
+      case Opcode::FNeg: return "fneg";
+      case Opcode::FMin: return "fmin";
+      case Opcode::FMax: return "fmax";
+      case Opcode::Ldr: return "ldr";
+      case Opcode::LdrX: return "ldrx";
+      case Opcode::Str: return "str";
+      case Opcode::StrX: return "strx";
+      case Opcode::FLdr: return "fldr";
+      case Opcode::FLdrX: return "fldrx";
+      case Opcode::FStr: return "fstr";
+      case Opcode::FStrX: return "fstrx";
+      case Opcode::B: return "b";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+      case Opcode::Bgeu: return "bgeu";
+      case Opcode::Cbz: return "cbz";
+      case Opcode::Cbnz: return "cbnz";
+      case Opcode::Bl: return "bl";
+      case Opcode::Ret: return "ret";
+      case Opcode::BrInd: return "brind";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      default: return "<bad>";
+    }
+}
+
+bool
+isLoadOp(Opcode op)
+{
+    return opClassOf(op) == OpClass::Load;
+}
+
+bool
+isStoreOp(Opcode op)
+{
+    return opClassOf(op) == OpClass::Store;
+}
+
+bool
+isBranchOp(Opcode op)
+{
+    return opClassOf(op) == OpClass::Branch;
+}
+
+bool
+isCondBranchOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+      case Opcode::Cbz: case Opcode::Cbnz:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isIndirectOp(Opcode op)
+{
+    return op == Opcode::Ret || op == Opcode::BrInd;
+}
+
+bool
+isCallOp(Opcode op)
+{
+    return op == Opcode::Bl;
+}
+
+bool
+writesFpDest(Opcode op)
+{
+    switch (op) {
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv: case Opcode::FMov: case Opcode::FCvtI:
+      case Opcode::FAbs: case Opcode::FNeg: case Opcode::FMin:
+      case Opcode::FMax: case Opcode::FLdr: case Opcode::FLdrX:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace rsep::isa

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Opcodes and operation classes of the Aarch64-flavoured mini-ISA.
+ *
+ * The ISA is a small RISC micro-op set rich enough to express the
+ * workload kernels and to exercise every mechanism in the paper:
+ * a hardwired zero register (x31), reg-reg moves (move elimination),
+ * zero idioms, int/fp arithmetic with multi-cycle and variable-latency
+ * classes, loads/stores and a full set of control transfers (for the
+ * TAGE/BTB/RAS front-end).
+ */
+
+#ifndef RSEP_ISA_OPCODE_HH
+#define RSEP_ISA_OPCODE_HH
+
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace rsep::isa
+{
+
+/** Number of integer architectural registers (x31 is the zero reg). */
+constexpr ArchReg numIntArchRegs = 32;
+/** Number of floating-point architectural registers. */
+constexpr ArchReg numFpArchRegs = 32;
+/** Total architectural registers; FP regs live at [32, 64). */
+constexpr ArchReg numArchRegs = numIntArchRegs + numFpArchRegs;
+/** The hardwired zero register (reads 0, writes discarded). */
+constexpr ArchReg zeroReg = 31;
+/** The link register written by BL (x30, as in Aarch64). */
+constexpr ArchReg linkReg = 30;
+/** First FP architectural register index. */
+constexpr ArchReg fpRegBase = numIntArchRegs;
+
+/** True iff @p r names a floating-point register. */
+constexpr bool
+isFpReg(ArchReg r)
+{
+    return r >= fpRegBase && r < numArchRegs;
+}
+
+/** Micro-op opcodes. */
+enum class Opcode : u8 {
+    // Integer ALU, reg-reg.
+    Add, Sub, And, Orr, Eor, Lsl, Lsr, Asr,
+    // Integer ALU, reg-imm.
+    AddI, SubI, AndI, OrrI, EorI, LslI, LsrI, AsrI,
+    // Comparisons producing 0/1 (enable branchless max/select idioms).
+    CmpLt, CmpLtU, CmpEq,
+    // Multi-cycle integer.
+    Mul, Div,
+    // Moves / immediates.
+    Mov,   ///< 64-bit reg-reg move (move-elimination candidate).
+    MovI,  ///< Load immediate.
+    // Floating point (operands are f64 bit patterns in 64-bit regs).
+    FAdd, FSub, FMul, FDiv, FMov,
+    FCvtI, ///< int -> fp convert.
+    FCvtF, ///< fp -> int convert (truncating).
+    FAbs, FNeg, FMin, FMax,
+    // Memory. Effective address = [base + imm] or [base + index*8].
+    Ldr,   ///< load 64-bit, base + imm offset.
+    LdrX,  ///< load 64-bit, base + index*8.
+    Str,   ///< store 64-bit, base + imm offset.
+    StrX,  ///< store 64-bit, base + index*8.
+    FLdr,  ///< load into an FP register, base + imm.
+    FLdrX, ///< load into an FP register, base + index*8.
+    FStr,  ///< store from an FP register, base + imm.
+    FStrX, ///< store from an FP register, base + index*8.
+    // Control flow (compare-and-branch style; no flags register).
+    B,     ///< unconditional direct branch.
+    Beq, Bne, Blt, Bge, Bltu, Bgeu, ///< two-register compare and branch.
+    Cbz, Cbnz,                      ///< single-register compare and branch.
+    Bl,    ///< call: link into x30, branch to target.
+    Ret,   ///< return: indirect jump through x30.
+    BrInd, ///< indirect jump through a register.
+    // Misc.
+    Nop,
+    Halt,  ///< end of program (the emulator restarts the kernel body).
+
+    NumOpcodes
+};
+
+/** Functional-unit classes (Table I execution resources). */
+enum class OpClass : u8 {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    Load,
+    Store,
+    Branch,
+    Nop,
+
+    NumClasses
+};
+
+/** Map an opcode to its FU class. */
+OpClass opClassOf(Opcode op);
+
+/** Mnemonic for disassembly. */
+std::string_view mnemonic(Opcode op);
+
+/** True for any load opcode. */
+bool isLoadOp(Opcode op);
+/** True for any store opcode. */
+bool isStoreOp(Opcode op);
+/** True for any control-transfer opcode. */
+bool isBranchOp(Opcode op);
+/** True for conditional (direction-predicted) branches. */
+bool isCondBranchOp(Opcode op);
+/** True for indirect-target transfers (Ret / BrInd). */
+bool isIndirectOp(Opcode op);
+/** True for the call opcode. */
+bool isCallOp(Opcode op);
+/** True if the op writes a floating-point destination. */
+bool writesFpDest(Opcode op);
+
+} // namespace rsep::isa
+
+#endif // RSEP_ISA_OPCODE_HH

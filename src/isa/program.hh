@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Program container and an assembler-like builder for workload kernels.
+ */
+
+#ifndef RSEP_ISA_PROGRAM_HH
+#define RSEP_ISA_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/static_inst.hh"
+
+namespace rsep::isa
+{
+
+/** A finalized static program: a flat vector of micro-ops. */
+class Program
+{
+  public:
+    /** Nominal base address of the code segment (for PCs / I-cache). */
+    static constexpr Addr codeBase = 0x400000;
+    /** Size of one encoded instruction in bytes. */
+    static constexpr Addr instBytes = 4;
+
+    Program() = default;
+    explicit Program(std::string prog_name, std::vector<StaticInst> insts,
+                     std::map<std::string, size_t> label_map = {})
+        : name(std::move(prog_name)), code(std::move(insts)),
+          labels(std::move(label_map))
+    {
+    }
+
+    const StaticInst &at(size_t idx) const { return code.at(idx); }
+    size_t size() const { return code.size(); }
+    bool empty() const { return code.empty(); }
+    const std::string &progName() const { return name; }
+
+    /** PC of static instruction @p idx. */
+    static Addr pcOf(size_t idx) { return codeBase + idx * instBytes; }
+    /** Static index of @p pc (must be in range). */
+    static size_t
+    indexOf(Addr pc)
+    {
+        return static_cast<size_t>((pc - codeBase) / instBytes);
+    }
+
+    /** One-line disassembly of instruction @p idx. */
+    std::string disasm(size_t idx) const;
+
+    /** Static index bound to @p lbl (fatal if unknown). */
+    size_t labelIndex(const std::string &lbl) const;
+    /** PC bound to @p lbl (fatal if unknown). */
+    Addr labelPc(const std::string &lbl) const { return pcOf(labelIndex(lbl)); }
+
+  private:
+    std::string name;
+    std::vector<StaticInst> code;
+    std::map<std::string, size_t> labels;
+};
+
+/**
+ * Assembler-style builder with label resolution.
+ *
+ * Usage:
+ * @code
+ *   ProgramBuilder b("kernel");
+ *   b.label("loop");
+ *   b.addi(1, 1, 8);
+ *   b.bne(1, 2, "loop");
+ *   b.halt();
+ *   Program p = b.build();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string prog_name)
+        : name(std::move(prog_name))
+    {
+    }
+
+    /** Bind @p lbl to the next emitted instruction. */
+    void label(const std::string &lbl);
+
+    // Integer ALU, reg-reg.
+    void add(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::Add, d, a, b); }
+    void sub(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::Sub, d, a, b); }
+    void and_(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::And, d, a, b); }
+    void orr(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::Orr, d, a, b); }
+    void eor(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::Eor, d, a, b); }
+    void lsl(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::Lsl, d, a, b); }
+    void lsr(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::Lsr, d, a, b); }
+    void asr(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::Asr, d, a, b); }
+    void mul(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::Mul, d, a, b); }
+    void div(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::Div, d, a, b); }
+    void cmplt(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::CmpLt, d, a, b); }
+    void cmpltu(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::CmpLtU, d, a, b); }
+    void cmpeq(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::CmpEq, d, a, b); }
+
+    // Integer ALU, reg-imm.
+    void addi(ArchReg d, ArchReg a, s64 i) { emitI(Opcode::AddI, d, a, i); }
+    void subi(ArchReg d, ArchReg a, s64 i) { emitI(Opcode::SubI, d, a, i); }
+    void andi(ArchReg d, ArchReg a, s64 i) { emitI(Opcode::AndI, d, a, i); }
+    void orri(ArchReg d, ArchReg a, s64 i) { emitI(Opcode::OrrI, d, a, i); }
+    void eori(ArchReg d, ArchReg a, s64 i) { emitI(Opcode::EorI, d, a, i); }
+    void lsli(ArchReg d, ArchReg a, s64 i) { emitI(Opcode::LslI, d, a, i); }
+    void lsri(ArchReg d, ArchReg a, s64 i) { emitI(Opcode::LsrI, d, a, i); }
+    void asri(ArchReg d, ArchReg a, s64 i) { emitI(Opcode::AsrI, d, a, i); }
+
+    // Moves.
+    void mov(ArchReg d, ArchReg a) { emit3(Opcode::Mov, d, a, invalidArchReg); }
+    void movi(ArchReg d, s64 i) { emitI(Opcode::MovI, d, invalidArchReg, i); }
+
+    // Floating point.
+    void fadd(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::FAdd, d, a, b); }
+    void fsub(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::FSub, d, a, b); }
+    void fmul(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::FMul, d, a, b); }
+    void fdiv(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::FDiv, d, a, b); }
+    void fmov(ArchReg d, ArchReg a) { emit3(Opcode::FMov, d, a, invalidArchReg); }
+    void fcvti(ArchReg d, ArchReg a) { emit3(Opcode::FCvtI, d, a, invalidArchReg); }
+    void fcvtf(ArchReg d, ArchReg a) { emit3(Opcode::FCvtF, d, a, invalidArchReg); }
+    void fabs_(ArchReg d, ArchReg a) { emit3(Opcode::FAbs, d, a, invalidArchReg); }
+    void fneg(ArchReg d, ArchReg a) { emit3(Opcode::FNeg, d, a, invalidArchReg); }
+    void fmin(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::FMin, d, a, b); }
+    void fmax(ArchReg d, ArchReg a, ArchReg b) { emit3(Opcode::FMax, d, a, b); }
+
+    // Memory.
+    void ldr(ArchReg d, ArchReg base, s64 off) { emitI(Opcode::Ldr, d, base, off); }
+    void ldrx(ArchReg d, ArchReg base, ArchReg idx) { emit3(Opcode::LdrX, d, base, idx); }
+    void fldr(ArchReg d, ArchReg base, s64 off) { emitI(Opcode::FLdr, d, base, off); }
+    void fldrx(ArchReg d, ArchReg base, ArchReg idx) { emit3(Opcode::FLdrX, d, base, idx); }
+    void str(ArchReg data, ArchReg base, s64 off) { emitStore(Opcode::Str, data, base, invalidArchReg, off); }
+    void strx(ArchReg data, ArchReg base, ArchReg idx) { emitStore(Opcode::StrX, data, base, idx, 0); }
+    void fstr(ArchReg data, ArchReg base, s64 off) { emitStore(Opcode::FStr, data, base, invalidArchReg, off); }
+    void fstrx(ArchReg data, ArchReg base, ArchReg idx) { emitStore(Opcode::FStrX, data, base, idx, 0); }
+
+    // Control flow.
+    void b(const std::string &lbl) { emitBranch(Opcode::B, invalidArchReg, invalidArchReg, lbl); }
+    void beq(ArchReg a, ArchReg c, const std::string &lbl) { emitBranch(Opcode::Beq, a, c, lbl); }
+    void bne(ArchReg a, ArchReg c, const std::string &lbl) { emitBranch(Opcode::Bne, a, c, lbl); }
+    void blt(ArchReg a, ArchReg c, const std::string &lbl) { emitBranch(Opcode::Blt, a, c, lbl); }
+    void bge(ArchReg a, ArchReg c, const std::string &lbl) { emitBranch(Opcode::Bge, a, c, lbl); }
+    void bltu(ArchReg a, ArchReg c, const std::string &lbl) { emitBranch(Opcode::Bltu, a, c, lbl); }
+    void bgeu(ArchReg a, ArchReg c, const std::string &lbl) { emitBranch(Opcode::Bgeu, a, c, lbl); }
+    void cbz(ArchReg a, const std::string &lbl) { emitBranch(Opcode::Cbz, a, invalidArchReg, lbl); }
+    void cbnz(ArchReg a, const std::string &lbl) { emitBranch(Opcode::Cbnz, a, invalidArchReg, lbl); }
+    void bl(const std::string &lbl);
+    void ret();
+    void brind(ArchReg a) { emit3(Opcode::BrInd, invalidArchReg, a, invalidArchReg); }
+
+    void nop() { StaticInst si; si.op = Opcode::Nop; insts.push_back(si); }
+    void halt() { StaticInst si; si.op = Opcode::Halt; insts.push_back(si); }
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return insts.size(); }
+
+    /** Resolve labels and produce the final Program. */
+    Program build();
+
+  private:
+    void emit3(Opcode op, ArchReg d, ArchReg a, ArchReg b);
+    void emitI(Opcode op, ArchReg d, ArchReg a, s64 i);
+    void emitStore(Opcode op, ArchReg data, ArchReg base, ArchReg idx, s64 off);
+    void emitBranch(Opcode op, ArchReg a, ArchReg b, const std::string &lbl);
+
+    struct Fixup
+    {
+        size_t instIdx;
+        std::string label;
+    };
+
+    std::string name;
+    std::vector<StaticInst> insts;
+    std::map<std::string, size_t> labels;
+    std::vector<Fixup> fixups;
+};
+
+} // namespace rsep::isa
+
+#endif // RSEP_ISA_PROGRAM_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Static instruction representation of the mini-ISA.
+ */
+
+#ifndef RSEP_ISA_STATIC_INST_HH
+#define RSEP_ISA_STATIC_INST_HH
+
+#include <cassert>
+
+#include "isa/opcode.hh"
+
+namespace rsep::isa
+{
+
+/**
+ * One static micro-op.
+ *
+ * Operand conventions:
+ *  - ALU reg-reg:   dst <- src1 OP src2
+ *  - ALU reg-imm:   dst <- src1 OP imm
+ *  - Mov/FMov:      dst <- src1
+ *  - MovI:          dst <- imm
+ *  - Ldr/FLdr:      dst <- mem[src1 + imm]
+ *  - LdrX/FLdrX:    dst <- mem[src1 + src2*8]
+ *  - Str/FStr:      mem[src1 + imm] <- srcData
+ *  - StrX/FStrX:    mem[src1 + src2*8] <- srcData
+ *  - Beq..Bgeu:     if (src1 cmp src2) goto imm (static index)
+ *  - Cbz/Cbnz:      if (src1 cmp 0) goto imm
+ *  - B/Bl:          goto imm; Bl also writes linkReg <- return pc
+ *  - Ret:           goto reg[linkReg]; BrInd: goto reg[src1]
+ */
+struct StaticInst
+{
+    Opcode op = Opcode::Nop;
+    ArchReg dst = invalidArchReg;
+    ArchReg src1 = invalidArchReg;
+    ArchReg src2 = invalidArchReg;
+    ArchReg srcData = invalidArchReg; ///< store data register.
+    s64 imm = 0;
+
+    OpClass opClass() const { return opClassOf(op); }
+    bool isLoad() const { return isLoadOp(op); }
+    bool isStore() const { return isStoreOp(op); }
+    bool isBranch() const { return isBranchOp(op); }
+    bool isCondBranch() const { return isCondBranchOp(op); }
+    bool isIndirect() const { return isIndirectOp(op); }
+    bool isCall() const { return isCallOp(op); }
+    bool isHalt() const { return op == Opcode::Halt; }
+
+    /** True if the op architecturally writes a (non-zero) register. */
+    bool
+    writesReg() const
+    {
+        return dst != invalidArchReg && dst != zeroReg;
+    }
+
+    /**
+     * True for instructions the front-end recognizes as always
+     * producing zero (zero-idiom elimination, Section III).
+     */
+    bool
+    isZeroIdiom() const
+    {
+        if (!writesReg())
+            return false;
+        switch (op) {
+          case Opcode::MovI:
+            return imm == 0;
+          case Opcode::Eor:
+          case Opcode::Sub:
+            return src1 == src2;
+          case Opcode::AndI:
+            return imm == 0;
+          case Opcode::And:
+            return src1 == zeroReg || src2 == zeroReg;
+          case Opcode::Mov:
+            return src1 == zeroReg;
+          default:
+            return false;
+        }
+    }
+
+    /**
+     * True for a 64-bit register-to-register move eligible for move
+     * elimination (Section IV-H1) -- integer or FP, both are 64-bit
+     * moves here. Zero-source integer moves are zero idioms and
+     * handled by the cheaper mechanism instead.
+     */
+    bool
+    isEliminableMove() const
+    {
+        return (op == Opcode::Mov || op == Opcode::FMov) && writesReg() &&
+               src1 != zeroReg;
+    }
+
+    /** Invoke @p fn on each valid source register (dedup not applied). */
+    template <typename Fn>
+    void
+    forEachSrc(Fn &&fn) const
+    {
+        if (src1 != invalidArchReg)
+            fn(src1);
+        if (src2 != invalidArchReg)
+            fn(src2);
+        if (srcData != invalidArchReg)
+            fn(srcData);
+    }
+
+    /** Number of valid source registers. */
+    unsigned
+    numSrcs() const
+    {
+        unsigned n = 0;
+        forEachSrc([&](ArchReg) { ++n; });
+        return n;
+    }
+};
+
+} // namespace rsep::isa
+
+#endif // RSEP_ISA_STATIC_INST_HH

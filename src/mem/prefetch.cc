@@ -1,0 +1,74 @@
+#include "mem/prefetch.hh"
+
+#include "mem/cache.hh"
+
+namespace rsep::mem
+{
+
+StridePrefetcher::StridePrefetcher(unsigned entries) : table(entries)
+{
+}
+
+Addr
+StridePrefetcher::observe(Addr pc, Addr addr)
+{
+    Entry &e = table[(pc >> 2) % table.size()];
+    if (!e.valid || e.tag != pc) {
+        e = {true, pc, addr, 0, 0};
+        return 0;
+    }
+    s64 stride = static_cast<s64>(addr) - static_cast<s64>(e.lastAddr);
+    if (stride != 0 && stride == e.stride) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        e.stride = stride;
+        e.confidence = 0;
+    }
+    e.lastAddr = addr;
+    if (e.confidence >= 2 && e.stride != 0) {
+        ++issued;
+        return addr + static_cast<Addr>(e.stride);
+    }
+    return 0;
+}
+
+StreamPrefetcher::StreamPrefetcher(unsigned n) : streams(n)
+{
+}
+
+Addr
+StreamPrefetcher::observe(Addr addr)
+{
+    ++useClock;
+    Addr line = addr >> lineShift;
+    // Find a stream whose last line is adjacent to this access.
+    Stream *lru = &streams[0];
+    for (auto &s : streams) {
+        if (s.valid) {
+            s64 delta = static_cast<s64>(line) - static_cast<s64>(s.lastLine);
+            if (delta == 1 || delta == -1) {
+                if (s.confidence < 3 && delta == s.dir)
+                    ++s.confidence;
+                else if (delta != s.dir)
+                    s.confidence = 1;
+                s.dir = delta;
+                s.lastLine = line;
+                s.lastUse = useClock;
+                if (s.confidence >= 1) {
+                    ++issued;
+                    return (line + static_cast<Addr>(s.dir)) << lineShift;
+                }
+                return 0;
+            }
+        }
+        if (!lru->valid || (s.valid && s.lastUse < lru->lastUse && lru->valid))
+            lru = &s;
+        if (!s.valid)
+            lru = &s;
+    }
+    *lru = {true, line, 1, 0, useClock};
+    return 0;
+}
+
+} // namespace rsep::mem

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Prefetchers from Table I: a per-PC stride prefetcher (degree 1) in
+ * front of the L1D and stream prefetchers (degree 1) at L2/L3.
+ */
+
+#ifndef RSEP_MEM_PREFETCH_HH
+#define RSEP_MEM_PREFETCH_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rsep::mem
+{
+
+/** Per-PC stride detector. @return prefetch address or 0. */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(unsigned entries = 256);
+
+    /** Observe a demand access; returns an address to prefetch or 0. */
+    Addr observe(Addr pc, Addr addr);
+
+    StatCounter issued;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr lastAddr = 0;
+        s64 stride = 0;
+        u8 confidence = 0;
+    };
+
+    std::vector<Entry> table;
+};
+
+/** Region-based next-line stream detector. @return prefetch addr or 0. */
+class StreamPrefetcher
+{
+  public:
+    explicit StreamPrefetcher(unsigned streams = 16);
+
+    /** Observe a miss; returns an address to prefetch or 0. */
+    Addr observe(Addr addr);
+
+    StatCounter issued;
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        Addr lastLine = 0;
+        s64 dir = 0;
+        u8 confidence = 0;
+        u64 lastUse = 0;
+    };
+
+    std::vector<Stream> streams;
+    u64 useClock = 0;
+};
+
+} // namespace rsep::mem
+
+#endif // RSEP_MEM_PREFETCH_HH

@@ -1,0 +1,34 @@
+#include "mem/tlb.hh"
+
+namespace rsep::mem
+{
+
+Tlb::Tlb(unsigned n, Cycle walk_latency, unsigned page_shift)
+    : entries(n), walkLatency(walk_latency), pageShift(page_shift)
+{
+}
+
+Cycle
+Tlb::access(Addr vaddr)
+{
+    ++useClock;
+    Addr vpn = vaddr >> pageShift;
+    Entry *lru = &entries[0];
+    for (auto &e : entries) {
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = useClock;
+            ++hits;
+            return 0;
+        }
+        if (!e.valid) {
+            lru = &e;
+        } else if (lru->valid && e.lastUse < lru->lastUse) {
+            lru = &e;
+        }
+    }
+    ++misses;
+    *lru = {true, vpn, useClock};
+    return walkLatency;
+}
+
+} // namespace rsep::mem

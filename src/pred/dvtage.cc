@@ -1,0 +1,83 @@
+#include "pred/dvtage.hh"
+
+namespace rsep::pred
+{
+
+Dvtage::Dvtage(const DvtageParams &params, u64 seed)
+    : p(params), lvt(size_t{1} << p.lvtBits, 0), deltas(p.itage, seed)
+{
+}
+
+VpLookup
+Dvtage::lookup(Addr pc, const GlobalHist &h)
+{
+    ++lookups;
+    VpLookup lk;
+    lk.valid = true;
+    lk.lvtIdx = static_cast<u32>(((pc >> 2) ^ (pc >> (2 + p.lvtBits)))
+                                 & mask(p.lvtBits));
+    lk.itageLk = deltas.lookup(pc, h);
+
+    u64 last = lvt[lk.lvtIdx];
+    auto it = spec.find(lk.lvtIdx);
+    if (it != spec.end())
+        last = it->second.value;
+
+    lk.predicted = last + static_cast<u64>(decodeDelta(lk.itageLk.payload));
+    lk.confident = lk.itageLk.confident;
+    if (lk.confident)
+        ++confidentPreds;
+
+    // Advance the speculative last-value window for *every* lookup
+    // (BeBoP's in-flight chaining): back-to-back instances of the same
+    // static instruction must chain off the predicted value of the
+    // previous in-flight instance, whether or not the core consumed
+    // that prediction; otherwise a single low-confidence instance
+    // poisons every successor with a stale last value.
+    lk.speculated = true;
+    SpecEntry &se = spec[lk.lvtIdx];
+    se.value = lk.predicted;
+    ++se.refs;
+    return lk;
+}
+
+void
+Dvtage::notifySpeculated(VpLookup &lk)
+{
+    // Spec-window advance now happens in lookup(); kept for API
+    // compatibility (marks the prediction as architecturally used).
+    (void)lk;
+}
+
+void
+Dvtage::commit(VpLookup &lk, u64 actual)
+{
+    if (!lk.valid)
+        return;
+    if (lk.confident) {
+        if (lk.predicted == actual)
+            ++correctPreds;
+        else
+            ++mispredicts;
+    }
+
+    // Train deltas against the committed last value (in-order commit
+    // makes this exact).
+    s64 delta = static_cast<s64>(actual - lvt[lk.lvtIdx]);
+    deltas.update(lk.itageLk, encodeDelta(delta));
+    lvt[lk.lvtIdx] = actual;
+
+    if (lk.speculated) {
+        auto it = spec.find(lk.lvtIdx);
+        if (it != spec.end() && --it->second.refs == 0)
+            spec.erase(it);
+    }
+}
+
+u64
+Dvtage::storageBits() const
+{
+    return (u64{1} << p.lvtBits) * 64 + deltas.storageBits();
+}
+
+} // namespace rsep::pred

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * D-VTAGE value predictor (Perais & Seznec, BeBoP/HPCA'15): a last-value
+ * table plus ITTAGE-style differential (stride) components. This is the
+ * paper's "regular VP" comparison arm (~256KB configuration).
+ */
+
+#ifndef RSEP_PRED_DVTAGE_HH
+#define RSEP_PRED_DVTAGE_HH
+
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "pred/ittage.hh"
+
+namespace rsep::pred
+{
+
+/** D-VTAGE configuration. */
+struct DvtageParams
+{
+    unsigned lvtBits = 14;        ///< log2 last-value-table entries (16K).
+    unsigned deltaBits = 16;      ///< representable (zigzag) delta width.
+    ItageParams itage{
+        .baseBits = 14,
+        .numTagged = 6,
+        .taggedBits = 10,
+        .histLens = {2, 4, 8, 16, 32, 64, 0, 0},
+        .tagBits = {12, 12, 13, 13, 14, 14, 0, 0},
+        .payloadBits = 16,
+        .confKind = ConfidenceKind::Deterministic8,
+    };
+};
+
+/** Per-instruction lookup state carried until commit. */
+struct VpLookup
+{
+    bool valid = false;        ///< a lookup was performed.
+    bool confident = false;    ///< prediction usable.
+    u64 predicted = 0;         ///< predicted result value.
+    u32 lvtIdx = 0;
+    ItageLookup itageLk;
+    bool speculated = false;   ///< prediction was consumed by the core.
+};
+
+/** The predictor. */
+class Dvtage
+{
+  public:
+    explicit Dvtage(const DvtageParams &params = DvtageParams{},
+                    u64 seed = 11);
+
+    /**
+     * Rename-time lookup for the instruction at @p pc fetched under
+     * history @p h. The caller decides whether to speculate (and then
+     * calls notifySpeculated so back-to-back instances chain).
+     */
+    VpLookup lookup(Addr pc, const GlobalHist &h);
+
+    /** The core consumed this prediction: advance the spec window. */
+    void notifySpeculated(VpLookup &lk);
+
+    /** Commit-time training with the architectural result. */
+    void commit(VpLookup &lk, u64 actual);
+
+    /** Any squash: drop the speculative last-value window. */
+    void squash() { spec.clear(); }
+
+    u64 storageBits() const;
+    const DvtageParams &params() const { return p; }
+
+    StatCounter lookups;
+    StatCounter confidentPreds;
+    StatCounter correctPreds;
+    StatCounter mispredicts;
+
+  private:
+    /** Zigzag encode a signed delta into an unsigned payload. */
+    static u64
+    encodeDelta(s64 d)
+    {
+        return (static_cast<u64>(d) << 1) ^ static_cast<u64>(d >> 63);
+    }
+    static s64
+    decodeDelta(u64 p_)
+    {
+        return static_cast<s64>((p_ >> 1) ^ (~(p_ & 1) + 1));
+    }
+
+    struct SpecEntry
+    {
+        u64 value = 0;
+        u32 refs = 0;
+    };
+
+    DvtageParams p;
+    std::vector<u64> lvt;
+    ItageTable deltas;
+    std::unordered_map<u32, SpecEntry> spec;
+};
+
+} // namespace rsep::pred
+
+#endif // RSEP_PRED_DVTAGE_HH

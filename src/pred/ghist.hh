@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Global direction/path history shared by the history-indexed
+ * predictors (TAGE branch predictor, distance predictor, D-VTAGE).
+ *
+ * Simplification vs. a full TAGE implementation: history is a 64-bit
+ * register rather than a ~640-bit folded buffer. Our workload kernels
+ * need far less than 64 bits of correlation, and a flat u64 makes
+ * squash recovery trivial (each in-flight instruction carries the
+ * 16-byte snapshot it was fetched with). Documented in DESIGN.md.
+ */
+
+#ifndef RSEP_PRED_GHIST_HH
+#define RSEP_PRED_GHIST_HH
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace rsep::pred
+{
+
+/** Global branch direction + path history. */
+struct GlobalHist
+{
+    u64 dir = 0;  ///< direction history, newest bit = bit 0.
+    u64 path = 0; ///< path history, 3 PC bits per branch.
+
+    /** Record the outcome of a conditional branch at @p pc. */
+    void
+    insert(bool taken, Addr pc)
+    {
+        dir = (dir << 1) | (taken ? 1 : 0);
+        path = (path << 3) ^ ((pc >> 2) & 0x3ff);
+    }
+
+    /**
+     * Record the target of a taken unconditional/indirect transfer:
+     * only path history advances (distinguishes e.g. interpreter
+     * handlers for the history-indexed payload predictors).
+     */
+    void
+    insertPath(Addr target)
+    {
+        path = (path << 3) ^ ((target >> 2) & 0x3ff);
+    }
+};
+
+/**
+ * Compute a table index from pc/history for a geometric component.
+ *
+ * @param pc instruction address.
+ * @param h history snapshot at fetch.
+ * @param hist_len number of direction-history bits to use (<= 64).
+ * @param idx_bits log2 of the table size.
+ */
+inline u32
+geoIndex(Addr pc, const GlobalHist &h, unsigned hist_len, unsigned idx_bits)
+{
+    u64 hash = pc >> 2;
+    hash ^= hash >> idx_bits;
+    u64 hd = hist_len == 0 ? 0 : (h.dir & mask(hist_len));
+    hash ^= xorFold(hd, idx_bits);
+    hash ^= xorFold(h.path & mask(std::min(16u, hist_len)), idx_bits)
+            << (idx_bits > 2 ? 1 : 0);
+    return static_cast<u32>(hash & mask(idx_bits));
+}
+
+/** Compute a partial tag (different mixing than the index). */
+inline u32
+geoTag(Addr pc, const GlobalHist &h, unsigned hist_len, unsigned tag_bits)
+{
+    u64 hash = (pc >> 2) * 0x9e3779b97f4a7c15ull;
+    u64 hd = hist_len == 0 ? 0 : (h.dir & mask(hist_len));
+    hash ^= xorFold(hd, tag_bits) << 1;
+    hash ^= hash >> 17;
+    return static_cast<u32>(hash & mask(tag_bits));
+}
+
+} // namespace rsep::pred
+
+#endif // RSEP_PRED_GHIST_HH

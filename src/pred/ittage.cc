@@ -1,0 +1,146 @@
+#include "pred/ittage.hh"
+
+#include "common/logging.hh"
+
+namespace rsep::pred
+{
+
+ItageTable::ItageTable(const ItageParams &params, u64 seed)
+    : p(params), rng(seed)
+{
+    if (p.numTagged > maxItageComps)
+        rsep_fatal("ItageTable: too many components (%u)", p.numTagged);
+    base.resize(size_t{1} << p.baseBits);
+    for (auto &e : base)
+        e.conf = ConfidenceCounter(p.confKind);
+    tagged.resize(p.numTagged);
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        tagged[c].assign(size_t{1} << p.taggedBits, TaggedEntry{});
+        for (auto &e : tagged[c])
+            e.conf = ConfidenceCounter(p.confKind);
+    }
+}
+
+ItageLookup
+ItageTable::lookup(Addr pc, const GlobalHist &h) const
+{
+    ItageLookup lk;
+    lk.baseIdx = static_cast<u32>(((pc >> 2) ^ (pc >> (2 + p.baseBits)))
+                                  & mask(p.baseBits));
+    const BaseEntry &be = base[lk.baseIdx];
+    lk.provider = -1;
+    lk.payload = be.payload;
+    lk.confidence = be.conf.effectiveValue();
+    lk.confident = be.conf.saturated();
+
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        lk.idx[c] = geoIndex(pc, h, p.histLens[c], p.taggedBits);
+        lk.tag[c] = geoTag(pc, h, p.histLens[c], p.tagBits[c]);
+    }
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        const TaggedEntry &e = tagged[c][lk.idx[c]];
+        if (e.tag == lk.tag[c] && e.tag != 0) {
+            lk.altProvider = lk.provider;
+            lk.altPayload = lk.payload;
+            lk.altValid = true;
+            lk.provider = static_cast<int>(c);
+            lk.payload = e.payload;
+            lk.confidence = e.conf.effectiveValue();
+            lk.confident = e.conf.saturated();
+        }
+    }
+    return lk;
+}
+
+void
+ItageTable::update(const ItageLookup &lk, u64 actual, bool allocate_on_wrong)
+{
+    ++updates;
+    bool provider_correct = lk.payload == actual;
+
+    if (lk.provider >= 0) {
+        TaggedEntry &e = tagged[lk.provider][lk.idx[lk.provider]];
+        if (provider_correct) {
+            e.conf.onCorrect(&rng);
+            if (lk.altValid && lk.altPayload != actual)
+                e.u.increment();
+        } else {
+            if (e.conf.effectiveValue() == 0) {
+                if (representable(actual))
+                    e.payload = actual;
+                e.conf.reset();
+            } else {
+                e.conf.onIncorrect();
+            }
+            if (lk.altValid && lk.altPayload == actual)
+                e.u.decrement();
+        }
+    } else {
+        BaseEntry &be = base[lk.baseIdx];
+        if (provider_correct) {
+            be.conf.onCorrect(&rng);
+        } else if (be.conf.effectiveValue() == 0) {
+            if (representable(actual))
+                be.payload = actual;
+            be.conf.reset();
+        } else {
+            be.conf.onIncorrect();
+        }
+    }
+
+    // Allocate a longer-history entry when the provider was wrong.
+    if (!provider_correct && allocate_on_wrong && representable(actual) &&
+        lk.provider < static_cast<int>(p.numTagged) - 1) {
+        unsigned start = static_cast<unsigned>(lk.provider + 1);
+        int victim = -1;
+        for (unsigned c = start; c < p.numTagged; ++c) {
+            if (tagged[c][lk.idx[c]].u.zero()) {
+                victim = static_cast<int>(c);
+                if (c + 1 < p.numTagged && rng.chance(1, 2) &&
+                    tagged[c + 1][lk.idx[c + 1]].u.zero())
+                    victim = static_cast<int>(c + 1);
+                break;
+            }
+        }
+        if (victim >= 0) {
+            TaggedEntry &e = tagged[victim][lk.idx[victim]];
+            e.tag = lk.tag[victim];
+            e.payload = actual;
+            e.conf.reset();
+            e.u.reset(0);
+        } else {
+            for (unsigned c = start; c < p.numTagged; ++c)
+                tagged[c][lk.idx[c]].u.decrement();
+        }
+    }
+
+    if (updates % p.usefulResetPeriod == 0) {
+        for (auto &comp : tagged)
+            for (auto &e : comp)
+                e.u.decrement();
+    }
+}
+
+void
+ItageTable::updateIncorrect(const ItageLookup &lk)
+{
+    if (lk.provider >= 0)
+        tagged[lk.provider][lk.idx[lk.provider]].conf.onIncorrect();
+    else
+        base[lk.baseIdx].conf.onIncorrect();
+}
+
+u64
+ItageTable::storageBits() const
+{
+    // Base: payload + confidence.
+    u64 conf_bits = base.empty() ? 8 : base[0].conf.storageBits();
+    u64 bits = (u64{1} << p.baseBits) * (p.payloadBits + conf_bits);
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        bits += (u64{1} << p.taggedBits) *
+                (p.tagBits[c] + p.payloadBits + conf_bits + 1);
+    }
+    return bits;
+}
+
+} // namespace rsep::pred

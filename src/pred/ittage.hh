@@ -1,0 +1,121 @@
+/**
+ * @file
+ * ITTAGE-style tagged geometric payload predictor.
+ *
+ * Shared machinery for the two payload predictors in the paper:
+ *  - the IDist (distance) predictor of RSEP (Section IV-C), and
+ *  - the delta components of D-VTAGE (BeBoP [6]).
+ *
+ * A PC-indexed untagged base table is backed by N partially tagged
+ * components indexed by PC ^ folded global branch/path history with
+ * geometrically increasing history lengths. Each entry carries a
+ * payload, a confidence counter (prediction allowed only at saturation,
+ * per the paper's use_pred = 255 policy) and a useful bit for the
+ * TAGE replacement policy.
+ */
+
+#ifndef RSEP_PRED_ITTAGE_HH
+#define RSEP_PRED_ITTAGE_HH
+
+#include <array>
+#include <vector>
+
+#include "common/prob_counter.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "pred/ghist.hh"
+
+namespace rsep::pred
+{
+
+/** Maximum number of tagged components supported by ItageLookup. */
+constexpr unsigned maxItageComps = 8;
+
+/** Configuration of an ITTAGE-style predictor. */
+struct ItageParams
+{
+    unsigned baseBits = 14;        ///< log2 base entries.
+    unsigned numTagged = 6;
+    unsigned taggedBits = 10;      ///< log2 entries per tagged comp.
+    std::array<unsigned, maxItageComps> histLens = {2, 4, 8, 16, 32, 64,
+                                                    0, 0};
+    std::array<unsigned, maxItageComps> tagBits = {13, 14, 15, 16, 17, 18,
+                                                   0, 0};
+    unsigned payloadBits = 8;      ///< representable payload width.
+    ConfidenceKind confKind = ConfidenceKind::Deterministic8;
+    u64 usefulResetPeriod = 1 << 18;
+};
+
+/** Result of a lookup; carried with the instruction until commit. */
+struct ItageLookup
+{
+    int provider = -1;             ///< tagged comp index, -1 = base.
+    u64 payload = 0;
+    u32 confidence = 0;            ///< effective 0..255 scale.
+    bool confident = false;        ///< confidence saturated.
+    int altProvider = -1;
+    u64 altPayload = 0;
+    bool altValid = false;
+    std::array<u32, maxItageComps> idx{};
+    std::array<u32, maxItageComps> tag{};
+    u32 baseIdx = 0;
+};
+
+/** The predictor. Payloads are opaque u64 values. */
+class ItageTable
+{
+  public:
+    explicit ItageTable(const ItageParams &params, u64 seed = 3);
+
+    /** Look up under the history the instruction was fetched with. */
+    ItageLookup lookup(Addr pc, const GlobalHist &h) const;
+
+    /**
+     * Commit-time training with the observed payload.
+     * @param allocate_on_wrong grow to longer components on payload
+     *        mismatch (standard TAGE allocation).
+     */
+    void update(const ItageLookup &lk, u64 actual_payload,
+                bool allocate_on_wrong = true);
+
+    /**
+     * Training when the prediction is known wrong but the correct
+     * payload is unavailable (e.g., failed equality validation): the
+     * provider's confidence collapses, nothing is allocated.
+     */
+    void updateIncorrect(const ItageLookup &lk);
+
+    /** True if @p payload fits the configured entry width. */
+    bool
+    representable(u64 payload) const
+    {
+        return payload <= mask(p.payloadBits);
+    }
+
+    u64 storageBits() const;
+    const ItageParams &params() const { return p; }
+
+  private:
+    struct TaggedEntry
+    {
+        u32 tag = 0;
+        u64 payload = 0;
+        ConfidenceCounter conf;
+        SatCounter u{1, 0};
+    };
+    struct BaseEntry
+    {
+        u64 payload = 0;
+        ConfidenceCounter conf;
+    };
+
+    ItageParams p;
+    std::vector<BaseEntry> base;
+    std::vector<std::vector<TaggedEntry>> tagged;
+    mutable Rng rng;
+    u64 updates = 0;
+};
+
+} // namespace rsep::pred
+
+#endif // RSEP_PRED_ITTAGE_HH

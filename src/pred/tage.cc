@@ -1,0 +1,117 @@
+#include "pred/tage.hh"
+
+namespace rsep::pred
+{
+
+Tage::Tage(const TageParams &params, u64 seed)
+    : p(params), base(size_t{1} << p.baseBits, SatCounter(2, 1)),
+      rng(seed)
+{
+    tagged.resize(p.numTagged);
+    for (unsigned c = 0; c < p.numTagged; ++c)
+        tagged[c].assign(size_t{1} << p.taggedBits, TaggedEntry{});
+}
+
+TageLookup
+Tage::predict(Addr pc, const GlobalHist &h) const
+{
+    TageLookup lk;
+    lk.baseIdx = static_cast<u32>((pc >> 2) & mask(p.baseBits));
+    bool base_pred = base[lk.baseIdx].value() >= 2;
+
+    lk.pred = base_pred;
+    lk.altPred = base_pred;
+
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        lk.idx[c] = geoIndex(pc, h, p.histLens[c], p.taggedBits);
+        lk.tag[c] = geoTag(pc, h, p.histLens[c], p.tagBits[c]);
+    }
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        const TaggedEntry &e = tagged[c][lk.idx[c]];
+        if (e.tag == lk.tag[c]) {
+            lk.altProvider = lk.provider;
+            lk.altPred = lk.pred;
+            lk.provider = static_cast<int>(c);
+            lk.pred = e.ctr.value() >= 4;
+            lk.providerWeak = e.ctr.value() == 3 || e.ctr.value() == 4;
+        }
+    }
+    // The conventional alt computation keeps the prediction of the
+    // second-longest match; the loop above maintains exactly that.
+    return lk;
+}
+
+void
+Tage::update(const TageLookup &lk, Addr pc, bool taken)
+{
+    ++updates;
+
+    auto update_ctr = [taken](SatCounter &c) {
+        if (taken)
+            c.increment();
+        else
+            c.decrement();
+    };
+
+    if (lk.provider >= 0) {
+        TaggedEntry &e = tagged[lk.provider][lk.idx[lk.provider]];
+        // Useful bit: provider differed from alt and was right/wrong.
+        if (lk.pred != lk.altPred) {
+            if (lk.pred == taken)
+                e.u.increment();
+            else
+                e.u.decrement();
+        }
+        update_ctr(e.ctr);
+        // Weak providers also train the alternate (base) prediction.
+        if (lk.providerWeak && lk.altProvider < 0)
+            update_ctr(base[lk.baseIdx]);
+    } else {
+        update_ctr(base[lk.baseIdx]);
+    }
+
+    // Allocate on a misprediction if a longer component is available.
+    bool mispred = lk.pred != taken;
+    if (mispred && lk.provider < static_cast<int>(p.numTagged) - 1) {
+        unsigned start = static_cast<unsigned>(lk.provider + 1);
+        // Pick the first u==0 entry among longer components, with a
+        // 1/2 chance of skipping one to decorrelate allocations.
+        int victim = -1;
+        for (unsigned c = start; c < p.numTagged; ++c) {
+            if (tagged[c][lk.idx[c]].u.zero()) {
+                victim = static_cast<int>(c);
+                if (c + 1 < p.numTagged && rng.chance(1, 2) &&
+                    tagged[c + 1][lk.idx[c + 1]].u.zero())
+                    victim = static_cast<int>(c + 1);
+                break;
+            }
+        }
+        if (victim >= 0) {
+            TaggedEntry &e = tagged[victim][lk.idx[victim]];
+            e.tag = lk.tag[victim];
+            e.ctr.reset(taken ? 4 : 3);
+            e.u.reset(0);
+        } else {
+            for (unsigned c = start; c < p.numTagged; ++c)
+                tagged[c][lk.idx[c]].u.decrement();
+        }
+    }
+
+    // Periodic useful-bit aging.
+    if (updates % p.usefulResetPeriod == 0) {
+        for (auto &comp : tagged)
+            for (auto &e : comp)
+                e.u.decrement();
+    }
+}
+
+u64
+Tage::storageBits() const
+{
+    u64 bits = (u64{1} << p.baseBits) * 2;
+    for (unsigned c = 0; c < p.numTagged; ++c)
+        bits += (u64{1} << p.taggedBits) * (p.tagBits[c] + 3 + 2);
+    return bits;
+}
+
+} // namespace rsep::pred

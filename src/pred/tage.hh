@@ -1,0 +1,79 @@
+/**
+ * @file
+ * TAGE conditional branch predictor (Seznec & Michaud), Table I front
+ * end: 1 base + 12 partially tagged geometric-history components,
+ * ~15K entries total.
+ */
+
+#ifndef RSEP_PRED_TAGE_HH
+#define RSEP_PRED_TAGE_HH
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "pred/ghist.hh"
+
+namespace rsep::pred
+{
+
+/** Configuration of the TAGE branch predictor. */
+struct TageParams
+{
+    unsigned baseBits = 13;           ///< log2 base entries (8K).
+    unsigned numTagged = 12;
+    unsigned taggedBits = 9;          ///< log2 entries per tagged comp.
+    std::array<unsigned, 12> histLens = {2, 4, 6, 8, 12, 16, 24, 32,
+                                         40, 48, 56, 64};
+    std::array<unsigned, 12> tagBits = {8, 8, 9, 9, 10, 10, 11, 11,
+                                        12, 12, 13, 13};
+    u64 usefulResetPeriod = 1 << 18;  ///< epoch for u-bit aging.
+};
+
+/** Per-prediction bookkeeping carried from fetch to commit. */
+struct TageLookup
+{
+    bool pred = false;
+    bool altPred = false;
+    int provider = -1;     ///< tagged component index, -1 = base.
+    int altProvider = -1;
+    bool providerWeak = false;
+    std::array<u32, 12> idx{};
+    std::array<u32, 12> tag{};
+    u32 baseIdx = 0;
+};
+
+/** The TAGE predictor proper. */
+class Tage
+{
+  public:
+    explicit Tage(const TageParams &params = TageParams{}, u64 seed = 1);
+
+    /** Predict the direction of the branch at @p pc under history @p h. */
+    TageLookup predict(Addr pc, const GlobalHist &h) const;
+
+    /** Commit-time update with the actual direction. */
+    void update(const TageLookup &lk, Addr pc, bool taken);
+
+    /** Total storage in bits (for the cost model). */
+    u64 storageBits() const;
+
+  private:
+    struct TaggedEntry
+    {
+        u32 tag = 0;
+        SatCounter ctr{3, 3};  ///< 3-bit, midpoint 4 = weakly taken.
+        SatCounter u{2, 0};
+    };
+
+    TageParams p;
+    std::vector<SatCounter> base; ///< 2-bit bimodal.
+    std::vector<std::vector<TaggedEntry>> tagged;
+    Rng rng;
+    u64 updates = 0;
+};
+
+} // namespace rsep::pred
+
+#endif // RSEP_PRED_TAGE_HH

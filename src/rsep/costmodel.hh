@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analytical storage/area/comparator accounting for RSEP structures
+ * (paper Sections IV-D, VI-B). The paper's own claims here are
+ * arithmetic, so the reproduction is arithmetic too.
+ */
+
+#ifndef RSEP_RSEP_COSTMODEL_HH
+#define RSEP_RSEP_COSTMODEL_HH
+
+#include <string>
+
+#include "rsep/config.hh"
+
+namespace rsep::equality
+{
+
+/** Storage breakdown of one RSEP configuration, in bytes. */
+struct RsepStorage
+{
+    double predictorKB = 0;
+    double fifoHistoryB = 0;
+    double distanceFifoB = 0; ///< propagated predicted distances (224B).
+    double isrbB = 0;
+    double hrfB = 0;          ///< kept separate (mirrors the PRF).
+    double totalKB = 0;       ///< paper's 10.8KB total excludes the HRF.
+};
+
+/** Compute the storage breakdown for @p cfg. */
+RsepStorage computeStorage(const RsepConfig &cfg, unsigned num_pregs,
+                           unsigned rob_size);
+
+/**
+ * Register-file area model after Zyuban & Kogge: area per bit grows
+ * with (wordlines) x (bitlines) ~ (r + w) x (r + w), i.e. quadratically
+ * with port count and linearly with width.
+ *
+ * @return HRF area as a fraction of PRF area (paper claims < 5%).
+ */
+double hrfAreaFraction(unsigned prf_read_ports, unsigned prf_write_ports,
+                       unsigned prf_width_bits, unsigned hrf_banks,
+                       unsigned hrf_write_ports, unsigned hash_bits);
+
+/**
+ * Comparators needed by a FIFO history of @p depth entries at commit
+ * width @p cw: cw * depth against the history plus cw*(cw-1)/2 inside
+ * the commit group (paper: 2076 for 256 x 8).
+ */
+u64 fifoComparators(unsigned depth, unsigned commit_width);
+
+/** Human-readable storage summary. */
+std::string describeStorage(const RsepConfig &cfg, unsigned num_pregs,
+                            unsigned rob_size);
+
+} // namespace rsep::equality
+
+#endif // RSEP_RSEP_COSTMODEL_HH

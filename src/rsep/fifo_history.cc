@@ -1,0 +1,73 @@
+#include "rsep/fifo_history.hh"
+
+namespace rsep::equality
+{
+
+FifoHistory::FifoHistory(unsigned depth, bool implicit_all)
+    : ring(depth), cap(depth), implicitAll(implicit_all)
+{
+}
+
+void
+FifoHistory::clear()
+{
+    head = 0;
+    valid = 0;
+}
+
+void
+FifoHistory::push(u16 hash, u32 csn, u64 seq, bool produces_reg, u64 value)
+{
+    if (!implicitAll && !produces_reg)
+        return;
+    ring[head] = {hash, csn & csnMask, seq, value, produces_reg};
+    head = (head + 1) % cap;
+    if (valid < cap)
+        ++valid;
+    ++pushes;
+}
+
+std::optional<HistoryMatch>
+FifoHistory::match(u16 hash, u32 csn, std::optional<u32> predicted_dist) const
+{
+    std::optional<HistoryMatch> nearest;
+    // Scan newest -> oldest.
+    for (size_t i = 0; i < valid; ++i) {
+        size_t pos = (head + cap - 1 - i) % cap;
+        const Entry &e = ring[pos];
+        if (!e.producer)
+            continue;
+        ++comparisons;
+        if (e.hash != hash)
+            continue;
+        u32 dist = csnDistance(csn & csnMask, e.csn);
+        // dist == 0 is the probing instruction's own entry; distances
+        // beyond half the CSN space are wrapped (an entry younger in
+        // the same commit group, or stale) -- hardware knows the scan
+        // direction and ignores both.
+        if (dist == 0 || dist > csnMask / 2)
+            continue;
+        if (predicted_dist && dist == *predicted_dist) {
+            ++matches;
+            ++predictedDistanceMatches;
+            return HistoryMatch{dist, e.seq, e.value, true};
+        }
+        if (!nearest)
+            nearest = HistoryMatch{dist, e.seq, e.value, false};
+        else if (!predicted_dist)
+            break; // nearest found and nothing better to look for.
+    }
+    if (nearest)
+        ++matches;
+    return nearest;
+}
+
+u64
+FifoHistory::storageBits(unsigned hash_bits) const
+{
+    // Explicit variant: hash + CSN per entry. Implicit variant: hash
+    // plus a producer bit (no CSN needed).
+    return cap * (implicitAll ? hash_bits + 1 : hash_bits + csnBits);
+}
+
+} // namespace rsep::equality

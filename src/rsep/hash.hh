@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Result hashing for equality detection (paper Section IV-A).
+ *
+ * 64-bit results are folded into an n-bit hash by XORing consecutive
+ * n-bit chunks. n defaults to 14 and should not be a power of two: with
+ * an 8/16-bit fold, 0 and -1 (and many other sign-extended pairs) would
+ * collide, inflating false positives on common values.
+ */
+
+#ifndef RSEP_RSEP_HASH_HH
+#define RSEP_RSEP_HASH_HH
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace rsep::equality
+{
+
+/** Default hash width used throughout the paper. */
+constexpr unsigned defaultHashBits = 14;
+
+/**
+ * Fold @p value into an @p nbits hash. For n = 14 this is exactly the
+ * paper's Hash[13..0] = val[13..0] ^ val[27..14] ^ val[41..28]
+ * ^ val[55..42] ^ val[63..56].
+ */
+inline u16
+foldHash(u64 value, unsigned nbits = defaultHashBits)
+{
+    return static_cast<u16>(xorFold(value, nbits));
+}
+
+} // namespace rsep::equality
+
+#endif // RSEP_RSEP_HASH_HH

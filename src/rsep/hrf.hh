@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hash Register File (paper Section IV-D1): an n-bit-wide register file
+ * mirroring the PRF. Written at writeback with the hash of the result,
+ * read (in order) at commit to feed the FIFO history comparisons.
+ */
+
+#ifndef RSEP_RSEP_HRF_HH
+#define RSEP_RSEP_HRF_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rsep::equality
+{
+
+/** The HRF: trivial storage, mirrors PRF management. */
+class HashRegisterFile
+{
+  public:
+    explicit HashRegisterFile(unsigned num_pregs, unsigned hash_bits = 14)
+        : hashes(num_pregs, 0), bits(hash_bits)
+    {
+    }
+
+    void
+    write(PhysReg preg, u16 hash)
+    {
+        hashes.at(preg) = hash;
+        ++writes;
+    }
+
+    u16
+    read(PhysReg preg) const
+    {
+        ++reads;
+        return hashes.at(preg);
+    }
+
+    unsigned hashBits() const { return bits; }
+    u64 storageBits() const { return hashes.size() * bits; }
+
+    mutable StatCounter reads;
+    StatCounter writes;
+
+  private:
+    std::vector<u16> hashes;
+    unsigned bits;
+};
+
+} // namespace rsep::equality
+
+#endif // RSEP_RSEP_HRF_HH

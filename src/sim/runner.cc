@@ -1,0 +1,89 @@
+#include "sim/runner.hh"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "common/stats.hh"
+
+namespace rsep::sim
+{
+
+std::vector<MatrixRow>
+runMatrix(const std::vector<SimConfig> &configs,
+          const std::vector<std::string> &benchmarks)
+{
+    std::vector<MatrixRow> rows;
+    rows.reserve(benchmarks.size());
+    for (const auto &bench : benchmarks) {
+        MatrixRow row;
+        row.benchmark = bench;
+        for (const auto &cfg : configs) {
+            std::fprintf(stderr, "[run] %-12s %-20s ...", bench.c_str(),
+                         cfg.label.c_str());
+            std::fflush(stderr);
+            RunResult rr = runWorkload(cfg, bench);
+            std::fprintf(stderr, " ipc=%.3f\n", rr.ipcHmean());
+            row.byConfig.push_back(std::move(rr));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::string
+fmtPct(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%7.2f%%", v);
+    return buf;
+}
+
+void
+printSpeedupTable(std::ostream &os, const std::vector<MatrixRow> &rows,
+                  const std::vector<SimConfig> &configs)
+{
+    os << std::left << std::setw(12) << "benchmark";
+    for (size_t c = 1; c < configs.size(); ++c)
+        os << std::right << std::setw(18) << configs[c].label;
+    os << "\n";
+
+    std::vector<std::vector<double>> ratios(configs.size());
+    for (const auto &row : rows) {
+        os << std::left << std::setw(12) << row.benchmark;
+        double base = row.byConfig[0].ipcHmean();
+        for (size_t c = 1; c < configs.size(); ++c) {
+            double pct = speedupPct(row.byConfig[c], row.byConfig[0]);
+            if (base > 0.0)
+                ratios[c].push_back(row.byConfig[c].ipcHmean() / base);
+            os << std::right << std::setw(18) << fmtPct(pct);
+        }
+        os << "\n";
+    }
+    os << std::left << std::setw(12) << "gmean";
+    for (size_t c = 1; c < configs.size(); ++c) {
+        double g = geometricMean(ratios[c]);
+        os << std::right << std::setw(18)
+           << fmtPct(g > 0.0 ? (g - 1.0) * 100.0 : 0.0);
+    }
+    os << "\n";
+}
+
+void
+printPctTable(std::ostream &os, const std::vector<MatrixRow> &rows,
+              const std::vector<std::string> &col_names,
+              const std::function<double(const MatrixRow &, size_t col)>
+                  &cell)
+{
+    os << std::left << std::setw(12) << "benchmark";
+    for (const auto &name : col_names)
+        os << std::right << std::setw(18) << name;
+    os << "\n";
+    for (const auto &row : rows) {
+        os << std::left << std::setw(12) << row.benchmark;
+        for (size_t c = 0; c < col_names.size(); ++c)
+            os << std::right << std::setw(18) << fmtPct(cell(row, c));
+        os << "\n";
+    }
+}
+
+} // namespace rsep::sim

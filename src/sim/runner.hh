@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Experiment runner utilities shared by the bench harnesses: run a
+ * (benchmark x configuration) matrix and print paper-style rows.
+ */
+
+#ifndef RSEP_SIM_RUNNER_HH
+#define RSEP_SIM_RUNNER_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace rsep::sim
+{
+
+/** Results of a benchmark row across configurations. */
+struct MatrixRow
+{
+    std::string benchmark;
+    std::vector<RunResult> byConfig; ///< parallel to the config list.
+};
+
+/**
+ * Run every benchmark under every configuration (config 0 is
+ * conventionally the baseline). Progress goes to stderr.
+ */
+std::vector<MatrixRow>
+runMatrix(const std::vector<SimConfig> &configs,
+          const std::vector<std::string> &benchmarks);
+
+/**
+ * Print a speedup table: one row per benchmark, one column per non-
+ * baseline configuration, in percent over configuration 0, plus a
+ * geometric-mean summary row (the paper reports per-benchmark bars).
+ */
+void printSpeedupTable(std::ostream &os, const std::vector<MatrixRow> &rows,
+                       const std::vector<SimConfig> &configs);
+
+/** Print a generic percent table computed by @p cell per row/column. */
+void printPctTable(std::ostream &os, const std::vector<MatrixRow> &rows,
+                   const std::vector<std::string> &col_names,
+                   const std::function<double(const MatrixRow &, size_t col)>
+                       &cell);
+
+/** Simple fixed-width cell helpers. */
+std::string fmtPct(double v);
+
+} // namespace rsep::sim
+
+#endif // RSEP_SIM_RUNNER_HH

@@ -1,0 +1,166 @@
+#include "sim/sim_config.hh"
+
+#include <sstream>
+
+#include "common/env.hh"
+
+namespace rsep::sim
+{
+
+void
+SimConfig::applyEnv()
+{
+    double scale = simScale();
+    warmupInsts = static_cast<u64>(warmupInsts * scale);
+    measureInsts = static_cast<u64>(measureInsts * scale);
+    checkpoints = static_cast<u32>(
+        envU64("RSEP_CHECKPOINTS", checkpoints));
+}
+
+SimConfig
+SimConfig::baseline()
+{
+    SimConfig c;
+    c.label = "baseline";
+    c.mech = core::MechConfig{};
+    c.applyEnv();
+    return c;
+}
+
+SimConfig
+SimConfig::zeroPredOnly()
+{
+    SimConfig c = baseline();
+    c.label = "zero-pred";
+    c.mech.zeroPred = true;
+    return c;
+}
+
+SimConfig
+SimConfig::moveElimOnly()
+{
+    SimConfig c = baseline();
+    c.label = "move-elim";
+    c.mech.moveElim = true;
+    return c;
+}
+
+SimConfig
+SimConfig::rsepIdeal()
+{
+    SimConfig c = baseline();
+    c.label = "rsep";
+    c.mech.moveElim = true; // side effect of sharing (Section IV-H1).
+    c.mech.equalityPred = true;
+    c.mech.rsep = equality::RsepConfig::idealLarge();
+    return c;
+}
+
+SimConfig
+SimConfig::vpOnly()
+{
+    SimConfig c = baseline();
+    c.label = "vpred";
+    c.mech.valuePred = true;
+    return c;
+}
+
+SimConfig
+SimConfig::rsepPlusVp()
+{
+    SimConfig c = rsepIdeal();
+    c.label = "rsep+vpred";
+    c.mech.valuePred = true;
+    return c;
+}
+
+SimConfig
+SimConfig::rsepValidation(equality::ValidationPolicy policy, bool)
+{
+    SimConfig c = rsepIdeal();
+    switch (policy) {
+      case equality::ValidationPolicy::Ideal:
+        c.label = "rsep-val-ideal";
+        break;
+      case equality::ValidationPolicy::Issue2xLockFu:
+        c.label = "rsep-val-2x-lock";
+        break;
+      case equality::ValidationPolicy::Issue2xAnyFu:
+        c.label = "rsep-val-2x-any";
+        break;
+    }
+    c.mech.rsep.validation = policy;
+    return c;
+}
+
+SimConfig
+SimConfig::rsepSampling(u32 start_train_threshold)
+{
+    SimConfig c = rsepValidation(equality::ValidationPolicy::Issue2xAnyFu);
+    c.label = "rsep-val-2x-sample" + std::to_string(start_train_threshold);
+    c.mech.rsep.sampling = true;
+    c.mech.rsep.startTrainThreshold = start_train_threshold;
+    return c;
+}
+
+SimConfig
+SimConfig::rsepRealistic()
+{
+    SimConfig c = baseline();
+    c.label = "rsep-realistic";
+    c.mech.moveElim = true;
+    c.mech.equalityPred = true;
+    c.mech.rsep = equality::RsepConfig::realistic();
+    return c;
+}
+
+SimConfig
+SimConfig::fig1Probe()
+{
+    SimConfig c = baseline();
+    c.label = "fig1-probe";
+    c.mech.fig1Probe = true;
+    return c;
+}
+
+std::string
+describeTable1(const SimConfig &cfg)
+{
+    const auto &cp = cfg.core;
+    std::ostringstream os;
+    os << "TABLE I: Simulator configuration overview\n"
+       << "Front End\n"
+       << "  L1I 8-way 32KB, 1 cycle, 128-entry ITLB\n"
+       << "  32B fetch buffer, " << cp.fetchWidth
+       << "-wide fetch over 1 taken branch\n"
+       << "  TAGE 1+12 components ~15K entries, " << cp.frontendDepth + 2
+       << " cycles min mispredict penalty; 2-way 4K-entry BTB, 32-entry RAS\n"
+       << "  " << cp.renameWidth
+       << "-wide rename with zero-idiom elimination\n"
+       << "Execution\n"
+       << "  " << cp.robSize << "-entry ROB, " << cp.iqSize
+       << "-entry IQ unified, " << cp.lqSize << "/" << cp.sqSize
+       << "-entry LQ/SQ (STLF lat. " << cp.stlfLat << " cycles), "
+       << cp.intPregs << "/" << cp.fpPregs << " INT/FP registers\n"
+       << "  2K-SSID/1K-LFST Store Sets, not rolled back on squash\n"
+       << "  " << cp.issueWidth << "-issue, 4ALU(" << cp.intAluLat
+       << "c) incl 1Mul(" << cp.intMulLat << "c) and 1Div(" << cp.intDivLat
+       << "c*), 3FP(" << cp.fpAluLat << "c) incl 1FPMul(" << cp.fpMulLat
+       << "c) and 1FPDiv(" << cp.fpDivLat << "c*), 2Ld/Str, 1Str\n"
+       << "  Full bypass, " << cp.commitWidth << "-wide retire\n"
+       << "Caches\n"
+       << "  L1D 8-way 32KB, 4 cycles load-to-use, 64 MSHRs, 2 load ports,"
+          " 1 store port, 64-entry DTLB, stride prefetcher (degree 1)\n"
+       << "  Unified private L2 16-way 256KB, 12 cycles, 64 MSHRs,"
+          " stream prefetcher (degree 1)\n"
+       << "  Unified shared L3 24-way 6MB, 21 cycles, 64 MSHRs,"
+          " stream prefetcher (degree 1)\n"
+       << "  All caches have 64B lines and LRU replacement\n"
+       << "Memory\n"
+       << "  Dual channel DDR4-2400 (17-17-17), 2 ranks/channel,"
+          " 8 banks/rank, 8K row-buffer\n"
+       << "  (*) not pipelined\n";
+    return os.str();
+}
+
+} // namespace rsep::sim

@@ -1,0 +1,63 @@
+#include "sim/simulator.hh"
+
+#include "common/stats.hh"
+
+namespace rsep::sim
+{
+
+double
+RunResult::ipcHmean() const
+{
+    std::vector<double> v;
+    v.reserve(phases.size());
+    for (const auto &ph : phases)
+        v.push_back(ph.ipc);
+    return harmonicMean(v);
+}
+
+double
+RunResult::ratioOfCommitted(StatCounter core::PipelineStats::* member) const
+{
+    u64 insts = sum(&core::PipelineStats::committedInsts);
+    if (insts == 0)
+        return 0.0;
+    return static_cast<double>(sum(member)) / static_cast<double>(insts);
+}
+
+RunResult
+runWorkload(const SimConfig &cfg, const std::string &bench_name)
+{
+    RunResult out;
+    out.benchmark = bench_name;
+    out.configLabel = cfg.label;
+
+    for (u32 phase = 0; phase < cfg.checkpoints; ++phase) {
+        wl::Workload w = wl::makeWorkload(bench_name);
+        wl::Emulator emu(w.program);
+        emu.resetArchState();
+        w.init(emu, phase);
+
+        core::Pipeline pipe(cfg.core, cfg.mech, emu,
+                            cfg.seed ^ (0x9e37 * (phase + 1)));
+        pipe.run(cfg.warmupInsts);
+        pipe.resetStats();
+        pipe.run(cfg.measureInsts);
+
+        PhaseResult pr;
+        pr.stats = pipe.stats();
+        pr.ipc = pr.stats.ipc();
+        out.phases.push_back(std::move(pr));
+    }
+    return out;
+}
+
+double
+speedupPct(const RunResult &a, const RunResult &b)
+{
+    double base = b.ipcHmean();
+    if (base <= 0.0)
+        return 0.0;
+    return (a.ipcHmean() / base - 1.0) * 100.0;
+}
+
+} // namespace rsep::sim

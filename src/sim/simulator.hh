@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-workload simulation driver: runs the configured number of
+ * checkpoints (seeded phases), each with warmup + measurement, and
+ * aggregates per the paper's methodology (harmonic mean of IPCs,
+ * Section V).
+ */
+
+#ifndef RSEP_SIM_SIMULATOR_HH
+#define RSEP_SIM_SIMULATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+#include "wl/suite.hh"
+
+namespace rsep::sim
+{
+
+/** Result of one checkpoint (phase). */
+struct PhaseResult
+{
+    double ipc = 0.0;
+    core::PipelineStats stats;
+};
+
+/** Result of one (workload, config) run across checkpoints. */
+struct RunResult
+{
+    std::string benchmark;
+    std::string configLabel;
+    std::vector<PhaseResult> phases;
+
+    /** Harmonic mean of per-checkpoint IPCs (paper Section V). */
+    double ipcHmean() const;
+
+    /** Sum of a counter over phases, via a member pointer. */
+    u64
+    sum(StatCounter core::PipelineStats::* member) const
+    {
+        u64 total = 0;
+        for (const auto &ph : phases)
+            total += (ph.stats.*member).value();
+        return total;
+    }
+
+    /** Ratio of summed counter to summed committed instructions. */
+    double ratioOfCommitted(StatCounter core::PipelineStats::* member) const;
+};
+
+/** Run @p bench_name under @p cfg. */
+RunResult runWorkload(const SimConfig &cfg, const std::string &bench_name);
+
+/** Speedup of @p a over @p b in percent. */
+double speedupPct(const RunResult &a, const RunResult &b);
+
+} // namespace rsep::sim
+
+#endif // RSEP_SIM_SIMULATOR_HH

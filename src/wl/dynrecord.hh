@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The dynamic (committed-path) instruction record produced by the
+ * functional emulator and consumed by the timing model.
+ */
+
+#ifndef RSEP_WL_DYNRECORD_HH
+#define RSEP_WL_DYNRECORD_HH
+
+#include "common/types.hh"
+
+namespace rsep::wl
+{
+
+/**
+ * One executed instruction on the committed path.
+ *
+ * `result` is the value architecturally written to the destination
+ * register (loads: the loaded value; Bl: the return address). For
+ * stores it is the stored data (needed for store-to-load forwarding
+ * and the Fig. 1 redundancy probe); stores do not write a register.
+ */
+struct DynRecord
+{
+    u32 staticIdx = 0;  ///< index into the Program.
+    u32 nextIdx = 0;    ///< static index of the next committed inst.
+    u64 result = 0;     ///< destination value / store data.
+    Addr effAddr = 0;   ///< effective address (loads/stores only).
+    bool taken = false; ///< branch outcome (branches only).
+};
+
+} // namespace rsep::wl
+
+#endif // RSEP_WL_DYNRECORD_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional (architectural) executor of mini-ISA programs.
+ *
+ * The emulator is the source of truth for values: the timing model is
+ * trace-driven and replays the committed-path stream produced here,
+ * so every mechanism under study (hashing, equality, value prediction)
+ * operates on organically computed values.
+ */
+
+#ifndef RSEP_WL_EMULATOR_HH
+#define RSEP_WL_EMULATOR_HH
+
+#include <array>
+
+#include "isa/program.hh"
+#include "wl/dynrecord.hh"
+#include "wl/memory.hh"
+
+namespace rsep::wl
+{
+
+/** Architectural state + single-step execution of one Program. */
+class Emulator
+{
+  public:
+    explicit Emulator(const isa::Program &prog);
+
+    /** Reset registers and PC; memory is preserved (use memory().clear()). */
+    void resetArchState();
+
+    /**
+     * Execute the next committed-path instruction and return its
+     * record. Halt wraps silently back to instruction 0 (kernels are
+     * structured as endless outer loops; Halt is a safety net).
+     */
+    const DynRecord &step();
+
+    u64 readReg(ArchReg r) const;
+    void setReg(ArchReg r, u64 v);
+    /** Convenience: write a double into an FP register. */
+    void setFpReg(ArchReg r, double v);
+
+    SparseMemory &memory() { return mem; }
+    const SparseMemory &memory() const { return mem; }
+
+    const isa::Program &program() const { return prog; }
+    /** Total instructions executed (excluding skipped Halts). */
+    u64 instCount() const { return icount; }
+    /** Static index of the next instruction to execute. */
+    u32 nextIndex() const { return cur; }
+
+  private:
+    void writeReg(ArchReg r, u64 v);
+
+    const isa::Program &prog;
+    std::array<u64, isa::numArchRegs> regs{};
+    SparseMemory mem;
+    u32 cur = 0;
+    u64 icount = 0;
+    DynRecord rec;
+};
+
+} // namespace rsep::wl
+
+#endif // RSEP_WL_EMULATOR_HH

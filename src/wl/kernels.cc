@@ -1,0 +1,1010 @@
+#include "wl/kernels.hh"
+
+#include <bit>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace rsep::wl
+{
+
+using isa::Program;
+using isa::ProgramBuilder;
+
+namespace
+{
+
+constexpr ArchReg Z = isa::zeroReg;
+
+/** FP register d(i). */
+constexpr ArchReg
+D(unsigned i)
+{
+    return static_cast<ArchReg>(isa::fpRegBase + i);
+}
+
+/** Stable per-(workload, phase) seed. */
+u64
+phaseSeed(const std::string &name, u32 phase)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    for (char c : name)
+        h = (h ^ static_cast<u8>(c)) * 0x100000001b3ull;
+    return h ^ (0x9e3779b97f4a7c15ull * (phase + 1));
+}
+
+// Data-region base addresses (distinct regions per logical array so the
+// prefetchers see realistic per-stream behaviour).
+constexpr Addr regionA = 0x10000000;
+constexpr Addr regionB = 0x20000000;
+constexpr Addr regionC = 0x30000000;
+constexpr Addr regionD = 0x40000000;
+constexpr Addr regionE = 0x50000000;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// pointer_chase (mcf): DRAM-bound traversal of four interleaved node
+// cycles (memory-level parallelism as in mcf's arc scans). Each node's
+// potential is also present, in visit order, in a dense prefetchable
+// side array (mcf keeps node/arc attributes in multiple structures).
+// The slow in-node load B therefore equals the fast array load A at a
+// small fixed distance but on a *different dependency chain* -- exactly
+// the Section IV-H2 pattern. B feeds a data-dependent branch, so
+// equality prediction resolves the branch long before the node line
+// arrives, uncorking fetch and overlapping more chases.
+// ---------------------------------------------------------------------
+Workload
+makePointerChase(const std::string &name, const PointerChaseParams &p)
+{
+    constexpr unsigned chains = 4;
+    // Node layout (128B, two cache lines): [+0]=next | [+64]=potential,
+    // [+72]=flow, [+80]=scratch.
+    ProgramBuilder b(name);
+    // x13..x16 = chain pointers, x11 = side array, x20 = k, x21 = 4N.
+    b.label("top");
+    for (unsigned c = 0; c < chains; ++c) {
+        ArchReg ptr = static_cast<ArchReg>(13 + c);
+        std::string skip = "skip" + std::to_string(c);
+        b.ldrx(1, 11, 20);      // A: potential in visit order (fast)
+        b.add(4, 4, 1);
+        b.ldr(2, ptr, 72);      // flow (node line 1, slow)
+        b.ldr(5, ptr, 64);      // B: node->potential == A (slow)
+        b.andi(6, 5, 3);        // data-dependent branch source
+        b.cbnz(6, skip);        // ~75% taken, poorly predictable
+        b.add(7, 7, 5);
+        b.str(7, ptr, 80);
+        b.label(skip);
+        b.add(8, 8, 2);
+        b.ldr(ptr, ptr, 0);     // chase next (node line 0, DRAM)
+        b.addi(20, 20, 1);
+    }
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.b("top");
+    Program prog = b.build();
+
+    PointerChaseParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("pointer_chase", phase));
+        const u64 n = params.nodes;
+        const u64 per_chain = n / chains;
+        auto nodeAddr = [](u64 i) { return regionA + i * 128; };
+
+        // Four disjoint random cycles (Sattolo) + potential values.
+        // ~12% of potentials are 0 mod 4, so the in-body branch is
+        // taken ~88% of the time: biased but data-dependent, like
+        // mcf's arc-cost tests.
+        std::vector<u64> potential(n);
+        for (u64 i = 0; i < n; ++i) {
+            u64 magnitude = 4 * (50 + rng.below(params.costAlphabet));
+            u64 low = rng.below(1000) < 25 ? 0 : 1 + rng.below(3);
+            potential[i] = magnitude + low;
+        }
+        std::vector<u64> start(chains);
+        std::vector<std::vector<u64>> visit(chains);
+        for (unsigned c = 0; c < chains; ++c) {
+            u64 lo = c * per_chain;
+            std::vector<u64> perm(per_chain);
+            for (u64 i = 0; i < per_chain; ++i)
+                perm[i] = lo + i;
+            for (u64 i = per_chain - 1; i >= 1; --i)
+                std::swap(perm[i], perm[rng.below(i)]);
+            // perm defines the cycle: perm[k] -> perm[k+1].
+            for (u64 k = 0; k < per_chain; ++k) {
+                u64 node = perm[k];
+                u64 nxt = perm[(k + 1) % per_chain];
+                em.memory().write(nodeAddr(node) + 0, nodeAddr(nxt));
+                em.memory().write(nodeAddr(node) + 64, potential[node]);
+                em.memory().write(nodeAddr(node) + 72, rng.below(1600));
+            }
+            start[c] = perm[0];
+            visit[c] = std::move(perm);
+        }
+        // Side array in interleaved visit order: the k-th outer
+        // iteration consumes entries 4k..4k+3 (chain 0..3), and the
+        // node visited by chain c at iteration k is visit[c][k].
+        for (u64 k = 0; k < per_chain; ++k)
+            for (unsigned c = 0; c < chains; ++c)
+                em.memory().write(regionB + (k * chains + c) * 8,
+                                  potential[visit[c][k]]);
+        for (unsigned c = 0; c < chains; ++c)
+            em.setReg(static_cast<ArchReg>(13 + c), nodeAddr(start[c]));
+        em.setReg(11, regionB);
+        em.setReg(21, per_chain * chains);
+    };
+    return {name, "pointer_chase", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// dyn_prog (hmmer): two clamped recurrences (Viterbi M/I style). In
+// clamp-dominant segments both chains saturate to the same bound, so the
+// second chain's max equals the first chain's max a fixed distance
+// earlier -- with a value that changes every column (VP-proof equality).
+// In non-clamp segments the chains stride (small VP opportunity).
+// ---------------------------------------------------------------------
+Workload
+makeDynProg(const std::string &name, const DynProgParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = E base, x11 = D row base, x20 = j, x21 = cols,
+    // x14 = t1, x15 = t2 (negative transitions), x3 = D, x9 = I.
+    b.label("row");
+    b.movi(20, 0);
+    b.movi(3, 0);
+    b.movi(9, 0);
+    b.label("inner");
+    b.ldrx(1, 10, 20);      // E[j]
+    b.add(2, 3, 14);        // D + t1
+    b.cmplt(5, 2, 1);
+    b.sub(6, Z, 5);         // mask = -(D+t1 < E)
+    b.and_(7, 1, 6);
+    b.eori(8, 6, -1);
+    b.and_(2, 2, 8);
+    b.orr(3, 7, 2);         // D = max(D+t1, E)          [P1]
+    b.add(4, 9, 15);        // I + t2
+    b.cmplt(5, 4, 3);
+    b.sub(6, Z, 5);
+    b.and_(7, 3, 6);
+    b.eori(8, 6, -1);
+    b.and_(4, 4, 8);
+    b.orr(9, 7, 4);         // I = max(I+t2, D) == D when clamped [P2]
+    b.strx(9, 11, 20);
+    // Parallel per-column work (emission scores, trace bookkeeping):
+    // dilutes the recurrences' share of the cycle budget as in the
+    // real profile.
+    b.ldrx(16, 12, 20);     // emission score (irregular values)
+    b.add(17, 17, 16);
+    b.fldrx(D(20), 13, 20); // FP odds ratio
+    b.fadd(D(21), D(21), D(20));
+    b.fmul(D(22), D(20), D(23));
+    b.strx(17, 26, 20);
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "inner");
+    b.b("row");
+    Program prog = b.build();
+
+    DynProgParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("dyn_prog", phase));
+        const u64 cols = params.cols;
+        // E table: long clamp-friendly segments (large scores) separated
+        // by short decaying segments (tiny scores).
+        u64 j = 0;
+        while (j < cols) {
+            bool clamp_seg = rng.below(100) < params.clampDuty;
+            u64 seg = clamp_seg ? 600 + rng.below(1000)
+                                : 180 + rng.below(320);
+            for (u64 k = 0; k < seg && j < cols; ++k, ++j) {
+                u64 v = clamp_seg
+                    ? (u64{1} << 22) + rng.below(params.scoreSpread)
+                    : rng.below(64);
+                em.memory().write(regionA + j * 8, v);
+            }
+        }
+        for (u64 k = 0; k < cols; ++k) {
+            em.memory().write(regionC + k * 8, rng.below(1 << 18));
+            em.memory().write(regionD + k * 8,
+                              std::bit_cast<u64>(0.1 + rng.uniform()));
+        }
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(12, regionC);
+        em.setReg(13, regionD);
+        em.setReg(26, regionE);
+        em.setReg(21, cols);
+        em.setReg(14, static_cast<u64>(-3));
+        em.setReg(15, static_cast<u64>(-5));
+        em.setFpReg(D(23), 0.9375);
+    };
+    return {name, "dyn_prog", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// recompute (dealII): FEM-style assembly with a *saturating* stress
+// accumulator (plastic-limit clamp via fmin). While the accumulator
+// sits at the limit -- long stretches determined by the element data --
+// the fmin result repeats, so equality prediction severs the
+// loop-carried recurrence; off the limit the chain is live and nothing
+// predicts. A recomputed product and reloaded operands (spill/aliasing
+// texture) add the paper's non-load equality flavour and dilute the
+// chain's share of the body.
+// ---------------------------------------------------------------------
+Workload
+makeRecompute(const std::string &name, const RecomputeParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = a[], x11 = b[], x12 = out[], x13 = limit[], x20 = i,
+    // x21 = n, d30 = row relaxation factor.
+    b.label("top");
+    b.lsli(5, 20, 3);           // index calc               [VP stride]
+    b.lsri(22, 20, 7);          // stress-limit group g = i >> 7
+    b.fldrx(D(1), 10, 20);      // a[i]
+    b.fldrx(D(2), 11, 20);      // b[i]
+    b.fmul(D(3), D(1), D(2));   // jac = a*b (independent)
+    b.fadd(D(5), D(4), D(3));   // candidate = acc + jac
+    b.fldrx(D(11), 13, 22);     // limit[g] (hot, changes every 128 i)
+    b.fmin(D(4), D(5), D(11));  // acc = min(cand, limit): while the
+                                // accumulator is clamped this equals
+                                // the same-iteration limit load [P1]
+    b.fstrx(D(4), 12, 20);
+    b.fldrx(D(6), 10, 20);      // a[i] reload (== d1, spill texture)
+    b.fmul(D(7), D(6), D(2));   // recomputed jac == d3 (non-load) [P2]
+    b.fadd(D(8), D(8), D(7));   // error-norm accumulator
+    b.add(7, 7, 5);
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.fmul(D(4), D(4), D(30));  // row relaxation: leave the limit
+    b.b("top");
+    Program prog = b.build();
+
+    RecomputeParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("recompute", phase));
+        for (u64 i = 0; i < params.elems; ++i) {
+            double a = 0.8 + rng.uniform() * 2.0;
+            double v = 0.25 + rng.uniform() * 1.5;
+            em.memory().write(regionA + i * 8, std::bit_cast<u64>(a));
+            em.memory().write(regionB + i * 8, std::bit_cast<u64>(v));
+        }
+        // Limits descend across groups, so once clamped the
+        // accumulator stays clamped; the per-128-element value change
+        // defeats last-value prediction but not distance prediction.
+        u64 groups = (params.elems >> 7) + 1;
+        for (u64 g = 0; g < groups; ++g) {
+            double limit = 5400.0 - 18.0 * static_cast<double>(g) +
+                           static_cast<double>(rng.below(7));
+            em.memory().write(regionD + g * 8, std::bit_cast<u64>(limit));
+        }
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(12, regionC);
+        em.setReg(13, regionD);
+        em.setReg(21, params.elems);
+        em.setFpReg(D(30), 0.05);
+    };
+    return {name, "recompute", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// gate_sim (libquantum): bit-mask gate application over basis states.
+// A structurally dead feature mask makes one AND always produce zero
+// (zero-prediction target); the state word is reloaded after the
+// conditional toggle, creating branch-history-resolved equality with
+// either the original load or the store (SMB-style capture).
+// ---------------------------------------------------------------------
+Workload
+makeGateSim(const std::string &name, const GateSimParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = state base, x12 = pair base (state + half), x20 = i,
+    // x21 = half, x22 = dead mask, x23 = gate mask.
+    b.label("top");
+    b.ldrx(1, 10, 20);      // A: state[i] (streaming)
+    b.lsri(2, 1, p.controlBit);
+    b.andi(3, 2, 1);        // control bit (mostly 0)
+    b.and_(4, 1, 22);       // always zero (dead feature)   [ZP]
+    b.add(26, 26, 4);
+    b.ldrx(9, 12, 20);      // A': entangled partner state[i+half];
+                            //     == A for correlated pairs (CNOT)
+    b.eor(27, 1, 9);        // 0 when the pair is correlated [zeros]
+    b.cbnz(27, "decohere"); // ~12% taken, data-dependent
+    b.label("resume");
+    b.cbz(3, "skip");
+    b.eor(5, 1, 23);        // toggle
+    b.strx(5, 10, 20);
+    b.label("skip");
+    b.ldrx(6, 10, 20);      // B: reload; ==A (not toggled) or ==x5
+    b.add(7, 7, 6);
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.b("top");
+    b.label("decohere");
+    b.add(28, 28, 27);      // track decoherence events
+    b.b("resume");
+    Program prog = b.build();
+
+    GateSimParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("gate_sim", phase));
+        // States drawn from a small alphabet of basis masks. The dead
+        // mask selects bits never present in any state word. The upper
+        // half of the register mirrors the lower half (entangled
+        // pairs) except where "decoherence" injected a difference.
+        const u64 live_bits = 0x00ffffffffffull;
+        const u64 dead_mask = 0x3f000000000000ull;
+        std::vector<u64> alphabet(24);
+        for (auto &v : alphabet) {
+            v = rng.next() & live_bits;
+            if (rng.below(100) >= params.setBitPct)
+                v &= ~(u64{1} << params.controlBit);
+            else
+                v |= (u64{1} << params.controlBit);
+            if (rng.below(4) == 0)
+                v = 0;
+        }
+        // Decoherence is clustered (whole sub-registers lose pairing at
+        // once), so correlated stretches are long enough for the
+        // distance predictor to saturate and pay off.
+        u64 half = params.stateWords;
+        u64 i = 0;
+        while (i < half) {
+            bool decohered = rng.below(100) < params.setBitPct;
+            u64 seg = decohered ? 80 + rng.below(240)
+                                : 900 + rng.below(2600);
+            for (u64 k = 0; k < seg && i < half; ++k, ++i) {
+                u64 v = alphabet[rng.below(alphabet.size())];
+                em.memory().write(regionA + i * 8, v);
+                u64 partner = decohered
+                    ? alphabet[rng.below(alphabet.size())]
+                    : v;
+                em.memory().write(regionA + (half + i) * 8, partner);
+            }
+        }
+        em.setReg(10, regionA);
+        em.setReg(12, regionA + half * 8);
+        em.setReg(21, half);
+        em.setReg(22, dead_mask);
+        em.setReg(23, (u64{1} << 33) | 0x5a0);
+    };
+    return {name, "gate_sim", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// event_queue (omnetpp): binary-heap pop/push. The root reload at the
+// top of each outer iteration equals the value the previous sift stored
+// into heap[0] at a long but fixed distance; sift-internal min selection
+// produces equality at data-dependent (noisy) distances. Times increase
+// monotonically with a small delta alphabet, so VP gets little.
+// ---------------------------------------------------------------------
+Workload
+makeEventQueue(const std::string &name, const EventQueueParams &p)
+{
+    // Fixed sift depth keeps the outer-loop structure regular.
+    const unsigned levels = 6;
+
+    ProgramBuilder b(name);
+    // x10 = heap base, x11 = delta table, x21 = sift counter.
+    b.label("outer");
+    b.ldr(1, 10, 0);        // root (== value stored to heap[0] last time)
+    b.andi(2, 1, 7);        // pseudo-random delta index
+    b.ldrx(3, 11, 2);       // delta
+    b.add(4, 1, 3);         // new event time
+    b.movi(5, 0);           // i = 0
+    b.movi(21, levels);
+    b.label("sift");
+    b.lsli(6, 5, 1);
+    b.addi(6, 6, 1);        // l = 2i+1
+    b.ldrx(7, 10, 6);       // heap[l]
+    b.addi(8, 6, 1);        // r
+    b.ldrx(9, 10, 8);       // heap[r]
+    b.cmpltu(2, 7, 9);
+    b.sub(3, Z, 2);         // mask
+    b.and_(26, 7, 3);
+    b.eori(27, 3, -1);
+    b.and_(28, 9, 27);
+    b.orr(26, 26, 28);      // min child value
+    b.and_(29, 6, 3);
+    b.and_(28, 8, 27);
+    b.orr(29, 29, 28);      // min child index
+    b.strx(26, 10, 5);      // heap[i] = min child (value moves up)
+    b.mov(5, 29);           // descend (move-elim candidate)
+    b.subi(21, 21, 1);
+    b.cbnz(21, "sift");
+    b.strx(4, 10, 5);       // place new event at the leaf
+    b.b("outer");
+    Program prog = b.build();
+
+    EventQueueParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("event_queue", phase));
+        // Heap of event times, loosely heap-ordered by construction.
+        u64 base_time = 1000;
+        for (u64 i = 0; i < params.heapSize; ++i) {
+            u64 depth_bonus = (63 - std::countl_zero(i + 1)) * 97;
+            em.memory().write(regionA + i * 8,
+                              base_time + depth_bonus + rng.below(173));
+        }
+        for (u64 i = 0; i < 8; ++i)
+            em.memory().write(regionB + i * 8,
+                              23 + 41 * rng.below(params.deltaAlphabet));
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+    };
+    return {name, "event_queue", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// xml_parse (xalancbmk): byte classifier + table-driven state machine
+// with token bookkeeping done through register moves. Character-class
+// runs make both the class loads and the state loads repeat (VP and
+// RSEP both profit); the moves feed move elimination.
+// ---------------------------------------------------------------------
+Workload
+makeXmlParse(const std::string &name, const XmlParseParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = text, x11 = ctab, x12 = trans, x20 = i, x21 = len, x4 = state.
+    b.label("top");
+    b.ldrx(1, 10, 20);      // ch
+    b.ldrx(2, 11, 1);       // cls = ctab[ch]   (runs -> repeats)
+    b.lsli(3, 4, 3);        // state * 8
+    b.add(3, 3, 2);
+    b.ldrx(4, 12, 3);       // state = trans[state*8 + cls]
+    b.mov(5, 4);            // prev_state  (move)
+    b.mov(6, 2);            // prev_class  (move)
+    // Token hashing / bookkeeping: per-character parallel work that
+    // dilutes the state recurrence's share, as in the real profile.
+    b.lsli(16, 9, 1);
+    b.eor(9, 16, 1);        // rolling token hash
+    b.add(17, 17, 1);
+    b.andi(18, 1, 63);
+    b.add(19, 19, 18);
+    b.strx(9, 13, 20);      // emit normalized character
+    b.cbz(2, "emit");
+    b.label("next");
+    b.add(24, 24, 5);
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.b("top");
+    b.label("emit");
+    b.mov(7, 8);            // token start copy (move)
+    b.mov(8, 20);           // new token start  (move)
+    b.add(25, 25, 7);
+    b.b("next");
+    Program prog = b.build();
+
+    XmlParseParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("xml_parse", phase));
+        // Class table: chars [8, 128) are all "letter" (class 1) so
+        // character-data sections give long same-class runs; the rest
+        // of the space spreads over the markup classes.
+        for (u64 ch = 0; ch < 256; ++ch) {
+            u64 cls;
+            if (ch == 0)
+                cls = 0;
+            else if (ch >= 8 && ch < 128)
+                cls = 1;
+            else
+                cls = 2 + ch % (params.numClasses - 2);
+            em.memory().write(regionB + ch * 8, cls);
+        }
+        // Text: markup bursts (short mixed-class runs) alternating with
+        // long character-data sections (varied letters, same class).
+        u64 i = 0;
+        while (i < params.textLen) {
+            bool content = rng.below(1000) < 12;
+            if (content) {
+                u64 run = 300 + rng.below(400);
+                for (u64 k = 0; k < run && i < params.textLen; ++k, ++i)
+                    em.memory().write(regionA + i * 8,
+                                      8 + rng.below(120));
+            } else {
+                u64 run = 2 + rng.below(12);
+                for (u64 k = 0; k < run && i < params.textLen; ++k, ++i)
+                    em.memory().write(regionA + i * 8,
+                                      128 + rng.below(127));
+                if (rng.below(4) == 0 && i < params.textLen) {
+                    em.memory().write(regionA + i * 8, 0); // delimiter
+                    ++i;
+                }
+            }
+        }
+        for (u64 s = 0; s < params.numStates; ++s)
+            for (u64 c = 0; c < 8; ++c)
+                em.memory().write(regionC + (s * 8 + c) * 8,
+                                  (s + c * 3 + 1) % params.numStates);
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(12, regionC);
+        em.setReg(13, regionD);
+        em.setReg(21, params.textLen);
+    };
+    return {name, "xml_parse", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// interp (perlbench): bytecode dispatch through a jump table. Handler
+// results are constants, strides and rarely-changing variables: value
+// prediction captures essentially everything equality prediction can
+// see (the paper's one fully-overlapping benchmark), and the indirect
+// dispatch keeps baseline IPC modest.
+// ---------------------------------------------------------------------
+Workload
+makeInterp(const std::string &name, const InterpParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = bytecode, x11 = jump table, x12 = vars, x13 = stack,
+    // x20 = ip, x21 = len, x22 = sp.
+    b.label("dispatch");
+    b.ldrx(1, 10, 20);      // op
+    b.ldrx(2, 11, 1);       // target = jtab[op]
+    b.brind(2);
+    // op 0: PUSHC -- push a constant.
+    b.label("op0");
+    b.movi(4, 1234);
+    b.strx(4, 13, 22);
+    b.addi(22, 22, 1);
+    b.andi(22, 22, 63);
+    b.b("next");
+    // op 1: INC -- increment global counter (stride).
+    b.label("op1");
+    b.ldr(4, 12, 0);
+    b.addi(4, 4, 1);
+    b.str(4, 12, 0);
+    b.b("next");
+    // op 2: LOADV -- load a rarely-changing variable.
+    b.label("op2");
+    b.ldr(4, 12, 8);
+    b.add(5, 5, 4);
+    b.b("next");
+    // op 3: ADDK -- accumulator plus constant.
+    b.label("op3");
+    b.addi(6, 6, 17);
+    b.b("next");
+    // op 4: CLEAR -- zero idiom.
+    b.label("op4");
+    b.movi(7, 0);
+    b.b("next");
+    // op 5: COPY -- register move.
+    b.label("op5");
+    b.mov(8, 6);
+    b.b("next");
+    b.label("next");
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "dispatch");
+    b.movi(20, 0);
+    b.b("dispatch");
+    Program prog = b.build();
+
+    InterpParams params = p;
+    auto init = [params, prog](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("interp", phase));
+        for (u64 i = 0; i < params.bytecodeLen; ++i)
+            em.memory().write(regionA + i * 8,
+                              rng.below(params.numOpcodes));
+        for (u64 op = 0; op < params.numOpcodes; ++op) {
+            std::string lbl = "op" + std::to_string(op);
+            em.memory().write(regionB + op * 8, prog.labelPc(lbl));
+        }
+        em.memory().write(regionC + 0, 5);   // counter
+        em.memory().write(regionC + 8, 777); // rarely-changing var
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(12, regionC);
+        em.setReg(13, regionD);
+        em.setReg(21, params.bytecodeLen);
+    };
+    return {name, "interp", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// block_sort (bzip2): run-length data scanned with a histogram update.
+// Runs are short (mean ~24): equality is transient, so it never reaches
+// use_pred confidence, but a low start_train threshold (15) promotes
+// many of these instructions to likely candidates whose producers are
+// frequently late L2-missing loads -- the Fig. 6 bzip2 pathology.
+// ---------------------------------------------------------------------
+Workload
+makeBlockSort(const std::string &name, const BlockSortParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = data, x11 = counts, x20 = i, x21 = n, x5 = prev.
+    b.label("top");
+    b.ldrx(1, 10, 20);      // v = data[i] (short equal runs, often misses)
+    b.ldrx(2, 11, 1);       // counts[v]
+    b.addi(2, 2, 1);
+    b.strx(2, 11, 1);       // counts[v]++
+    b.cmpeq(3, 1, 5);       // run detector
+    b.add(5, 1, Z);         // prev = v (flag-setting copy, not a Mov)
+    b.add(6, 6, 3);
+    b.eor(7, 7, 1);         // mixing (low redundancy)
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.b("top");
+    Program prog = b.build();
+
+    BlockSortParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("block_sort", phase));
+        u64 i = 0;
+        while (i < params.blockLen) {
+            u64 v = 1 + rng.below(params.alphabet);
+            u64 run = 1 + rng.below(2 * params.meanRunLen);
+            for (u64 k = 0; k < run && i < params.blockLen; ++k, ++i)
+                em.memory().write(regionA + i * 8, v);
+        }
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(21, params.blockLen);
+    };
+    return {name, "block_sort", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// stencil (zeusmp/cactusADM/leslie3d/GemsFDTD): 3-point FP stencil over
+// a grid with clustered zero cells. Zero results are frequent (Fig. 1)
+// but per-static-instruction intermittent, so neither zero prediction
+// nor RSEP reaches confidence; a constant coefficient reload gives VP a
+// small win.
+// ---------------------------------------------------------------------
+Workload
+makeStencil(const std::string &name, const StencilParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = grid, x11 = out, x12 = coef addr, x20 = i, x22 = i+2,
+    // x21 = n-2. The 3-point window rotates through registers as a
+    // compiler would (one new cell load per iteration), so no
+    // same-address reload stream exists for equality prediction to
+    // chain validation dependencies onto -- as in compiled stencils.
+    b.label("top");
+    b.fmov(D(1), D(2));         // window rotation
+    b.fmov(D(2), D(3));
+    b.addi(22, 20, 2);
+    b.fldrx(D(3), 10, 22);      // one new cell per iteration
+    b.fldr(D(9), 12, 0);        // coefficient reload (VP last-value)
+    b.fadd(D(4), D(1), D(2));   // zero when both cells zero
+    b.fadd(D(5), D(4), D(3));
+    b.fmul(D(6), D(5), D(9));
+    b.fstrx(D(6), 11, 20);
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.b("top");
+    Program prog = b.build();
+
+    StencilParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("stencil", phase));
+        // Clustered zero/non-zero segments.
+        u64 i = 0;
+        while (i < params.gridCells) {
+            bool zero_seg = rng.below(100) < params.zeroPct;
+            u64 seg = 16 + rng.below(96);
+            for (u64 k = 0; k < seg && i < params.gridCells; ++k, ++i) {
+                double v = zero_seg ? 0.0 : 0.1 + rng.uniform();
+                em.memory().write(regionA + i * 8, std::bit_cast<u64>(v));
+            }
+        }
+        em.memory().write(regionC, std::bit_cast<u64>(0.25));
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(12, regionC);
+        em.setReg(21, params.gridCells - 2);
+    };
+    return {name, "stencil", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// dense_linalg (namd/tonto/calculix/bwaves/povray/gromacs): dense FP
+// multiply-accumulate with little redundancy. constCoefPct > 0 mixes in
+// a coefficient-table reload whose values repeat (small VP win).
+// ---------------------------------------------------------------------
+Workload
+makeDenseLinAlg(const std::string &name, const DenseLinAlgParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = a, x11 = x, x12 = y, x13 = coef, x20 = i, x21 = n.
+    b.label("top");
+    b.fldrx(D(1), 10, 20);
+    b.fldrx(D(2), 11, 20);
+    b.fmul(D(3), D(1), D(2));
+    b.fadd(D(4), D(4), D(3));
+    b.andi(1, 20, 15);
+    b.ldrx(2, 13, 1);           // coefficient (repeating alphabet)
+    b.add(5, 5, 2);
+    b.fldrx(D(5), 12, 20);
+    b.fadd(D(6), D(5), D(3));
+    b.fstrx(D(6), 12, 20);
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.b("top");
+    Program prog = b.build();
+
+    DenseLinAlgParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("dense_linalg", phase));
+        for (u64 i = 0; i < params.vecLen; ++i) {
+            em.memory().write(regionA + i * 8,
+                              std::bit_cast<u64>(rng.uniform() + 0.01));
+            em.memory().write(regionB + i * 8,
+                              std::bit_cast<u64>(rng.uniform() + 0.01));
+            em.memory().write(regionC + i * 8,
+                              std::bit_cast<u64>(rng.uniform()));
+        }
+        for (u64 i = 0; i < 16; ++i) {
+            // constCoefPct controls how repetitive the table is.
+            u64 v = rng.below(100) < params.constCoefPct
+                ? 42 : rng.below(1 << 20);
+            em.memory().write(regionD + i * 8, v);
+        }
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(12, regionC);
+        em.setReg(13, regionD);
+        em.setReg(21, params.vecLen);
+    };
+    return {name, "dense_linalg", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// strided_media (h264ref): absolute pixel differences with saturation.
+// Frame values are smooth ramps (VP stride heaven); identical-pixel runs
+// make the difference zero in stretches too short for confidence.
+// ---------------------------------------------------------------------
+Workload
+makeStridedMedia(const std::string &name, const StridedMediaParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = cur frame, x11 = ref frame, x20 = i, x21 = n.
+    b.label("top");
+    b.ldrx(1, 10, 20);      // ramp -> VP stride
+    b.ldrx(2, 11, 20);      // ref ramp
+    b.sub(3, 1, 2);         // 0 in identical runs
+    b.asri(4, 3, 63);
+    b.eor(5, 3, 4);
+    b.sub(5, 5, 4);         // |diff|
+    b.add(6, 6, 5);         // SAD accumulate
+    b.cmplt(7, 25, 5);      // clip detect
+    b.add(8, 8, 7);
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.b("top");
+    Program prog = b.build();
+
+    StridedMediaParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("strided_media", phase));
+        u64 i = 0;
+        while (i < params.frameLen) {
+            bool identical = rng.below(100) < 55;
+            u64 run = 8 + rng.below(48);
+            for (u64 k = 0; k < run && i < params.frameLen; ++k, ++i) {
+                u64 cur = (i * 3) & 0xff;       // smooth ramp
+                u64 ref = identical ? cur : (cur + 7 + rng.below(20)) & 0xff;
+                em.memory().write(regionA + i * 8, cur);
+                em.memory().write(regionB + i * 8, ref);
+            }
+        }
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(21, params.frameLen);
+        em.setReg(25, static_cast<u64>(params.clipMax));
+    };
+    return {name, "strided_media", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// branchy_game (gobmk/sjeng/astar/gcc): data-dependent control flow over
+// a board array; mispredicts dominate, redundancy is low.
+// ---------------------------------------------------------------------
+Workload
+makeBranchyGame(const std::string &name, const BranchyGameParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = board, x20 = i, x21 = n, x12 = taken threshold.
+    b.label("top");
+    b.ldrx(1, 10, 20);
+    b.andi(2, 1, 255);
+    b.bltu(2, 12, "path_a");    // hard branch
+    b.eor(3, 3, 1);
+    b.addi(4, 4, 3);
+    b.b("join");
+    b.label("path_a");
+    b.add(3, 3, 1);
+    b.lsri(5, 3, 2);
+    b.label("join");
+    b.andi(6, 1, 7);
+    b.cbz(6, "rare");           // mostly not-taken branch
+    b.label("cont");
+    b.addi(20, 20, 1);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.b("top");
+    b.label("rare");
+    b.add(7, 7, 3);
+    b.b("cont");
+    Program prog = b.build();
+
+    BranchyGameParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("branchy_game", phase));
+        for (u64 i = 0; i < params.boardCells; ++i)
+            em.memory().write(regionA + i * 8, rng.next());
+        em.setReg(10, regionA);
+        em.setReg(21, params.boardCells);
+        em.setReg(12, params.takenPct * 256 / 100);
+    };
+    return {name, "branchy_game", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// sparse_solver (soplex/milc/sphinx3/wrf): CSR-style gather + FP MAC.
+// With vpFriendly, matrix values and gathered entries are quasi-constant
+// so products are last-value predictable (wrf); otherwise values are
+// irregular and nothing locks on.
+// ---------------------------------------------------------------------
+Workload
+makeSparseSolver(const std::string &name, const SparseSolverParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = colidx, x11 = vals, x12 = x vector, x20 = k, x21 = nnz.
+    b.label("top");
+    b.ldrx(1, 10, 20);          // column index (irregular)
+    b.fldrx(D(2), 11, 20);      // matrix value
+    b.fldrx(D(3), 12, 1);       // gather x[col]
+    b.fmul(D(4), D(2), D(3));
+    b.fadd(D(5), D(5), D(4));
+    b.addi(20, 20, 1);
+    b.andi(2, 20, 15);
+    b.cbnz(2, "skip_row");
+    b.fstrx(D(5), 12, 1);       // row end: write back
+    b.label("skip_row");
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.b("top");
+    Program prog = b.build();
+
+    SparseSolverParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("sparse_solver", phase));
+        u64 nnz = params.rows * params.nnzPerRow;
+        u64 xlen = params.rows;
+        // vpFriendly (wrf): physics fields are piecewise constant over
+        // long stretches (uniform air masses), so last-value prediction
+        // saturates; otherwise values are irregular.
+        double seg_val = 0.25;
+        u64 seg_left = 0;
+        for (u64 k = 0; k < nnz; ++k) {
+            em.memory().write(regionA + k * 8, rng.below(xlen));
+            double v;
+            if (params.vpFriendly) {
+                if (seg_left == 0) {
+                    seg_left = 300 + rng.below(600);
+                    seg_val = 0.125 * (1 + rng.below(6));
+                }
+                --seg_left;
+                v = seg_val;
+            } else {
+                v = 0.01 + rng.uniform();
+            }
+            em.memory().write(regionB + k * 8, std::bit_cast<u64>(v));
+        }
+        for (u64 i = 0; i < xlen; ++i) {
+            double v = params.vpFriendly
+                ? 1.0
+                : 0.01 + rng.uniform();
+            em.memory().write(regionC + i * 8, std::bit_cast<u64>(v));
+        }
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(12, regionC);
+        em.setReg(21, nnz);
+    };
+    return {name, "sparse_solver", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// regular_zero (gamess): unrolled integral kernel where symmetry-zero
+// blocks make specific static instructions *always* produce zero
+// (zero prediction saturates), with wide independent commit groups.
+// ---------------------------------------------------------------------
+Workload
+makeRegularZero(const std::string &name, const RegularZeroParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = data, x22 = symmetry mask (disjoint from data bits),
+    // d31 holds 0.0 by construction (zeroed block scale factor).
+    b.label("top");
+    b.ldrx(1, 10, 20);
+    b.fldrx(D(1), 11, 20);
+    b.fmul(D(2), D(1), D(30));  // * 0.0 block factor -> always 0.0 [ZP]
+    b.fstrx(D(2), 12, 20);      // zero block written out, off any chain
+    b.and_(2, 1, 22);           // symmetry bits -> always 0        [ZP]
+    b.add(3, 3, 2);             // cheap integer bookkeeping chain
+    b.ldrx(4, 10, 24);          // second independent lane
+    b.fldrx(D(4), 11, 24);
+    b.fmul(D(5), D(4), D(29));  // live block factor
+    b.fadd(D(6), D(6), D(5));
+    b.add(5, 5, 4);
+    b.addi(20, 20, 2);
+    b.addi(24, 24, 2);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.movi(24, 1);
+    b.b("top");
+    Program prog = b.build();
+
+    RegularZeroParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("regular_zero", phase));
+        for (u64 i = 0; i < params.groupLen * 2; ++i) {
+            em.memory().write(regionA + i * 8, rng.below(1u << 20));
+            em.memory().write(regionB + i * 8,
+                              std::bit_cast<u64>(rng.uniform() + 0.1));
+        }
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(12, regionC);
+        em.setReg(21, params.groupLen * 2);
+        em.setReg(22, 0xff00000000000000ull); // disjoint from data bits
+        em.setReg(24, 1);
+        em.setFpReg(D(30), 0.0);
+        em.setFpReg(D(29), 1.5);
+    };
+    return {name, "regular_zero", std::move(prog), std::move(init)};
+}
+
+// ---------------------------------------------------------------------
+// streaming (lbm): unrolled streaming update with independent lanes --
+// full-width eligible commit groups, little redundancy.
+// ---------------------------------------------------------------------
+Workload
+makeStreaming(const std::string &name, const StreamingParams &p)
+{
+    ProgramBuilder b(name);
+    // x10 = src, x11 = dst, x20 = i, x21 = n.
+    b.label("top");
+    b.fldrx(D(1), 10, 20);
+    b.fmul(D(2), D(1), D(28));
+    b.fadd(D(3), D(2), D(27));
+    b.fstrx(D(3), 11, 20);
+    b.addi(22, 20, 1);
+    b.fldrx(D(4), 10, 22);
+    b.fmul(D(5), D(4), D(28));
+    b.fadd(D(6), D(5), D(27));
+    b.fstrx(D(6), 11, 22);
+    b.addi(23, 20, 2);
+    b.fldrx(D(7), 10, 23);
+    b.fmul(D(8), D(7), D(28));
+    b.fadd(D(9), D(8), D(27));
+    b.fstrx(D(9), 11, 23);
+    b.addi(20, 20, 3);
+    b.bltu(20, 21, "top");
+    b.movi(20, 0);
+    b.b("top");
+    Program prog = b.build();
+
+    StreamingParams params = p;
+    auto init = [params](Emulator &em, u32 phase) {
+        Rng rng(phaseSeed("streaming", phase));
+        for (u64 i = 0; i < params.arrayLen; ++i)
+            em.memory().write(regionA + i * 8,
+                              std::bit_cast<u64>(rng.uniform() + 0.2));
+        em.setReg(10, regionA);
+        em.setReg(11, regionB);
+        em.setReg(21, params.arrayLen - 3);
+        em.setFpReg(D(28), 1.0009765625);
+        em.setFpReg(D(27), 0.03125);
+    };
+    return {name, "streaming", std::move(prog), std::move(init)};
+}
+
+} // namespace rsep::wl

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Workload kernel archetypes standing in for SPEC CPU2006.
+ *
+ * We cannot ship SPEC binaries or traces, so each SPEC benchmark used in
+ * the paper is mapped to a parameterized kernel whose *value behaviour*
+ * (zero-production rate, result redundancy and its distance structure,
+ * load fraction, branch predictability, memory footprint) reproduces
+ * what the paper reports for that benchmark (Figs. 1, 4, 5). Programs
+ * are real code executed functionally, so equality/VP opportunities are
+ * organic, not labelled. See DESIGN.md "Substitutions".
+ *
+ * Archetype -> dominant behaviour:
+ *  - pointer_chase : reloads of node fields at stable distances; DRAM-
+ *                    bound; load-dominated equality (mcf).
+ *  - dyn_prog      : two clamped recurrences that saturate to the same
+ *                    bound; cross-chain equality with values that change
+ *                    every iteration -> RSEP-only territory (hmmer).
+ *  - recompute     : common subexpressions recomputed from reloaded
+ *                    operands; non-load equality (dealII).
+ *  - gate_sim      : bit-mask toggling over a small value alphabet;
+ *                    heavy zero production + load equality (libquantum).
+ *  - event_queue   : binary-heap sifting copies values around; load
+ *                    equality over varying but history-correlated
+ *                    distances (omnetpp).
+ *  - xml_parse     : table-driven state machine with token copying;
+ *                    moves + equality + value-predictable codes
+ *                    (xalancbmk).
+ *  - interp        : bytecode dispatch; constants and strides make VP
+ *                    subsume RSEP (perlbench).
+ *  - block_sort    : run-length transient equality with late (missing)
+ *                    producers; punishes a low start_train threshold
+ *                    (bzip2).
+ *  - stencil       : sparse FP grids; many intermittent zero results
+ *                    that neither ZP nor RSEP can lock onto
+ *                    (zeusmp/cactusADM/leslie3d/GemsFDTD).
+ *  - dense_linalg  : dense FP compute, little redundancy (namd, tonto,
+ *                    calculix, bwaves, povray, gromacs).
+ *  - strided_media : saturating pixel math; clipping produces zeros and
+ *                    equal runs; strided loads favour VP (h264ref).
+ *  - branchy_game  : data-dependent branching, low redundancy (gobmk,
+ *                    sjeng, astar, gcc).
+ *  - sparse_solver : gather + FP MAC; value-mode knob makes wrf-style
+ *                    variants VP-friendly (soplex, milc, sphinx3, wrf).
+ *  - regular_zero  : structurally zero results at saturating confidence
+ *                    + wide commit groups (gamess).
+ *  - streaming     : unrolled streaming FP; full-width eligible commit
+ *                    groups (lbm).
+ */
+
+#ifndef RSEP_WL_KERNELS_HH
+#define RSEP_WL_KERNELS_HH
+
+#include <functional>
+#include <string>
+
+#include "isa/program.hh"
+#include "wl/emulator.hh"
+
+namespace rsep::wl
+{
+
+/** A named benchmark: program + per-phase data initializer. */
+struct Workload
+{
+    std::string name;      ///< benchmark name (SPEC'06 naming).
+    std::string archetype; ///< kernel family.
+    isa::Program program;
+    /** Initialize memory/registers for checkpoint @p phase. */
+    std::function<void(Emulator &, u32 phase)> init;
+};
+
+struct PointerChaseParams
+{
+    u64 nodes = 1 << 17;       ///< 32B/node -> footprint = nodes*32.
+    u32 costAlphabet = 61;     ///< distinct cost values.
+    u64 threshold = 1000;      ///< taken-rate control for the body branch.
+};
+
+struct DynProgParams
+{
+    u64 cols = 2048;           ///< row length (working set).
+    u32 clampDuty = 85;        ///< % of columns where both chains clamp.
+    u32 scoreSpread = 1 << 20; ///< magnitude of per-column scores.
+};
+
+struct RecomputeParams
+{
+    u64 elems = 1 << 12;       ///< per-element operand arrays.
+    bool fpFlavor = true;      ///< use FP muls (dealII) vs int.
+};
+
+struct GateSimParams
+{
+    u64 stateWords = 1 << 15;
+    u32 controlBit = 7;        ///< bit tested; biased mostly 0.
+    u32 setBitPct = 12;        ///< % of words with the control bit set.
+};
+
+struct EventQueueParams
+{
+    u64 heapSize = 1 << 12;
+    u32 deltaAlphabet = 7;     ///< distinct event deltas.
+};
+
+struct XmlParseParams
+{
+    u64 textLen = 1 << 13;
+    u32 numClasses = 6;
+    u32 numStates = 12;
+};
+
+struct InterpParams
+{
+    u64 bytecodeLen = 64;
+    u32 numOpcodes = 6;
+};
+
+struct BlockSortParams
+{
+    u64 blockLen = 1 << 16;
+    u32 meanRunLen = 24;       ///< short runs: transient equality.
+    u32 alphabet = 220;
+};
+
+struct StencilParams
+{
+    u64 gridCells = 1 << 14;
+    u32 zeroPct = 45;          ///< % of grid cells equal to 0.0.
+};
+
+struct DenseLinAlgParams
+{
+    u64 vecLen = 1 << 12;
+    u32 constCoefPct = 0;      ///< % iterations reloading a VP-friendly constant.
+};
+
+struct StridedMediaParams
+{
+    u64 frameLen = 1 << 14;
+    s64 clipMax = 255;
+};
+
+struct BranchyGameParams
+{
+    u64 boardCells = 1 << 14;
+    u32 takenPct = 52;         ///< average taken rate of the hard branch.
+};
+
+struct SparseSolverParams
+{
+    u64 rows = 1 << 10;
+    u32 nnzPerRow = 16;
+    bool vpFriendly = false;   ///< wrf-style quasi-constant values.
+};
+
+struct RegularZeroParams
+{
+    u64 groupLen = 1 << 10;
+};
+
+struct StreamingParams
+{
+    u64 arrayLen = 1 << 16;
+};
+
+Workload makePointerChase(const std::string &name, const PointerChaseParams &p);
+Workload makeDynProg(const std::string &name, const DynProgParams &p);
+Workload makeRecompute(const std::string &name, const RecomputeParams &p);
+Workload makeGateSim(const std::string &name, const GateSimParams &p);
+Workload makeEventQueue(const std::string &name, const EventQueueParams &p);
+Workload makeXmlParse(const std::string &name, const XmlParseParams &p);
+Workload makeInterp(const std::string &name, const InterpParams &p);
+Workload makeBlockSort(const std::string &name, const BlockSortParams &p);
+Workload makeStencil(const std::string &name, const StencilParams &p);
+Workload makeDenseLinAlg(const std::string &name, const DenseLinAlgParams &p);
+Workload makeStridedMedia(const std::string &name, const StridedMediaParams &p);
+Workload makeBranchyGame(const std::string &name, const BranchyGameParams &p);
+Workload makeSparseSolver(const std::string &name, const SparseSolverParams &p);
+Workload makeRegularZero(const std::string &name, const RegularZeroParams &p);
+Workload makeStreaming(const std::string &name, const StreamingParams &p);
+
+} // namespace rsep::wl
+
+#endif // RSEP_WL_KERNELS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sparse 64-bit-word memory backing the functional emulator.
+ */
+
+#ifndef RSEP_WL_MEMORY_HH
+#define RSEP_WL_MEMORY_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace rsep::wl
+{
+
+/**
+ * Page-granular sparse memory. All accesses are 8-byte words; addresses
+ * are force-aligned (low 3 bits ignored). Unwritten memory reads as 0.
+ */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageBytes = Addr{1} << pageShift;
+    static constexpr unsigned wordsPerPage = pageBytes / 8;
+
+    /** Read the 64-bit word at @p addr (aligned down). */
+    u64
+    read(Addr addr) const
+    {
+        Addr wa = addr >> 3;
+        auto it = pages.find(wa >> (pageShift - 3));
+        if (it == pages.end())
+            return 0;
+        return (*it->second)[wa & (wordsPerPage - 1)];
+    }
+
+    /** Write the 64-bit word at @p addr (aligned down). */
+    void
+    write(Addr addr, u64 val)
+    {
+        Addr wa = addr >> 3;
+        auto &page = pages[wa >> (pageShift - 3)];
+        if (!page)
+            page = std::make_unique<Page>();
+        (*page)[wa & (wordsPerPage - 1)] = val;
+    }
+
+    /** Drop all content (reads become 0 again). */
+    void clear() { pages.clear(); }
+
+    /** Number of touched pages (for footprint reporting). */
+    size_t touchedPages() const { return pages.size(); }
+
+  private:
+    struct Page
+    {
+        u64 words[wordsPerPage] = {};
+        u64 &operator[](Addr i) { return words[i]; }
+        const u64 &operator[](Addr i) const { return words[i]; }
+    };
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace rsep::wl
+
+#endif // RSEP_WL_MEMORY_HH

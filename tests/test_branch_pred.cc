@@ -1,0 +1,231 @@
+/** @file Tests for TAGE, BTB, RAS and the BranchUnit facade. */
+
+#include <gtest/gtest.h>
+
+#include "pred/branch_unit.hh"
+
+namespace rsep::pred
+{
+namespace
+{
+
+TEST(Tage, LearnsStronglyBiasedBranch)
+{
+    Tage tage;
+    GlobalHist h;
+    Addr pc = 0x400100;
+    int correct = 0;
+    for (int i = 0; i < 2000; ++i) {
+        TageLookup lk = tage.predict(pc, h);
+        bool taken = true;
+        if (i >= 1000)
+            correct += lk.pred == taken;
+        tage.update(lk, pc, taken);
+        h.insert(taken, pc);
+    }
+    EXPECT_GT(correct, 990);
+}
+
+TEST(Tage, LearnsAlternatingPatternViaHistory)
+{
+    Tage tage;
+    GlobalHist h;
+    Addr pc = 0x400200;
+    int correct = 0;
+    for (int i = 0; i < 4000; ++i) {
+        bool taken = (i % 2) == 0;
+        TageLookup lk = tage.predict(pc, h);
+        if (i >= 2000)
+            correct += lk.pred == taken;
+        tage.update(lk, pc, taken);
+        h.insert(taken, pc);
+    }
+    EXPECT_GT(correct, 1900);
+}
+
+TEST(Tage, LearnsLoopExitPattern)
+{
+    // taken x7 then not-taken, repeating: needs ~3 bits of history.
+    Tage tage;
+    GlobalHist h;
+    Addr pc = 0x400300;
+    int correct = 0;
+    for (int i = 0; i < 8000; ++i) {
+        bool taken = (i % 8) != 7;
+        TageLookup lk = tage.predict(pc, h);
+        if (i >= 4000)
+            correct += lk.pred == taken;
+        tage.update(lk, pc, taken);
+        h.insert(taken, pc);
+    }
+    EXPECT_GT(correct, 3800);
+}
+
+TEST(Tage, StorageMatchesConfigOrder)
+{
+    Tage tage;
+    // ~15K entries: 8K base x 2b + 12 x 512 tagged entries.
+    u64 bits = tage.storageBits();
+    EXPECT_GT(bits, 8192u * 2);
+    EXPECT_LT(bits, 200 * 1024 * 8);
+}
+
+TEST(Btb, InstallLookupAndUpdate)
+{
+    Btb btb(64, 2);
+    EXPECT_EQ(btb.lookup(0x400000), 0u);
+    btb.update(0x400000, 0x400100);
+    EXPECT_EQ(btb.lookup(0x400000), 0x400100u);
+    btb.update(0x400000, 0x400200);
+    EXPECT_EQ(btb.lookup(0x400000), 0x400200u);
+}
+
+TEST(Btb, SetConflictEviction)
+{
+    Btb btb(8, 2); // 4 sets x 2 ways.
+    // Three branches mapping to the same set: one must be evicted.
+    Addr a = 0x400000, b2 = a + 4 * 4, c = a + 8 * 4;
+    btb.update(a, 1);
+    btb.update(b2, 2);
+    btb.update(c, 3);
+    int present = (btb.lookup(a) != 0) + (btb.lookup(b2) != 0) +
+                  (btb.lookup(c) != 0);
+    EXPECT_EQ(present, 2);
+}
+
+TEST(Ras, PushPopNesting)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x1000);
+    ras.push(0x2000);
+    EXPECT_EQ(ras.top(), 0x2000u);
+    EXPECT_EQ(ras.pop(), 0x2000u);
+    EXPECT_EQ(ras.pop(), 0x1000u);
+    EXPECT_EQ(ras.pop(), 0u); // empty.
+}
+
+TEST(Ras, SnapshotRestoreRepairsPointer)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x1000);
+    auto snap = ras.snapshot();
+    ras.push(0x2000);
+    ras.pop();
+    ras.pop();
+    ras.restore(snap);
+    EXPECT_EQ(ras.pop(), 0x1000u);
+}
+
+TEST(Ras, WrapsAtCapacity)
+{
+    ReturnAddressStack ras(4);
+    for (Addr i = 1; i <= 6; ++i)
+        ras.push(i * 0x100);
+    // Deepest entries overwritten; top 4 remain.
+    EXPECT_EQ(ras.pop(), 0x600u);
+    EXPECT_EQ(ras.pop(), 0x500u);
+    EXPECT_EQ(ras.pop(), 0x400u);
+    EXPECT_EQ(ras.pop(), 0x300u);
+}
+
+TEST(BranchUnit, CondBranchTrainsToCorrect)
+{
+    BranchUnit bu;
+    isa::StaticInst si;
+    si.op = isa::Opcode::Bne;
+    si.src1 = 1;
+    si.src2 = 2;
+    Addr pc = 0x400040, target = 0x400000;
+    // Strongly taken branch: after warmup no more Execute redirects.
+    for (int i = 0; i < 512; ++i) {
+        BranchPrediction bp = bu.onFetchBranch(pc, si, true, target);
+        bu.onCommitBranch(bp, pc, si, target);
+    }
+    u64 before = bu.condMispredicts.value();
+    for (int i = 0; i < 256; ++i) {
+        BranchPrediction bp = bu.onFetchBranch(pc, si, true, target);
+        bu.onCommitBranch(bp, pc, si, target);
+    }
+    EXPECT_EQ(bu.condMispredicts.value(), before);
+}
+
+TEST(BranchUnit, ReturnPredictedThroughRas)
+{
+    BranchUnit bu;
+    isa::StaticInst call;
+    call.op = isa::Opcode::Bl;
+    call.dst = isa::linkReg;
+    isa::StaticInst ret;
+    ret.op = isa::Opcode::Ret;
+    ret.src1 = isa::linkReg;
+
+    Addr call_pc = 0x400100, func = 0x400800;
+    Addr ret_pc = func + 16, ret_target = call_pc + 4;
+
+    bu.onFetchBranch(call_pc, call, true, func);
+    BranchPrediction bp = bu.onFetchBranch(ret_pc, ret, true, ret_target);
+    EXPECT_EQ(bp.redirect, Redirect::None);
+    EXPECT_EQ(bu.returnMispredicts.value(), 0u);
+}
+
+TEST(BranchUnit, IndirectLearnsLastTarget)
+{
+    BranchUnit bu;
+    isa::StaticInst ind;
+    ind.op = isa::Opcode::BrInd;
+    ind.src1 = 3;
+    Addr pc = 0x400200, t1 = 0x400800;
+    BranchPrediction bp = bu.onFetchBranch(pc, ind, true, t1);
+    EXPECT_EQ(bp.redirect, Redirect::Execute); // cold miss.
+    bu.onCommitBranch(bp, pc, ind, t1);
+    bp = bu.onFetchBranch(pc, ind, true, t1);
+    EXPECT_EQ(bp.redirect, Redirect::None); // learned last target.
+}
+
+TEST(BranchUnit, HistoryRestoreOnSquash)
+{
+    BranchUnit bu;
+    isa::StaticInst si;
+    si.op = isa::Opcode::Beq;
+    si.src1 = 1;
+    si.src2 = 2;
+    GlobalHist before = bu.history();
+    auto ras_snap = bu.rasSnapshot();
+    bu.onFetchBranch(0x400000, si, true, 0x400040);
+    bu.onFetchBranch(0x400040, si, false, 0x400080);
+    EXPECT_NE(bu.history().dir, before.dir);
+    bu.restore(before, ras_snap);
+    EXPECT_EQ(bu.history().dir, before.dir);
+    EXPECT_EQ(bu.history().path, before.path);
+}
+
+TEST(GlobalHistTest, PathOnlyForUnconditional)
+{
+    GlobalHist h;
+    u64 dir0 = h.dir;
+    h.insertPath(0x400100);
+    EXPECT_EQ(h.dir, dir0);
+    EXPECT_NE(h.path, 0u);
+}
+
+TEST(GeoIndexing, DifferentHistoriesGiveDifferentIndices)
+{
+    GlobalHist a, b;
+    a.insert(true, 0x400000);
+    b.insert(false, 0x400000);
+    int diffs = 0;
+    for (Addr pc = 0x400000; pc < 0x400100; pc += 4)
+        diffs += geoIndex(pc, a, 16, 10) != geoIndex(pc, b, 16, 10);
+    EXPECT_GT(diffs, 32);
+}
+
+TEST(GeoIndexing, ZeroHistoryLengthIgnoresHistory)
+{
+    GlobalHist a, b;
+    a.insert(true, 0x400000);
+    // hist_len = 0 must not consult direction history.
+    EXPECT_EQ(geoIndex(0x400800, a, 0, 10), geoIndex(0x400800, b, 0, 10));
+}
+
+} // namespace
+} // namespace rsep::pred

@@ -1,0 +1,163 @@
+/** @file Unit tests for core building blocks: FU/port arbiter and
+ *  rename state (map table + free lists). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fu_pool.hh"
+#include "core/rename.hh"
+
+namespace rsep::core
+{
+namespace
+{
+
+using isa::OpClass;
+
+TEST(FuPool, FourAluPortsPerCycle)
+{
+    FuPool fu((CoreParams()));
+    fu.beginCycle(1);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_GE(fu.tryIssue(OpClass::IntAlu), 0);
+    EXPECT_EQ(fu.tryIssue(OpClass::IntAlu), -1); // 4 ALU ports max.
+}
+
+TEST(FuPool, GlobalIssueWidthEight)
+{
+    FuPool fu((CoreParams()));
+    fu.beginCycle(1);
+    unsigned granted = 0;
+    // 4 ALU + 3 FP + 2 LdSt + 1 St = 10 ports but width is 8.
+    for (int i = 0; i < 4; ++i)
+        granted += fu.tryIssue(OpClass::IntAlu) >= 0;
+    for (int i = 0; i < 3; ++i)
+        granted += fu.tryIssue(OpClass::FpAlu) >= 0;
+    for (int i = 0; i < 3; ++i)
+        granted += fu.tryIssue(OpClass::Store) >= 0;
+    EXPECT_EQ(granted, 8u);
+}
+
+TEST(FuPool, SingleMulAndDivPorts)
+{
+    FuPool fu((CoreParams()));
+    fu.beginCycle(1);
+    EXPECT_GE(fu.tryIssue(OpClass::IntMul), 0);
+    EXPECT_EQ(fu.tryIssue(OpClass::IntMul), -1);
+    EXPECT_GE(fu.tryIssue(OpClass::IntDiv), 0);
+    EXPECT_EQ(fu.tryIssue(OpClass::IntDiv), -1);
+    EXPECT_GE(fu.tryIssue(OpClass::FpDiv), 0);
+    EXPECT_EQ(fu.tryIssue(OpClass::FpDiv), -1);
+}
+
+TEST(FuPool, UnpipelinedDividerBlocksAcrossCycles)
+{
+    FuPool fu((CoreParams()));
+    fu.beginCycle(1);
+    int port = fu.tryIssue(OpClass::IntDiv);
+    ASSERT_GE(port, 0);
+    fu.markUnpipelined(port, 26); // busy until cycle 26.
+    fu.beginCycle(10);
+    EXPECT_EQ(fu.tryIssue(OpClass::IntDiv), -1);
+    fu.beginCycle(26);
+    EXPECT_GE(fu.tryIssue(OpClass::IntDiv), 0);
+}
+
+TEST(FuPool, TwoLoadPortsOneExtraStorePort)
+{
+    FuPool fu((CoreParams()));
+    fu.beginCycle(1);
+    EXPECT_GE(fu.tryIssue(OpClass::Load), 0);
+    EXPECT_GE(fu.tryIssue(OpClass::Load), 0);
+    EXPECT_EQ(fu.tryIssue(OpClass::Load), -1); // 2 Ld/St ports used.
+    EXPECT_GE(fu.tryIssue(OpClass::Store), 0); // store-only port free.
+    EXPECT_EQ(fu.tryIssue(OpClass::Store), -1);
+}
+
+TEST(FuPool, ValidationLockFuUsesOwnClass)
+{
+    FuPool fu((CoreParams()));
+    fu.beginCycle(1);
+    // Exhaust load-capable ports.
+    fu.tryIssue(OpClass::Load);
+    fu.tryIssue(OpClass::Load);
+    // Lock-FU validation of a load cannot issue (Fig. 6 pathology)...
+    EXPECT_EQ(fu.tryIssueValidation(OpClass::Load, true), -1);
+    // ...while any-FU validation can (bypass network, non-load port).
+    EXPECT_GE(fu.tryIssueValidation(OpClass::Load, false), 0);
+}
+
+TEST(FuPool, ValidationAnyFuPrefersNonLoadPorts)
+{
+    FuPool fu((CoreParams()));
+    fu.beginCycle(1);
+    // Issue 7 validations any-FU: none should consume a load port.
+    for (int i = 0; i < 7; ++i)
+        EXPECT_GE(fu.tryIssueValidation(OpClass::IntAlu, false), 0);
+    // Load ports still free for actual loads.
+    EXPECT_GE(fu.tryIssue(OpClass::Load), 0);
+}
+
+TEST(RenameStateTest, InitialMappingsAndFreeCounts)
+{
+    CoreParams cp;
+    RenameState rs(cp);
+    EXPECT_EQ(rs.map(isa::zeroReg), zeroPreg);
+    // 31 INT arch regs (excluding the zero reg) use pregs 1..31.
+    EXPECT_EQ(rs.intFreeCount(), cp.intPregs - 32u);
+    EXPECT_EQ(rs.fpFreeCount(), cp.fpPregs - 32u);
+    // All initial mappings are distinct.
+    std::set<PhysReg> seen;
+    for (ArchReg r = 0; r < isa::numArchRegs; ++r)
+        seen.insert(rs.map(r));
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(RenameStateTest, AllocateReleaseRoundTrip)
+{
+    RenameState rs((CoreParams()));
+    size_t before = rs.intFreeCount();
+    PhysReg p = rs.allocate(3);
+    ASSERT_NE(p, invalidPhysReg);
+    EXPECT_FALSE(rs.isFpPreg(p));
+    EXPECT_EQ(rs.intFreeCount(), before - 1);
+    rs.release(p);
+    EXPECT_EQ(rs.intFreeCount(), before);
+}
+
+TEST(RenameStateTest, FpAllocationsComeFromFpPool)
+{
+    RenameState rs((CoreParams()));
+    PhysReg p = rs.allocate(isa::fpRegBase + 3);
+    ASSERT_NE(p, invalidPhysReg);
+    EXPECT_TRUE(rs.isFpPreg(p));
+}
+
+TEST(RenameStateTest, ExhaustionReturnsInvalid)
+{
+    CoreParams cp;
+    RenameState rs(cp);
+    size_t n = rs.intFreeCount();
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_NE(rs.allocate(1), invalidPhysReg);
+    EXPECT_EQ(rs.allocate(1), invalidPhysReg);
+    EXPECT_FALSE(rs.hasFree(1));
+    EXPECT_TRUE(rs.hasFree(isa::fpRegBase + 1)); // FP pool untouched.
+}
+
+TEST(RenameStateTest, MapUpdateAndWalkUndo)
+{
+    RenameState rs((CoreParams()));
+    PhysReg old = rs.map(5);
+    PhysReg fresh = rs.allocate(5);
+    rs.setMap(5, fresh);
+    EXPECT_EQ(rs.map(5), fresh);
+    // Walk-based undo restores the old mapping and frees the preg.
+    rs.setMap(5, old);
+    rs.release(fresh);
+    EXPECT_EQ(rs.map(5), old);
+}
+
+} // namespace
+} // namespace rsep::core

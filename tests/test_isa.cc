@@ -1,0 +1,201 @@
+/** @file Unit tests for the mini-ISA: opcodes, idioms, builder. */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace rsep::isa
+{
+namespace
+{
+
+TEST(Opcode, ClassMapping)
+{
+    EXPECT_EQ(opClassOf(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClassOf(Opcode::CmpLt), OpClass::IntAlu);
+    EXPECT_EQ(opClassOf(Opcode::Mul), OpClass::IntMul);
+    EXPECT_EQ(opClassOf(Opcode::Div), OpClass::IntDiv);
+    EXPECT_EQ(opClassOf(Opcode::FAdd), OpClass::FpAlu);
+    EXPECT_EQ(opClassOf(Opcode::FMul), OpClass::FpMul);
+    EXPECT_EQ(opClassOf(Opcode::FDiv), OpClass::FpDiv);
+    EXPECT_EQ(opClassOf(Opcode::Ldr), OpClass::Load);
+    EXPECT_EQ(opClassOf(Opcode::FStrX), OpClass::Store);
+    EXPECT_EQ(opClassOf(Opcode::Beq), OpClass::Branch);
+    EXPECT_EQ(opClassOf(Opcode::Bl), OpClass::Branch);
+    EXPECT_EQ(opClassOf(Opcode::Nop), OpClass::Nop);
+}
+
+TEST(Opcode, Predicates)
+{
+    EXPECT_TRUE(isLoadOp(Opcode::FLdrX));
+    EXPECT_TRUE(isStoreOp(Opcode::Str));
+    EXPECT_TRUE(isCondBranchOp(Opcode::Cbz));
+    EXPECT_FALSE(isCondBranchOp(Opcode::B));
+    EXPECT_TRUE(isIndirectOp(Opcode::Ret));
+    EXPECT_TRUE(isIndirectOp(Opcode::BrInd));
+    EXPECT_FALSE(isIndirectOp(Opcode::Bl));
+    EXPECT_TRUE(isCallOp(Opcode::Bl));
+    EXPECT_TRUE(writesFpDest(Opcode::FLdr));
+    EXPECT_FALSE(writesFpDest(Opcode::Ldr));
+}
+
+TEST(StaticInst, WritesReg)
+{
+    StaticInst si;
+    si.op = Opcode::Add;
+    si.dst = 3;
+    EXPECT_TRUE(si.writesReg());
+    si.dst = zeroReg;
+    EXPECT_FALSE(si.writesReg());
+    si.dst = invalidArchReg;
+    EXPECT_FALSE(si.writesReg());
+}
+
+TEST(StaticInst, ZeroIdioms)
+{
+    // movi #0
+    StaticInst movi0;
+    movi0.op = Opcode::MovI;
+    movi0.dst = 4;
+    movi0.imm = 0;
+    EXPECT_TRUE(movi0.isZeroIdiom());
+    movi0.imm = 1;
+    EXPECT_FALSE(movi0.isZeroIdiom());
+
+    // eor r, a, a
+    StaticInst eor;
+    eor.op = Opcode::Eor;
+    eor.dst = 4;
+    eor.src1 = 7;
+    eor.src2 = 7;
+    EXPECT_TRUE(eor.isZeroIdiom());
+    eor.src2 = 8;
+    EXPECT_FALSE(eor.isZeroIdiom());
+
+    // sub r, a, a
+    StaticInst sub;
+    sub.op = Opcode::Sub;
+    sub.dst = 4;
+    sub.src1 = 2;
+    sub.src2 = 2;
+    EXPECT_TRUE(sub.isZeroIdiom());
+
+    // and with the zero register
+    StaticInst andz;
+    andz.op = Opcode::And;
+    andz.dst = 4;
+    andz.src1 = 2;
+    andz.src2 = zeroReg;
+    EXPECT_TRUE(andz.isZeroIdiom());
+
+    // mov from the zero register
+    StaticInst movz;
+    movz.op = Opcode::Mov;
+    movz.dst = 4;
+    movz.src1 = zeroReg;
+    EXPECT_TRUE(movz.isZeroIdiom());
+}
+
+TEST(StaticInst, EliminableMove)
+{
+    StaticInst mv;
+    mv.op = Opcode::Mov;
+    mv.dst = 5;
+    mv.src1 = 6;
+    EXPECT_TRUE(mv.isEliminableMove());
+    mv.src1 = zeroReg; // zero idiom instead.
+    EXPECT_FALSE(mv.isEliminableMove());
+    mv.src1 = 6;
+    mv.dst = zeroReg;
+    EXPECT_FALSE(mv.isEliminableMove());
+}
+
+TEST(StaticInst, ForEachSrcCoversStoreData)
+{
+    StaticInst st;
+    st.op = Opcode::StrX;
+    st.srcData = 1;
+    st.src1 = 2;
+    st.src2 = 3;
+    unsigned count = 0;
+    u64 sum = 0;
+    st.forEachSrc([&](ArchReg r) {
+        ++count;
+        sum += r;
+    });
+    EXPECT_EQ(count, 3u);
+    EXPECT_EQ(sum, 6u);
+    EXPECT_EQ(st.numSrcs(), 3u);
+}
+
+TEST(ProgramBuilder, LabelResolution)
+{
+    ProgramBuilder b("t");
+    b.label("top");
+    b.addi(1, 1, 1);
+    b.bne(1, 2, "top");
+    b.b("end");
+    b.label("end");
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.at(1).imm, 0); // bne -> top
+    EXPECT_EQ(p.at(2).imm, 3); // b -> end
+    EXPECT_EQ(p.labelIndex("end"), 3u);
+    EXPECT_EQ(p.labelPc("top"), Program::codeBase);
+}
+
+TEST(ProgramBuilder, AppendsHaltWhenMissing)
+{
+    ProgramBuilder b("t");
+    b.addi(1, 1, 1);
+    Program p = b.build();
+    EXPECT_TRUE(p.at(p.size() - 1).isHalt());
+}
+
+TEST(ProgramBuilder, StoreOperandConvention)
+{
+    ProgramBuilder b("t");
+    b.str(3, 4, 16);
+    b.strx(5, 6, 7);
+    Program p = b.build();
+    EXPECT_EQ(p.at(0).srcData, 3);
+    EXPECT_EQ(p.at(0).src1, 4);
+    EXPECT_EQ(p.at(0).imm, 16);
+    EXPECT_EQ(p.at(1).srcData, 5);
+    EXPECT_EQ(p.at(1).src2, 7);
+}
+
+TEST(ProgramBuilder, CallAndReturnUseLinkReg)
+{
+    ProgramBuilder b("t");
+    b.label("f");
+    b.ret();
+    b.bl("f");
+    Program p = b.build();
+    EXPECT_EQ(p.at(0).src1, linkReg);
+    EXPECT_EQ(p.at(1).dst, linkReg);
+    EXPECT_EQ(p.at(1).imm, 0);
+}
+
+TEST(Program, PcIndexRoundTrip)
+{
+    EXPECT_EQ(Program::indexOf(Program::pcOf(17)), 17u);
+    EXPECT_EQ(Program::pcOf(0), Program::codeBase);
+}
+
+TEST(Program, DisasmMentionsMnemonic)
+{
+    ProgramBuilder b("t");
+    b.add(1, 2, 3);
+    b.ldr(4, 5, 8);
+    b.cbz(1, "x");
+    b.label("x");
+    b.halt();
+    Program p = b.build();
+    EXPECT_NE(p.disasm(0).find("add"), std::string::npos);
+    EXPECT_NE(p.disasm(1).find("ldr"), std::string::npos);
+    EXPECT_NE(p.disasm(2).find("cbz"), std::string::npos);
+}
+
+} // namespace
+} // namespace rsep::isa

@@ -1,0 +1,133 @@
+/** @file Tests for the simulation configuration and runner layer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/runner.hh"
+
+namespace rsep::sim
+{
+namespace
+{
+
+TEST(SimConfig, Fig4ArmToggles)
+{
+    EXPECT_FALSE(SimConfig::baseline().mech.equalityPred);
+    EXPECT_TRUE(SimConfig::baseline().mech.zeroIdiomElim);
+    EXPECT_TRUE(SimConfig::zeroPredOnly().mech.zeroPred);
+    EXPECT_TRUE(SimConfig::moveElimOnly().mech.moveElim);
+
+    SimConfig rsep = SimConfig::rsepIdeal();
+    EXPECT_TRUE(rsep.mech.equalityPred);
+    EXPECT_TRUE(rsep.mech.moveElim); // side effect of sharing (IV-H1).
+    EXPECT_FALSE(rsep.mech.valuePred);
+    EXPECT_EQ(rsep.mech.rsep.validation,
+              equality::ValidationPolicy::Ideal);
+    EXPECT_GT(rsep.mech.rsep.historyDepth, 192u); // >> ROB.
+
+    SimConfig both = SimConfig::rsepPlusVp();
+    EXPECT_TRUE(both.mech.equalityPred);
+    EXPECT_TRUE(both.mech.valuePred);
+}
+
+TEST(SimConfig, RealisticMatchesPaperSection6B)
+{
+    SimConfig c = SimConfig::rsepRealistic();
+    EXPECT_FALSE(c.mech.rsep.idealPredictor);
+    EXPECT_EQ(c.mech.rsep.historyDepth, 128u);
+    EXPECT_EQ(c.mech.rsep.isrbEntries, 24u);
+    EXPECT_TRUE(c.mech.rsep.sampling);
+    EXPECT_EQ(c.mech.rsep.startTrainThreshold, 63u);
+    EXPECT_EQ(c.mech.rsep.validation,
+              equality::ValidationPolicy::Issue2xAnyFu);
+}
+
+TEST(SimConfig, ValidationAndSamplingArms)
+{
+    EXPECT_EQ(SimConfig::rsepValidation(
+                  equality::ValidationPolicy::Issue2xLockFu)
+                  .mech.rsep.validation,
+              equality::ValidationPolicy::Issue2xLockFu);
+    SimConfig s15 = SimConfig::rsepSampling(15);
+    EXPECT_TRUE(s15.mech.rsep.sampling);
+    EXPECT_EQ(s15.mech.rsep.startTrainThreshold, 15u);
+}
+
+TEST(SimConfig, Table1Description)
+{
+    std::string t = describeTable1(SimConfig::baseline());
+    EXPECT_NE(t.find("192-entry ROB"), std::string::npos);
+    EXPECT_NE(t.find("60-entry IQ"), std::string::npos);
+    EXPECT_NE(t.find("72/48-entry LQ/SQ"), std::string::npos);
+    EXPECT_NE(t.find("235/235 INT/FP registers"), std::string::npos);
+    EXPECT_NE(t.find("Store Sets"), std::string::npos);
+    EXPECT_NE(t.find("DDR4-2400"), std::string::npos);
+}
+
+TEST(SimConfig, EnvScaling)
+{
+    setenv("RSEP_SIM_SCALE", "0.5", 1);
+    setenv("RSEP_CHECKPOINTS", "2", 1);
+    SimConfig c = SimConfig::baseline();
+    EXPECT_EQ(c.warmupInsts, 40000u);
+    EXPECT_EQ(c.measureInsts, 200000u);
+    EXPECT_EQ(c.checkpoints, 2u);
+    unsetenv("RSEP_SIM_SCALE");
+    unsetenv("RSEP_CHECKPOINTS");
+}
+
+TEST(Runner, RunWorkloadProducesPhases)
+{
+    SimConfig c = SimConfig::baseline();
+    c.warmupInsts = 2000;
+    c.measureInsts = 8000;
+    c.checkpoints = 3;
+    RunResult r = runWorkload(c, "namd");
+    ASSERT_EQ(r.phases.size(), 3u);
+    for (const auto &ph : r.phases) {
+        EXPECT_GT(ph.ipc, 0.0);
+        EXPECT_EQ(ph.stats.committedInsts.value(), 8000u);
+    }
+    EXPECT_GT(r.ipcHmean(), 0.0);
+    EXPECT_EQ(r.sum(&core::PipelineStats::committedInsts), 24000u);
+}
+
+TEST(Runner, SpeedupPct)
+{
+    SimConfig c = SimConfig::baseline();
+    c.warmupInsts = 1000;
+    c.measureInsts = 4000;
+    c.checkpoints = 1;
+    RunResult a = runWorkload(c, "namd");
+    EXPECT_NEAR(speedupPct(a, a), 0.0, 1e-9);
+}
+
+TEST(Runner, MatrixAndTables)
+{
+    SimConfig base = SimConfig::baseline();
+    base.warmupInsts = 1000;
+    base.measureInsts = 4000;
+    base.checkpoints = 1;
+    SimConfig rsep = SimConfig::rsepIdeal();
+    rsep.warmupInsts = 1000;
+    rsep.measureInsts = 4000;
+    rsep.checkpoints = 1;
+
+    auto rows = runMatrix({base, rsep}, {"namd", "dealII"});
+    ASSERT_EQ(rows.size(), 2u);
+    ASSERT_EQ(rows[0].byConfig.size(), 2u);
+
+    std::ostringstream os;
+    printSpeedupTable(os, rows, {base, rsep});
+    EXPECT_NE(os.str().find("namd"), std::string::npos);
+    EXPECT_NE(os.str().find("gmean"), std::string::npos);
+
+    std::ostringstream os2;
+    printPctTable(os2, rows, {"x"},
+                  [](const MatrixRow &, size_t) { return 1.0; });
+    EXPECT_NE(os2.str().find("1.00%"), std::string::npos);
+}
+
+} // namespace
+} // namespace rsep::sim
