@@ -29,21 +29,26 @@ rsepArm(const std::string &label)
     return c;
 }
 
+sim::MatrixOptions g_opts;
+
 void
 sweep(const std::string &title,
       const std::vector<sim::SimConfig> &configs)
 {
     std::cout << "\n=== " << title << " ===\n";
-    auto rows = sim::runMatrix(configs, bench::highlightBenchmarks());
+    auto rows = sim::runMatrix(configs, bench::highlightBenchmarks(),
+                               g_opts);
     sim::printSpeedupTable(std::cout, rows, configs);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rsep;
+
+    g_opts = bench::matrixOptions(argc, argv);
 
     sim::SimConfig base = sim::SimConfig::baseline();
     bench::applyBenchDefaults(base);

@@ -43,6 +43,19 @@ highlightBenchmarks()
             "xalancbmk"};
 }
 
+/**
+ * Matrix-runner options for a harness: worker count from `--jobs N` /
+ * `--jobs=N` / `-jN` on the command line, falling back to RSEP_JOBS
+ * and then to the hardware thread count.
+ */
+inline sim::MatrixOptions
+matrixOptions(int argc, char **argv)
+{
+    sim::MatrixOptions opts;
+    opts.jobs = sim::parseJobsArg(argc, argv);
+    return opts;
+}
+
 } // namespace rsep::bench
 
 #endif // RSEP_BENCH_BENCH_UTIL_HH

@@ -12,7 +12,7 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rsep;
     using core::PipelineStats;
@@ -20,18 +20,22 @@ main()
     sim::SimConfig cfg = sim::SimConfig::fig1Probe();
     bench::applyBenchDefaults(cfg);
 
+    // The probe rides the baseline core; equality prediction is on
+    // solely to collect the commit-group histogram.
+    sim::SimConfig probe_cfg = cfg;
+    probe_cfg.mech.equalityPred = true;
+    probe_cfg.mech.rsep = equality::RsepConfig::idealLarge();
+    auto rows = sim::runMatrix({probe_cfg}, wl::suiteNames(),
+                               bench::matrixOptions(argc, argv));
+
     std::printf("=== Fig. 1: result redundancy at commit ===\n");
     std::printf("%-12s %10s %10s %12s %12s %10s %10s\n", "benchmark",
                 "zero-ld%", "zero-oth%", "inPRF-ld%", "inPRF-oth%",
                 "grp>=6%", "grp=8%");
 
-    for (const auto &bench : wl::suiteNames()) {
-        // The probe rides the baseline core; equality prediction is on
-        // solely to collect the commit-group histogram.
-        sim::SimConfig probe_cfg = cfg;
-        probe_cfg.mech.equalityPred = true;
-        probe_cfg.mech.rsep = equality::RsepConfig::idealLarge();
-        sim::RunResult rr = sim::runWorkload(probe_cfg, bench);
+    for (const auto &mrow : rows) {
+        const std::string &bench = mrow.benchmark;
+        const sim::RunResult &rr = mrow.byConfig[0];
 
         double insts =
             static_cast<double>(rr.sum(&PipelineStats::committedInsts));

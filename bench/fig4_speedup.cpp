@@ -10,7 +10,7 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rsep;
 
@@ -22,7 +22,8 @@ main()
     for (auto &cfg : configs)
         bench::applyBenchDefaults(cfg);
 
-    auto rows = sim::runMatrix(configs, wl::suiteNames());
+    auto rows = sim::runMatrix(configs, wl::suiteNames(),
+                               bench::matrixOptions(argc, argv));
 
     std::cout << "=== Fig. 4: speedup over baseline ===\n";
     sim::printSpeedupTable(std::cout, rows, configs);

@@ -10,7 +10,7 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rsep;
     using core::PipelineStats;
@@ -21,6 +21,9 @@ main()
     both_cfg.mech.zeroPred = true;
     bench::applyBenchDefaults(rsep_cfg);
     bench::applyBenchDefaults(both_cfg);
+
+    auto rows = sim::runMatrix({rsep_cfg, both_cfg}, wl::suiteNames(),
+                               bench::matrixOptions(argc, argv));
 
     std::printf("=== Fig. 5: %% of committed instructions covered ===\n");
     std::printf("(first row per benchmark: RSEP; second: RSEP + VP)\n");
@@ -45,10 +48,10 @@ main()
                     pct(&PipelineStats::valuePredLoad));
     };
 
-    for (const auto &bench : wl::suiteNames()) {
-        sim::RunResult r1 = sim::runWorkload(rsep_cfg, bench);
-        sim::RunResult r2 = sim::runWorkload(both_cfg, bench);
-        std::printf("%-12s", bench.c_str());
+    for (const auto &mrow : rows) {
+        const sim::RunResult &r1 = mrow.byConfig[0];
+        const sim::RunResult &r2 = mrow.byConfig[1];
+        std::printf("%-12s", mrow.benchmark.c_str());
         row(r1);
         std::printf("%-12s", "");
         row(r2);

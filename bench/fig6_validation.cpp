@@ -11,7 +11,7 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rsep;
     using equality::ValidationPolicy;
@@ -27,7 +27,8 @@ main()
     for (auto &cfg : configs)
         bench::applyBenchDefaults(cfg);
 
-    auto rows = sim::runMatrix(configs, wl::suiteNames());
+    auto rows = sim::runMatrix(configs, wl::suiteNames(),
+                               bench::matrixOptions(argc, argv));
 
     std::cout << "=== Fig. 6: validation & sampling impact ===\n";
     sim::printSpeedupTable(std::cout, rows, configs);

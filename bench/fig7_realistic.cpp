@@ -14,7 +14,7 @@
 #include "rsep/costmodel.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rsep;
     using core::PipelineStats;
@@ -27,7 +27,8 @@ main()
     for (auto &cfg : configs)
         bench::applyBenchDefaults(cfg);
 
-    auto rows = sim::runMatrix(configs, wl::suiteNames());
+    auto rows = sim::runMatrix(configs, wl::suiteNames(),
+                               bench::matrixOptions(argc, argv));
 
     std::cout << "=== Fig. 7: ideal vs realistic RSEP ===\n";
     std::cout << "ideal:     "

@@ -18,9 +18,10 @@ main(int argc, char **argv)
     using namespace rsep;
     using core::PipelineStats;
 
-    std::vector<std::string> benches;
-    for (int i = 1; i < argc; ++i)
-        benches.push_back(argv[i]);
+    sim::MatrixOptions opts;
+    opts.jobs = sim::parseJobsArg(argc, argv);
+
+    std::vector<std::string> benches = sim::stripJobsArgs(argc, argv);
     if (benches.empty())
         benches = {"mcf", "dealII", "hmmer", "libquantum", "omnetpp",
                    "perlbench"};
@@ -31,7 +32,7 @@ main(int argc, char **argv)
         sim::SimConfig::vpOnly(),       sim::SimConfig::rsepPlusVp(),
     };
 
-    auto rows = sim::runMatrix(configs, benches);
+    auto rows = sim::runMatrix(configs, benches, opts);
 
     std::cout << "\n--- speedup over baseline (cf. paper Fig. 4) ---\n";
     sim::printSpeedupTable(std::cout, rows, configs);

@@ -1,0 +1,71 @@
+#include "core/engines/dvtage_engine.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.hh"
+
+namespace rsep::core
+{
+
+DvtageEngine::DvtageEngine(const pred::DvtageParams &params, u64 seed)
+    : SpeculationEngine("dvtage"), vp(params, seed)
+{
+    registerStat("predicted", &predicted);
+    registerStat("correct", &correct);
+    registerStat("mispredicts", &mispredicts);
+}
+
+bool
+DvtageEngine::atRename(InflightInst &di, bool handled, EngineContext &)
+{
+    if (!di.producesReg || di.si->isZeroIdiom())
+        return false;
+    di.vpLk = vp.lookup(di.pc, di.histFetch);
+    if (handled || !di.vpLk.confident)
+        return false;
+    di.action = RenameAction::ValuePredicted;
+    vp.notifySpeculated(di.vpLk);
+    ++predicted;
+    return true;
+}
+
+CommitVerdict
+DvtageEngine::atCommitHead(InflightInst &di, EngineContext &ctx)
+{
+    if (di.action != RenameAction::ValuePredicted ||
+        di.vpLk.predicted == di.rec.result)
+        return CommitVerdict::Proceed;
+    // VP commits the instruction (its own execution wrote the correct
+    // result to its register) and squashes everything younger,
+    // including not-yet-renamed fetches.
+    ++ctx.st.vpMispredicts;
+    ++mispredicts;
+    ++ctx.st.commitSquashes;
+    if (std::getenv("RSEP_VP_DEBUG"))
+        std::fprintf(stderr, "vp-miss pc=%llx pred=%llx actual=%llx\n",
+                     (unsigned long long)di.pc,
+                     (unsigned long long)di.vpLk.predicted,
+                     (unsigned long long)di.rec.result);
+    return CommitVerdict::CommitThenSquash;
+}
+
+void
+DvtageEngine::atCommit(InflightInst &di, EngineContext &ctx)
+{
+    if (di.action == RenameAction::ValuePredicted) {
+        ++(di.isLoad() ? ctx.st.valuePredLoad : ctx.st.valuePredOther);
+        ++ctx.st.vpCorrect;
+        ++correct;
+    }
+    if (di.vpLk.valid)
+        vp.commit(di.vpLk, di.rec.result);
+}
+
+void
+DvtageEngine::atSquashAll(EngineContext &)
+{
+    vp.squash();
+}
+
+} // namespace rsep::core

@@ -1,0 +1,243 @@
+#include "core/engines/rsep_engine.hh"
+
+#include "core/pipeline.hh"
+
+namespace rsep::core
+{
+
+RsepEngine::RsepEngine(const equality::RsepConfig &rsep_cfg,
+                       unsigned total_pregs, u64 seed)
+    : SpeculationEngine("rsep"), cfg(rsep_cfg),
+      distPred(cfg.distParams(), seed),
+      fifo(cfg.historyDepth, cfg.implicitHistory), ddtUnit(cfg.ddtEntries),
+      hrfUnit(total_pregs, cfg.hashBits)
+{
+    registerStat("shared", &shared);
+    registerStat("mispredicts", &mispredicts);
+    registerStat("likelyCandidates", &likelyCandidates);
+    registerStat("shareFailNoProducer", &shareFailNoProducer);
+    registerStat("shareFailIsrb", &shareFailIsrb);
+    registerStat("hashFalsePositives", &hashFalsePositives);
+}
+
+// ---------------------------------------------------------------- rename
+
+bool
+RsepEngine::tryEqualityPredict(InflightInst &di, EngineContext &ctx)
+{
+    if (!di.distLk.usePred)
+        return false;
+    u32 dist = di.distLk.distance;
+    if (dist == 0 || dist > di.traceIdx)
+        return false;
+    InflightInst *prod = ctx.pipe.findBySeq(di.traceIdx - dist);
+    if (!prod || !prod->producesReg || prod->destPreg == invalidPhysReg) {
+        ++ctx.st.shareFailNoProducer;
+        ++shareFailNoProducer;
+        return false;
+    }
+    PhysReg preg = prod->destPreg;
+    if (preg == zeroPreg) {
+        // Sharing with the hardwired zero register needs no ISRB entry
+        // (Section III: "register sharing would be trivial").
+        di.action = RenameAction::RsepShared;
+        di.destPreg = zeroPreg;
+        di.needsValidation = true;
+        di.shareProducerSeq = prod->traceIdx;
+        di.shareProducerValue = 0;
+        return true;
+    }
+    if (!ctx.pipe.isrb().share(preg)) {
+        ++ctx.st.shareFailIsrb;
+        ++shareFailIsrb;
+        return false;
+    }
+    di.action = RenameAction::RsepShared;
+    di.destPreg = preg;
+    di.shareProducerSeq = prod->traceIdx;
+    di.shareProducerValue = prod->rec.result;
+    di.needsValidation = true;
+    return true;
+}
+
+void
+RsepEngine::resolveLikelyCandidate(InflightInst &di, EngineContext &ctx)
+{
+    u32 dist = di.distLk.distance;
+    if (dist == 0 || dist > di.traceIdx)
+        return;
+    InflightInst *prod = ctx.pipe.findBySeq(di.traceIdx - dist);
+    if (!prod || !prod->producesReg)
+        return;
+    di.likelyCandidate = true;
+    di.candidateHasPartner = true;
+    di.candidatePartnerPreg = prod->destPreg;
+    di.candidateProducerSeq = prod->traceIdx;
+    di.candidatePartnerValue = prod->rec.result;
+    di.needsValidation = true;
+    ++ctx.st.likelyCandidates;
+    ++likelyCandidates;
+}
+
+bool
+RsepEngine::atRename(InflightInst &di, bool handled, EngineContext &ctx)
+{
+    const isa::StaticInst &si = *di.si;
+    // The lookup happens whenever the instruction could have been a
+    // candidate, even if an earlier engine claimed the rename (the
+    // predictor sees the fetch-time history either way). Eliminable
+    // moves and zero idioms are never candidates.
+    if (!di.producesReg ||
+        (ctx.mech.moveElim && si.isEliminableMove()) || si.isZeroIdiom())
+        return false;
+    di.distLk = distPred.lookup(di.pc, di.histFetch);
+    if (handled)
+        return false;
+    return tryEqualityPredict(di, ctx);
+}
+
+void
+RsepEngine::atRenamePost(InflightInst &di, bool handled, EngineContext &ctx)
+{
+    // Likely-candidate training through the validation datapath
+    // (sampling mode, Section IV-B3a): only for instructions no engine
+    // claimed, when confidence is building but below the use threshold.
+    if (handled || di.likelyCandidate)
+        return;
+    if (!cfg.sampling || !di.distLk.valid || di.distLk.usePred ||
+        di.distLk.confidence < cfg.startTrainThreshold)
+        return;
+    resolveLikelyCandidate(di, ctx);
+}
+
+// ---------------------------------------------------------------- commit
+
+CommitVerdict
+RsepEngine::atCommitHead(InflightInst &di, EngineContext &ctx)
+{
+    if (di.action != RenameAction::RsepShared ||
+        di.rec.result == di.shareProducerValue)
+        return CommitVerdict::Proceed;
+    ++ctx.st.rsepMispredicts;
+    ++mispredicts;
+    ++ctx.st.commitSquashes;
+    distPred.trainIncorrect(di.distLk);
+    return CommitVerdict::SquashRefetch;
+}
+
+void
+RsepEngine::atCommit(InflightInst &di, EngineContext &ctx)
+{
+    // Coverage accounting (Fig. 5).
+    if (di.action == RenameAction::RsepShared) {
+        ++(di.isLoad() ? ctx.st.distPredLoad : ctx.st.distPredOther);
+        ++ctx.st.rsepCorrect;
+        ++shared;
+        if (di.vpLk.valid && di.vpLk.confident)
+            ++ctx.st.rsepVpOverlap;
+    }
+
+    if (!di.producesReg)
+        return;
+
+    u32 csn = static_cast<u32>(ctx.committed & equality::csnMask);
+    u16 hash = equality::foldHash(di.rec.result, cfg.hashBits);
+
+    bool eliminated = di.action == RenameAction::ZeroIdiom ||
+                      di.action == RenameAction::MoveElim;
+
+    // Predicted instructions and likely candidates train through the
+    // validation path and do not probe the history (IV-B3b).
+    if (di.action == RenameAction::RsepShared) {
+        if (di.rec.result == di.shareProducerValue)
+            distPred.train(di.distLk, di.distLk.distance);
+        // (mispredicting instances never reach here; see atCommitHead).
+    } else if (di.likelyCandidate && di.candidateHasPartner) {
+        if (di.rec.result == di.candidatePartnerValue)
+            distPred.train(di.distLk, di.distLk.distance);
+        else
+            distPred.trainIncorrect(di.distLk);
+    }
+
+    // Push every committed register producer whose value lives in the
+    // PRF (eliminated results live in shared/zero registers already).
+    if (!eliminated) {
+        hrfUnit.write(di.destPreg == invalidPhysReg ? zeroPreg : di.destPreg,
+                      hash);
+        if (cfg.useDdt) {
+            if (auto m = ddtUnit.accessAndUpdate(hash, csn, di.traceIdx)) {
+                if (m->producerValue != di.rec.result) {
+                    ++ctx.st.hashFalsePositives;
+                    ++hashFalsePositives;
+                }
+                if (!di.likelyCandidate &&
+                    di.action != RenameAction::RsepShared && di.distLk.valid)
+                    distPred.train(di.distLk, m->distance);
+            }
+        } else {
+            fifo.push(hash, csn, di.traceIdx, true, di.rec.result);
+            // Plain producers probe the FIFO after the whole commit
+            // group pushed (so within-group pairs are visible); defer.
+            // A commit that a squash immediately follows (VP
+            // mispredict) still pushes its value but never probes —
+            // its commit group ends with it.
+            if (!ctx.squashFollowsCommit && di.distLk.valid &&
+                di.action != RenameAction::RsepShared &&
+                !di.likelyCandidate)
+                samplePool.push_back(
+                    PendingProbe{hash, csn, di.rec.result, di.distLk});
+        }
+    }
+}
+
+void
+RsepEngine::atCommitGroupEnd(unsigned producers_this_cycle,
+                             EngineContext &ctx)
+{
+    ctx.st.commitGroupProducers.sample(producers_this_cycle);
+
+    // Execute the deferred probes: all of them (full training) or one
+    // randomly sampled per cycle (IV-B3). Probing after the group's
+    // pushes matches the paper's "compared with each other"
+    // requirement; the self-entry is skipped by the zero-distance
+    // guard.
+    if (samplePool.empty())
+        return;
+    size_t lo = 0, hi = samplePool.size();
+    if (cfg.sampling) {
+        lo = static_cast<size_t>(ctx.rng.below(samplePool.size()));
+        hi = lo + 1;
+    }
+    for (size_t i = lo; i < hi; ++i) {
+        PendingProbe &probe = samplePool[i];
+        std::optional<u32> pdist;
+        if (cfg.propagatePredictedDistance && probe.distLk.valid &&
+            probe.distLk.distance != 0)
+            pdist = probe.distLk.distance;
+        if (auto m = fifo.match(probe.hash, probe.csn, pdist)) {
+            if (m->producerValue != probe.result) {
+                ++ctx.st.hashFalsePositives;
+                ++hashFalsePositives;
+            }
+            distPred.train(probe.distLk, m->distance);
+        } else {
+            distPred.train(probe.distLk, 0);
+        }
+    }
+    samplePool.clear();
+}
+
+// ---------------------------------------------------------------- squash
+
+void
+RsepEngine::atSquashInst(InflightInst &di, EngineContext &ctx)
+{
+    if (di.action != RenameAction::RsepShared)
+        return;
+    if (di.destPreg != zeroPreg &&
+        ctx.pipe.isrb().squashSharer(di.destPreg) ==
+            equality::IsrbRelease::Freed)
+        ctx.pipe.releaseMapping(di.destPreg);
+}
+
+} // namespace rsep::core

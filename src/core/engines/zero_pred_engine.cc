@@ -1,0 +1,59 @@
+#include "core/engines/zero_pred_engine.hh"
+
+#include "core/pipeline.hh"
+
+namespace rsep::core
+{
+
+ZeroPredEngine::ZeroPredEngine(unsigned entries, ConfidenceKind kind)
+    : SpeculationEngine("zero-pred"), zp(entries, kind)
+{
+    registerStat("predictions", &predictions);
+    registerStat("correct", &correct);
+    registerStat("mispredicts", &mispredicts);
+}
+
+bool
+ZeroPredEngine::atRename(InflightInst &di, bool handled, EngineContext &)
+{
+    // Lookups happen only for instructions no earlier engine claimed
+    // (eliminated instructions never reach the zero predictor).
+    if (!di.producesReg || handled)
+        return false;
+    di.zeroPredLookedUp = true;
+    if (!zp.predict(di.pc))
+        return false;
+    di.action = RenameAction::ZeroPredicted;
+    di.destPreg = zeroPreg;
+    di.needsValidation = true;
+    ++zp.predictions;
+    ++predictions;
+    return true;
+}
+
+CommitVerdict
+ZeroPredEngine::atCommitHead(InflightInst &di, EngineContext &ctx)
+{
+    if (di.action != RenameAction::ZeroPredicted || di.rec.result == 0)
+        return CommitVerdict::Proceed;
+    ++ctx.st.zeroMispredicts;
+    ++zp.mispredictions;
+    ++mispredicts;
+    ++ctx.st.commitSquashes;
+    zp.update(di.pc, false, &ctx.rng);
+    return CommitVerdict::SquashRefetch;
+}
+
+void
+ZeroPredEngine::atCommit(InflightInst &di, EngineContext &ctx)
+{
+    if (di.action == RenameAction::ZeroPredicted) {
+        ++(di.isLoad() ? ctx.st.zeroPredLoad : ctx.st.zeroPredOther);
+        ++ctx.st.zeroCorrect;
+        ++correct;
+    } else if (di.zeroPredLookedUp) {
+        zp.update(di.pc, di.rec.result == 0, &ctx.rng);
+    }
+}
+
+} // namespace rsep::core

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Zero-prediction engine (paper Section III): a PC-indexed confidence
+ * table predicts that an instruction writes 0; the renamer maps its
+ * destination to the hardwired zero register. Speculative: a validation
+ * micro-op executes the instruction and the verdict is enforced at
+ * commit (mispredicts squash from head).
+ */
+
+#ifndef RSEP_CORE_ENGINES_ZERO_PRED_ENGINE_HH
+#define RSEP_CORE_ENGINES_ZERO_PRED_ENGINE_HH
+
+#include "core/spec_engine.hh"
+#include "rsep/zero_pred.hh"
+
+namespace rsep::core
+{
+
+class ZeroPredEngine : public SpeculationEngine
+{
+  public:
+    ZeroPredEngine(unsigned entries, ConfidenceKind kind);
+
+    bool atRename(InflightInst &di, bool handled,
+                  EngineContext &ctx) override;
+    CommitVerdict atCommitHead(InflightInst &di,
+                               EngineContext &ctx) override;
+    void atCommit(InflightInst &di, EngineContext &ctx) override;
+
+    equality::ZeroPredictor &predictor() { return zp; }
+
+    StatCounter predictions; ///< rename-time zero predictions made.
+    StatCounter correct;     ///< committed correct zero predictions.
+    StatCounter mispredicts; ///< commit-time zero mispredictions.
+
+  private:
+    equality::ZeroPredictor zp;
+};
+
+} // namespace rsep::core
+
+#endif // RSEP_CORE_ENGINES_ZERO_PRED_ENGINE_HH

@@ -1,9 +1,13 @@
 #include "core/pipeline.hh"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "common/logging.hh"
+#include "core/engines/dvtage_engine.hh"
+#include "core/engines/move_elim_engine.hh"
+#include "core/engines/rsep_engine.hh"
+#include "core/engines/zero_idiom_engine.hh"
+#include "core/engines/zero_pred_engine.hh"
 
 namespace rsep::core
 {
@@ -15,19 +19,40 @@ Pipeline::Pipeline(const CoreParams &core_params, const MechConfig &mech_cfg,
     : cp(core_params), mech(mech_cfg), emul(emu), trace(emu),
       hier(mem::HierarchyParams{}),
       bru(pred::TageParams{}, seed ^ 0x1111),
-      vp(mech.vp, seed ^ 0x2222),
-      distPred(mech.rsep.distParams(), seed ^ 0x3333),
-      fifo(mech.rsep.historyDepth, mech.rsep.implicitHistory),
-      ddt(mech.rsep.ddtEntries),
       isrbUnit(mech.rsep.isrbEntries, mech.rsep.isrbCounterBits),
-      zeroPred(4096, mech.rsep.confKind),
-      hrfUnit(core_params.intPregs + core_params.fpPregs,
-              mech.rsep.hashBits),
       rename(core_params), fuPool(core_params),
       pregReady(core_params.intPregs + core_params.fpPregs, 0),
       pregValue(core_params.intPregs + core_params.fpPregs, 0),
       rng(seed ^ 0x4444)
 {
+    // Engines are constructed in every configuration (their structures
+    // stay inspectable through the accessors below); only those enabled
+    // in MechConfig are registered, i.e. receive hook dispatches.
+    zeroIdiomEngine = std::make_unique<ZeroIdiomEngine>();
+    moveElimEngine = std::make_unique<MoveElimEngine>();
+    zeroPredEngine =
+        std::make_unique<ZeroPredEngine>(4096, mech.rsep.confKind);
+    rsepEngine = std::make_unique<RsepEngine>(
+        mech.rsep, core_params.intPregs + core_params.fpPregs,
+        seed ^ 0x3333);
+    dvtageEngine = std::make_unique<DvtageEngine>(mech.vp, seed ^ 0x2222);
+
+    // Registration order is dispatch order: the rename-stage priority
+    // chain of the paper (Fig. 3), non-speculative mechanisms first.
+    if (mech.zeroIdiomElim)
+        active.push_back(zeroIdiomEngine.get());
+    if (mech.moveElim)
+        active.push_back(moveElimEngine.get());
+    if (mech.zeroPred)
+        active.push_back(zeroPredEngine.get());
+    if (mech.equalityPred)
+        active.push_back(rsepEngine.get());
+    if (mech.valuePred)
+        active.push_back(dvtageEngine.get());
+    for (auto *e : active)
+        if (e->wantsIssueHook())
+            issueSubscribers.push_back(e);
+
     // The hardwired zero register and all initial architectural
     // mappings hold value 0 and are ready from cycle 0.
     for (unsigned p = 0; p < pregReady.size(); ++p)
@@ -36,6 +61,53 @@ Pipeline::Pipeline(const CoreParams &core_params, const MechConfig &mech_cfg,
         // Initial mappings (1 per arch reg + zero reg) all hold 0.
         liveValues[0] = isa::numArchRegs;
     }
+}
+
+Pipeline::~Pipeline() = default;
+
+EngineContext
+Pipeline::makeContext()
+{
+    return EngineContext{*this, st, mech, rng, cycle, committed};
+}
+
+SpeculationEngine *
+Pipeline::engineByName(const std::string &name) const
+{
+    for (auto *e : active)
+        if (e->name() == name)
+            return e;
+    return nullptr;
+}
+
+equality::FifoHistory &
+Pipeline::fifoHistory()
+{
+    return rsepEngine->fifoHistory();
+}
+
+equality::DistancePredictor &
+Pipeline::distancePredictor()
+{
+    return rsepEngine->distancePredictor();
+}
+
+pred::Dvtage &
+Pipeline::valuePredictor()
+{
+    return dvtageEngine->predictor();
+}
+
+equality::HashRegisterFile &
+Pipeline::hrf()
+{
+    return rsepEngine->hrf();
+}
+
+equality::ZeroPredictor &
+Pipeline::zeroPredictor()
+{
+    return zeroPredEngine->predictor();
 }
 
 Cycle
@@ -58,6 +130,8 @@ void
 Pipeline::resetStats()
 {
     st = PipelineStats{};
+    for (auto *e : active)
+        e->resetStats();
 }
 
 InflightInst *
@@ -134,60 +208,6 @@ Pipeline::doFetch()
 
 // --------------------------------------------------------------- rename
 
-bool
-Pipeline::tryEqualityPredict(InflightInst &di)
-{
-    if (!di.distLk.usePred)
-        return false;
-    u32 dist = di.distLk.distance;
-    if (dist == 0 || dist > di.traceIdx)
-        return false;
-    InflightInst *prod = findBySeq(di.traceIdx - dist);
-    if (!prod || !prod->producesReg || prod->destPreg == invalidPhysReg) {
-        ++st.shareFailNoProducer;
-        return false;
-    }
-    PhysReg preg = prod->destPreg;
-    if (preg == zeroPreg) {
-        // Sharing with the hardwired zero register needs no ISRB entry
-        // (Section III: "register sharing would be trivial").
-        di.action = RenameAction::RsepShared;
-        di.destPreg = zeroPreg;
-        di.needsValidation = true;
-        di.shareProducerSeq = prod->traceIdx;
-        di.shareProducerValue = 0;
-        return true;
-    }
-    if (!isrbUnit.share(preg)) {
-        ++st.shareFailIsrb;
-        return false;
-    }
-    di.action = RenameAction::RsepShared;
-    di.destPreg = preg;
-    di.shareProducerSeq = prod->traceIdx;
-    di.shareProducerValue = prod->rec.result;
-    di.needsValidation = true;
-    return true;
-}
-
-void
-Pipeline::resolveLikelyCandidate(InflightInst &di)
-{
-    u32 dist = di.distLk.distance;
-    if (dist == 0 || dist > di.traceIdx)
-        return;
-    InflightInst *prod = findBySeq(di.traceIdx - dist);
-    if (!prod || !prod->producesReg)
-        return;
-    di.likelyCandidate = true;
-    di.candidateHasPartner = true;
-    di.candidatePartnerPreg = prod->destPreg;
-    di.candidateProducerSeq = prod->traceIdx;
-    di.candidatePartnerValue = prod->rec.result;
-    di.needsValidation = true;
-    ++st.likelyCandidates;
-}
-
 void
 Pipeline::renameOne(InflightInst &di)
 {
@@ -202,67 +222,23 @@ Pipeline::renameOne(InflightInst &di)
     di.producesReg = si.writesReg();
     di.dispatchCycle = cycle;
 
+    // Speculation engines: the rename priority chain (the first engine
+    // to claim the destination wins; later engines still get to do
+    // their predictor lookups), then the late pass for decisions that
+    // depend on the final verdict.
+    EngineContext ctx = makeContext();
     bool handled = false;
-
-    // 1. Zero-idiom elimination (baseline, non-speculative).
-    if (mech.zeroIdiomElim && si.isZeroIdiom()) {
-        di.action = RenameAction::ZeroIdiom;
-        di.destPreg = zeroPreg;
-        di.needsExec = false;
-        di.completeCycle = cycle;
-        handled = true;
-    }
-
-    // 2. Move elimination (non-speculative; uses the sharing machinery).
-    if (!handled && mech.moveElim && si.isEliminableMove()) {
-        PhysReg src = di.srcPregs[0];
-        if (src == zeroPreg || isrbUnit.share(src)) {
-            di.action = RenameAction::MoveElim;
-            di.destPreg = src;
-            di.needsExec = false;
-            di.completeCycle = cycle;
-            handled = true;
-        }
-    }
-
-    // Predictor lookups (performed under the fetch-time history).
-    bool eligible = di.producesReg && !handled;
-    if (eligible && mech.zeroPred) {
-        di.zeroPredLookedUp = true;
-        if (zeroPred.predict(di.pc)) {
-            di.action = RenameAction::ZeroPredicted;
-            di.destPreg = zeroPreg;
-            di.needsValidation = true;
-            ++zeroPred.predictions;
-            handled = true;
-        }
-    }
-    if (di.producesReg && mech.equalityPred &&
-        !(mech.moveElim && si.isEliminableMove()) && !si.isZeroIdiom()) {
-        di.distLk = distPred.lookup(di.pc, di.histFetch);
-        if (!handled)
-            handled = tryEqualityPredict(di);
-    }
-    if (di.producesReg && mech.valuePred && !si.isZeroIdiom()) {
-        di.vpLk = vp.lookup(di.pc, di.histFetch);
-        if (!handled && di.vpLk.confident) {
-            di.action = RenameAction::ValuePredicted;
-            vp.notifySpeculated(di.vpLk);
-            handled = true;
-        }
-    }
-    // Likely-candidate training through the validation datapath
-    // (sampling mode, Section IV-B3a).
-    if (!handled && !di.likelyCandidate && mech.equalityPred &&
-        mech.rsep.sampling && di.distLk.valid && !di.distLk.usePred &&
-        di.distLk.confidence >= mech.rsep.startTrainThreshold) {
-        resolveLikelyCandidate(di);
-    }
+    for (auto *e : active)
+        handled = e->atRename(di, handled, ctx) || handled;
+    for (auto *e : active)
+        e->atRenamePost(di, handled, ctx);
 
     // Under the ideal validation policy (Fig. 4 / Fig. 6 "Ideal
     // Validation") checking costs nothing: no second issue, no IQ
     // retention, no producer dependency. Correctness verdicts are
-    // still enforced at commit.
+    // still enforced at commit. This applies to every validation
+    // consumer (zero prediction included), which is why it lives here
+    // and not in an engine.
     if (mech.rsep.validation == equality::ValidationPolicy::Ideal)
         di.needsValidation = false;
 
@@ -307,6 +283,15 @@ Pipeline::renameOne(InflightInst &di)
         ++sqUsed;
 }
 
+bool
+Pipeline::mayElideExecution(const isa::StaticInst &si) const
+{
+    for (auto *e : active)
+        if (e->mayElideExecution(si))
+            return true;
+    return false;
+}
+
 void
 Pipeline::doRename()
 {
@@ -319,9 +304,11 @@ Pipeline::doRename()
             ++st.renameStallRob;
             break;
         }
-        bool needs_exec = !(mech.zeroIdiomElim && si.isZeroIdiom()) &&
-                          !(mech.moveElim && si.isEliminableMove()) &&
-                          si.opClass() != OpClass::Nop;
+        // Conservative IQ gating: an engine that *may* elide execution
+        // is trusted to, even though elision can still fail at rename
+        // (e.g. an ISRB-refused move).
+        bool needs_exec =
+            !mayElideExecution(si) && si.opClass() != OpClass::Nop;
         if (needs_exec && iqUsed >= cp.iqSize) {
             ++st.renameStallIq;
             break;
@@ -471,6 +458,12 @@ Pipeline::doIssueAndValidate()
         di.issued = true;
         di.completeCycle = executeMemOrAlu(di, port);
 
+        if (!issueSubscribers.empty()) {
+            EngineContext ctx = makeContext();
+            for (auto *e : issueSubscribers)
+                e->atIssue(di, ctx);
+        }
+
         if (di.allocatedPreg &&
             di.action != RenameAction::ValuePredicted)
             pregReady[di.destPreg] = di.completeCycle;
@@ -514,22 +507,16 @@ Pipeline::undoRename(InflightInst &di)
     if (!di.producesReg || di.destPreg == invalidPhysReg)
         return;
     rename.setMap(di.si->dst, di.oldPreg);
-    switch (di.action) {
-      case RenameAction::None:
-      case RenameAction::ValuePredicted:
+    if (di.allocatedPreg) {
+        // Normal (or value-predicted) allocation: plain free.
         rename.release(di.destPreg);
-        break;
-      case RenameAction::RsepShared:
-      case RenameAction::MoveElim:
-        if (di.destPreg != zeroPreg &&
-            isrbUnit.squashSharer(di.destPreg) ==
-                equality::IsrbRelease::Freed)
-            releaseMapping(di.destPreg); // entry gone; free for real.
-        break;
-      case RenameAction::ZeroIdiom:
-      case RenameAction::ZeroPredicted:
-        break; // zero preg: nothing allocated.
+        return;
     }
+    // Zero-register mappings (zero idiom / zero prediction) allocated
+    // nothing; sharing engines undo their ISRB registration.
+    EngineContext ctx = makeContext();
+    for (auto *e : active)
+        e->atSquashInst(di, ctx);
 }
 
 void
@@ -571,7 +558,11 @@ Pipeline::squashFrom(size_t rob_pos, bool refetch_penalty)
         rob.pop_back();
     }
     frontendQ.clear();
-    vp.squash();
+    {
+        EngineContext ctx = makeContext();
+        for (auto *e : active)
+            e->atSquashAll(ctx);
+    }
     fetchWaitingExec = false;
     lastFetchLine = ~Addr{0};
     fetchResumeCycle = cycle + (refetch_penalty ? 1 : 0);
@@ -593,55 +584,7 @@ Pipeline::commitBlocked(const InflightInst &di) const
 }
 
 void
-Pipeline::commitTrainEquality(InflightInst &di)
-{
-    if (!mech.equalityPred)
-        return;
-    const bool producer = di.producesReg;
-    if (!producer)
-        return;
-
-    u32 csn = static_cast<u32>(committed & equality::csnMask);
-    u16 hash = equality::foldHash(di.rec.result, mech.rsep.hashBits);
-
-    bool eliminated = di.action == RenameAction::ZeroIdiom ||
-                      di.action == RenameAction::MoveElim;
-
-    // Predicted instructions and likely candidates train through the
-    // validation path and do not probe the history (IV-B3b).
-    if (di.action == RenameAction::RsepShared) {
-        if (di.rec.result == di.shareProducerValue)
-            distPred.train(di.distLk, di.distLk.distance);
-        // (mispredicting instances never reach here; see doCommit).
-    } else if (di.likelyCandidate && di.candidateHasPartner) {
-        if (di.rec.result == di.candidatePartnerValue)
-            distPred.train(di.distLk, di.distLk.distance);
-        else
-            distPred.trainIncorrect(di.distLk);
-    }
-
-    // Push every committed register producer whose value lives in the
-    // PRF (eliminated results live in shared/zero registers already).
-    if (!eliminated) {
-        hrfUnit.write(di.destPreg == invalidPhysReg ? zeroPreg : di.destPreg,
-                      hash);
-        if (mech.rsep.useDdt) {
-            if (auto m = ddt.accessAndUpdate(hash, csn, di.traceIdx)) {
-                if (m->producerValue != di.rec.result)
-                    ++st.hashFalsePositives;
-                if (!di.likelyCandidate &&
-                    di.action != RenameAction::RsepShared &&
-                    di.distLk.valid)
-                    distPred.train(di.distLk, m->distance);
-            }
-        } else {
-            fifo.push(hash, csn, di.traceIdx, true, di.rec.result);
-        }
-    }
-}
-
-void
-Pipeline::commitOne(InflightInst &di)
+Pipeline::commitOne(InflightInst &di, bool squash_follows)
 {
     const isa::StaticInst &si = *di.si;
     ++st.committedInsts;
@@ -654,27 +597,6 @@ Pipeline::commitOne(InflightInst &di)
     if (di.producesReg)
         ++st.committedProducers;
 
-    // Coverage accounting (Fig. 5).
-    switch (di.action) {
-      case RenameAction::ZeroIdiom: ++st.zeroIdiomElim; break;
-      case RenameAction::MoveElim: ++st.moveElim; break;
-      case RenameAction::ZeroPredicted:
-        ++(si.isLoad() ? st.zeroPredLoad : st.zeroPredOther);
-        ++st.zeroCorrect;
-        break;
-      case RenameAction::RsepShared:
-        ++(si.isLoad() ? st.distPredLoad : st.distPredOther);
-        ++st.rsepCorrect;
-        if (di.vpLk.valid && di.vpLk.confident)
-            ++st.rsepVpOverlap;
-        break;
-      case RenameAction::ValuePredicted:
-        ++(si.isLoad() ? st.valuePredLoad : st.valuePredOther);
-        ++st.vpCorrect;
-        break;
-      default: break;
-    }
-
     // Fig. 1 probe: result redundancy at commit.
     if (mech.fig1Probe && di.producesReg) {
         if (di.rec.result == 0 && !si.isZeroIdiom())
@@ -683,13 +605,13 @@ Pipeline::commitOne(InflightInst &di)
             ++(si.isLoad() ? st.fig1InPrfLoad : st.fig1InPrfOther);
     }
 
-    // Predictor training.
-    if (mech.zeroPred && di.zeroPredLookedUp &&
-        di.action != RenameAction::ZeroPredicted)
-        zeroPred.update(di.pc, di.rec.result == 0, &rng);
-    if (mech.valuePred && di.vpLk.valid)
-        vp.commit(di.vpLk, di.rec.result);
-    commitTrainEquality(di);
+    // Engine coverage accounting and commit-time training.
+    {
+        EngineContext ctx = makeContext();
+        ctx.squashFollowsCommit = squash_follows;
+        for (auto *e : active)
+            e->atCommit(di, ctx);
+    }
 
     // Structural commit actions.
     if (si.isBranch())
@@ -729,15 +651,6 @@ void
 Pipeline::doCommit()
 {
     unsigned producers_this_cycle = 0;
-    /** Deferred FIFO probes for the sampling policy. */
-    struct PendingProbe
-    {
-        u16 hash;
-        u32 csn;
-        u64 result;
-        equality::DistLookup distLk;
-    };
-    std::vector<PendingProbe> sample_pool;
 
     unsigned n = 0;
     while (n < cp.commitWidth && !rob.empty()) {
@@ -745,39 +658,24 @@ Pipeline::doCommit()
         if (commitBlocked(di))
             break;
 
-        // Speculation verdicts (commit-time validation).
-        if (di.action == RenameAction::RsepShared &&
-            di.rec.result != di.shareProducerValue) {
-            ++st.rsepMispredicts;
-            ++st.commitSquashes;
-            distPred.trainIncorrect(di.distLk);
+        // Speculation verdicts (commit-time validation). At most one
+        // engine can own the head instruction's rename action, so at
+        // most one verdict is non-Proceed.
+        CommitVerdict verdict = CommitVerdict::Proceed;
+        {
+            EngineContext ctx = makeContext();
+            for (auto *e : active) {
+                verdict = e->atCommitHead(di, ctx);
+                if (verdict != CommitVerdict::Proceed)
+                    break;
+            }
+        }
+        if (verdict == CommitVerdict::SquashRefetch) {
             squashFrom(0, true);
             break;
         }
-        if (di.action == RenameAction::ZeroPredicted &&
-            di.rec.result != 0) {
-            ++st.zeroMispredicts;
-            ++zeroPred.mispredictions;
-            ++st.commitSquashes;
-            zeroPred.update(di.pc, false, &rng);
-            if (di.distLk.valid && di.shareProducerSeq)
-                distPred.trainIncorrect(di.distLk);
-            squashFrom(0, true);
-            break;
-        }
-        if (di.action == RenameAction::ValuePredicted &&
-            di.vpLk.predicted != di.rec.result) {
-            // VP commits the instruction (its own execution wrote the
-            // correct result to its register) and squashes everything
-            // younger, including not-yet-renamed fetches.
-            ++st.vpMispredicts;
-            ++st.commitSquashes;
-            if (std::getenv("RSEP_VP_DEBUG"))
-                std::fprintf(stderr, "vp-miss pc=%llx pred=%llx actual=%llx\n",
-                             (unsigned long long)di.pc,
-                             (unsigned long long)di.vpLk.predicted,
-                             (unsigned long long)di.rec.result);
-            commitOne(di);
+        if (verdict == CommitVerdict::CommitThenSquash) {
+            commitOne(di, /*squash_follows=*/true);
             u64 next_idx = di.traceIdx + 1;
             rob.pop_front();
             squashFrom(0, true);
@@ -786,26 +684,9 @@ Pipeline::doCommit()
             break;
         }
 
-        // Sampling pool: plain producers that would probe the FIFO.
-        bool fifo_probes = mech.equalityPred && !mech.rsep.useDdt &&
-            di.producesReg && di.distLk.valid &&
-            di.action != RenameAction::RsepShared &&
-            di.action != RenameAction::ZeroIdiom &&
-            di.action != RenameAction::MoveElim && !di.likelyCandidate;
-
         commitOne(di);
         if (di.producesReg)
             ++producers_this_cycle;
-
-        // FIFO probing & training for unpredicted producers. Without
-        // sampling every producer probes; with sampling one random
-        // instruction per commit cycle does (IV-B3).
-        if (fifo_probes) {
-            sample_pool.push_back(PendingProbe{
-                equality::foldHash(di.rec.result, mech.rsep.hashBits),
-                static_cast<u32>((committed - 1) & equality::csnMask),
-                di.rec.result, di.distLk});
-        }
 
         rob.pop_front();
         if (!rob.empty()) {
@@ -821,34 +702,12 @@ Pipeline::doCommit()
         ++n;
     }
 
-    if (mech.equalityPred)
-        st.commitGroupProducers.sample(producers_this_cycle);
-
-    // Execute the probes: all of them (full training) or one randomly
-    // sampled per cycle. Probing happens after the group's pushes, so
-    // within-group pairs are visible, matching the paper's "compared
-    // with each other" requirement; the self-entry is skipped by the
-    // zero-distance guard.
-    if (!sample_pool.empty()) {
-        size_t lo = 0, hi = sample_pool.size();
-        if (mech.rsep.sampling) {
-            lo = static_cast<size_t>(rng.below(sample_pool.size()));
-            hi = lo + 1;
-        }
-        for (size_t i = lo; i < hi; ++i) {
-            PendingProbe &probe = sample_pool[i];
-            std::optional<u32> pdist;
-            if (mech.rsep.propagatePredictedDistance &&
-                probe.distLk.valid && probe.distLk.distance != 0)
-                pdist = probe.distLk.distance;
-            if (auto m = fifo.match(probe.hash, probe.csn, pdist)) {
-                if (m->producerValue != probe.result)
-                    ++st.hashFalsePositives;
-                distPred.train(probe.distLk, m->distance);
-            } else {
-                distPred.train(probe.distLk, 0);
-            }
-        }
+    // End of the commit group: histogram sampling and deferred history
+    // probes live in the engines.
+    {
+        EngineContext ctx = makeContext();
+        for (auto *e : active)
+            e->atCommitGroupEnd(producers_this_cycle, ctx);
     }
 }
 
@@ -872,7 +731,6 @@ Pipeline::checkRegisterConservation() const
             live[di.oldPreg] = 1;
     }
 
-    std::vector<u8> free_marks(rename.totalPregs(), 0);
     size_t free_total = rename.intFreeCount() + rename.fpFreeCount();
     size_t live_total = 0;
     for (unsigned p_ = 0; p_ < rename.totalPregs(); ++p_)
@@ -884,7 +742,6 @@ Pipeline::checkRegisterConservation() const
                   free_total, live_total, rename.totalPregs());
         return false;
     }
-    (void)free_marks;
     return true;
 }
 

@@ -1,11 +1,14 @@
 /**
  * @file
- * The cycle-level 8-wide out-of-order core (Table I) with the RSEP
- * mechanisms of the paper integrated at Rename / Execute / Commit
- * (Fig. 3): zero-idiom elimination (baseline), move elimination, zero
- * prediction, register-sharing equality prediction (distance predictor
- * + ROB lookup + ISRB + HRF + FIFO history + validation µ-ops) and
- * D-VTAGE value prediction.
+ * The cycle-level 8-wide out-of-order core (Table I). The pipeline
+ * owns stage orchestration only — fetch / rename / issue+validate /
+ * commit scheduling, the ROB, the rename map and free lists, and the
+ * ISRB register-sharing substrate. Every speculation mechanism of the
+ * paper (zero-idiom elimination, move elimination, zero prediction,
+ * register-sharing equality prediction, D-VTAGE value prediction) is a
+ * self-contained SpeculationEngine (see spec_engine.hh and
+ * core/engines/) registered from MechConfig and dispatched to at
+ * Rename / Execute / Commit (Fig. 3).
  *
  * Modelling approach (see DESIGN.md): trace-driven replay of the
  * committed path. Branch mispredictions stall fetch until the branch
@@ -19,28 +22,38 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/dyninst.hh"
 #include "core/fu_pool.hh"
 #include "core/params.hh"
 #include "core/rename.hh"
+#include "core/spec_engine.hh"
 #include "core/trace_buffer.hh"
 #include "mem/hierarchy.hh"
 #include "pred/branch_unit.hh"
 #include "pred/dvtage.hh"
 #include "pred/storesets.hh"
 #include "rsep/config.hh"
-#include "rsep/ddt.hh"
-#include "rsep/distance_pred.hh"
-#include "rsep/fifo_history.hh"
-#include "rsep/hash.hh"
-#include "rsep/hrf.hh"
 #include "rsep/isrb.hh"
-#include "rsep/zero_pred.hh"
+
+namespace rsep::equality
+{
+class FifoHistory;
+class HashRegisterFile;
+class ZeroPredictor;
+} // namespace rsep::equality
 
 namespace rsep::core
 {
+
+class ZeroIdiomEngine;
+class MoveElimEngine;
+class ZeroPredEngine;
+class RsepEngine;
+class DvtageEngine;
 
 /** Which speculation mechanisms are active (the Fig. 4 arms). */
 struct MechConfig
@@ -122,27 +135,52 @@ class Pipeline
   public:
     Pipeline(const CoreParams &core_params, const MechConfig &mech,
              wl::Emulator &emu, u64 seed = 1234);
+    ~Pipeline();
 
     /** Run until @p ninsts more instructions commit. */
     void run(u64 ninsts);
 
-    /** Zero all statistics (end of warmup). */
+    /** Zero all statistics (end of warmup), engine-local ones included. */
     void resetStats();
 
     PipelineStats &stats() { return st; }
     const CoreParams &coreParams() const { return cp; }
     const MechConfig &mechConfig() const { return mech; }
 
+    // ------------------------------------------------ speculation engines
+    /** Registered (active) engines in dispatch order. */
+    const std::vector<SpeculationEngine *> &engines() const
+    {
+        return active;
+    }
+
+    /** Active engine by name; nullptr when not registered. */
+    SpeculationEngine *engineByName(const std::string &name) const;
+
+    // -------------------------------------------------------- substrates
     pred::BranchUnit &branchUnit() { return bru; }
     mem::MemoryHierarchy &memory() { return hier; }
     equality::Isrb &isrb() { return isrbUnit; }
-    equality::FifoHistory &fifoHistory() { return fifo; }
-    equality::DistancePredictor &distancePredictor() { return distPred; }
-    pred::Dvtage &valuePredictor() { return vp; }
-    equality::HashRegisterFile &hrf() { return hrfUnit; }
+
+    // Structure accessors, delegating to the owning engines (which are
+    // constructed in every configuration, registered or not).
+    equality::FifoHistory &fifoHistory();
+    equality::DistancePredictor &distancePredictor();
+    pred::Dvtage &valuePredictor();
+    equality::HashRegisterFile &hrf();
+    equality::ZeroPredictor &zeroPredictor();
 
     /** Architectural commit count (CSN source). */
     u64 committedCount() const { return committed; }
+
+    // ------------------------------------------------------- engine API
+    /** In-flight instruction by sequence number; nullptr if retired or
+     *  not yet renamed. */
+    InflightInst *findBySeq(u64 seq);
+
+    /** Return a physical register to the free list, with Fig. 1 probe
+     *  value-liveness bookkeeping. */
+    void releaseMapping(PhysReg preg);
 
     /**
      * Debug invariant: every physical register is accounted for exactly
@@ -159,18 +197,15 @@ class Pipeline
     void doCommit();
 
     // --- helpers ---
+    EngineContext makeContext();
     void renameOne(InflightInst &di);
-    bool tryEqualityPredict(InflightInst &di);
-    void resolveLikelyCandidate(InflightInst &di);
-    InflightInst *findBySeq(u64 seq);
     bool sourcesReady(const InflightInst &di) const;
     Cycle executeMemOrAlu(InflightInst &di, int port);
     void squashFrom(size_t rob_pos, bool refetch_penalty);
     void undoRename(InflightInst &di);
-    void commitTrainEquality(InflightInst &di);
-    void commitOne(InflightInst &di);
-    void releaseMapping(PhysReg preg);
+    void commitOne(InflightInst &di, bool squash_follows = false);
     bool commitBlocked(const InflightInst &di) const;
+    bool mayElideExecution(const isa::StaticInst &si) const;
 
     Cycle
     opLatency(isa::OpClass c) const;
@@ -185,15 +220,17 @@ class Pipeline
     mem::MemoryHierarchy hier;
     pred::BranchUnit bru;
     pred::StoreSets storeSets;
-    pred::Dvtage vp;
+    equality::Isrb isrbUnit; ///< register-sharing substrate (shared by
+                             ///< the move-elim and RSEP engines).
 
-    // --- RSEP structures ---
-    equality::DistancePredictor distPred;
-    equality::FifoHistory fifo;
-    equality::Ddt ddt;
-    equality::Isrb isrbUnit;
-    equality::ZeroPredictor zeroPred;
-    equality::HashRegisterFile hrfUnit;
+    // --- speculation engines ---
+    std::unique_ptr<ZeroIdiomEngine> zeroIdiomEngine;
+    std::unique_ptr<MoveElimEngine> moveElimEngine;
+    std::unique_ptr<ZeroPredEngine> zeroPredEngine;
+    std::unique_ptr<RsepEngine> rsepEngine;
+    std::unique_ptr<DvtageEngine> dvtageEngine;
+    std::vector<SpeculationEngine *> active; ///< registered, in order.
+    std::vector<SpeculationEngine *> issueSubscribers; ///< wantsIssueHook().
 
     // --- core state ---
     RenameState rename;

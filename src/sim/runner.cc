@@ -1,32 +1,151 @@
 #include "sim/runner.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
+#include <mutex>
+#include <thread>
 
+#include "common/env.hh"
 #include "common/stats.hh"
+#include "sim/thread_pool.hh"
 
 namespace rsep::sim
 {
 
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    u64 env = envU64("RSEP_JOBS", 0);
+    if (env > 0)
+        return static_cast<unsigned>(env);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+namespace
+{
+
+/**
+ * The single definition of the jobs-flag grammar. When argv[i] is a
+ * jobs argument, writes its value, reports how many argv entries it
+ * spans (1 or 2), and returns true.
+ */
+bool
+matchJobsArg(int argc, char **argv, int i, unsigned &jobs, int &span)
+{
+    const char *a = argv[i];
+    if (std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) {
+        jobs = i + 1 < argc ? static_cast<unsigned>(std::atoi(argv[i + 1]))
+                            : 0;
+        span = i + 1 < argc ? 2 : 1;
+        return true;
+    }
+    if (std::strncmp(a, "--jobs=", 7) == 0) {
+        jobs = static_cast<unsigned>(std::atoi(a + 7));
+        span = 1;
+        return true;
+    }
+    if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
+        jobs = static_cast<unsigned>(std::atoi(a + 2));
+        span = 1;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+unsigned
+parseJobsArg(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        unsigned jobs = 0;
+        int span = 0;
+        if (matchJobsArg(argc, argv, i, jobs, span))
+            return jobs;
+    }
+    return 0;
+}
+
+std::vector<std::string>
+stripJobsArgs(int argc, char **argv)
+{
+    std::vector<std::string> rest;
+    for (int i = 1; i < argc; ++i) {
+        unsigned jobs = 0;
+        int span = 0;
+        if (matchJobsArg(argc, argv, i, jobs, span)) {
+            i += span - 1;
+            continue;
+        }
+        rest.push_back(argv[i]);
+    }
+    return rest;
+}
+
 std::vector<MatrixRow>
 runMatrix(const std::vector<SimConfig> &configs,
-          const std::vector<std::string> &benchmarks)
+          const std::vector<std::string> &benchmarks,
+          const MatrixOptions &opts)
 {
-    std::vector<MatrixRow> rows;
-    rows.reserve(benchmarks.size());
-    for (const auto &bench : benchmarks) {
-        MatrixRow row;
-        row.benchmark = bench;
-        for (const auto &cfg : configs) {
-            std::fprintf(stderr, "[run] %-12s %-20s ...", bench.c_str(),
-                         cfg.label.c_str());
-            std::fflush(stderr);
-            RunResult rr = runWorkload(cfg, bench);
-            std::fprintf(stderr, " ipc=%.3f\n", rr.ipcHmean());
-            row.byConfig.push_back(std::move(rr));
+    // Preallocate every result slot so workers write disjoint memory:
+    // cell (b, c, p) -> rows[b].byConfig[c].phases[p]. The layout (and
+    // the per-cell seed, see runPhase) depends only on the inputs,
+    // never on scheduling, which makes the matrix bit-identical at any
+    // thread count.
+    std::vector<MatrixRow> rows(benchmarks.size());
+    size_t total_cells = 0;
+    for (size_t b = 0; b < benchmarks.size(); ++b) {
+        rows[b].benchmark = benchmarks[b];
+        rows[b].byConfig.resize(configs.size());
+        for (size_t c = 0; c < configs.size(); ++c) {
+            RunResult &rr = rows[b].byConfig[c];
+            rr.benchmark = benchmarks[b];
+            rr.configLabel = configs[c].label;
+            rr.phases.resize(configs[c].checkpoints);
+            total_cells += configs[c].checkpoints;
         }
-        rows.push_back(std::move(row));
     }
+
+    unsigned jobs = resolveJobs(opts.jobs);
+    if (opts.progress)
+        std::fprintf(stderr,
+                     "[matrix] %zu benchmarks x %zu configs = %zu cells "
+                     "on %u thread%s\n",
+                     benchmarks.size(), configs.size(), total_cells, jobs,
+                     jobs == 1 ? "" : "s");
+
+    std::atomic<size_t> done{0};
+    std::mutex progress_mtx;
+
+    ThreadPool pool(jobs);
+    for (size_t b = 0; b < benchmarks.size(); ++b) {
+        for (size_t c = 0; c < configs.size(); ++c) {
+            for (u32 p = 0; p < configs[c].checkpoints; ++p) {
+                pool.submit([&, b, c, p] {
+                    PhaseResult pr = runPhase(configs[c], benchmarks[b], p);
+                    rows[b].byConfig[c].phases[p] = std::move(pr);
+                    size_t k = ++done;
+                    if (opts.progress) {
+                        std::lock_guard<std::mutex> lk(progress_mtx);
+                        std::fprintf(
+                            stderr,
+                            "[run] %-12s %-20s ckpt %u ipc=%.3f (%zu/%zu)\n",
+                            benchmarks[b].c_str(),
+                            configs[c].label.c_str(), p,
+                            rows[b].byConfig[c].phases[p].ipc, k,
+                            total_cells);
+                    }
+                });
+            }
+        }
+    }
+    pool.wait();
     return rows;
 }
 

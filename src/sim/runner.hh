@@ -24,13 +24,40 @@ struct MatrixRow
     std::vector<RunResult> byConfig; ///< parallel to the config list.
 };
 
+/** Knobs of the parallel matrix runner. */
+struct MatrixOptions
+{
+    /** Worker threads. 0 = auto: the RSEP_JOBS environment variable
+     *  when set, otherwise the hardware thread count. */
+    unsigned jobs = 0;
+    bool progress = true; ///< per-cell progress lines on stderr.
+};
+
+/** Resolve a job-count request (see MatrixOptions::jobs). */
+unsigned resolveJobs(unsigned requested);
+
+/**
+ * Parse a `--jobs N` / `--jobs=N` / `-jN` override out of argv (the
+ * bench and example drivers all accept it), returning 0 (= auto) when
+ * absent. Unrelated arguments are left untouched.
+ */
+unsigned parseJobsArg(int argc, char **argv);
+
+/** The argv entries parseJobsArg does NOT consume, in order — for
+ *  drivers whose remaining positional arguments mean something. */
+std::vector<std::string> stripJobsArgs(int argc, char **argv);
+
 /**
  * Run every benchmark under every configuration (config 0 is
- * conventionally the baseline). Progress goes to stderr.
+ * conventionally the baseline). The (benchmark x config x checkpoint)
+ * cells fan out across a work-stealing thread pool; per-cell seeding
+ * is deterministic, so results are bit-identical at any thread count.
+ * Progress goes to stderr.
  */
 std::vector<MatrixRow>
 runMatrix(const std::vector<SimConfig> &configs,
-          const std::vector<std::string> &benchmarks);
+          const std::vector<std::string> &benchmarks,
+          const MatrixOptions &opts = {});
 
 /**
  * Print a speedup table: one row per benchmark, one column per non-

@@ -24,30 +24,34 @@ RunResult::ratioOfCommitted(StatCounter core::PipelineStats::* member) const
     return static_cast<double>(sum(member)) / static_cast<double>(insts);
 }
 
+PhaseResult
+runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase)
+{
+    wl::Workload w = wl::makeWorkload(bench_name);
+    wl::Emulator emu(w.program);
+    emu.resetArchState();
+    w.init(emu, phase);
+
+    core::Pipeline pipe(cfg.core, cfg.mech, emu,
+                        cfg.seed ^ (0x9e37 * (phase + 1)));
+    pipe.run(cfg.warmupInsts);
+    pipe.resetStats();
+    pipe.run(cfg.measureInsts);
+
+    PhaseResult pr;
+    pr.stats = pipe.stats();
+    pr.ipc = pr.stats.ipc();
+    return pr;
+}
+
 RunResult
 runWorkload(const SimConfig &cfg, const std::string &bench_name)
 {
     RunResult out;
     out.benchmark = bench_name;
     out.configLabel = cfg.label;
-
-    for (u32 phase = 0; phase < cfg.checkpoints; ++phase) {
-        wl::Workload w = wl::makeWorkload(bench_name);
-        wl::Emulator emu(w.program);
-        emu.resetArchState();
-        w.init(emu, phase);
-
-        core::Pipeline pipe(cfg.core, cfg.mech, emu,
-                            cfg.seed ^ (0x9e37 * (phase + 1)));
-        pipe.run(cfg.warmupInsts);
-        pipe.resetStats();
-        pipe.run(cfg.measureInsts);
-
-        PhaseResult pr;
-        pr.stats = pipe.stats();
-        pr.ipc = pr.stats.ipc();
-        out.phases.push_back(std::move(pr));
-    }
+    for (u32 phase = 0; phase < cfg.checkpoints; ++phase)
+        out.phases.push_back(runPhase(cfg, bench_name, phase));
     return out;
 }
 

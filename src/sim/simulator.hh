@@ -49,7 +49,17 @@ struct RunResult
     double ratioOfCommitted(StatCounter core::PipelineStats::* member) const;
 };
 
-/** Run @p bench_name under @p cfg. */
+/**
+ * Run one checkpoint of @p bench_name under @p cfg. Checkpoints are
+ * seeded independently (deterministic per-cell seeding), so any
+ * (benchmark, config, checkpoint) cell can run on any thread and
+ * produce the same PhaseResult — the unit of work of the parallel
+ * matrix runner.
+ */
+PhaseResult runPhase(const SimConfig &cfg, const std::string &bench_name,
+                     u32 phase);
+
+/** Run @p bench_name under @p cfg (all checkpoints, serially). */
 RunResult runWorkload(const SimConfig &cfg, const std::string &bench_name);
 
 /** Speedup of @p a over @p b in percent. */

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A small work-stealing thread pool for the experiment matrix. Each
+ * worker owns a deque: it pushes/pops its own work LIFO at the back
+ * and steals FIFO from the front of other workers' deques when idle
+ * (oldest-first stealing keeps big per-benchmark batches flowing).
+ *
+ * Determinism contract: the pool schedules WHEN tasks run, never WHAT
+ * they compute — callers give every task its own seed and its own
+ * output slot, so results are bit-identical at any thread count.
+ */
+
+#ifndef RSEP_SIM_THREAD_POOL_HH
+#define RSEP_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rsep::sim
+{
+
+class ThreadPool
+{
+  public:
+    /** Start @p nthreads workers (clamped to >= 1). */
+    explicit ThreadPool(unsigned nthreads);
+
+    /** Drains remaining work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task (round-robin across worker deques). */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    unsigned threadCount() const { return unsigned(workers.size()); }
+
+  private:
+    struct Worker
+    {
+        std::deque<std::function<void()>> deq;
+        std::mutex mtx;
+    };
+
+    bool popOwn(size_t w, std::function<void()> &out);
+    bool steal(size_t thief, std::function<void()> &out);
+    void workerLoop(size_t w);
+
+    std::vector<std::unique_ptr<Worker>> queues;
+    std::vector<std::thread> workers;
+
+    std::mutex poolMtx;
+    std::condition_variable workCv; ///< workers: work may be available.
+    std::condition_variable idleCv; ///< waiters: pending may have hit 0.
+    size_t pending = 0;             ///< submitted, not yet finished.
+    size_t nextQueue = 0;           ///< round-robin submission cursor.
+    bool stopping = false;
+};
+
+} // namespace rsep::sim
+
+#endif // RSEP_SIM_THREAD_POOL_HH

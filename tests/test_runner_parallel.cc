@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Determinism tests for the parallel experiment matrix: runMatrix must
+ * produce bit-identical MatrixRow contents at any thread count, because
+ * every (benchmark, config, checkpoint) cell is independently seeded
+ * and writes a preassigned output slot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sim/runner.hh"
+#include "sim/thread_pool.hh"
+
+namespace rsep::sim
+{
+namespace
+{
+
+SimConfig
+shrunk(SimConfig c)
+{
+    c.warmupInsts = 4'000;
+    c.measureInsts = 12'000;
+    c.checkpoints = 2;
+    c.seed = 0x5eed;
+    return c;
+}
+
+void
+expectIdentical(const std::vector<MatrixRow> &a,
+                const std::vector<MatrixRow> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t r = 0; r < a.size(); ++r) {
+        SCOPED_TRACE(a[r].benchmark);
+        EXPECT_EQ(a[r].benchmark, b[r].benchmark);
+        ASSERT_EQ(a[r].byConfig.size(), b[r].byConfig.size());
+        for (size_t c = 0; c < a[r].byConfig.size(); ++c) {
+            const RunResult &x = a[r].byConfig[c];
+            const RunResult &y = b[r].byConfig[c];
+            SCOPED_TRACE(x.configLabel);
+            EXPECT_EQ(x.configLabel, y.configLabel);
+            ASSERT_EQ(x.phases.size(), y.phases.size());
+            for (size_t p = 0; p < x.phases.size(); ++p) {
+                // Bit-identical, not approximately equal: the same
+                // cell runs the same deterministic simulation whatever
+                // thread it lands on.
+                EXPECT_EQ(x.phases[p].ipc, y.phases[p].ipc);
+                EXPECT_EQ(x.phases[p].stats.cycles.value(),
+                          y.phases[p].stats.cycles.value());
+                EXPECT_EQ(x.phases[p].stats.committedInsts.value(),
+                          y.phases[p].stats.committedInsts.value());
+                EXPECT_EQ(x.phases[p].stats.rsepCorrect.value(),
+                          y.phases[p].stats.rsepCorrect.value());
+                EXPECT_EQ(x.phases[p].stats.rsepMispredicts.value(),
+                          y.phases[p].stats.rsepMispredicts.value());
+                EXPECT_EQ(x.phases[p].stats.commitSquashes.value(),
+                          y.phases[p].stats.commitSquashes.value());
+                EXPECT_EQ(x.phases[p].stats.committedBranches.value(),
+                          y.phases[p].stats.committedBranches.value());
+            }
+        }
+    }
+}
+
+TEST(RunnerParallel, MatrixIsThreadCountInvariant)
+{
+    std::vector<SimConfig> configs = {shrunk(SimConfig::baseline()),
+                                      shrunk(SimConfig::rsepRealistic())};
+    std::vector<std::string> benches = {"namd", "hmmer", "mcf"};
+
+    MatrixOptions serial;
+    serial.jobs = 1;
+    serial.progress = false;
+    MatrixOptions wide;
+    wide.jobs = 4;
+    wide.progress = false;
+
+    auto rows1 = runMatrix(configs, benches, serial);
+    auto rows4 = runMatrix(configs, benches, wide);
+    expectIdentical(rows1, rows4);
+}
+
+TEST(RunnerParallel, MatrixMatchesSerialRunWorkload)
+{
+    SimConfig cfg = shrunk(SimConfig::rsepRealistic());
+    MatrixOptions wide;
+    wide.jobs = 3;
+    wide.progress = false;
+    auto rows = runMatrix({cfg}, {"hmmer"}, wide);
+    RunResult serial = runWorkload(cfg, "hmmer");
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].byConfig.size(), 1u);
+    const RunResult &par = rows[0].byConfig[0];
+    ASSERT_EQ(par.phases.size(), serial.phases.size());
+    for (size_t p = 0; p < par.phases.size(); ++p) {
+        EXPECT_EQ(par.phases[p].ipc, serial.phases[p].ipc);
+        EXPECT_EQ(par.phases[p].stats.cycles.value(),
+                  serial.phases[p].stats.cycles.value());
+    }
+    EXPECT_EQ(par.ipcHmean(), serial.ipcHmean());
+}
+
+TEST(RunnerParallel, ThreadPoolRunsAllTasksAcrossWorkers)
+{
+    ThreadPool pool(4);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 256; ++i)
+        pool.submit([&hits] { ++hits; });
+    pool.wait();
+    EXPECT_EQ(hits.load(), 256);
+    // The pool is reusable after a wait().
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&hits] { ++hits; });
+    pool.wait();
+    EXPECT_EQ(hits.load(), 288);
+}
+
+TEST(RunnerParallel, JobsResolution)
+{
+    EXPECT_EQ(resolveJobs(7), 7u);
+    EXPECT_GE(resolveJobs(0), 1u);
+
+    const char *argv1[] = {"prog", "--jobs", "5"};
+    EXPECT_EQ(parseJobsArg(3, const_cast<char **>(argv1)), 5u);
+    const char *argv2[] = {"prog", "--jobs=9"};
+    EXPECT_EQ(parseJobsArg(2, const_cast<char **>(argv2)), 9u);
+    const char *argv3[] = {"prog", "-j3"};
+    EXPECT_EQ(parseJobsArg(2, const_cast<char **>(argv3)), 3u);
+    const char *argv4[] = {"prog", "other"};
+    EXPECT_EQ(parseJobsArg(2, const_cast<char **>(argv4)), 0u);
+}
+
+} // namespace
+} // namespace rsep::sim
