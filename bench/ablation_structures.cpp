@@ -8,37 +8,37 @@
  *  - hash width sweep (Section IV-A: 14-bit fold; power-of-two widths
  *    collide more, hurting training via false pairs);
  *  - distance predictor size (42.6KB ideal vs 10.1KB realistic).
+ *
+ * Every arm is a registered scenario plus dotted-key overrides, so the
+ * sweeps exercise exactly the path scenario files use.
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 
 namespace
 {
 
 using namespace rsep;
 
-sim::SimConfig
-rsepArm(const std::string &label)
+/** A sweep arm: the `rsep` scenario + overrides, bench-default sized. */
+sim::Scenario
+rsepArm(const std::string &label,
+        const std::vector<std::pair<std::string, std::string>> &overrides)
 {
-    sim::SimConfig c = sim::SimConfig::rsepIdeal();
-    c.label = label;
-    bench::applyBenchDefaults(c);
-    return c;
-}
-
-sim::MatrixOptions g_opts;
-
-void
-sweep(const std::string &title,
-      const std::vector<sim::SimConfig> &configs)
-{
-    std::cout << "\n=== " << title << " ===\n";
-    auto rows = sim::runMatrix(configs, bench::highlightBenchmarks(),
-                               g_opts);
-    sim::printSpeedupTable(std::cout, rows, configs);
+    sim::Scenario sc = *sim::findScenario("rsep");
+    sc.name = label;
+    sc.config.label = label;
+    for (const auto &[key, value] : overrides) {
+        std::string err;
+        if (!sim::applyScenarioKey(sc.config, key, value, &err))
+            rsep_fatal("%s", err.c_str());
+    }
+    bench::applyBenchDefaults(sc.config);
+    return sc;
 }
 
 } // namespace
@@ -48,64 +48,107 @@ main(int argc, char **argv)
 {
     using namespace rsep;
 
-    g_opts = bench::matrixOptions(argc, argv);
+    bench::HarnessSpec spec;
+    spec.name = "ablation_structures";
+    spec.description =
+        "Structure ablations (Sections IV, VI-A) on the paper's "
+        "highlight benchmarks:\nFIFO depth vs DDT, ISRB size, hash "
+        "width, distance predictor size.";
+    spec.custom = [&spec](const bench::DriverContext &ctx) {
+        if (ctx.scenariosOverridden)
+            return bench::runScenarioMatrix(spec, ctx, ctx.scenarios);
 
-    sim::SimConfig base = sim::SimConfig::baseline();
-    bench::applyBenchDefaults(base);
+        sim::Scenario base = *sim::findScenario("baseline");
+        bench::applyBenchDefaults(base.config);
 
-    // --- history depth / DDT (Section VI-A2) ---
-    {
-        std::vector<sim::SimConfig> configs = {base};
-        for (unsigned depth : {32u, 128u, 256u, 1024u}) {
-            sim::SimConfig c = rsepArm("fifo-" + std::to_string(depth));
-            c.mech.rsep.historyDepth = depth;
-            configs.push_back(c);
+        // Accumulated across sweeps for --csv/--json/--stats. The
+        // shared baseline column recurs in every sweep; keep one copy
+        // so (benchmark, scenario, hash) stays a unique export key.
+        std::vector<sim::SimConfig> all_configs;
+        std::vector<sim::MatrixRow> all_rows;
+        std::vector<std::string> seen_keys;
+
+        auto sweep = [&](const std::string &title,
+                         const std::vector<sim::Scenario> &arms) {
+            std::vector<sim::SimConfig> configs;
+            configs.push_back(base.config);
+            for (const auto &arm : arms)
+                configs.push_back(arm.config);
+            std::cout << "\n=== " << title << " ===\n";
+            auto rows = sim::runMatrix(
+                configs, bench::highlightBenchmarks(), ctx.matrix);
+            sim::printSpeedupTable(std::cout, rows, configs);
+
+            for (size_t b = 0; b < rows.size(); ++b)
+                if (b >= all_rows.size())
+                    all_rows.push_back({rows[b].benchmark, {}});
+            for (size_t c = 0; c < configs.size(); ++c) {
+                // Arms may share a config (e.g. fifo-1024 == the rsep
+                // base) under different names, so key on label + hash.
+                std::string key =
+                    configs[c].label + "/" + sim::configHash(configs[c]);
+                bool dup = false;
+                for (const auto &k : seen_keys)
+                    dup = dup || k == key;
+                if (dup)
+                    continue;
+                seen_keys.push_back(key);
+                all_configs.push_back(configs[c]);
+                for (size_t b = 0; b < rows.size(); ++b)
+                    all_rows[b].byConfig.push_back(
+                        std::move(rows[b].byConfig[c]));
+            }
+        };
+
+        // --- history depth / DDT (Section VI-A2) ---
+        {
+            std::vector<sim::Scenario> arms;
+            for (unsigned depth : {32u, 128u, 256u, 1024u})
+                arms.push_back(rsepArm(
+                    "fifo-" + std::to_string(depth),
+                    {{"rsep.history_depth", std::to_string(depth)}}));
+            arms.push_back(rsepArm("ddt-16KB", {{"rsep.use_ddt", "true"}}));
+            sweep("history depth sweep + DDT (VI-A2)", arms);
+            std::cout << "paper shape: 128 entries reach most of the "
+                         "potential (32 suffices except hmmer/xalancbmk); "
+                         "the FIFO is >= the DDT by 0-2.5 points.\n";
         }
-        sim::SimConfig ddt = rsepArm("ddt-16KB");
-        ddt.mech.rsep.useDdt = true;
-        configs.push_back(ddt);
-        sweep("history depth sweep + DDT (VI-A2)", configs);
-        std::cout << "paper shape: 128 entries reach most of the "
-                     "potential (32 suffices except hmmer/xalancbmk); "
-                     "the FIFO is >= the DDT by 0-2.5 points.\n";
-    }
 
-    // --- ISRB size (Section VI-A3) ---
-    {
-        std::vector<sim::SimConfig> configs = {base};
-        for (unsigned entries : {4u, 8u, 24u, 64u}) {
-            sim::SimConfig c = rsepArm("isrb-" + std::to_string(entries));
-            c.mech.rsep.isrbEntries = entries;
-            configs.push_back(c);
+        // --- ISRB size (Section VI-A3) ---
+        {
+            std::vector<sim::Scenario> arms;
+            for (unsigned entries : {4u, 8u, 24u, 64u})
+                arms.push_back(rsepArm(
+                    "isrb-" + std::to_string(entries),
+                    {{"rsep.isrb_entries", std::to_string(entries)}}));
+            sweep("ISRB size sweep (VI-A3)", arms);
+            std::cout << "paper shape: 24 entries of two 6-bit counters "
+                         "are not detrimental vs larger buffers.\n";
         }
-        sweep("ISRB size sweep (VI-A3)", configs);
-        std::cout << "paper shape: 24 entries of two 6-bit counters are "
-                     "not detrimental vs larger buffers.\n";
-    }
 
-    // --- hash width (Section IV-A) ---
-    {
-        std::vector<sim::SimConfig> configs = {base};
-        for (unsigned bits : {8u, 10u, 14u, 16u}) {
-            sim::SimConfig c = rsepArm("hash-" + std::to_string(bits));
-            c.mech.rsep.hashBits = bits;
-            configs.push_back(c);
+        // --- hash width (Section IV-A) ---
+        {
+            std::vector<sim::Scenario> arms;
+            for (unsigned bits : {8u, 10u, 14u, 16u})
+                arms.push_back(
+                    rsepArm("hash-" + std::to_string(bits),
+                            {{"rsep.hash_bits", std::to_string(bits)}}));
+            sweep("hash width sweep (IV-A)", arms);
+            std::cout << "paper shape: 14 bits behave like full compare; "
+                         "narrow and power-of-two folds add false pairs.\n";
         }
-        sweep("hash width sweep (IV-A)", configs);
-        std::cout << "paper shape: 14 bits behave like full compare; "
-                     "narrow and power-of-two folds add false pairs.\n";
-    }
 
-    // --- predictor size (IV-C vs VI-B) ---
-    {
-        std::vector<sim::SimConfig> configs = {base};
-        sim::SimConfig ideal = rsepArm("pred-42.6KB");
-        configs.push_back(ideal);
-        sim::SimConfig small = rsepArm("pred-10.1KB");
-        small.mech.rsep.idealPredictor = false;
-        configs.push_back(small);
-        sweep("distance predictor size (IV-C/VI-B)", configs);
-        std::cout << "paper shape: good results persist at ~10KB.\n";
-    }
-    return 0;
+        // --- predictor size (IV-C vs VI-B) ---
+        {
+            std::vector<sim::Scenario> arms;
+            arms.push_back(rsepArm("pred-42.6KB", {}));
+            arms.push_back(rsepArm("pred-10.1KB",
+                                   {{"rsep.ideal_predictor", "false"}}));
+            sweep("distance predictor size (IV-C/VI-B)", arms);
+            std::cout << "paper shape: good results persist at ~10KB.\n";
+        }
+
+        return bench::exportStats(ctx, all_configs, all_rows) ? 0 : 1;
+    };
+    return bench::runHarness(argc, argv, spec);
 }

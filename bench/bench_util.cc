@@ -1,0 +1,367 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "common/env.hh"
+
+namespace rsep::bench
+{
+
+void
+applyBenchDefaults(sim::SimConfig &cfg)
+{
+    if (!simScaleOverridden()) {
+        cfg.warmupInsts = static_cast<u64>(cfg.warmupInsts * 0.4);
+        cfg.measureInsts = static_cast<u64>(cfg.measureInsts * 0.4);
+    }
+    if (!checkpointsOverridden())
+        cfg.checkpoints = 2;
+}
+
+std::vector<std::string>
+highlightBenchmarks()
+{
+    return {"mcf", "dealII", "hmmer", "libquantum", "omnetpp",
+            "xalancbmk"};
+}
+
+void
+printScenarioList(std::ostream &os)
+{
+    os << "registered scenarios:\n";
+    for (const sim::ScenarioInfo &info : sim::registeredScenarios()) {
+        os << "  " << info.name;
+        for (const std::string &alias : info.aliases)
+            os << " | " << alias;
+        os << "\n      " << info.description << "\n";
+    }
+    os << "\nScenario files (--scenario-file) can define further arms; "
+          "see DESIGN.md,\n\"Scenario files and stat export\", and "
+          "examples/scenarios/.\n";
+}
+
+void
+warnUnusedMatrixFlags(const char *driver, const DriverContext &ctx,
+                      size_t scenarios_used)
+{
+    if (!ctx.csvPath.empty() || !ctx.jsonPath.empty() || ctx.statsTable)
+        std::fprintf(stderr,
+                     "%s: warning: no experiment matrix is run here; "
+                     "--csv/--json/--stats are ignored\n",
+                     driver);
+    if (ctx.scenarios.size() > scenarios_used)
+        std::fprintf(stderr,
+                     "%s: warning: ignoring %zu extra scenario(s); only "
+                     "the first %zu are used\n",
+                     driver, ctx.scenarios.size() - scenarios_used,
+                     scenarios_used);
+}
+
+namespace
+{
+
+void
+printHelp(const HarnessSpec &spec)
+{
+    std::printf("usage: %s [options]%s\n", spec.name,
+                spec.positionalBenchmarks ? " [benchmark ...]"
+                : spec.positionalHelp    ? spec.positionalHelp
+                                         : "");
+    if (spec.description[0])
+        std::printf("%s\n", spec.description);
+    std::printf(
+        "\noptions:\n"
+        "  --scenario NAME[,NAME...]  run these registered scenarios\n"
+        "                             (repeatable; see --list-scenarios)\n"
+        "  --scenario-file PATH       load scenarios from a .scn file\n"
+        "                             (repeatable)\n"
+        "  --list-scenarios           list registered scenarios and exit\n"
+        "  --csv PATH                 write the stat matrix as CSV\n"
+        "  --json PATH                write the stat matrix as JSON\n"
+        "  --stats                    print per-engine counters per cell\n"
+        "  --jobs N, -jN              worker threads (0 = auto: RSEP_JOBS\n"
+        "                             or the hardware thread count)\n"
+        "  --help, -h                 show this help\n");
+    if (!spec.defaultScenarios.empty()) {
+        std::printf("\ndefault scenarios:");
+        for (const std::string &s : spec.defaultScenarios)
+            std::printf(" %s", s.c_str());
+        std::printf("\n");
+    }
+    if (spec.positionalBenchmarks)
+        std::printf("\npositional arguments name benchmarks (default:%s"
+                    " the paper suite)\n",
+                    spec.benchmarks.empty() ? "" : " a subset of");
+    std::printf("\nStat dumps are keyed by (benchmark, scenario, config "
+                "hash).\nEnvironment: RSEP_SIM_SCALE, RSEP_CHECKPOINTS, "
+                "RSEP_JOBS.\n");
+}
+
+/** Split a NAME[,NAME...] list. */
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+int
+usageError(const HarnessSpec &spec, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s (try --help)\n", spec.name, msg.c_str());
+    return 2;
+}
+
+/**
+ * Parse the common driver flags. Returns -1 to continue running, or a
+ * process exit code when the invocation is complete (help/list) or
+ * malformed.
+ */
+int
+parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
+                DriverContext &ctx)
+{
+    auto addScenarioNames = [&](const std::string &list,
+                                std::string &err) {
+        for (const std::string &name : splitCommas(list)) {
+            auto sc = sim::findScenario(name);
+            if (!sc) {
+                err = "unknown scenario '" + name +
+                      "' (see --list-scenarios)";
+                return false;
+            }
+            if (spec.benchDefaults)
+                applyBenchDefaults(sc->config);
+            ctx.scenarios.push_back(std::move(*sc));
+        }
+        ctx.scenariosOverridden = true;
+        return true;
+    };
+    auto addScenarioFile = [&](const std::string &path, std::string &err) {
+        sim::ScenarioParse parsed = sim::parseScenarioFile(path);
+        if (!parsed.ok()) {
+            err = parsed.error;
+            return false;
+        }
+        for (auto &sc : parsed.scenarios)
+            ctx.scenarios.push_back(std::move(sc));
+        ctx.scenariosOverridden = true;
+        return true;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        std::string err;
+
+        // `--flag value` and `--flag=value` both work.
+        auto valueOf = [&](const char *flag,
+                           std::string &value) -> int {
+            size_t n = std::strlen(flag);
+            if (a.compare(0, n, flag) != 0)
+                return 0; // not this flag.
+            if (a.size() == n) {
+                if (i + 1 >= argc)
+                    return -1; // dangling.
+                value = argv[++i];
+                return 1;
+            }
+            if (a[n] != '=')
+                return 0;
+            value = a.substr(n + 1);
+            return 1;
+        };
+
+        if (a == "--help" || a == "-h") {
+            printHelp(spec);
+            return 0;
+        }
+        if (a == "--list-scenarios") {
+            printScenarioList(std::cout);
+            return 0;
+        }
+        if (a == "--stats") {
+            ctx.statsTable = true;
+            continue;
+        }
+        std::string value;
+        int hit;
+        if ((hit = valueOf("--scenario-file", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--scenario-file requires a path");
+            if (!addScenarioFile(value, err))
+                return usageError(spec, err);
+            continue;
+        }
+        if ((hit = valueOf("--scenario", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--scenario requires a name");
+            if (!addScenarioNames(value, err))
+                return usageError(spec, err);
+            continue;
+        }
+        if ((hit = valueOf("--csv", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--csv requires a path");
+            ctx.csvPath = value;
+            continue;
+        }
+        if ((hit = valueOf("--json", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--json requires a path");
+            ctx.jsonPath = value;
+            continue;
+        }
+        if (a == "--jobs" || a == "-j" || a.rfind("--jobs=", 0) == 0 ||
+            (a.rfind("-j", 0) == 0 && a.size() > 2)) {
+            // Delegate to the strict shared jobs grammar: hand it a
+            // two-entry argv slice so `--jobs N` consumes its value.
+            char *slice[3] = {argv[0], argv[i],
+                              i + 1 < argc ? argv[i + 1] : nullptr};
+            int slice_argc = (a == "--jobs" || a == "-j") && slice[2]
+                                 ? 3
+                                 : 2;
+            unsigned jobs = 0;
+            if (!sim::parseJobsArg(slice_argc, slice, jobs, err))
+                return usageError(spec, err);
+            ctx.matrix.jobs = jobs;
+            if (slice_argc == 3)
+                ++i;
+            continue;
+        }
+        if (!a.empty() && a[0] == '-')
+            return usageError(spec, "unknown option '" + a + "'");
+        ctx.positional.push_back(a);
+    }
+
+    if (!ctx.positional.empty() && !spec.positionalBenchmarks &&
+        !spec.custom)
+        return usageError(spec, "unexpected argument '" +
+                                    ctx.positional.front() + "'");
+    return -1;
+}
+
+std::vector<std::string>
+benchmarksFor(const HarnessSpec &spec, const DriverContext &ctx)
+{
+    if (spec.positionalBenchmarks && !ctx.positional.empty())
+        return ctx.positional;
+    if (!spec.benchmarks.empty())
+        return spec.benchmarks;
+    return wl::suiteNames();
+}
+
+} // namespace
+
+bool
+exportStats(const DriverContext &ctx,
+            const std::vector<sim::SimConfig> &configs,
+            const std::vector<sim::MatrixRow> &rows)
+{
+    if (ctx.csvPath.empty() && ctx.jsonPath.empty() && !ctx.statsTable)
+        return true;
+    std::vector<sim::StatRow> stat_rows =
+        sim::collectStatRows(configs, rows);
+    bool ok = true;
+    std::string err;
+    if (!ctx.csvPath.empty()) {
+        if (sim::writeStatsFile(ctx.csvPath, sim::CsvStatSink{},
+                                stat_rows, &err))
+            std::fprintf(stderr, "[export] wrote %s\n",
+                         ctx.csvPath.c_str());
+        else
+            ok = (std::fprintf(stderr, "[export] %s\n", err.c_str()),
+                  false);
+    }
+    if (!ctx.jsonPath.empty()) {
+        if (sim::writeStatsFile(ctx.jsonPath, sim::JsonStatSink{},
+                                stat_rows, &err))
+            std::fprintf(stderr, "[export] wrote %s\n",
+                         ctx.jsonPath.c_str());
+        else
+            ok = (std::fprintf(stderr, "[export] %s\n", err.c_str()),
+                  false);
+    }
+    if (ctx.statsTable) {
+        std::cout << "\n=== per-engine counters by (benchmark, scenario, "
+                     "config hash) ===\n";
+        sim::TableStatSink{}.write(std::cout, stat_rows);
+    }
+    return ok;
+}
+
+int
+runScenarioMatrix(const HarnessSpec &spec, const DriverContext &ctx,
+                  const std::vector<sim::Scenario> &scenarios)
+{
+    if (scenarios.empty())
+        return usageError(spec, "no scenarios to run");
+
+    std::vector<sim::SimConfig> configs;
+    configs.reserve(scenarios.size());
+    for (const sim::Scenario &sc : scenarios)
+        configs.push_back(sc.config);
+
+    auto rows =
+        sim::runMatrix(configs, benchmarksFor(spec, ctx), ctx.matrix);
+
+    std::cout << "=== scenario matrix: " << configs.size()
+              << " scenario(s) ===\n";
+    for (size_t c = 0; c < configs.size(); ++c)
+        std::cout << "  " << scenarios[c].name << "  (config hash "
+                  << sim::configHash(configs[c]) << ")\n";
+    if (configs.size() > 1) {
+        std::cout << "\nspeedup over '" << scenarios[0].name << "':\n";
+        sim::printSpeedupTable(std::cout, rows, configs);
+    } else {
+        std::cout << "\nbenchmark IPC (hmean over checkpoints):\n";
+        for (const auto &row : rows)
+            std::printf("%-12s %8.3f\n", row.benchmark.c_str(),
+                        row.byConfig[0].ipcHmean());
+    }
+    return exportStats(ctx, configs, rows) ? 0 : 1;
+}
+
+int
+runHarness(int argc, char **argv, const HarnessSpec &spec)
+{
+    DriverContext ctx;
+    int rc = parseDriverArgs(argc, argv, spec, ctx);
+    if (rc >= 0)
+        return rc;
+
+    if (spec.custom)
+        return spec.custom(ctx);
+
+    if (ctx.scenariosOverridden)
+        return runScenarioMatrix(spec, ctx, ctx.scenarios);
+
+    HarnessResult result;
+    for (const std::string &name : spec.defaultScenarios) {
+        auto sc = sim::findScenario(name);
+        if (!sc)
+            return usageError(spec, "internal: unregistered default "
+                                    "scenario '" +
+                                        name + "'");
+        if (spec.benchDefaults)
+            applyBenchDefaults(sc->config);
+        result.configs.push_back(std::move(sc->config));
+    }
+
+    result.rows = sim::runMatrix(result.configs, benchmarksFor(spec, ctx),
+                                 ctx.matrix);
+    if (spec.report)
+        spec.report(result);
+    else if (result.configs.size() > 1)
+        sim::printSpeedupTable(std::cout, result.rows, result.configs);
+    return exportStats(ctx, result.configs, result.rows) ? 0 : 1;
+}
+
+} // namespace rsep::bench

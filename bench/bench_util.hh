@@ -1,18 +1,24 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses: default run sizing
- * (overridable via RSEP_SIM_SCALE / RSEP_CHECKPOINTS) and common
- * benchmark subsets.
+ * Shared driver harness for the bench and example binaries: every
+ * driver declares a HarnessSpec (its default scenarios, benchmarks and
+ * bespoke report) and delegates flag handling, scenario resolution,
+ * the matrix run and stat export to runHarness. All drivers accept the
+ * same flags: --scenario, --scenario-file, --list-scenarios, --csv,
+ * --json, --stats, --jobs and --help.
  */
 
 #ifndef RSEP_BENCH_BENCH_UTIL_HH
 #define RSEP_BENCH_BENCH_UTIL_HH
 
-#include <cstdlib>
+#include <functional>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "sim/runner.hh"
+#include "sim/scenario.hh"
+#include "sim/stat_export.hh"
 #include "wl/suite.hh"
 
 namespace rsep::bench
@@ -22,39 +28,88 @@ namespace rsep::bench
  * Apply the bench-default run size: harnesses default to a smaller
  * window (2 checkpoints, 0.4x instructions) than the library default
  * so the full figure suite completes in minutes on one core. Both are
- * overridable through the environment.
+ * overridable through the environment. Registry-sourced scenarios get
+ * this sizing; scenario files control their own `[sim]` section and
+ * are left untouched.
  */
-inline void
-applyBenchDefaults(sim::SimConfig &cfg)
-{
-    if (!std::getenv("RSEP_SIM_SCALE")) {
-        cfg.warmupInsts = static_cast<u64>(cfg.warmupInsts * 0.4);
-        cfg.measureInsts = static_cast<u64>(cfg.measureInsts * 0.4);
-    }
-    if (!std::getenv("RSEP_CHECKPOINTS"))
-        cfg.checkpoints = 2;
-}
+void applyBenchDefaults(sim::SimConfig &cfg);
 
 /** The benchmarks the paper highlights for RSEP (Section VI-B). */
-inline std::vector<std::string>
-highlightBenchmarks()
+std::vector<std::string> highlightBenchmarks();
+
+/** Everything runHarness parsed off the command line. */
+struct DriverContext
 {
-    return {"mcf", "dealII", "hmmer", "libquantum", "omnetpp",
-            "xalancbmk"};
-}
+    sim::MatrixOptions matrix;
+    /** From --scenario / --scenario-file, in flag order. */
+    std::vector<sim::Scenario> scenarios;
+    bool scenariosOverridden = false;
+    std::string csvPath;
+    std::string jsonPath;
+    bool statsTable = false;
+    std::vector<std::string> positional;
+};
+
+/** The matrix a harness run produced, for bespoke reports. */
+struct HarnessResult
+{
+    std::vector<sim::SimConfig> configs;
+    std::vector<sim::MatrixRow> rows;
+};
+
+/** Static description of one driver binary. */
+struct HarnessSpec
+{
+    const char *name = "driver";
+    const char *description = "";
+    /** Registered scenario names run by a flag-less invocation. */
+    std::vector<std::string> defaultScenarios;
+    /** Default benchmark set; empty = the full 29-bench suite. */
+    std::vector<std::string> benchmarks;
+    /** Apply applyBenchDefaults to registry-sourced scenarios. */
+    bool benchDefaults = true;
+    /** Positional arguments name benchmarks to run. */
+    bool positionalBenchmarks = false;
+    const char *positionalHelp = nullptr;
+    /** Bespoke tables for the default arm set (kept byte-identical to
+     *  the pre-harness drivers); scenario overrides use the generic
+     *  speedup table instead. */
+    std::function<void(const HarnessResult &)> report;
+    /** Full-control drivers (sweeps, single-run dumps): invoked with
+     *  the parsed context instead of the standard matrix flow. */
+    std::function<int(const DriverContext &)> custom;
+};
 
 /**
- * Matrix-runner options for a harness: worker count from `--jobs N` /
- * `--jobs=N` / `-jN` on the command line, falling back to RSEP_JOBS
- * and then to the hardware thread count.
+ * Run a driver: parse flags (--help and --list-scenarios exit here),
+ * resolve scenarios, fan out the matrix, print the report and write
+ * any requested CSV/JSON/stat-table dump. Returns the process exit
+ * code.
  */
-inline sim::MatrixOptions
-matrixOptions(int argc, char **argv)
-{
-    sim::MatrixOptions opts;
-    opts.jobs = sim::parseJobsArg(argc, argv);
-    return opts;
-}
+int runHarness(int argc, char **argv, const HarnessSpec &spec);
+
+/** Run an explicit scenario list through the generic matrix + report
+ *  + export path (what scenario overrides and sweep drivers use). */
+int runScenarioMatrix(const HarnessSpec &spec, const DriverContext &ctx,
+                      const std::vector<sim::Scenario> &scenarios);
+
+/** Write the CSV/JSON/table dumps requested in @p ctx. False on I/O
+ *  failure (already reported to stderr). */
+bool exportStats(const DriverContext &ctx,
+                 const std::vector<sim::SimConfig> &configs,
+                 const std::vector<sim::MatrixRow> &rows);
+
+/** Print the registered-scenario listing (--list-scenarios). */
+void printScenarioList(std::ostream &os);
+
+/**
+ * For custom drivers that run no experiment matrix: warn on stderr
+ * about parsed flags the run cannot honour — a silently dropped --csv
+ * would otherwise look like a successful export. @p scenarios_used is
+ * how many of ctx.scenarios the driver consumed.
+ */
+void warnUnusedMatrixFlags(const char *driver, const DriverContext &ctx,
+                           size_t scenarios_used);
 
 } // namespace rsep::bench
 

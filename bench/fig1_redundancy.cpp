@@ -17,52 +17,54 @@ main(int argc, char **argv)
     using namespace rsep;
     using core::PipelineStats;
 
-    sim::SimConfig cfg = sim::SimConfig::fig1Probe();
-    bench::applyBenchDefaults(cfg);
-
+    bench::HarnessSpec spec;
+    spec.name = "fig1_redundancy";
+    spec.description =
+        "Reproduces Fig. 1: result redundancy at commit (zero results "
+        "and results\nalready live in the PRF), plus the commit-group "
+        "producer histogram.";
     // The probe rides the baseline core; equality prediction is on
     // solely to collect the commit-group histogram.
-    sim::SimConfig probe_cfg = cfg;
-    probe_cfg.mech.equalityPred = true;
-    probe_cfg.mech.rsep = equality::RsepConfig::idealLarge();
-    auto rows = sim::runMatrix({probe_cfg}, wl::suiteNames(),
-                               bench::matrixOptions(argc, argv));
+    spec.defaultScenarios = {"fig1-redundancy"};
+    spec.report = [](const bench::HarnessResult &r) {
+        std::printf("=== Fig. 1: result redundancy at commit ===\n");
+        std::printf("%-12s %10s %10s %12s %12s %10s %10s\n", "benchmark",
+                    "zero-ld%", "zero-oth%", "inPRF-ld%", "inPRF-oth%",
+                    "grp>=6%", "grp=8%");
 
-    std::printf("=== Fig. 1: result redundancy at commit ===\n");
-    std::printf("%-12s %10s %10s %12s %12s %10s %10s\n", "benchmark",
-                "zero-ld%", "zero-oth%", "inPRF-ld%", "inPRF-oth%",
-                "grp>=6%", "grp=8%");
+        for (const auto &mrow : r.rows) {
+            const std::string &bench = mrow.benchmark;
+            const sim::RunResult &rr = mrow.byConfig[0];
 
-    for (const auto &mrow : rows) {
-        const std::string &bench = mrow.benchmark;
-        const sim::RunResult &rr = mrow.byConfig[0];
+            double insts = static_cast<double>(
+                rr.sum(&PipelineStats::committedInsts));
+            auto pct = [&](StatCounter PipelineStats::* m) {
+                return 100.0 * static_cast<double>(rr.sum(m)) / insts;
+            };
 
-        double insts =
-            static_cast<double>(rr.sum(&PipelineStats::committedInsts));
-        auto pct = [&](StatCounter PipelineStats::* m) {
-            return 100.0 * static_cast<double>(rr.sum(m)) / insts;
-        };
+            // Commit-group eligibility histogram across phases.
+            u64 cycles = 0, ge6 = 0, eq8 = 0;
+            for (const auto &ph : rr.phases) {
+                const auto &h = ph.stats.commitGroupProducers;
+                cycles += h.samples();
+                for (size_t b = 6; b < h.buckets(); ++b)
+                    ge6 += h.bucket(b);
+                eq8 += h.bucket(8);
+            }
+            double ge6pct = cycles ? 100.0 * ge6 / cycles : 0.0;
+            double eq8pct = cycles ? 100.0 * eq8 / cycles : 0.0;
 
-        // Commit-group eligibility histogram across phases.
-        u64 cycles = 0, ge6 = 0, eq8 = 0;
-        for (const auto &ph : rr.phases) {
-            const auto &h = ph.stats.commitGroupProducers;
-            cycles += h.samples();
-            for (size_t b = 6; b < h.buckets(); ++b)
-                ge6 += h.bucket(b);
-            eq8 += h.bucket(8);
+            std::printf(
+                "%-12s %10.2f %10.2f %12.2f %12.2f %10.2f %10.2f\n",
+                bench.c_str(), pct(&PipelineStats::fig1ZeroLoad),
+                pct(&PipelineStats::fig1ZeroOther),
+                pct(&PipelineStats::fig1InPrfLoad),
+                pct(&PipelineStats::fig1InPrfOther), ge6pct, eq8pct);
         }
-        double ge6pct = cycles ? 100.0 * ge6 / cycles : 0.0;
-        double eq8pct = cycles ? 100.0 * eq8 / cycles : 0.0;
-
-        std::printf("%-12s %10.2f %10.2f %12.2f %12.2f %10.2f %10.2f\n",
-                    bench.c_str(), pct(&PipelineStats::fig1ZeroLoad),
-                    pct(&PipelineStats::fig1ZeroOther),
-                    pct(&PipelineStats::fig1InPrfLoad),
-                    pct(&PipelineStats::fig1InPrfOther), ge6pct, eq8pct);
-    }
-    std::printf("\npaper shape: most benchmarks >=5%% redundant results; "
-                "zeusmp/cactusADM ~20%% zero producers; lbm/gamess retire "
-                "wide eligible groups.\n");
-    return 0;
+        std::printf(
+            "\npaper shape: most benchmarks >=5%% redundant results; "
+            "zeusmp/cactusADM ~20%% zero producers; lbm/gamess retire "
+            "wide eligible groups.\n");
+    };
+    return bench::runHarness(argc, argv, spec);
 }

@@ -14,24 +14,22 @@ main(int argc, char **argv)
 {
     using namespace rsep;
 
-    std::vector<sim::SimConfig> configs = {
-        sim::SimConfig::baseline(),     sim::SimConfig::zeroPredOnly(),
-        sim::SimConfig::moveElimOnly(), sim::SimConfig::rsepIdeal(),
-        sim::SimConfig::vpOnly(),       sim::SimConfig::rsepPlusVp(),
+    bench::HarnessSpec spec;
+    spec.name = "fig4_speedup";
+    spec.description =
+        "Reproduces Fig. 4: speedup over baseline of the paper's five "
+        "mechanism arms\nacross all 29 benchmarks.";
+    spec.defaultScenarios = {"baseline",  "zero-pred", "move-elim",
+                             "rsep",      "vpred",     "rsep+vpred"};
+    spec.report = [](const bench::HarnessResult &r) {
+        std::cout << "=== Fig. 4: speedup over baseline ===\n";
+        sim::printSpeedupTable(std::cout, r.rows, r.configs);
+        std::cout << "\npaper shape: RSEP 5-11% in {mcf, dealII, hmmer, "
+                     "libquantum, omnetpp, xalancbmk}; VP better in "
+                     "{perlbench, wrf, xalancbmk}; zero pred only helps "
+                     "gamess/libquantum; move elim only dealII/xalancbmk; "
+                     "RSEP+VP >= max(RSEP, VP) except perlbench where VP "
+                     "subsumes RSEP.\n";
     };
-    for (auto &cfg : configs)
-        bench::applyBenchDefaults(cfg);
-
-    auto rows = sim::runMatrix(configs, wl::suiteNames(),
-                               bench::matrixOptions(argc, argv));
-
-    std::cout << "=== Fig. 4: speedup over baseline ===\n";
-    sim::printSpeedupTable(std::cout, rows, configs);
-    std::cout << "\npaper shape: RSEP 5-11% in {mcf, dealII, hmmer, "
-                 "libquantum, omnetpp, xalancbmk}; VP better in "
-                 "{perlbench, wrf, xalancbmk}; zero pred only helps "
-                 "gamess/libquantum; move elim only dealII/xalancbmk; "
-                 "RSEP+VP >= max(RSEP, VP) except perlbench where VP "
-                 "subsumes RSEP.\n";
-    return 0;
+    return bench::runHarness(argc, argv, spec);
 }

@@ -15,52 +15,55 @@ main(int argc, char **argv)
     using namespace rsep;
     using core::PipelineStats;
 
-    sim::SimConfig rsep_cfg = sim::SimConfig::rsepIdeal();
-    rsep_cfg.mech.zeroPred = true; // Fig. 5 includes zero-pred bars.
-    sim::SimConfig both_cfg = sim::SimConfig::rsepPlusVp();
-    both_cfg.mech.zeroPred = true;
-    bench::applyBenchDefaults(rsep_cfg);
-    bench::applyBenchDefaults(both_cfg);
+    bench::HarnessSpec spec;
+    spec.name = "fig5_coverage";
+    spec.description =
+        "Reproduces Fig. 5: % of committed instructions covered per "
+        "mechanism\n(RSEP arm, then RSEP + VP arm, zero-pred bars "
+        "included).";
+    spec.defaultScenarios = {"rsep+zp", "rsep+vpred+zp"};
+    spec.report = [](const bench::HarnessResult &r) {
+        std::printf(
+            "=== Fig. 5: %% of committed instructions covered ===\n");
+        std::printf("(first row per benchmark: RSEP; second: RSEP + VP)\n");
+        std::printf("%-12s %8s %8s %8s %8s %8s %8s %8s %8s\n", "benchmark",
+                    "zidiom", "move", "zp", "zp-ld", "dist", "dist-ld",
+                    "vp", "vp-ld");
 
-    auto rows = sim::runMatrix({rsep_cfg, both_cfg}, wl::suiteNames(),
-                               bench::matrixOptions(argc, argv));
-
-    std::printf("=== Fig. 5: %% of committed instructions covered ===\n");
-    std::printf("(first row per benchmark: RSEP; second: RSEP + VP)\n");
-    std::printf("%-12s %8s %8s %8s %8s %8s %8s %8s %8s\n", "benchmark",
-                "zidiom", "move", "zp", "zp-ld", "dist", "dist-ld", "vp",
-                "vp-ld");
-
-    auto row = [&](const sim::RunResult &rr) {
-        double insts =
-            static_cast<double>(rr.sum(&PipelineStats::committedInsts));
-        auto pct = [&](StatCounter PipelineStats::* m) {
-            return 100.0 * static_cast<double>(rr.sum(m)) / insts;
+        auto row = [&](const sim::RunResult &rr) {
+            double insts = static_cast<double>(
+                rr.sum(&PipelineStats::committedInsts));
+            auto pct = [&](StatCounter PipelineStats::* m) {
+                return 100.0 * static_cast<double>(rr.sum(m)) / insts;
+            };
+            std::printf(
+                " %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+                pct(&PipelineStats::zeroIdiomElim),
+                pct(&PipelineStats::moveElim),
+                pct(&PipelineStats::zeroPredOther),
+                pct(&PipelineStats::zeroPredLoad),
+                pct(&PipelineStats::distPredOther),
+                pct(&PipelineStats::distPredLoad),
+                pct(&PipelineStats::valuePredOther),
+                pct(&PipelineStats::valuePredLoad));
         };
-        std::printf(" %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
-                    pct(&PipelineStats::zeroIdiomElim),
-                    pct(&PipelineStats::moveElim),
-                    pct(&PipelineStats::zeroPredOther),
-                    pct(&PipelineStats::zeroPredLoad),
-                    pct(&PipelineStats::distPredOther),
-                    pct(&PipelineStats::distPredLoad),
-                    pct(&PipelineStats::valuePredOther),
-                    pct(&PipelineStats::valuePredLoad));
-    };
 
-    for (const auto &mrow : rows) {
-        const sim::RunResult &r1 = mrow.byConfig[0];
-        const sim::RunResult &r2 = mrow.byConfig[1];
-        std::printf("%-12s", mrow.benchmark.c_str());
-        row(r1);
-        std::printf("%-12s", "");
-        row(r2);
-        // Overlap diagnostic (perlbench: VP covers RSEP's catch).
-        double overlap =
-            100.0 *
-            static_cast<double>(r2.sum(&PipelineStats::rsepVpOverlap)) /
-            static_cast<double>(r2.sum(&PipelineStats::committedInsts));
-        std::printf("%-12s rsep&vp-overlap: %.2f%%\n", "", overlap);
-    }
-    return 0;
+        for (const auto &mrow : r.rows) {
+            const sim::RunResult &r1 = mrow.byConfig[0];
+            const sim::RunResult &r2 = mrow.byConfig[1];
+            std::printf("%-12s", mrow.benchmark.c_str());
+            row(r1);
+            std::printf("%-12s", "");
+            row(r2);
+            // Overlap diagnostic (perlbench: VP covers RSEP's catch).
+            double overlap =
+                100.0 *
+                static_cast<double>(
+                    r2.sum(&PipelineStats::rsepVpOverlap)) /
+                static_cast<double>(
+                    r2.sum(&PipelineStats::committedInsts));
+            std::printf("%-12s rsep&vp-overlap: %.2f%%\n", "", overlap);
+        }
+    };
+    return bench::runHarness(argc, argv, spec);
 }

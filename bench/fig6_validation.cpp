@@ -14,28 +14,24 @@ int
 main(int argc, char **argv)
 {
     using namespace rsep;
-    using equality::ValidationPolicy;
 
-    std::vector<sim::SimConfig> configs = {
-        sim::SimConfig::baseline(),
-        sim::SimConfig::rsepValidation(ValidationPolicy::Ideal),
-        sim::SimConfig::rsepValidation(ValidationPolicy::Issue2xLockFu),
-        sim::SimConfig::rsepValidation(ValidationPolicy::Issue2xAnyFu),
-        sim::SimConfig::rsepSampling(15),
-        sim::SimConfig::rsepSampling(63),
+    bench::HarnessSpec spec;
+    spec.name = "fig6_validation";
+    spec.description =
+        "Reproduces Fig. 6: impact of the validation mechanism and of "
+        "commit sampling\non RSEP.";
+    spec.defaultScenarios = {
+        "baseline",           "rsep-val-ideal",
+        "rsep-val-2x-lock",   "rsep-val-2x-any",
+        "rsep-val-2x-sample15", "rsep-val-2x-sample63"};
+    spec.report = [](const bench::HarnessResult &r) {
+        std::cout << "=== Fig. 6: validation & sampling impact ===\n";
+        sim::printSpeedupTable(std::cout, r.rows, r.configs);
+        std::cout << "\npaper shape: locking the FU hurts load-heavy "
+                     "benchmarks badly (validation competes for load "
+                     "ports); issuing to any FU ~= ideal; sampling with "
+                     "threshold 15 causes a slowdown in bzip2 that "
+                     "threshold 63 removes.\n";
     };
-    for (auto &cfg : configs)
-        bench::applyBenchDefaults(cfg);
-
-    auto rows = sim::runMatrix(configs, wl::suiteNames(),
-                               bench::matrixOptions(argc, argv));
-
-    std::cout << "=== Fig. 6: validation & sampling impact ===\n";
-    sim::printSpeedupTable(std::cout, rows, configs);
-    std::cout << "\npaper shape: locking the FU hurts load-heavy "
-                 "benchmarks badly (validation competes for load "
-                 "ports); issuing to any FU ~= ideal; sampling with "
-                 "threshold 15 causes a slowdown in bzip2 that "
-                 "threshold 63 removes.\n";
-    return 0;
+    return bench::runHarness(argc, argv, spec);
 }

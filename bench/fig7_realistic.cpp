@@ -19,47 +19,46 @@ main(int argc, char **argv)
     using namespace rsep;
     using core::PipelineStats;
 
-    std::vector<sim::SimConfig> configs = {
-        sim::SimConfig::baseline(),
-        sim::SimConfig::rsepIdeal(),
-        sim::SimConfig::rsepRealistic(),
+    bench::HarnessSpec spec;
+    spec.name = "fig7_realistic";
+    spec.description =
+        "Reproduces Fig. 7: ideal vs realistic RSEP, plus the Section "
+        "VI-B\naccuracy/coverage summary.";
+    spec.defaultScenarios = {"baseline", "rsep", "rsep-realistic"};
+    spec.report = [](const bench::HarnessResult &r) {
+        std::cout << "=== Fig. 7: ideal vs realistic RSEP ===\n";
+        std::cout << "ideal:     "
+                  << equality::describeStorage(r.configs[1].mech.rsep, 470,
+                                               192)
+                  << "\n";
+        std::cout << "realistic: "
+                  << equality::describeStorage(r.configs[2].mech.rsep, 470,
+                                               192)
+                  << "\n\n";
+        sim::printSpeedupTable(std::cout, r.rows, r.configs);
+
+        // Section VI-B summary: accuracy > 99.5%, coverage of eligible
+        // instructions ~28.5% (eligible = register producers).
+        u64 correct = 0, wrong = 0, covered = 0, eligible = 0;
+        for (const auto &row : r.rows) {
+            const sim::RunResult &rr = row.byConfig[2];
+            correct += rr.sum(&PipelineStats::rsepCorrect);
+            wrong += rr.sum(&PipelineStats::rsepMispredicts);
+            covered += rr.sum(&PipelineStats::distPredLoad) +
+                       rr.sum(&PipelineStats::distPredOther) +
+                       rr.sum(&PipelineStats::moveElim) +
+                       rr.sum(&PipelineStats::zeroIdiomElim);
+            eligible += rr.sum(&PipelineStats::committedProducers);
+        }
+        std::printf("\nrealistic RSEP summary across the suite:\n");
+        std::printf("  prediction accuracy: %.3f%% (paper: > 99.5%%)\n",
+                    correct + wrong
+                        ? 100.0 * double(correct) / double(correct + wrong)
+                        : 100.0);
+        std::printf("  coverage of eligible (reg-producing) instructions: "
+                    "%.1f%% (paper: 28.5%% average)\n",
+                    eligible ? 100.0 * double(covered) / double(eligible)
+                             : 0.0);
     };
-    for (auto &cfg : configs)
-        bench::applyBenchDefaults(cfg);
-
-    auto rows = sim::runMatrix(configs, wl::suiteNames(),
-                               bench::matrixOptions(argc, argv));
-
-    std::cout << "=== Fig. 7: ideal vs realistic RSEP ===\n";
-    std::cout << "ideal:     "
-              << equality::describeStorage(configs[1].mech.rsep, 470, 192)
-              << "\n";
-    std::cout << "realistic: "
-              << equality::describeStorage(configs[2].mech.rsep, 470, 192)
-              << "\n\n";
-    sim::printSpeedupTable(std::cout, rows, configs);
-
-    // Section VI-B summary: accuracy > 99.5%, coverage of eligible
-    // instructions ~28.5% (eligible = register producers).
-    u64 correct = 0, wrong = 0, covered = 0, eligible = 0;
-    for (const auto &row : rows) {
-        const sim::RunResult &rr = row.byConfig[2];
-        correct += rr.sum(&PipelineStats::rsepCorrect);
-        wrong += rr.sum(&PipelineStats::rsepMispredicts);
-        covered += rr.sum(&PipelineStats::distPredLoad) +
-                   rr.sum(&PipelineStats::distPredOther) +
-                   rr.sum(&PipelineStats::moveElim) +
-                   rr.sum(&PipelineStats::zeroIdiomElim);
-        eligible += rr.sum(&PipelineStats::committedProducers);
-    }
-    std::printf("\nrealistic RSEP summary across the suite:\n");
-    std::printf("  prediction accuracy: %.3f%% (paper: > 99.5%%)\n",
-                correct + wrong
-                    ? 100.0 * double(correct) / double(correct + wrong)
-                    : 100.0);
-    std::printf("  coverage of eligible (reg-producing) instructions: "
-                "%.1f%% (paper: 28.5%% average)\n",
-                eligible ? 100.0 * double(covered) / double(eligible)
-                         : 0.0);
-    return 0;
+    return bench::runHarness(argc, argv, spec);
 }

@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string_view>
+
+#include "bench_util.hh"
 #include "common/rng.hh"
 #include "mem/cache.hh"
 #include "pred/tage.hh"
@@ -137,4 +141,22 @@ BENCHMARK(BM_TagePredict);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Google Benchmark owns the flag grammar here; the shared harness
+// flags that make sense without a simulation matrix are honoured
+// before gbench sees argv.
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--list-scenarios") {
+            rsep::bench::printScenarioList(std::cout);
+            return 0;
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

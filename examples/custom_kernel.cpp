@@ -1,28 +1,34 @@
 /**
  * @file
  * Authoring a custom workload with the public API: build a mini-ISA
- * program with ProgramBuilder, give it data, and measure how much
- * equality prediction helps it.
+ * program with ProgramBuilder, give it data, and measure how much a
+ * registered scenario's mechanism set helps it.
  *
  * The kernel accumulates a checksum into a *saturating* counter (a
  * branchless min against a limit). While saturated, the min result
  * repeats every iteration, so equality prediction severs the
  * loop-carried recurrence -- the same physics behind the paper's
  * hmmer/dealII wins. A recomputed expression adds extra coverage.
+ *
+ * Usage: custom_kernel [--scenario NAME]   (default arm: rsep)
  */
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "core/pipeline.hh"
 #include "wl/emulator.hh"
 
-int
-main()
+namespace
 {
-    using namespace rsep;
+
+using namespace rsep;
+
+isa::Program
+buildChecksumKernel()
+{
     constexpr ArchReg Z = isa::zeroReg;
 
-    // 1. Write the program.
     isa::ProgramBuilder b("checksum");
     b.label("top");
     b.ldrx(1, 10, 20);       // v = data[i]
@@ -43,47 +49,72 @@ main()
     b.movi(20, 0);
     b.lsri(3, 3, 2);         // leave saturation at each sweep wrap
     b.b("top");
-    isa::Program prog = b.build();
+    return b.build();
+}
 
-    // 2. Instantiate and initialize architectural state.
-    auto run_once = [&prog](bool enable_rsep) {
-        wl::Emulator em(prog);
-        em.resetArchState();
-        Rng rng(7);
-        for (u64 i = 0; i < 4096; ++i)
-            em.memory().write(0x100000 + i * 8, rng.next() & 0xffff);
-        em.setReg(10, 0x100000);
-        em.setReg(21, 4096);
-        em.setReg(9, 40'000'000); // saturation limit.
+core::PipelineStats
+runOnce(const isa::Program &prog, const sim::SimConfig &cfg)
+{
+    wl::Emulator em(prog);
+    em.resetArchState();
+    Rng rng(7);
+    for (u64 i = 0; i < 4096; ++i)
+        em.memory().write(0x100000 + i * 8, rng.next() & 0xffff);
+    em.setReg(10, 0x100000);
+    em.setReg(21, 4096);
+    em.setReg(9, 40'000'000); // saturation limit.
 
-        // 3. Run it on the Table I core.
-        core::MechConfig mech;
-        if (enable_rsep) {
-            mech.moveElim = true;
-            mech.equalityPred = true;
-            mech.rsep = equality::RsepConfig::idealLarge();
-        }
-        core::Pipeline pipe(core::CoreParams{}, mech, em, 99);
-        pipe.run(60000);
-        pipe.resetStats();
-        pipe.run(120000);
-        return pipe.stats();
+    core::Pipeline pipe(cfg.core, cfg.mech, em, 99);
+    pipe.run(60000);
+    pipe.resetStats();
+    pipe.run(120000);
+    return pipe.stats();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsep;
+
+    bench::HarnessSpec spec;
+    spec.name = "custom_kernel";
+    spec.description =
+        "Author a custom workload with the public API and measure how "
+        "much a\nregistered scenario's mechanism set helps it (default "
+        "arm: rsep).";
+    spec.custom = [&spec](const bench::DriverContext &ctx) {
+        bench::warnUnusedMatrixFlags(spec.name, ctx, 1);
+
+        // 1. Write the program.
+        isa::Program prog = buildChecksumKernel();
+
+        // 2/3. Run it, baseline vs the chosen arm. The kernel pins its
+        // own seed and warmup/measure windows ([sim] sizing does not
+        // apply); the arm's [core] and [mech] sections do.
+        sim::Scenario arm = !ctx.scenarios.empty()
+                                ? ctx.scenarios.front()
+                                : *sim::findScenario("rsep");
+        core::PipelineStats base =
+            runOnce(prog, sim::findScenario("baseline")->config);
+        core::PipelineStats with = runOnce(prog, arm.config);
+
+        double cov = 100.0 *
+                     double(with.distPredLoad.value() +
+                            with.distPredOther.value()) /
+                     double(with.committedInsts.value());
+        std::printf("custom checksum kernel on the Table I core:\n");
+        std::printf("  baseline IPC: %.3f\n", base.ipc());
+        std::printf("  RSEP IPC:     %.3f (%+.2f%%)\n", with.ipc(),
+                    (with.ipc() / base.ipc() - 1.0) * 100.0);
+        std::printf("  equality coverage: %.2f%% of committed "
+                    "instructions\n",
+                    cov);
+        std::printf("  mispredictions: %llu\n",
+                    (unsigned long long)with.rsepMispredicts.value());
+        (void)spec;
+        return 0;
     };
-
-    core::PipelineStats base = run_once(false);
-    core::PipelineStats rsep = run_once(true);
-
-    double cov = 100.0 *
-                 double(rsep.distPredLoad.value() +
-                        rsep.distPredOther.value()) /
-                 double(rsep.committedInsts.value());
-    std::printf("custom checksum kernel on the Table I core:\n");
-    std::printf("  baseline IPC: %.3f\n", base.ipc());
-    std::printf("  RSEP IPC:     %.3f (%+.2f%%)\n", rsep.ipc(),
-                (rsep.ipc() / base.ipc() - 1.0) * 100.0);
-    std::printf("  equality coverage: %.2f%% of committed instructions\n",
-                cov);
-    std::printf("  mispredictions: %llu\n",
-                (unsigned long long)rsep.rsepMispredicts.value());
-    return 0;
+    return bench::runHarness(argc, argv, spec);
 }

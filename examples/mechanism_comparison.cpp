@@ -10,7 +10,7 @@
 
 #include <iostream>
 
-#include "sim/runner.hh"
+#include "bench_util.hh"
 
 int
 main(int argc, char **argv)
@@ -18,66 +18,65 @@ main(int argc, char **argv)
     using namespace rsep;
     using core::PipelineStats;
 
-    sim::MatrixOptions opts;
-    opts.jobs = sim::parseJobsArg(argc, argv);
+    bench::HarnessSpec spec;
+    spec.name = "mechanism_comparison";
+    spec.description =
+        "Compare the paper's five mechanism arms on a set of workloads "
+        "(compact\ninteractive version of Figs. 4 and 5).";
+    spec.defaultScenarios = {"baseline",  "zero-pred", "move-elim",
+                             "rsep",      "vpred",     "rsep+vpred"};
+    spec.benchDefaults = false; // full library-default run sizing.
+    spec.benchmarks = {"mcf",      "dealII",  "hmmer",
+                       "libquantum", "omnetpp", "perlbench"};
+    spec.positionalBenchmarks = true;
+    spec.report = [](const bench::HarnessResult &r) {
+        std::cout
+            << "\n--- speedup over baseline (cf. paper Fig. 4) ---\n";
+        sim::printSpeedupTable(std::cout, r.rows, r.configs);
 
-    std::vector<std::string> benches = sim::stripJobsArgs(argc, argv);
-    if (benches.empty())
-        benches = {"mcf", "dealII", "hmmer", "libquantum", "omnetpp",
-                   "perlbench"};
-
-    std::vector<sim::SimConfig> configs = {
-        sim::SimConfig::baseline(),     sim::SimConfig::zeroPredOnly(),
-        sim::SimConfig::moveElimOnly(), sim::SimConfig::rsepIdeal(),
-        sim::SimConfig::vpOnly(),       sim::SimConfig::rsepPlusVp(),
+        std::cout << "\n--- coverage, % of committed instructions "
+                     "(cf. paper Fig. 5) ---\n";
+        std::cout << "columns: rsep arm [zidiom|move|dist|dist-ld] then "
+                     "rsep+vp arm [dist|vp|vp-ld]\n";
+        sim::printPctTable(
+            std::cout, r.rows,
+            {"zidiom", "move", "dist", "dist-ld", "dist+", "vp+",
+             "vp-ld+"},
+            [](const sim::MatrixRow &row, size_t col) {
+                const sim::RunResult &rsep_run = row.byConfig[3];
+                const sim::RunResult &both_run = row.byConfig[5];
+                switch (col) {
+                  case 0:
+                    return 100 * rsep_run.ratioOfCommitted(
+                                     &PipelineStats::zeroIdiomElim);
+                  case 1:
+                    return 100 * rsep_run.ratioOfCommitted(
+                                     &PipelineStats::moveElim);
+                  case 2:
+                    return 100 * (rsep_run.ratioOfCommitted(
+                                      &PipelineStats::distPredOther) +
+                                  rsep_run.ratioOfCommitted(
+                                      &PipelineStats::distPredLoad));
+                  case 3:
+                    return 100 * rsep_run.ratioOfCommitted(
+                                     &PipelineStats::distPredLoad);
+                  case 4:
+                    return 100 * (both_run.ratioOfCommitted(
+                                      &PipelineStats::distPredOther) +
+                                  both_run.ratioOfCommitted(
+                                      &PipelineStats::distPredLoad));
+                  case 5:
+                    return 100 * (both_run.ratioOfCommitted(
+                                      &PipelineStats::valuePredOther) +
+                                  both_run.ratioOfCommitted(
+                                      &PipelineStats::valuePredLoad));
+                  case 6:
+                    return 100 * both_run.ratioOfCommitted(
+                                     &PipelineStats::valuePredLoad);
+                  default:
+                    return 0.0;
+                }
+            });
     };
-
-    auto rows = sim::runMatrix(configs, benches, opts);
-
-    std::cout << "\n--- speedup over baseline (cf. paper Fig. 4) ---\n";
-    sim::printSpeedupTable(std::cout, rows, configs);
-
-    std::cout << "\n--- coverage, % of committed instructions "
-                 "(cf. paper Fig. 5) ---\n";
-    std::cout << "columns: rsep arm [zidiom|move|dist|dist-ld] then "
-                 "rsep+vp arm [dist|vp|vp-ld]\n";
-    sim::printPctTable(
-        std::cout, rows,
-        {"zidiom", "move", "dist", "dist-ld", "dist+", "vp+", "vp-ld+"},
-        [](const sim::MatrixRow &row, size_t col) {
-            const sim::RunResult &rsep_run = row.byConfig[3];
-            const sim::RunResult &both_run = row.byConfig[5];
-            switch (col) {
-              case 0:
-                return 100 * rsep_run.ratioOfCommitted(
-                                 &PipelineStats::zeroIdiomElim);
-              case 1:
-                return 100 * rsep_run.ratioOfCommitted(
-                                 &PipelineStats::moveElim);
-              case 2:
-                return 100 * (rsep_run.ratioOfCommitted(
-                                  &PipelineStats::distPredOther) +
-                              rsep_run.ratioOfCommitted(
-                                  &PipelineStats::distPredLoad));
-              case 3:
-                return 100 * rsep_run.ratioOfCommitted(
-                                 &PipelineStats::distPredLoad);
-              case 4:
-                return 100 * (both_run.ratioOfCommitted(
-                                  &PipelineStats::distPredOther) +
-                              both_run.ratioOfCommitted(
-                                  &PipelineStats::distPredLoad));
-              case 5:
-                return 100 * (both_run.ratioOfCommitted(
-                                  &PipelineStats::valuePredOther) +
-                              both_run.ratioOfCommitted(
-                                  &PipelineStats::valuePredLoad));
-              case 6:
-                return 100 * both_run.ratioOfCommitted(
-                                 &PipelineStats::valuePredLoad);
-              default:
-                return 0.0;
-            }
-        });
-    return 0;
+    return bench::runHarness(argc, argv, spec);
 }

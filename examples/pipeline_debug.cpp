@@ -1,32 +1,28 @@
 /**
  * @file
- * Deep-dive diagnostics: run one benchmark under one configuration and
+ * Deep-dive diagnostics: run one benchmark under one scenario and
  * dump every pipeline/cache/predictor counter. Useful to understand
  * where cycles go before and after enabling RSEP.
  *
- * Usage: pipeline_debug [benchmark] [baseline|rsep|vp|realistic]
+ * Usage: pipeline_debug [benchmark] [scenario]
+ * (default: dealII baseline; any registered scenario name or
+ * --scenario/--scenario-file arm works, e.g. rsep, vp, realistic)
  */
 
 #include <iostream>
 
-#include "sim/sim_config.hh"
+#include "bench_util.hh"
 #include "wl/suite.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace rsep;
 
-    std::string bench = argc > 1 ? argv[1] : "dealII";
-    std::string arm = argc > 2 ? argv[2] : "baseline";
+using namespace rsep;
 
-    sim::SimConfig cfg = sim::SimConfig::baseline();
-    if (arm == "rsep")
-        cfg = sim::SimConfig::rsepIdeal();
-    else if (arm == "vp")
-        cfg = sim::SimConfig::vpOnly();
-    else if (arm == "realistic")
-        cfg = sim::SimConfig::rsepRealistic();
+int
+dumpOne(const std::string &bench, const sim::Scenario &scenario)
+{
+    const sim::SimConfig &cfg = scenario.config;
 
     wl::Workload w = wl::makeWorkload(bench);
     wl::Emulator emu(w.program);
@@ -52,7 +48,8 @@ main(int argc, char **argv)
 
     std::cout << "\nconfig: " << cfg.label << "\n";
     std::cout << "cycles " << st.cycles.value() << "  insts "
-              << st.committedInsts.value() << "  IPC " << st.ipc() << "\n";
+              << st.committedInsts.value() << "  IPC " << st.ipc()
+              << "\n";
     std::cout << "loads " << pct(st.committedLoads.value())
               << "%  stores " << pct(st.committedStores.value())
               << "%  branches " << pct(st.committedBranches.value())
@@ -107,4 +104,41 @@ main(int argc, char **argv)
               << pipe.isrb().capacity() << " refusals(full) "
               << pipe.isrb().shareRefusalsFull.value() << "\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsep;
+
+    bench::HarnessSpec spec;
+    spec.name = "pipeline_debug";
+    spec.description =
+        "Run one benchmark under one scenario and dump every "
+        "pipeline/cache/predictor\ncounter.";
+    spec.positionalHelp = " [benchmark] [scenario]";
+    spec.custom = [&spec](const bench::DriverContext &ctx) {
+        bench::warnUnusedMatrixFlags(spec.name, ctx, 1);
+        std::string bench =
+            !ctx.positional.empty() ? ctx.positional[0] : "dealII";
+
+        sim::Scenario scenario;
+        if (!ctx.scenarios.empty()) {
+            scenario = ctx.scenarios.front();
+        } else {
+            std::string arm =
+                ctx.positional.size() > 1 ? ctx.positional[1] : "baseline";
+            auto found = sim::findScenario(arm);
+            if (!found) {
+                std::cerr << spec.name << ": unknown scenario '" << arm
+                          << "' (see --list-scenarios)\n";
+                return 2;
+            }
+            scenario = std::move(*found);
+        }
+        return dumpOne(bench, scenario);
+    };
+    return bench::runHarness(argc, argv, spec);
 }

@@ -1,9 +1,79 @@
 #include "common/env.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
 
 namespace rsep
 {
+
+std::string
+trimmed(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+parseU64(const std::string &s, u64 &out)
+{
+    std::string t = trimmed(s);
+    if (t.empty() || t[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(t.c_str(), &end, 0);
+    if (end == t.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    std::string t = trimmed(s);
+    if (t.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseBool(const std::string &s, bool &out)
+{
+    std::string t = trimmed(s);
+    for (char &c : t)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (t == "true" || t == "yes" || t == "on" || t == "1") {
+        out = true;
+        return true;
+    }
+    if (t == "false" || t == "no" || t == "off" || t == "0") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+envSet(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v && *v;
+}
 
 u64
 envU64(const char *name, u64 def)
@@ -11,11 +81,13 @@ envU64(const char *name, u64 def)
     const char *v = std::getenv(name);
     if (!v || !*v)
         return def;
-    char *end = nullptr;
-    unsigned long long parsed = std::strtoull(v, &end, 0);
-    if (end == v)
+    u64 out = 0;
+    if (!parseU64(v, out)) {
+        rsep_warn("%s='%s' is not a valid unsigned integer; using %llu",
+                  name, v, static_cast<unsigned long long>(def));
         return def;
-    return parsed;
+    }
+    return out;
 }
 
 double
@@ -24,17 +96,30 @@ envDouble(const char *name, double def)
     const char *v = std::getenv(name);
     if (!v || !*v)
         return def;
-    char *end = nullptr;
-    double parsed = std::strtod(v, &end);
-    if (end == v)
+    double out = 0.0;
+    if (!parseDouble(v, out)) {
+        rsep_warn("%s='%s' is not a valid number; using %g", name, v, def);
         return def;
-    return parsed;
+    }
+    return out;
 }
 
 double
 simScale()
 {
     return envDouble("RSEP_SIM_SCALE", 1.0);
+}
+
+bool
+simScaleOverridden()
+{
+    return envSet("RSEP_SIM_SCALE");
+}
+
+bool
+checkpointsOverridden()
+{
+    return envSet("RSEP_CHECKPOINTS");
 }
 
 } // namespace rsep

@@ -1,6 +1,8 @@
 /**
  * @file
- * Environment-variable helpers for scaling experiment sizes.
+ * Environment-variable helpers for scaling experiment sizes, plus the
+ * strict scalar parsers shared by the env layer, the `--jobs` flag and
+ * the scenario-file parser.
  */
 
 #ifndef RSEP_COMMON_ENV_HH
@@ -13,10 +15,33 @@
 namespace rsep
 {
 
-/** Read an integer env var; return @p def when unset/invalid. */
+/** Copy of @p s without leading/trailing ASCII whitespace. */
+std::string trimmed(const std::string &s);
+
+// ------------------------------------------------- strict scalar parses
+// Full-string parses: leading/trailing whitespace is tolerated, any
+// other trailing garbage (or an empty string, or a negative value for
+// the unsigned parse) fails.
+
+bool parseU64(const std::string &s, u64 &out);
+bool parseDouble(const std::string &s, double &out);
+/** Accepts true/false, yes/no, on/off, 1/0 (case-insensitive). */
+bool parseBool(const std::string &s, bool &out);
+
+// --------------------------------------------------------- env accessors
+
+/** True when @p name is set to a non-empty value. */
+bool envSet(const char *name);
+
+/**
+ * Read an integer env var; return @p def when unset. A set-but-
+ * malformed value (non-numeric, trailing garbage, negative, overflow)
+ * warns once on stderr and returns @p def instead of being silently
+ * ignored or truncated.
+ */
 u64 envU64(const char *name, u64 def);
 
-/** Read a floating-point env var; return @p def when unset/invalid. */
+/** Read a floating-point env var; same malformed-value policy. */
 double envDouble(const char *name, double def);
 
 /**
@@ -24,6 +49,12 @@ double envDouble(const char *name, double def);
  * Experiment drivers multiply warmup/measure windows by this.
  */
 double simScale();
+
+/** True when the user pinned RSEP_SIM_SCALE explicitly. */
+bool simScaleOverridden();
+
+/** True when the user pinned RSEP_CHECKPOINTS explicitly. */
+bool checkpointsOverridden();
 
 } // namespace rsep
 

@@ -56,6 +56,41 @@ struct CoreParams
     unsigned takenBranchesPerFetch = 1;
 };
 
+/**
+ * Field-introspection hook: visit every CoreParams field as
+ * `v(key, ref)` with the canonical scenario-file key. The scenario
+ * layer builds its parser, serializer and config hash from this single
+ * enumeration, so a new field only needs a line here to be coverable
+ * by scenario files.
+ */
+template <class V>
+void
+visitFields(CoreParams &p, V &&v)
+{
+    v("fetch_width", p.fetchWidth);
+    v("rename_width", p.renameWidth);
+    v("issue_width", p.issueWidth);
+    v("commit_width", p.commitWidth);
+    v("rob_size", p.robSize);
+    v("iq_size", p.iqSize);
+    v("lq_size", p.lqSize);
+    v("sq_size", p.sqSize);
+    v("int_pregs", p.intPregs);
+    v("fp_pregs", p.fpPregs);
+    v("frontend_depth", p.frontendDepth);
+    v("decode_redirect_penalty", p.decodeRedirectPenalty);
+    v("int_alu_lat", p.intAluLat);
+    v("int_mul_lat", p.intMulLat);
+    v("int_div_lat", p.intDivLat);
+    v("fp_alu_lat", p.fpAluLat);
+    v("fp_mul_lat", p.fpMulLat);
+    v("fp_div_lat", p.fpDivLat);
+    v("branch_lat", p.branchLat);
+    v("store_lat", p.storeLat);
+    v("stlf_lat", p.stlfLat);
+    v("taken_branches_per_fetch", p.takenBranchesPerFetch);
+}
+
 } // namespace rsep::core
 
 #endif // RSEP_CORE_PARAMS_HH

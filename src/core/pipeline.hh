@@ -68,6 +68,24 @@ struct MechConfig
     bool fig1Probe = false;     ///< collect Fig. 1 redundancy stats.
 };
 
+/**
+ * Field-introspection hook for the MechConfig toggles (the `[mech]`
+ * scenario-file section). The nested RsepConfig is visited through its
+ * own hook as the `[rsep]` section; DvtageParams keeps the paper's
+ * fixed ~256KB geometry and is not scenario-tunable.
+ */
+template <class V>
+void
+visitFields(MechConfig &m, V &&v)
+{
+    v("zero_idiom_elim", m.zeroIdiomElim);
+    v("move_elim", m.moveElim);
+    v("zero_pred", m.zeroPred);
+    v("equality_pred", m.equalityPred);
+    v("value_pred", m.valuePred);
+    v("fig1_probe", m.fig1Probe);
+}
+
 /** Aggregated pipeline statistics. */
 struct PipelineStats
 {
@@ -128,6 +146,54 @@ struct PipelineStats
             : 0.0;
     }
 };
+
+/**
+ * Stat-introspection hook: visit every PipelineStats counter as
+ * `v(name, counter)`. The stat-export layer derives its table/CSV/JSON
+ * columns from this enumeration (the commitGroupProducers histogram is
+ * exported bucket-wise by that layer).
+ */
+template <class V>
+void
+visitStats(PipelineStats &st, V &&v)
+{
+    v("cycles", st.cycles);
+    v("committed_insts", st.committedInsts);
+    v("committed_producers", st.committedProducers);
+    v("committed_loads", st.committedLoads);
+    v("committed_stores", st.committedStores);
+    v("committed_branches", st.committedBranches);
+    v("zero_idiom_elim", st.zeroIdiomElim);
+    v("move_elim", st.moveElim);
+    v("zero_pred_other", st.zeroPredOther);
+    v("zero_pred_load", st.zeroPredLoad);
+    v("dist_pred_other", st.distPredOther);
+    v("dist_pred_load", st.distPredLoad);
+    v("value_pred_other", st.valuePredOther);
+    v("value_pred_load", st.valuePredLoad);
+    v("rsep_correct", st.rsepCorrect);
+    v("rsep_mispredicts", st.rsepMispredicts);
+    v("zero_correct", st.zeroCorrect);
+    v("zero_mispredicts", st.zeroMispredicts);
+    v("vp_correct", st.vpCorrect);
+    v("vp_mispredicts", st.vpMispredicts);
+    v("commit_squashes", st.commitSquashes);
+    v("mem_order_squashes", st.memOrderSquashes);
+    v("likely_candidates", st.likelyCandidates);
+    v("share_fail_no_producer", st.shareFailNoProducer);
+    v("share_fail_isrb", st.shareFailIsrb);
+    v("hash_false_positives", st.hashFalsePositives);
+    v("rsep_vp_overlap", st.rsepVpOverlap);
+    v("fig1_zero_load", st.fig1ZeroLoad);
+    v("fig1_zero_other", st.fig1ZeroOther);
+    v("fig1_in_prf_load", st.fig1InPrfLoad);
+    v("fig1_in_prf_other", st.fig1InPrfOther);
+    v("fetch_stall_cycles", st.fetchStallCycles);
+    v("rename_stall_rob", st.renameStallRob);
+    v("rename_stall_iq", st.renameStallIq);
+    v("rename_stall_lsq", st.renameStallLsq);
+    v("rename_stall_regs", st.renameStallRegs);
+}
 
 /** The core. */
 class Pipeline

@@ -84,6 +84,54 @@ struct RsepConfig
     }
 };
 
+/** Canonical scenario-file spelling of a validation policy. */
+constexpr const char *
+validationPolicyName(ValidationPolicy p)
+{
+    switch (p) {
+      case ValidationPolicy::Ideal:
+        return "ideal";
+      case ValidationPolicy::Issue2xLockFu:
+        return "issue2x-lock-fu";
+      case ValidationPolicy::Issue2xAnyFu:
+        return "issue2x-any-fu";
+    }
+    return "ideal";
+}
+
+/** Canonical scenario-file spelling of a confidence counter kind. */
+constexpr const char *
+confidenceKindName(ConfidenceKind k)
+{
+    return k == ConfidenceKind::Fpc3 ? "fpc3" : "deterministic8";
+}
+
+/**
+ * Field-introspection hook for RsepConfig (see core::visitFields on
+ * CoreParams): the scenario layer's single source of `[rsep]` keys.
+ */
+template <class V>
+void
+visitFields(RsepConfig &c, V &&v)
+{
+    v("enable_equality", c.enableEquality);
+    v("enable_zero_pred", c.enableZeroPred);
+    v("enable_move_elim", c.enableMoveElim);
+    v("history_depth", c.historyDepth);
+    v("use_ddt", c.useDdt);
+    v("ddt_entries", c.ddtEntries);
+    v("implicit_history", c.implicitHistory);
+    v("hash_bits", c.hashBits);
+    v("ideal_predictor", c.idealPredictor);
+    v("conf_kind", c.confKind);
+    v("isrb_entries", c.isrbEntries);
+    v("isrb_counter_bits", c.isrbCounterBits);
+    v("validation", c.validation);
+    v("sampling", c.sampling);
+    v("start_train_threshold", c.startTrainThreshold);
+    v("propagate_predicted_distance", c.propagatePredictedDistance);
+}
+
 } // namespace rsep::equality
 
 #endif // RSEP_RSEP_CONFIG_HH

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/env.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "sim/thread_pool.hh"
 
@@ -20,11 +21,35 @@ resolveJobs(unsigned requested)
 {
     if (requested > 0)
         return requested;
-    u64 env = envU64("RSEP_JOBS", 0);
+    u64 env = envU64("RSEP_JOBS", 0); // warns when set but malformed.
+    if (env > maxJobs) {
+        rsep_warn("RSEP_JOBS=%llu exceeds the %u-thread ceiling; "
+                  "using auto",
+                  static_cast<unsigned long long>(env), maxJobs);
+        env = 0;
+    }
     if (env > 0)
         return static_cast<unsigned>(env);
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
+}
+
+bool
+parseJobsValue(const std::string &s, unsigned &jobs, std::string &err)
+{
+    u64 v = 0;
+    if (!parseU64(s, v)) {
+        err = "invalid jobs count '" + s +
+              "' (expected an unsigned integer, 0 = auto)";
+        return false;
+    }
+    if (v > maxJobs) {
+        err = "jobs count '" + s + "' exceeds the ceiling of " +
+              std::to_string(maxJobs);
+        return false;
+    }
+    jobs = static_cast<unsigned>(v);
+    return true;
 }
 
 namespace
@@ -32,26 +57,25 @@ namespace
 
 /**
  * The single definition of the jobs-flag grammar. When argv[i] is a
- * jobs argument, writes its value, reports how many argv entries it
- * spans (1 or 2), and returns true.
+ * jobs argument, reports the raw value string (nullptr when the flag
+ * is dangling) and how many argv entries it spans (1 or 2).
  */
 bool
-matchJobsArg(int argc, char **argv, int i, unsigned &jobs, int &span)
+matchJobsArg(int argc, char **argv, int i, const char *&value, int &span)
 {
     const char *a = argv[i];
     if (std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) {
-        jobs = i + 1 < argc ? static_cast<unsigned>(std::atoi(argv[i + 1]))
-                            : 0;
+        value = i + 1 < argc ? argv[i + 1] : nullptr;
         span = i + 1 < argc ? 2 : 1;
         return true;
     }
     if (std::strncmp(a, "--jobs=", 7) == 0) {
-        jobs = static_cast<unsigned>(std::atoi(a + 7));
+        value = a + 7;
         span = 1;
         return true;
     }
     if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
-        jobs = static_cast<unsigned>(std::atoi(a + 2));
+        value = a + 2;
         span = 1;
         return true;
     }
@@ -60,32 +84,31 @@ matchJobsArg(int argc, char **argv, int i, unsigned &jobs, int &span)
 
 } // namespace
 
+bool
+parseJobsArg(int argc, char **argv, unsigned &jobs, std::string &err)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *value = nullptr;
+        int span = 0;
+        if (!matchJobsArg(argc, argv, i, value, span))
+            continue;
+        if (!value) {
+            err = std::string(argv[i]) + " requires a value (0 = auto)";
+            return false;
+        }
+        return parseJobsValue(value, jobs, err);
+    }
+    return true; // absent: leave jobs untouched (0 = auto).
+}
+
 unsigned
 parseJobsArg(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        unsigned jobs = 0;
-        int span = 0;
-        if (matchJobsArg(argc, argv, i, jobs, span))
-            return jobs;
-    }
-    return 0;
-}
-
-std::vector<std::string>
-stripJobsArgs(int argc, char **argv)
-{
-    std::vector<std::string> rest;
-    for (int i = 1; i < argc; ++i) {
-        unsigned jobs = 0;
-        int span = 0;
-        if (matchJobsArg(argc, argv, i, jobs, span)) {
-            i += span - 1;
-            continue;
-        }
-        rest.push_back(argv[i]);
-    }
-    return rest;
+    unsigned jobs = 0;
+    std::string err;
+    if (!parseJobsArg(argc, argv, jobs, err))
+        rsep_fatal("%s", err.c_str());
+    return jobs;
 }
 
 std::vector<MatrixRow>

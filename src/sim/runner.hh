@@ -33,19 +33,32 @@ struct MatrixOptions
     bool progress = true; ///< per-cell progress lines on stderr.
 };
 
-/** Resolve a job-count request (see MatrixOptions::jobs). */
+/** Hard ceiling on explicit worker-thread requests. */
+constexpr unsigned maxJobs = 4096;
+
+/** Resolve a job-count request (see MatrixOptions::jobs). A malformed
+ *  or absurd RSEP_JOBS value warns and falls back to auto. */
 unsigned resolveJobs(unsigned requested);
 
 /**
- * Parse a `--jobs N` / `--jobs=N` / `-jN` override out of argv (the
- * bench and example drivers all accept it), returning 0 (= auto) when
- * absent. Unrelated arguments are left untouched.
+ * Strictly parse one jobs value ("0" = auto). Rejects non-numeric,
+ * negative, overflowing or > maxJobs values with a diagnostic in
+ * @p err instead of silently treating them as 0/auto.
  */
-unsigned parseJobsArg(int argc, char **argv);
+bool parseJobsValue(const std::string &s, unsigned &jobs,
+                    std::string &err);
 
-/** The argv entries parseJobsArg does NOT consume, in order — for
- *  drivers whose remaining positional arguments mean something. */
-std::vector<std::string> stripJobsArgs(int argc, char **argv);
+/**
+ * Parse a `--jobs N` / `--jobs=N` / `-jN` override out of argv (the
+ * bench and example drivers all accept it), leaving 0 (= auto) when
+ * absent. Unrelated arguments are left untouched. On a malformed
+ * value, returns false with a diagnostic in @p err.
+ */
+bool parseJobsArg(int argc, char **argv, unsigned &jobs,
+                  std::string &err);
+
+/** Legacy convenience wrapper: fatals on a malformed jobs value. */
+unsigned parseJobsArg(int argc, char **argv);
 
 /**
  * Run every benchmark under every configuration (config 0 is

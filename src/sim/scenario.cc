@@ -1,0 +1,502 @@
+#include "sim/scenario.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "common/env.hh"
+
+namespace rsep::sim
+{
+
+namespace
+{
+
+// ------------------------------------------------------------ registry
+
+struct RegistryEntry
+{
+    ScenarioInfo info;
+    std::function<SimConfig()> make;
+};
+
+SimConfig
+fig1Redundancy()
+{
+    // What bench_fig1_redundancy runs: the probe riding the baseline
+    // core with equality prediction on solely for the commit-group
+    // histogram.
+    SimConfig c = SimConfig::fig1Probe();
+    c.label = "fig1-redundancy";
+    c.mech.equalityPred = true;
+    c.mech.rsep = equality::RsepConfig::idealLarge();
+    return c;
+}
+
+SimConfig
+withZeroPred(SimConfig c, const char *label)
+{
+    c.label = label;
+    c.mech.zeroPred = true;
+    return c;
+}
+
+const std::vector<RegistryEntry> &
+registry()
+{
+    using equality::ValidationPolicy;
+    static const std::vector<RegistryEntry> entries = {
+        {{"baseline", {}, "Table I core, zero-idiom elimination only"},
+         [] { return SimConfig::baseline(); }},
+        {{"zero-pred", {"zeroPredOnly"},
+          "baseline + Section III zero prediction"},
+         [] { return SimConfig::zeroPredOnly(); }},
+        {{"move-elim", {"moveElimOnly"}, "baseline + move elimination"},
+         [] { return SimConfig::moveElimOnly(); }},
+        {{"rsep", {"rsepIdeal"},
+          "RSEP: ideal validation, large history (Fig. 4 arm)"},
+         [] { return SimConfig::rsepIdeal(); }},
+        {{"vpred", {"vpOnly", "vp"}, "D-VTAGE value prediction (~256KB)"},
+         [] { return SimConfig::vpOnly(); }},
+        {{"rsep+vpred", {"rsepPlusVp"}, "RSEP and D-VTAGE combined"},
+         [] { return SimConfig::rsepPlusVp(); }},
+        {{"rsep-val-ideal", {"rsepValIdeal"},
+          "RSEP, free validation (Fig. 6 arm)"},
+         [] { return SimConfig::rsepValidation(ValidationPolicy::Ideal); }},
+        {{"rsep-val-2x-lock", {"rsepVal2xLock"},
+          "RSEP, re-issue validation locking the FU class (Fig. 6)"},
+         [] {
+             return SimConfig::rsepValidation(
+                 ValidationPolicy::Issue2xLockFu);
+         }},
+        {{"rsep-val-2x-any", {"rsepVal2xAny"},
+          "RSEP, re-issue validation to any FU (Fig. 6)"},
+         [] {
+             return SimConfig::rsepValidation(
+                 ValidationPolicy::Issue2xAnyFu);
+         }},
+        {{"rsep-val-2x-sample15", {"rsepSampling15"},
+          "RSEP, 2x-any validation + sampled training @15 (Fig. 6)"},
+         [] { return SimConfig::rsepSampling(15); }},
+        {{"rsep-val-2x-sample63", {"rsepSampling63"},
+          "RSEP, 2x-any validation + sampled training @63 (Fig. 6)"},
+         [] { return SimConfig::rsepSampling(63); }},
+        {{"rsep-realistic", {"rsepRealistic", "realistic"},
+          "the 10.8KB realistic RSEP implementation (Fig. 7)"},
+         [] { return SimConfig::rsepRealistic(); }},
+        {{"fig1-probe", {"fig1Probe"},
+          "baseline + Fig. 1 redundancy probe"},
+         [] { return SimConfig::fig1Probe(); }},
+        {{"fig1-redundancy", {},
+          "Fig. 1 probe incl. the commit-group histogram collector"},
+         [] { return fig1Redundancy(); }},
+        {{"rsep+zp", {}, "RSEP incl. zero-prediction bars (Fig. 5 arm)"},
+         [] { return withZeroPred(SimConfig::rsepIdeal(), "rsep+zp"); }},
+        {{"rsep+vpred+zp", {},
+          "RSEP + D-VTAGE incl. zero-prediction bars (Fig. 5 arm)"},
+         [] {
+             return withZeroPred(SimConfig::rsepPlusVp(), "rsep+vpred+zp");
+         }},
+    };
+    return entries;
+}
+
+// -------------------------------------------------- section dispatching
+
+constexpr const char *sectionNames[] = {"sim", "core", "mech", "rsep"};
+
+/** Visit the fields of one named section of @p cfg. False when the
+ *  section is unknown. */
+template <class V>
+bool
+visitSection(SimConfig &cfg, const std::string &section, V &&v)
+{
+    if (section == "sim") {
+        visitFields(cfg, v);
+        return true;
+    }
+    if (section == "core") {
+        visitFields(cfg.core, v);
+        return true;
+    }
+    if (section == "mech") {
+        visitFields(cfg.mech, v);
+        return true;
+    }
+    if (section == "rsep") {
+        visitFields(cfg.mech.rsep, v);
+        return true;
+    }
+    return false;
+}
+
+// -------------------------------------------------------- emit visitor
+
+struct EmitVisitor
+{
+    std::ostringstream &os;
+
+    void
+    operator()(const char *key, bool &v) const
+    {
+        os << key << " = " << (v ? "true" : "false") << "\n";
+    }
+
+    void
+    operator()(const char *key, u32 &v) const
+    {
+        os << key << " = " << v << "\n";
+    }
+
+    void
+    operator()(const char *key, u64 &v) const
+    {
+        os << key << " = " << v << "\n";
+    }
+
+    void
+    operator()(const char *key, equality::ValidationPolicy &v) const
+    {
+        os << key << " = " << equality::validationPolicyName(v) << "\n";
+    }
+
+    void
+    operator()(const char *key, ConfidenceKind &v) const
+    {
+        os << key << " = " << equality::confidenceKindName(v) << "\n";
+    }
+};
+
+/** The canonical config body (no [scenario] header): the serializer's
+ *  payload and the configHash input. */
+std::string
+serializeBody(const SimConfig &cfg)
+{
+    SimConfig copy = cfg; // visitFields takes mutable refs.
+    std::ostringstream os;
+    EmitVisitor emit{os};
+    for (const char *section : sectionNames) {
+        os << "[" << section << "]\n";
+        visitSection(copy, section, emit);
+    }
+    return os.str();
+}
+
+// ------------------------------------------------------- apply visitor
+
+struct ApplyVisitor
+{
+    const std::string &key;
+    const std::string &value;
+    bool found = false;
+    std::string expected; ///< non-empty = type error, what was expected.
+
+    void
+    operator()(const char *k, bool &v)
+    {
+        if (key != k)
+            return;
+        found = true;
+        if (!parseBool(value, v))
+            expected = "a boolean (true/false)";
+    }
+
+    void
+    operator()(const char *k, u32 &v)
+    {
+        if (key != k)
+            return;
+        found = true;
+        u64 wide = 0;
+        if (!parseU64(value, wide) ||
+            wide > std::numeric_limits<u32>::max())
+            expected = "an unsigned 32-bit integer";
+        else
+            v = static_cast<u32>(wide);
+    }
+
+    void
+    operator()(const char *k, u64 &v)
+    {
+        if (key != k)
+            return;
+        found = true;
+        if (!parseU64(value, v))
+            expected = "an unsigned integer";
+    }
+
+    void
+    operator()(const char *k, equality::ValidationPolicy &v)
+    {
+        if (key != k)
+            return;
+        found = true;
+        using equality::ValidationPolicy;
+        for (ValidationPolicy p :
+             {ValidationPolicy::Ideal, ValidationPolicy::Issue2xLockFu,
+              ValidationPolicy::Issue2xAnyFu}) {
+            if (value == equality::validationPolicyName(p)) {
+                v = p;
+                return;
+            }
+        }
+        expected = "one of ideal|issue2x-lock-fu|issue2x-any-fu";
+    }
+
+    void
+    operator()(const char *k, ConfidenceKind &v)
+    {
+        if (key != k)
+            return;
+        found = true;
+        for (ConfidenceKind c :
+             {ConfidenceKind::Deterministic8, ConfidenceKind::Fpc3}) {
+            if (value == equality::confidenceKindName(c)) {
+                v = c;
+                return;
+            }
+        }
+        expected = "one of deterministic8|fpc3";
+    }
+};
+
+/** Apply key = value in @p section. Empty return = success. */
+std::string
+applySectionKey(SimConfig &cfg, const std::string &section,
+                const std::string &key, const std::string &value)
+{
+    ApplyVisitor apply{key, value, false, {}};
+    if (!visitSection(cfg, section, apply))
+        return "unknown section '[" + section +
+               "]' (expected [scenario], [sim], [core], [mech] or [rsep])";
+    if (!apply.found)
+        return "unknown key '" + key + "' in [" + section + "]";
+    if (!apply.expected.empty())
+        return "bad value '" + value + "' for " + section + "." + key +
+               " (expected " + apply.expected + ")";
+    return {};
+}
+
+} // namespace
+
+const std::vector<ScenarioInfo> &
+registeredScenarios()
+{
+    static const std::vector<ScenarioInfo> infos = [] {
+        std::vector<ScenarioInfo> v;
+        for (const auto &e : registry())
+            v.push_back(e.info);
+        return v;
+    }();
+    return infos;
+}
+
+std::optional<Scenario>
+findScenario(const std::string &name)
+{
+    for (const auto &e : registry()) {
+        bool hit = e.info.name == name;
+        for (const auto &alias : e.info.aliases)
+            hit = hit || alias == name;
+        if (hit)
+            return Scenario{e.info.name, e.make()};
+    }
+    return std::nullopt;
+}
+
+ScenarioParse
+parseScenarioText(const std::string &text, const std::string &origin)
+{
+    ScenarioParse out;
+
+    struct Building
+    {
+        Scenario sc;
+        std::string label; ///< explicit `label =`, applied at flush so
+                           ///< a later `base =` cannot clobber it.
+        bool open = false;
+        bool explicitLabel = false;
+    } cur;
+
+    auto fail = [&](int line, const std::string &msg) {
+        out.error = origin + ":" + std::to_string(line) + ": " + msg;
+        out.scenarios.clear();
+        return out;
+    };
+    auto flush = [&]() -> std::string {
+        if (!cur.open)
+            return {};
+        if (cur.sc.name.empty())
+            return "scenario is missing a 'name' key";
+        cur.sc.config.label =
+            cur.explicitLabel ? cur.label : cur.sc.name;
+        out.scenarios.push_back(std::move(cur.sc));
+        cur = Building{};
+        return {};
+    };
+
+    std::istringstream is(text);
+    std::string raw, section;
+    int lineno = 0;
+    while (std::getline(is, raw)) {
+        ++lineno;
+        size_t cut = raw.find_first_of("#;");
+        std::string line = trimmed(cut == std::string::npos
+                                       ? raw
+                                       : raw.substr(0, cut));
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                return fail(lineno, "malformed section header '" + line +
+                                        "'");
+            section = trimmed(line.substr(1, line.size() - 2));
+            if (section == "scenario") {
+                std::string err = flush();
+                if (!err.empty())
+                    return fail(lineno, err);
+                cur.open = true;
+            } else {
+                bool known = false;
+                for (const char *s : sectionNames)
+                    known = known || section == s;
+                if (!known)
+                    return fail(
+                        lineno,
+                        "unknown section '[" + section +
+                            "]' (expected [scenario], [sim], [core], "
+                            "[mech] or [rsep])");
+                if (!cur.open)
+                    return fail(lineno, "section '[" + section +
+                                            "]' before any [scenario]");
+            }
+            continue;
+        }
+
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return fail(lineno,
+                        "expected 'key = value', got '" + line + "'");
+        std::string key = trimmed(line.substr(0, eq));
+        std::string value = trimmed(line.substr(eq + 1));
+        if (key.empty())
+            return fail(lineno, "empty key");
+        if (!cur.open)
+            return fail(lineno, "key '" + key + "' before any [scenario]");
+
+        if (section == "scenario") {
+            if (key == "name") {
+                cur.sc.name = value;
+            } else if (key == "label") {
+                cur.label = value;
+                cur.explicitLabel = true;
+            } else if (key == "base") {
+                auto base = findScenario(value);
+                if (!base)
+                    return fail(lineno, "unknown base scenario '" + value +
+                                            "' (see --list-scenarios)");
+                cur.sc.config = base->config;
+            } else {
+                return fail(lineno,
+                            "unknown key '" + key +
+                                "' in [scenario] (expected name, base "
+                                "or label)");
+            }
+            continue;
+        }
+
+        std::string err =
+            applySectionKey(cur.sc.config, section, key, value);
+        if (!err.empty())
+            return fail(lineno, err);
+    }
+
+    std::string err = flush();
+    if (!err.empty())
+        return fail(lineno, err);
+    if (out.scenarios.empty() && out.error.empty())
+        out.error = origin + ": no [scenario] found";
+    return out;
+}
+
+ScenarioParse
+parseScenarioFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        ScenarioParse out;
+        out.error = path + ": cannot open scenario file";
+        return out;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return parseScenarioText(buf.str(), path);
+}
+
+std::string
+serializeScenario(const Scenario &s)
+{
+    std::ostringstream os;
+    os << "[scenario]\n";
+    os << "name = " << s.name << "\n";
+    if (s.config.label != s.name)
+        os << "label = " << s.config.label << "\n";
+    os << serializeBody(s.config);
+    return os.str();
+}
+
+std::string
+serializeScenarios(const std::vector<Scenario> &list)
+{
+    std::string out;
+    for (size_t i = 0; i < list.size(); ++i) {
+        if (i)
+            out += "\n";
+        out += serializeScenario(list[i]);
+    }
+    return out;
+}
+
+std::string
+configHash(const SimConfig &cfg)
+{
+    // FNV-1a 64 over the canonical body: stable across runs, label-
+    // independent, and sensitive to every covered field.
+    std::string body = serializeBody(cfg);
+    u64 h = 0xcbf29ce484222325ull;
+    for (unsigned char c : body) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+bool
+applyScenarioKey(SimConfig &cfg, const std::string &dotted_key,
+                 const std::string &value, std::string *err)
+{
+    size_t dot = dotted_key.find('.');
+    if (dot == std::string::npos) {
+        if (err)
+            *err = "key '" + dotted_key +
+                   "' is not of the form section.key";
+        return false;
+    }
+    std::string msg = applySectionKey(cfg, dotted_key.substr(0, dot),
+                                      dotted_key.substr(dot + 1), value);
+    if (!msg.empty()) {
+        if (err)
+            *err = msg;
+        return false;
+    }
+    return true;
+}
+
+} // namespace rsep::sim

@@ -52,6 +52,20 @@ struct SimConfig
     static SimConfig fig1Probe();
 };
 
+/**
+ * Field-introspection hook for the run-sizing scalars (the `[sim]`
+ * scenario-file section; label is carried as the scenario name).
+ */
+template <class V>
+void
+visitFields(SimConfig &c, V &&v)
+{
+    v("warmup_insts", c.warmupInsts);
+    v("measure_insts", c.measureInsts);
+    v("checkpoints", c.checkpoints);
+    v("seed", c.seed);
+}
+
 /** Render Table I (the simulator configuration overview). */
 std::string describeTable1(const SimConfig &cfg);
 

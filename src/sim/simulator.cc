@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include "common/stats.hh"
+#include "core/spec_engine.hh"
 
 namespace rsep::sim
 {
@@ -41,6 +42,11 @@ runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase)
     PhaseResult pr;
     pr.stats = pipe.stats();
     pr.ipc = pr.stats.ipc();
+    for (const core::SpeculationEngine *eng : pipe.engines())
+        for (const auto &entry : eng->statEntries())
+            pr.engineStats.emplace_back("engine." + eng->name() + "." +
+                                            entry.name,
+                                        entry.counter->value());
     return pr;
 }
 

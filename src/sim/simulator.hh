@@ -10,6 +10,7 @@
 #define RSEP_SIM_SIMULATOR_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/sim_config.hh"
@@ -23,6 +24,10 @@ struct PhaseResult
 {
     double ipc = 0.0;
     core::PipelineStats stats;
+    /** Engine-local counters (SpeculationEngine::statEntries()),
+     *  snapshot at end of measurement as "engine.<name>.<counter>" —
+     *  the per-engine rows of the stat-export layer. */
+    std::vector<std::pair<std::string, u64>> engineStats;
 };
 
 /** Result of one (workload, config) run across checkpoints. */

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unified stat-export layer: flatten an experiment matrix into rows
+ * keyed by (benchmark, scenario name, config hash) and write them
+ * through a pluggable StatSink (human table, CSV, JSON). Counters
+ * cover every PipelineStats field (via its visitStats introspection
+ * hook) plus the per-engine SpeculationEngine::statEntries() snapshots
+ * — the machine-readable matrix dump behind `--csv` / `--json`.
+ */
+
+#ifndef RSEP_SIM_STAT_EXPORT_HH
+#define RSEP_SIM_STAT_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace rsep::sim
+{
+
+/** One (benchmark, scenario) cell of the matrix, flattened. */
+struct StatRow
+{
+    std::string benchmark;
+    std::string scenario;   ///< config label (scenario name).
+    std::string configHash; ///< stable 16-hex config identity.
+    size_t checkpoints = 0;
+    double ipcHmean = 0.0;
+    /** (name, value) pairs summed over checkpoints: pipeline counters,
+     *  commit_group_producers_<b> histogram buckets, then engine.*. */
+    std::vector<std::pair<std::string, u64>> counters;
+};
+
+/** Flatten runMatrix output. @p configs parallels MatrixRow::byConfig. */
+std::vector<StatRow>
+collectStatRows(const std::vector<SimConfig> &configs,
+                const std::vector<MatrixRow> &rows);
+
+/** A stat-export format. */
+class StatSink
+{
+  public:
+    virtual ~StatSink() = default;
+    virtual void write(std::ostream &os,
+                       const std::vector<StatRow> &rows) const = 0;
+};
+
+/** Human-readable per-cell dump (the `--stats` matrix table). */
+class TableStatSink : public StatSink
+{
+  public:
+    /** @p engines_only drops the (many) raw pipeline counters and
+     *  keeps the per-engine ones. */
+    explicit TableStatSink(bool engines_only = true)
+        : enginesOnly(engines_only)
+    {
+    }
+    void write(std::ostream &os,
+               const std::vector<StatRow> &rows) const override;
+
+  private:
+    bool enginesOnly;
+};
+
+/** RFC-4180-style CSV; one column per counter (union across rows). */
+class CsvStatSink : public StatSink
+{
+  public:
+    void write(std::ostream &os,
+               const std::vector<StatRow> &rows) const override;
+};
+
+/** JSON array of row objects with a nested "counters" map. */
+class JsonStatSink : public StatSink
+{
+  public:
+    void write(std::ostream &os,
+               const std::vector<StatRow> &rows) const override;
+};
+
+/** Write rows to @p path; false + @p err on I/O failure. */
+bool writeStatsFile(const std::string &path, const StatSink &sink,
+                    const std::vector<StatRow> &rows,
+                    std::string *err = nullptr);
+
+} // namespace rsep::sim
+
+#endif // RSEP_SIM_STAT_EXPORT_HH

@@ -282,5 +282,54 @@ TEST(Env, ParsesValues)
     unsetenv("RSEP_TEST_ENV_X");
 }
 
+TEST(Env, MalformedValuesWarnAndFallBack)
+{
+    // Malformed values (including trailing garbage, which the old
+    // strtoull-based parse silently truncated) use the default.
+    for (const char *bad : {"abc", "12abc", "-3", " ", "0x"}) {
+        setenv("RSEP_TEST_ENV_X", bad, 1);
+        EXPECT_EQ(envU64("RSEP_TEST_ENV_X", 17), 17u) << bad;
+    }
+    setenv("RSEP_TEST_ENV_X", "1.5.2", 1);
+    EXPECT_DOUBLE_EQ(envDouble("RSEP_TEST_ENV_X", 2.5), 2.5);
+    unsetenv("RSEP_TEST_ENV_X");
+}
+
+TEST(Env, EnvSet)
+{
+    unsetenv("RSEP_TEST_ENV_X");
+    EXPECT_FALSE(envSet("RSEP_TEST_ENV_X"));
+    setenv("RSEP_TEST_ENV_X", "", 1);
+    EXPECT_FALSE(envSet("RSEP_TEST_ENV_X"));
+    setenv("RSEP_TEST_ENV_X", "1", 1);
+    EXPECT_TRUE(envSet("RSEP_TEST_ENV_X"));
+    unsetenv("RSEP_TEST_ENV_X");
+}
+
+TEST(Env, StrictScalarParses)
+{
+    u64 u = 0;
+    EXPECT_TRUE(parseU64("  42 ", u));
+    EXPECT_EQ(u, 42u);
+    EXPECT_TRUE(parseU64("0x20", u));
+    EXPECT_EQ(u, 32u);
+    EXPECT_FALSE(parseU64("", u));
+    EXPECT_FALSE(parseU64("-1", u));
+    EXPECT_FALSE(parseU64("42z", u));
+    EXPECT_FALSE(parseU64("99999999999999999999999", u)); // overflow.
+
+    double d = 0.0;
+    EXPECT_TRUE(parseDouble("0.25", d));
+    EXPECT_DOUBLE_EQ(d, 0.25);
+    EXPECT_FALSE(parseDouble("0.25x", d));
+
+    bool b = false;
+    EXPECT_TRUE(parseBool("TRUE", b));
+    EXPECT_TRUE(b);
+    EXPECT_TRUE(parseBool("off", b));
+    EXPECT_FALSE(b);
+    EXPECT_FALSE(parseBool("maybe", b));
+}
+
 } // namespace
 } // namespace rsep

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 
 #include "sim/runner.hh"
 #include "sim/thread_pool.hh"
@@ -131,6 +132,57 @@ TEST(RunnerParallel, JobsResolution)
     EXPECT_EQ(parseJobsArg(2, const_cast<char **>(argv3)), 3u);
     const char *argv4[] = {"prog", "other"};
     EXPECT_EQ(parseJobsArg(2, const_cast<char **>(argv4)), 0u);
+}
+
+TEST(RunnerParallel, JobsParsingRejectsMalformedValues)
+{
+    unsigned jobs = 0;
+    std::string err;
+
+    EXPECT_TRUE(parseJobsValue("12", jobs, err));
+    EXPECT_EQ(jobs, 12u);
+    EXPECT_TRUE(parseJobsValue("0", jobs, err)); // explicit auto.
+    EXPECT_EQ(jobs, 0u);
+
+    // Non-numeric, negative, trailing garbage, overflowing and absurd
+    // values produce a diagnostic instead of silently becoming 0/auto.
+    for (const char *bad :
+         {"abc", "-3", "4x", "", "99999999999999999999", "4097"}) {
+        err.clear();
+        EXPECT_FALSE(parseJobsValue(bad, jobs, err)) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+
+    auto scan = [&](std::vector<const char *> args) {
+        args.insert(args.begin(), "prog");
+        jobs = 0;
+        err.clear();
+        return parseJobsArg(static_cast<int>(args.size()),
+                            const_cast<char **>(args.data()), jobs, err);
+    };
+    EXPECT_TRUE(scan({"--jobs", "6"}));
+    EXPECT_EQ(jobs, 6u);
+    EXPECT_FALSE(scan({"--jobs", "abc"}));
+    EXPECT_NE(err.find("invalid jobs count"), std::string::npos);
+    EXPECT_FALSE(scan({"--jobs=1e3"}));
+    EXPECT_FALSE(scan({"-jfast"}));
+    EXPECT_FALSE(scan({"--jobs"})); // dangling flag.
+    EXPECT_NE(err.find("requires a value"), std::string::npos);
+    EXPECT_TRUE(scan({"unrelated"})); // absent: stays auto.
+    EXPECT_EQ(jobs, 0u);
+}
+
+TEST(RunnerParallel, MalformedRsepJobsEnvFallsBackToAuto)
+{
+    setenv("RSEP_JOBS", "not-a-number", 1);
+    EXPECT_GE(resolveJobs(0), 1u); // warns, then auto.
+    setenv("RSEP_JOBS", "999999999", 1);
+    unsigned resolved = resolveJobs(0);
+    EXPECT_GE(resolved, 1u);
+    EXPECT_LE(resolved, maxJobs); // absurd values are not honoured.
+    setenv("RSEP_JOBS", "3", 1);
+    EXPECT_EQ(resolveJobs(0), 3u);
+    unsetenv("RSEP_JOBS");
 }
 
 } // namespace

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Scenario-layer tests: the registry must reproduce the old factory
+ * configs exactly, the text format must round-trip losslessly through
+ * parse -> serialize -> parse, diagnostics must name the offending
+ * line, and the config hash must be stable, label-independent and
+ * field-sensitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/scenario.hh"
+
+namespace rsep::sim
+{
+namespace
+{
+
+/** Full-field equality via the canonical serialization + label. */
+void
+expectSameConfig(const SimConfig &a, const SimConfig &b)
+{
+    EXPECT_EQ(configHash(a), configHash(b));
+    EXPECT_EQ(a.label, b.label);
+}
+
+TEST(ScenarioRegistry, MatchesFactoryFunctions)
+{
+    // Pin the registry to the retired hard-coded factories: every
+    // registered arm must be bit-for-bit the config the old
+    // SimConfig::* factory produced.
+    auto baseline = findScenario("baseline");
+    ASSERT_TRUE(baseline.has_value());
+    expectSameConfig(baseline->config, SimConfig::baseline());
+
+    auto rsep = findScenario("rsepIdeal"); // factory-name alias.
+    ASSERT_TRUE(rsep.has_value());
+    EXPECT_EQ(rsep->name, "rsep");
+    expectSameConfig(rsep->config, SimConfig::rsepIdeal());
+    expectSameConfig(findScenario("rsep")->config, SimConfig::rsepIdeal());
+
+    expectSameConfig(findScenario("zero-pred")->config,
+                     SimConfig::zeroPredOnly());
+    expectSameConfig(findScenario("move-elim")->config,
+                     SimConfig::moveElimOnly());
+    expectSameConfig(findScenario("vpred")->config, SimConfig::vpOnly());
+    expectSameConfig(findScenario("rsep+vpred")->config,
+                     SimConfig::rsepPlusVp());
+    expectSameConfig(findScenario("rsep-realistic")->config,
+                     SimConfig::rsepRealistic());
+    expectSameConfig(
+        findScenario("rsep-val-2x-any")->config,
+        SimConfig::rsepValidation(equality::ValidationPolicy::Issue2xAnyFu));
+    expectSameConfig(findScenario("rsep-val-2x-sample63")->config,
+                     SimConfig::rsepSampling(63));
+    expectSameConfig(findScenario("fig1-probe")->config,
+                     SimConfig::fig1Probe());
+
+    EXPECT_FALSE(findScenario("no-such-arm").has_value());
+    EXPECT_FALSE(registeredScenarios().empty());
+}
+
+TEST(ScenarioFormat, ParseSerializeParseRoundTrip)
+{
+    const char *text =
+        "# golden round-trip input\n"
+        "[scenario]\n"
+        "name = tuned\n"
+        "base = rsep-realistic\n"
+        "[sim]\n"
+        "checkpoints = 4\n"
+        "seed = 0xbeef\n"
+        "[core]\n"
+        "rob_size = 256\n"
+        "iq_size = 97   ; trailing comment\n"
+        "[mech]\n"
+        "zero_pred = true\n"
+        "[rsep]\n"
+        "history_depth = 256\n"
+        "validation = issue2x-lock-fu\n"
+        "conf_kind = fpc3\n";
+
+    ScenarioParse p1 = parseScenarioText(text, "golden.scn");
+    ASSERT_TRUE(p1.ok()) << p1.error;
+    ASSERT_EQ(p1.scenarios.size(), 1u);
+    const Scenario &sc = p1.scenarios[0];
+    EXPECT_EQ(sc.name, "tuned");
+    EXPECT_EQ(sc.config.label, "tuned");
+    EXPECT_EQ(sc.config.checkpoints, 4u);
+    EXPECT_EQ(sc.config.seed, 0xbeefu);
+    EXPECT_EQ(sc.config.core.robSize, 256u);
+    EXPECT_EQ(sc.config.core.iqSize, 97u);
+    EXPECT_TRUE(sc.config.mech.zeroPred);
+    EXPECT_EQ(sc.config.mech.rsep.historyDepth, 256u);
+    EXPECT_EQ(sc.config.mech.rsep.validation,
+              equality::ValidationPolicy::Issue2xLockFu);
+    EXPECT_EQ(sc.config.mech.rsep.confKind, ConfidenceKind::Fpc3);
+    // Inherited from the rsep-realistic base.
+    EXPECT_FALSE(sc.config.mech.rsep.idealPredictor);
+    EXPECT_TRUE(sc.config.mech.rsep.sampling);
+
+    std::string s1 = serializeScenario(sc);
+    ScenarioParse p2 = parseScenarioText(s1, "reserialized");
+    ASSERT_TRUE(p2.ok()) << p2.error;
+    ASSERT_EQ(p2.scenarios.size(), 1u);
+    std::string s2 = serializeScenario(p2.scenarios[0]);
+
+    EXPECT_EQ(s1, s2); // lossless: canonical form is a fixpoint.
+    expectSameConfig(sc.config, p2.scenarios[0].config);
+}
+
+TEST(ScenarioFormat, MultiScenarioFilesAndLabels)
+{
+    const char *text =
+        "[scenario]\n"
+        "name = a\n"
+        "[scenario]\n"
+        "name = b\n"
+        "label = pretty-b\n"
+        "[sim]\n"
+        "checkpoints = 1\n";
+    ScenarioParse p = parseScenarioText(text);
+    ASSERT_TRUE(p.ok()) << p.error;
+    ASSERT_EQ(p.scenarios.size(), 2u);
+    EXPECT_EQ(p.scenarios[0].config.label, "a");
+    EXPECT_EQ(p.scenarios[1].name, "b");
+    EXPECT_EQ(p.scenarios[1].config.label, "pretty-b");
+
+    // Non-mirroring labels survive the round-trip too.
+    ScenarioParse p2 = parseScenarioText(serializeScenarios(p.scenarios));
+    ASSERT_TRUE(p2.ok()) << p2.error;
+    ASSERT_EQ(p2.scenarios.size(), 2u);
+    EXPECT_EQ(p2.scenarios[1].config.label, "pretty-b");
+
+    // An explicit label wins whatever its position relative to 'base'
+    // (the base config carries its own label, which must not leak).
+    ScenarioParse p3 = parseScenarioText(
+        "[scenario]\nname = x\nlabel = pretty\nbase = rsep\n");
+    ASSERT_TRUE(p3.ok()) << p3.error;
+    EXPECT_EQ(p3.scenarios[0].config.label, "pretty");
+    ScenarioParse p4 =
+        parseScenarioText("[scenario]\nname = y\nbase = rsep\n");
+    ASSERT_TRUE(p4.ok()) << p4.error;
+    EXPECT_EQ(p4.scenarios[0].config.label, "y")
+        << "base label must not leak into an unlabelled scenario";
+}
+
+TEST(ScenarioFormat, Diagnostics)
+{
+    auto errorOf = [](const char *text) {
+        ScenarioParse p = parseScenarioText(text, "t.scn");
+        EXPECT_FALSE(p.ok());
+        return p.error;
+    };
+
+    EXPECT_NE(errorOf("[scenario]\nname = x\n[rsep]\nbogus = 1\n")
+                  .find("t.scn:4: unknown key 'bogus' in [rsep]"),
+              std::string::npos);
+    EXPECT_NE(errorOf("[scenario]\nname = x\n[sim]\ncheckpoints = soon\n")
+                  .find("expected an unsigned 32-bit integer"),
+              std::string::npos);
+    EXPECT_NE(errorOf("[scenario]\nname = x\n[mech]\nzero_pred = treu\n")
+                  .find("expected a boolean"),
+              std::string::npos);
+    EXPECT_NE(errorOf("[scenario]\nname = x\n[rsep]\nvalidation = later\n")
+                  .find("issue2x-any-fu"),
+              std::string::npos);
+    EXPECT_NE(errorOf("[scenario]\nname = x\n[turbo]\nz = 1\n")
+                  .find("unknown section"),
+              std::string::npos);
+    EXPECT_NE(errorOf("[sim]\ncheckpoints = 1\n")
+                  .find("before any [scenario]"),
+              std::string::npos);
+    EXPECT_NE(errorOf("[scenario]\nname = x\nnot a key value line\n")
+                  .find("expected 'key = value'"),
+              std::string::npos);
+    EXPECT_NE(errorOf("[scenario]\n[sim]\ncheckpoints = 1\n")
+                  .find("missing a 'name'"),
+              std::string::npos);
+    EXPECT_NE(errorOf("[scenario]\nname = x\nbase = nope\n")
+                  .find("unknown base scenario 'nope'"),
+              std::string::npos);
+    EXPECT_NE(errorOf("# only a comment\n").find("no [scenario]"),
+              std::string::npos);
+    // 'base' is a [scenario]-section key: written after a field
+    // section (where it could clobber overrides) it is rejected.
+    EXPECT_NE(errorOf("[scenario]\nname = x\n[sim]\ncheckpoints = 9\n"
+                      "base = baseline\n")
+                  .find("unknown key 'base' in [sim]"),
+              std::string::npos);
+}
+
+TEST(ScenarioFormat, ScenariosAreIndependent)
+{
+    // A later scenario starts from scratch, not from its predecessor.
+    const char *text =
+        "[scenario]\nname = x\n[sim]\ncheckpoints = 9\n"
+        "[scenario]\nname = y\nbase = baseline\n";
+    ScenarioParse p = parseScenarioText(text);
+    ASSERT_TRUE(p.ok()) << p.error;
+    ASSERT_EQ(p.scenarios.size(), 2u);
+    EXPECT_EQ(p.scenarios[0].config.checkpoints, 9u);
+    EXPECT_NE(p.scenarios[1].config.checkpoints, 9u);
+    expectSameConfig(p.scenarios[1].config,
+                     [] {
+                         SimConfig c = SimConfig::baseline();
+                         c.label = "y";
+                         return c;
+                     }());
+}
+
+TEST(ScenarioHash, StableLabelIndependentFieldSensitive)
+{
+    SimConfig a = SimConfig::rsepIdeal();
+    SimConfig b = SimConfig::rsepIdeal();
+    EXPECT_EQ(configHash(a), configHash(b));
+    EXPECT_EQ(configHash(a).size(), 16u);
+
+    b.label = "renamed";
+    EXPECT_EQ(configHash(a), configHash(b)) << "hash ignores the label";
+
+    b.mech.rsep.historyDepth += 1;
+    EXPECT_NE(configHash(a), configHash(b));
+
+    SimConfig c = SimConfig::rsepIdeal();
+    c.checkpoints += 1;
+    EXPECT_NE(configHash(a), configHash(c))
+        << "run sizing is part of the result-cache key";
+}
+
+TEST(ScenarioOverrides, DottedKeysDriveTheSweepDrivers)
+{
+    SimConfig cfg = SimConfig::rsepIdeal();
+    std::string err;
+    EXPECT_TRUE(applyScenarioKey(cfg, "rsep.history_depth", "64", &err))
+        << err;
+    EXPECT_EQ(cfg.mech.rsep.historyDepth, 64u);
+    EXPECT_TRUE(applyScenarioKey(cfg, "core.rob_size", "320", &err));
+    EXPECT_EQ(cfg.core.robSize, 320u);
+    EXPECT_TRUE(applyScenarioKey(cfg, "sim.seed", "7", &err));
+    EXPECT_EQ(cfg.seed, 7u);
+
+    EXPECT_FALSE(applyScenarioKey(cfg, "nodots", "1", &err));
+    EXPECT_FALSE(applyScenarioKey(cfg, "rsep.nope", "1", &err));
+    EXPECT_NE(err.find("unknown key"), std::string::npos);
+    EXPECT_FALSE(applyScenarioKey(cfg, "rsep.sampling", "perhaps", &err));
+}
+
+TEST(ScenarioFormat, RegistryScenariosSerializeLosslessly)
+{
+    // Every registered arm must survive the text format unchanged —
+    // the property that lets scenario files fully replace the old
+    // hard-coded config vectors.
+    for (const ScenarioInfo &info : registeredScenarios()) {
+        auto sc = findScenario(info.name);
+        ASSERT_TRUE(sc.has_value()) << info.name;
+        ScenarioParse p = parseScenarioText(serializeScenario(*sc),
+                                            "roundtrip:" + info.name);
+        ASSERT_TRUE(p.ok()) << p.error;
+        ASSERT_EQ(p.scenarios.size(), 1u);
+        EXPECT_EQ(p.scenarios[0].name, sc->name);
+        expectSameConfig(p.scenarios[0].config, sc->config);
+    }
+}
+
+} // namespace
+} // namespace rsep::sim
