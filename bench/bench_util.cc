@@ -47,10 +47,16 @@ void
 warnUnusedMatrixFlags(const char *driver, const DriverContext &ctx,
                       size_t scenarios_used)
 {
-    if (!ctx.csvPath.empty() || !ctx.jsonPath.empty() || ctx.statsTable)
+    if (!ctx.csvPath.empty() || !ctx.jsonPath.empty() || ctx.statsTable ||
+        ctx.timings)
         std::fprintf(stderr,
                      "%s: warning: no experiment matrix is run here; "
-                     "--csv/--json/--stats are ignored\n",
+                     "--csv/--json/--stats/--timings are ignored\n",
+                     driver);
+    if (ctx.matrix.shard.active() || !ctx.matrix.cacheDir.empty())
+        std::fprintf(stderr,
+                     "%s: warning: no experiment matrix is run here; "
+                     "--shard/--cache-dir are ignored\n",
                      driver);
     if (ctx.scenarios.size() > scenarios_used)
         std::fprintf(stderr,
@@ -82,8 +88,16 @@ printHelp(const HarnessSpec &spec)
         "  --csv PATH                 write the stat matrix as CSV\n"
         "  --json PATH                write the stat matrix as JSON\n"
         "  --stats                    print per-engine counters per cell\n"
+        "  --timings                  add wall-clock + cache counters\n"
+        "                             (timing.*) to the dumps\n"
         "  --jobs N, -jN              worker threads (0 = auto: RSEP_JOBS\n"
         "                             or the hardware thread count)\n"
+        "  --shard I/N                run only this process's slice of\n"
+        "                             the matrix; merge the dumps with\n"
+        "                             rsep_merge (stable hash partition)\n"
+        "  --cache-dir PATH           persistent per-cell result cache:\n"
+        "                             skip already-simulated cells and\n"
+        "                             make interrupted sweeps resumable\n"
         "  --help, -h                 show this help\n");
     if (!spec.defaultScenarios.empty()) {
         std::printf("\ndefault scenarios:");
@@ -191,8 +205,28 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
             ctx.statsTable = true;
             continue;
         }
+        if (a == "--timings") {
+            ctx.timings = true;
+            continue;
+        }
         std::string value;
         int hit;
+        if ((hit = valueOf("--shard", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--shard requires INDEX/COUNT "
+                                        "(e.g. 0/4)");
+            if (!sim::parseShardValue(value, ctx.matrix.shard, err))
+                return usageError(spec, err);
+            continue;
+        }
+        if ((hit = valueOf("--cache-dir", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--cache-dir requires a path");
+            if (value.empty())
+                return usageError(spec, "--cache-dir path is empty");
+            ctx.matrix.cacheDir = value;
+            continue;
+        }
         if ((hit = valueOf("--scenario-file", value)) != 0) {
             if (hit < 0)
                 return usageError(spec, "--scenario-file requires a path");
@@ -258,6 +292,25 @@ benchmarksFor(const HarnessSpec &spec, const DriverContext &ctx)
     return wl::suiteNames();
 }
 
+/**
+ * A sharded run holds only its slice of the matrix, so the per-driver
+ * tables (which expect every row) are suppressed in favour of a
+ * pointer at the merge step.
+ */
+void
+printShardNotice(const DriverContext &ctx)
+{
+    std::cout << "\nshard " << ctx.matrix.shard.index << "/"
+              << ctx.matrix.shard.count
+              << ": partial matrix; tables are suppressed.\n"
+                 "Export every shard with --csv/--json and combine with "
+                 "rsep_merge\nto recover the full table and figure "
+                 "summaries.\n";
+    if (ctx.csvPath.empty() && ctx.jsonPath.empty())
+        std::cout << "(warning: no --csv/--json requested; this shard's "
+                     "results are not\nexported anywhere)\n";
+}
+
 } // namespace
 
 bool
@@ -268,7 +321,7 @@ exportStats(const DriverContext &ctx,
     if (ctx.csvPath.empty() && ctx.jsonPath.empty() && !ctx.statsTable)
         return true;
     std::vector<sim::StatRow> stat_rows =
-        sim::collectStatRows(configs, rows);
+        sim::collectStatRows(configs, rows, ctx.timings);
     bool ok = true;
     std::string err;
     if (!ctx.csvPath.empty()) {
@@ -317,7 +370,9 @@ runScenarioMatrix(const HarnessSpec &spec, const DriverContext &ctx,
     for (size_t c = 0; c < configs.size(); ++c)
         std::cout << "  " << scenarios[c].name << "  (config hash "
                   << sim::configHash(configs[c]) << ")\n";
-    if (configs.size() > 1) {
+    if (ctx.matrix.shard.active()) {
+        printShardNotice(ctx);
+    } else if (configs.size() > 1) {
         std::cout << "\nspeedup over '" << scenarios[0].name << "':\n";
         sim::printSpeedupTable(std::cout, rows, configs);
     } else {
@@ -357,7 +412,9 @@ runHarness(int argc, char **argv, const HarnessSpec &spec)
 
     result.rows = sim::runMatrix(result.configs, benchmarksFor(spec, ctx),
                                  ctx.matrix);
-    if (spec.report)
+    if (ctx.matrix.shard.active())
+        printShardNotice(ctx); // bespoke reports need the full matrix.
+    else if (spec.report)
         spec.report(result);
     else if (result.configs.size() > 1)
         sim::printSpeedupTable(std::cout, result.rows, result.configs);

@@ -5,7 +5,7 @@
  * bespoke report) and delegates flag handling, scenario resolution,
  * the matrix run and stat export to runHarness. All drivers accept the
  * same flags: --scenario, --scenario-file, --list-scenarios, --csv,
- * --json, --stats, --jobs and --help.
+ * --json, --stats, --timings, --jobs, --shard, --cache-dir and --help.
  */
 
 #ifndef RSEP_BENCH_BENCH_UTIL_HH
@@ -40,13 +40,17 @@ std::vector<std::string> highlightBenchmarks();
 /** Everything runHarness parsed off the command line. */
 struct DriverContext
 {
-    sim::MatrixOptions matrix;
+    sim::MatrixOptions matrix; ///< jobs, --shard slice, --cache-dir.
     /** From --scenario / --scenario-file, in flag order. */
     std::vector<sim::Scenario> scenarios;
     bool scenariosOverridden = false;
     std::string csvPath;
     std::string jsonPath;
     bool statsTable = false;
+    /** --timings: add the host-dependent wall-clock and cache counters
+     *  (timing.<name>) to the dumps (off by default so dumps stay
+     *  bit-reproducible). */
+    bool timings = false;
     std::vector<std::string> positional;
 };
 

@@ -24,6 +24,8 @@ enum class RenameAction : u8 {
     MoveElim,      ///< non-speculative: dest -> source preg, no execution.
     ZeroPredicted, ///< speculative: dest -> zero preg, executes to check.
     RsepShared,    ///< speculative: dest -> producer preg, executes.
+    OracleShared,  ///< oracle equality: dest -> producer preg, executes,
+                   ///< never mispredicts (limit study).
     ValuePredicted,///< speculative: own preg, value ready at dispatch.
 };
 

@@ -1,0 +1,93 @@
+#include "core/engines/oracle_eq_engine.hh"
+
+#include "core/pipeline.hh"
+
+namespace rsep::core
+{
+
+OracleEqEngine::OracleEqEngine(unsigned lookback)
+    : SpeculationEngine("oracle-eq"), window(lookback)
+{
+    registerStat("shared", &shared);
+    registerStat("sharedWithZero", &sharedWithZero);
+    registerStat("shareFailIsrb", &shareFailIsrb);
+    registerStat("noPartner", &noPartner);
+}
+
+bool
+OracleEqEngine::atRename(InflightInst &di, bool handled, EngineContext &ctx)
+{
+    // Zero idioms and (when move elimination runs) eliminable moves
+    // are never equality candidates — same exclusions as the real
+    // engine, so coverage numbers stay comparable.
+    if (handled || !di.producesReg || di.si->isZeroIdiom() ||
+        (ctx.mech.moveElim && di.si->isEliminableMove()))
+        return false;
+
+    // Scan the in-flight window youngest-first: the nearest equal
+    // producer is the one the paper's distance predictor would learn.
+    // The lookback is counted in *producers*, matching the unit of the
+    // FIFO history it stands in for (historyDepth committed producers).
+    u64 producers_seen = 0;
+    for (u64 s = di.traceIdx; s-- > 0;) {
+        InflightInst *prod = ctx.pipe.findBySeq(s);
+        if (!prod)
+            break; // left the ROB window.
+        if (!prod->producesReg || prod->destPreg == invalidPhysReg)
+            continue;
+        if (window && ++producers_seen > window)
+            break;
+        if (prod->rec.result != di.rec.result)
+            continue;
+
+        PhysReg preg = prod->destPreg;
+        if (preg != zeroPreg && !ctx.pipe.isrb().share(preg)) {
+            // The substrate, not the oracle, is the limit here; keep
+            // scanning for an older copy of the value whose ISRB entry
+            // still has room.
+            ++shareFailIsrb;
+            ++ctx.st.shareFailIsrb;
+            continue;
+        }
+        di.action = RenameAction::OracleShared;
+        di.destPreg = preg;
+        di.shareProducerSeq = prod->traceIdx;
+        di.shareProducerValue = prod->rec.result;
+        // Perfect knowledge: no validation micro-op, no misprediction
+        // path. The instruction still executes (the oracle removes the
+        // *check*, not the data-path work — matching the ideal-
+        // validation RSEP arms).
+        di.needsValidation = false;
+        return true;
+    }
+    ++noPartner;
+    ++ctx.st.shareFailNoProducer;
+    return false;
+}
+
+void
+OracleEqEngine::atCommit(InflightInst &di, EngineContext &ctx)
+{
+    if (di.action != RenameAction::OracleShared)
+        return;
+    // Book coverage into the same Fig. 5 counters as the real engine
+    // so the coverage reports work unchanged for the limit arm.
+    ++(di.isLoad() ? ctx.st.distPredLoad : ctx.st.distPredOther);
+    ++ctx.st.rsepCorrect;
+    ++shared;
+    if (di.destPreg == zeroPreg)
+        ++sharedWithZero;
+}
+
+void
+OracleEqEngine::atSquashInst(InflightInst &di, EngineContext &ctx)
+{
+    if (di.action != RenameAction::OracleShared)
+        return;
+    if (di.destPreg != zeroPreg &&
+        ctx.pipe.isrb().squashSharer(di.destPreg) ==
+            equality::IsrbRelease::Freed)
+        ctx.pipe.releaseMapping(di.destPreg);
+}
+
+} // namespace rsep::core

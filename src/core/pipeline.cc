@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "core/engines/dvtage_engine.hh"
 #include "core/engines/move_elim_engine.hh"
+#include "core/engines/oracle_eq_engine.hh"
 #include "core/engines/rsep_engine.hh"
 #include "core/engines/zero_idiom_engine.hh"
 #include "core/engines/zero_pred_engine.hh"
@@ -32,6 +33,12 @@ Pipeline::Pipeline(const CoreParams &core_params, const MechConfig &mech_cfg,
     moveElimEngine = std::make_unique<MoveElimEngine>();
     zeroPredEngine =
         std::make_unique<ZeroPredEngine>(4096, mech.rsep.confKind);
+    // The oracle's pair-visibility window is rsep.history_depth
+    // *producers* — the FIFO's unit — so "rsep vs its oracle"
+    // compares like for like (the scan is also ROB-bounded; the
+    // registered rsep-oracle arm's 1024 exceeds any ROB).
+    oracleEqEngine =
+        std::make_unique<OracleEqEngine>(mech.rsep.historyDepth);
     rsepEngine = std::make_unique<RsepEngine>(
         mech.rsep, core_params.intPregs + core_params.fpPregs,
         seed ^ 0x3333);
@@ -45,6 +52,8 @@ Pipeline::Pipeline(const CoreParams &core_params, const MechConfig &mech_cfg,
         active.push_back(moveElimEngine.get());
     if (mech.zeroPred)
         active.push_back(zeroPredEngine.get());
+    if (mech.oracleEq)
+        active.push_back(oracleEqEngine.get());
     if (mech.equalityPred)
         active.push_back(rsepEngine.get());
     if (mech.valuePred)

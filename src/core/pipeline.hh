@@ -53,6 +53,7 @@ class ZeroIdiomEngine;
 class MoveElimEngine;
 class ZeroPredEngine;
 class RsepEngine;
+class OracleEqEngine;
 class DvtageEngine;
 
 /** Which speculation mechanisms are active (the Fig. 4 arms). */
@@ -62,6 +63,7 @@ struct MechConfig
     bool moveElim = false;
     bool zeroPred = false;
     bool equalityPred = false;  ///< RSEP.
+    bool oracleEq = false;      ///< oracle equality (limit study).
     bool valuePred = false;     ///< D-VTAGE.
     equality::RsepConfig rsep{};
     pred::DvtageParams vp{};
@@ -70,9 +72,8 @@ struct MechConfig
 
 /**
  * Field-introspection hook for the MechConfig toggles (the `[mech]`
- * scenario-file section). The nested RsepConfig is visited through its
- * own hook as the `[rsep]` section; DvtageParams keeps the paper's
- * fixed ~256KB geometry and is not scenario-tunable.
+ * scenario-file section). The nested RsepConfig and DvtageParams are
+ * visited through their own hooks as the `[rsep]` and `[vp]` sections.
  */
 template <class V>
 void
@@ -82,6 +83,7 @@ visitFields(MechConfig &m, V &&v)
     v("move_elim", m.moveElim);
     v("zero_pred", m.zeroPred);
     v("equality_pred", m.equalityPred);
+    v("oracle_eq", m.oracleEq);
     v("value_pred", m.valuePred);
     v("fig1_probe", m.fig1Probe);
 }
@@ -293,6 +295,7 @@ class Pipeline
     std::unique_ptr<ZeroIdiomEngine> zeroIdiomEngine;
     std::unique_ptr<MoveElimEngine> moveElimEngine;
     std::unique_ptr<ZeroPredEngine> zeroPredEngine;
+    std::unique_ptr<OracleEqEngine> oracleEqEngine;
     std::unique_ptr<RsepEngine> rsepEngine;
     std::unique_ptr<DvtageEngine> dvtageEngine;
     std::vector<SpeculationEngine *> active; ///< registered, in order.

@@ -8,6 +8,7 @@
 #ifndef RSEP_PRED_DVTAGE_HH
 #define RSEP_PRED_DVTAGE_HH
 
+#include <string>
 #include <unordered_map>
 
 #include "common/stats.hh"
@@ -31,6 +32,25 @@ struct DvtageParams
         .confKind = ConfidenceKind::Deterministic8,
     };
 };
+
+/**
+ * Field-introspection hook for DvtageParams: the `[vp]` scenario-file
+ * section, so D-VTAGE geometry sweeps need no rebuild. The nested
+ * delta-component ItageParams is flattened with an `itage_` prefix
+ * (e.g. `itage_hist_lens = 1,2,4,8`, array values as comma lists).
+ */
+template <class V>
+void
+visitFields(DvtageParams &p, V &&v)
+{
+    v("lvt_bits", p.lvtBits);
+    v("delta_bits", p.deltaBits);
+    visitFields(p.itage, [&v](const char *key, auto &field) {
+        // The temporary's lifetime spans the visitor call, which is
+        // all any visitor may assume about a key pointer.
+        v((std::string("itage_") + key).c_str(), field);
+    });
+}
 
 /** Per-instruction lookup state carried until commit. */
 struct VpLookup

@@ -46,6 +46,27 @@ struct ItageParams
     u64 usefulResetPeriod = 1 << 18;
 };
 
+/**
+ * Field-introspection hook for ItageParams (see visitFields on
+ * RsepConfig): the scenario layer derives its keys — including the
+ * array-valued per-component geometry — from this enumeration.
+ * Array values are spelled as comma lists in scenario files
+ * (`hist_lens = 2,4,8,16,32,64`); unspecified tail components are 0.
+ */
+template <class V>
+void
+visitFields(ItageParams &p, V &&v)
+{
+    v("base_bits", p.baseBits);
+    v("num_tagged", p.numTagged);
+    v("tagged_bits", p.taggedBits);
+    v("hist_lens", p.histLens);
+    v("tag_bits", p.tagBits);
+    v("payload_bits", p.payloadBits);
+    v("conf_kind", p.confKind);
+    v("useful_reset_period", p.usefulResetPeriod);
+}
+
 /** Result of a lookup; carried with the instruction until commit. */
 struct ItageLookup
 {

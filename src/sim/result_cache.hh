@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Persistent per-cell result cache (`--cache-dir` on every driver).
+ *
+ * One record per simulated cell, keyed on the stable (benchmark,
+ * config hash, phase, seed) identity — the same key the stat-export
+ * layer and the shard partitioner use. `runMatrix` consults the cache
+ * before simulating a cell and stores the cell's PhaseResult after, so
+ * interrupted sweeps resume where they stopped and repeated sweeps
+ * (re-runs, overlapping shards, grown scenario files) never re-simulate
+ * a cell.
+ *
+ * Records are plain text (a versioned header echoing the key, every
+ * introspected pipeline counter, the commit-group histogram, the
+ * per-engine counters, and a trailing checksum) and are written
+ * atomically via write-to-temp + rename. A record that fails any
+ * validation step — version or checksum mismatch, key echo that does
+ * not match the requested cell, counter-set drift against the current
+ * binary — is **quarantined** (renamed to `<cell>.corrupt`) and treated
+ * as a miss, so one damaged file can never poison a sweep or wedge a
+ * resume loop.
+ */
+
+#ifndef RSEP_SIM_RESULT_CACHE_HH
+#define RSEP_SIM_RESULT_CACHE_HH
+
+#include <atomic>
+#include <optional>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace rsep::sim
+{
+
+/** Identity of one cached cell. */
+struct CacheKey
+{
+    std::string benchmark;
+    std::string configHash; ///< configHash(cfg): covers seed + sizing.
+    u32 phase = 0;
+    u64 seed = 0; ///< echoed for legibility; already part of the hash.
+};
+
+/** Record-format version; bump on any layout change. */
+constexpr unsigned resultCacheVersion = 1;
+
+/** A file-backed, thread-safe cell cache rooted at one directory. */
+class ResultCache
+{
+  public:
+    /** An empty @p dir disables the cache (every lookup misses). */
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !root.empty(); }
+    const std::string &dir() const { return root; }
+
+    /**
+     * Look up one cell. Returns the cached PhaseResult (with
+     * fromCache set) on a hit; nullopt on a miss or after
+     * quarantining an invalid record.
+     */
+    std::optional<PhaseResult> load(const CacheKey &key);
+
+    /** Persist one cell (atomic write-rename). False on I/O failure. */
+    bool store(const CacheKey &key, const PhaseResult &pr);
+
+    /** Monotonic cache-traffic counters (thread-safe snapshots). */
+    struct Counters
+    {
+        u64 hits = 0;
+        u64 misses = 0;
+        u64 stores = 0;
+        u64 quarantined = 0;
+        u64 ioErrors = 0;
+    };
+    Counters counters() const;
+
+    /** On-disk location of a cell record (for tests and tooling). */
+    std::string cellPath(const CacheKey &key) const;
+
+    /** Serialize / parse one record body (exposed for tests). */
+    static std::string serializeRecord(const CacheKey &key,
+                                       const PhaseResult &pr);
+    /** Empty error = success. A non-empty error means "invalid record"
+     *  (the caller quarantines); parse never partially fills @p pr. */
+    static std::string parseRecord(const std::string &text,
+                                   const CacheKey &key, PhaseResult &pr);
+
+  private:
+    std::string root;
+    std::atomic<u64> nHits{0};
+    std::atomic<u64> nMisses{0};
+    std::atomic<u64> nStores{0};
+    std::atomic<u64> nQuarantined{0};
+    std::atomic<u64> nIoErrors{0};
+};
+
+} // namespace rsep::sim
+
+#endif // RSEP_SIM_RESULT_CACHE_HH

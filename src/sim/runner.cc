@@ -11,6 +11,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "sim/result_cache.hh"
 #include "sim/thread_pool.hh"
 
 namespace rsep::sim
@@ -120,7 +121,12 @@ runMatrix(const std::vector<SimConfig> &configs,
     // cell (b, c, p) -> rows[b].byConfig[c].phases[p]. The layout (and
     // the per-cell seed, see runPhase) depends only on the inputs,
     // never on scheduling, which makes the matrix bit-identical at any
-    // thread count.
+    // thread count — and, because shard assignment and the cache key
+    // hang off the same cell identity, at any shard split or cache
+    // temperature too.
+    ShardPlan plan = planShard(configs, benchmarks, opts.shard);
+    const std::vector<std::string> &hashes = plan.configHashes;
+
     std::vector<MatrixRow> rows(benchmarks.size());
     size_t total_cells = 0;
     for (size_t b = 0; b < benchmarks.size(); ++b) {
@@ -130,18 +136,31 @@ runMatrix(const std::vector<SimConfig> &configs,
             RunResult &rr = rows[b].byConfig[c];
             rr.benchmark = benchmarks[b];
             rr.configLabel = configs[c].label;
+            rr.inShard = plan.selected[b][c];
+            if (!rr.inShard)
+                continue; // another shard's run: no phases at all.
             rr.phases.resize(configs[c].checkpoints);
             total_cells += configs[c].checkpoints;
         }
     }
 
+    ResultCache cache(opts.cacheDir);
+
     unsigned jobs = resolveJobs(opts.jobs);
-    if (opts.progress)
+    if (opts.progress) {
         std::fprintf(stderr,
                      "[matrix] %zu benchmarks x %zu configs = %zu cells "
-                     "on %u thread%s\n",
+                     "on %u thread%s",
                      benchmarks.size(), configs.size(), total_cells, jobs,
                      jobs == 1 ? "" : "s");
+        if (opts.shard.active())
+            std::fprintf(stderr, " (shard %u/%u: %zu of %zu runs)",
+                         opts.shard.index, opts.shard.count,
+                         plan.selectedRuns, plan.totalRuns);
+        if (cache.enabled())
+            std::fprintf(stderr, " [cache %s]", cache.dir().c_str());
+        std::fprintf(stderr, "\n");
+    }
 
     std::atomic<size_t> done{0};
     std::mutex progress_mtx;
@@ -149,19 +168,32 @@ runMatrix(const std::vector<SimConfig> &configs,
     ThreadPool pool(jobs);
     for (size_t b = 0; b < benchmarks.size(); ++b) {
         for (size_t c = 0; c < configs.size(); ++c) {
+            if (!plan.selected[b][c])
+                continue;
             for (u32 p = 0; p < configs[c].checkpoints; ++p) {
                 pool.submit([&, b, c, p] {
-                    PhaseResult pr = runPhase(configs[c], benchmarks[b], p);
-                    rows[b].byConfig[c].phases[p] = std::move(pr);
+                    CacheKey key{benchmarks[b], hashes[c], p,
+                                 configs[c].seed};
+                    std::optional<PhaseResult> pr;
+                    if (cache.enabled())
+                        pr = cache.load(key);
+                    if (!pr) {
+                        pr = runPhase(configs[c], benchmarks[b], p);
+                        if (cache.enabled())
+                            cache.store(key, *pr);
+                    }
+                    rows[b].byConfig[c].phases[p] = std::move(*pr);
                     size_t k = ++done;
                     if (opts.progress) {
+                        const PhaseResult &ph =
+                            rows[b].byConfig[c].phases[p];
                         std::lock_guard<std::mutex> lk(progress_mtx);
                         std::fprintf(
                             stderr,
-                            "[run] %-12s %-20s ckpt %u ipc=%.3f (%zu/%zu)\n",
+                            "[%s] %-12s %-20s ckpt %u ipc=%.3f (%zu/%zu)\n",
+                            ph.fromCache ? "hit" : "run",
                             benchmarks[b].c_str(),
-                            configs[c].label.c_str(), p,
-                            rows[b].byConfig[c].phases[p].ipc, k,
+                            configs[c].label.c_str(), p, ph.ipc, k,
                             total_cells);
                     }
                 });
@@ -169,6 +201,34 @@ runMatrix(const std::vector<SimConfig> &configs,
         }
     }
     pool.wait();
+
+    // Timing/cache accounting runs after the barrier: checkpoints of
+    // one run land on different workers, so accumulating RunTiming
+    // inside the tasks would race.
+    for (auto &row : rows) {
+        for (RunResult &rr : row.byConfig) {
+            if (!rr.inShard)
+                continue;
+            for (const PhaseResult &ph : rr.phases) {
+                accountPhaseTiming(rr.timing, ph);
+                if (cache.enabled() && !ph.fromCache)
+                    ++rr.timing.cacheMisses;
+            }
+        }
+    }
+
+    if (opts.progress && cache.enabled()) {
+        ResultCache::Counters cc = cache.counters();
+        std::fprintf(stderr,
+                     "[cache] %llu hit%s, %llu miss%s, %llu stored, "
+                     "%llu quarantined\n",
+                     static_cast<unsigned long long>(cc.hits),
+                     cc.hits == 1 ? "" : "s",
+                     static_cast<unsigned long long>(cc.misses),
+                     cc.misses == 1 ? "" : "es",
+                     static_cast<unsigned long long>(cc.stores),
+                     static_cast<unsigned long long>(cc.quarantined));
+    }
     return rows;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/shard.hh"
 #include "sim/simulator.hh"
 
 namespace rsep::sim
@@ -31,6 +32,12 @@ struct MatrixOptions
      *  when set, otherwise the hardware thread count. */
     unsigned jobs = 0;
     bool progress = true; ///< per-cell progress lines on stderr.
+    /** This process's slice of the matrix (`--shard i/N`). Runs owned
+     *  by other shards are left with inShard = false and no phases. */
+    ShardSpec shard;
+    /** Root of the persistent per-cell result cache (`--cache-dir`);
+     *  empty = no caching. Cached cells are not re-simulated. */
+    std::string cacheDir;
 };
 
 /** Hard ceiling on explicit worker-thread requests. */

@@ -44,6 +44,23 @@ withZeroPred(SimConfig c, const char *label)
     return c;
 }
 
+SimConfig
+rsepOracle()
+{
+    // Limit-study arm: perfect pair finding over the ideal-RSEP
+    // window. Composed like the rsep arm (move elimination on, large
+    // history bounding the oracle's visibility) but with the predictor
+    // replaced by the oracle and the ISRB widened so the sharing
+    // substrate does not clip the limit.
+    SimConfig c = SimConfig::baseline();
+    c.label = "rsep-oracle";
+    c.mech.moveElim = true;
+    c.mech.oracleEq = true;
+    c.mech.rsep = equality::RsepConfig::idealLarge();
+    c.mech.rsep.isrbEntries = 512;
+    return c;
+}
+
 const std::vector<RegistryEntry> &
 registry()
 {
@@ -100,13 +117,21 @@ registry()
          [] {
              return withZeroPred(SimConfig::rsepPlusVp(), "rsep+vpred+zp");
          }},
+        {{"rsep-oracle", {"rsepOracle", "oracle-eq"},
+          "oracle equality prediction: perfect pair finding, no "
+          "validation (limit study)"},
+         [] { return rsepOracle(); }},
     };
     return entries;
 }
 
 // -------------------------------------------------- section dispatching
 
-constexpr const char *sectionNames[] = {"sim", "core", "mech", "rsep"};
+constexpr const char *sectionNames[] = {"sim", "core", "mech", "rsep",
+                                        "vp"};
+
+constexpr const char *sectionList =
+    "[scenario], [sim], [core], [mech], [rsep] or [vp]";
 
 /** Visit the fields of one named section of @p cfg. False when the
  *  section is unknown. */
@@ -128,6 +153,10 @@ visitSection(SimConfig &cfg, const std::string &section, V &&v)
     }
     if (section == "rsep") {
         visitFields(cfg.mech.rsep, v);
+        return true;
+    }
+    if (section == "vp") {
+        visitFields(cfg.mech.vp, v);
         return true;
     }
     return false;
@@ -167,6 +196,18 @@ struct EmitVisitor
     operator()(const char *key, ConfidenceKind &v) const
     {
         os << key << " = " << equality::confidenceKindName(v) << "\n";
+    }
+
+    /** Array-valued keys (ITTAGE per-component geometry): a full-width
+     *  comma list, so the canonical form is unambiguous. */
+    void
+    operator()(const char *key,
+               std::array<unsigned, pred::maxItageComps> &v) const
+    {
+        os << key << " = ";
+        for (size_t i = 0; i < v.size(); ++i)
+            os << (i ? "," : "") << v[i];
+        os << "\n";
     }
 };
 
@@ -261,6 +302,34 @@ struct ApplyVisitor
         }
         expected = "one of deterministic8|fpc3";
     }
+
+    void
+    operator()(const char *k, std::array<unsigned, pred::maxItageComps> &v)
+    {
+        if (key != k)
+            return;
+        found = true;
+        const char *want =
+            "a comma list of up to 8 unsigned 32-bit integers";
+        std::array<unsigned, pred::maxItageComps> parsed{};
+        size_t n = 0;
+        std::istringstream is(value);
+        std::string item;
+        while (std::getline(is, item, ',')) {
+            u64 wide = 0;
+            if (n >= parsed.size() || !parseU64(trimmed(item), wide) ||
+                wide > std::numeric_limits<u32>::max()) {
+                expected = want;
+                return;
+            }
+            parsed[n++] = static_cast<unsigned>(wide);
+        }
+        if (n == 0) {
+            expected = want;
+            return;
+        }
+        v = parsed; // unspecified tail components are 0.
+    }
 };
 
 /** Apply key = value in @p section. Empty return = success. */
@@ -270,8 +339,8 @@ applySectionKey(SimConfig &cfg, const std::string &section,
 {
     ApplyVisitor apply{key, value, false, {}};
     if (!visitSection(cfg, section, apply))
-        return "unknown section '[" + section +
-               "]' (expected [scenario], [sim], [core], [mech] or [rsep])";
+        return "unknown section '[" + section + "]' (expected " +
+               sectionList + ")";
     if (!apply.found)
         return "unknown key '" + key + "' in [" + section + "]";
     if (!apply.expected.empty())
@@ -365,11 +434,9 @@ parseScenarioText(const std::string &text, const std::string &origin)
                 for (const char *s : sectionNames)
                     known = known || section == s;
                 if (!known)
-                    return fail(
-                        lineno,
-                        "unknown section '[" + section +
-                            "]' (expected [scenario], [sim], [core], "
-                            "[mech] or [rsep])");
+                    return fail(lineno, "unknown section '[" + section +
+                                            "]' (expected " +
+                                            sectionList + ")");
                 if (!cur.open)
                     return fail(lineno, "section '[" + section +
                                             "]' before any [scenario]");

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
+
 #include "common/stats.hh"
 #include "core/spec_engine.hh"
 
@@ -28,6 +30,7 @@ RunResult::ratioOfCommitted(StatCounter core::PipelineStats::* member) const
 PhaseResult
 runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase)
 {
+    auto t0 = std::chrono::steady_clock::now();
     wl::Workload w = wl::makeWorkload(bench_name);
     wl::Emulator emu(w.program);
     emu.resetArchState();
@@ -47,7 +50,21 @@ runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase)
             pr.engineStats.emplace_back("engine." + eng->name() + "." +
                                             entry.name,
                                         entry.counter->value());
+    pr.wallMicros = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     return pr;
+}
+
+void
+accountPhaseTiming(RunTiming &timing, const PhaseResult &pr)
+{
+    timing.wallMicros += pr.wallMicros;
+    if (pr.fromCache)
+        ++timing.cacheHits;
+    else
+        ++timing.cellsRun;
 }
 
 RunResult
@@ -56,8 +73,10 @@ runWorkload(const SimConfig &cfg, const std::string &bench_name)
     RunResult out;
     out.benchmark = bench_name;
     out.configLabel = cfg.label;
-    for (u32 phase = 0; phase < cfg.checkpoints; ++phase)
+    for (u32 phase = 0; phase < cfg.checkpoints; ++phase) {
         out.phases.push_back(runPhase(cfg, bench_name, phase));
+        accountPhaseTiming(out.timing, out.phases.back());
+    }
     return out;
 }
 

@@ -28,7 +28,37 @@ struct PhaseResult
      *  snapshot at end of measurement as "engine.<name>.<counter>" —
      *  the per-engine rows of the stat-export layer. */
     std::vector<std::pair<std::string, u64>> engineStats;
+    /** Wall-clock cost of simulating this cell. For a result served
+     *  from the result cache this is the *original* simulation cost
+     *  (the price the cache saved), not the load time. */
+    u64 wallMicros = 0;
+    bool fromCache = false; ///< served by ResultCache, not simulated.
 };
+
+/**
+ * Wall-clock and cache accounting of one run, for the scaling study.
+ * Deliberately separate from PipelineStats: these counters are
+ * host-dependent, so the stat-export layer only emits them on request
+ * (`--timings`) — the default dump stays bit-reproducible.
+ */
+struct RunTiming
+{
+    StatCounter wallMicros;   ///< summed per-cell simulation cost.
+    StatCounter cellsRun;     ///< cells actually simulated.
+    StatCounter cacheHits;    ///< cells served by the result cache.
+    StatCounter cacheMisses;  ///< cells the cache could not serve.
+};
+
+/** Stat-introspection hook (mirrors visitStats on PipelineStats). */
+template <class V>
+void
+visitStats(RunTiming &t, V &&v)
+{
+    v("timing.wall_micros", t.wallMicros);
+    v("timing.cells_run", t.cellsRun);
+    v("timing.cache_hits", t.cacheHits);
+    v("timing.cache_misses", t.cacheMisses);
+}
 
 /** Result of one (workload, config) run across checkpoints. */
 struct RunResult
@@ -36,6 +66,10 @@ struct RunResult
     std::string benchmark;
     std::string configLabel;
     std::vector<PhaseResult> phases;
+    RunTiming timing;
+    /** False when a sharded matrix assigned this run to another shard
+     *  (the phases are then absent, and stat export skips the row). */
+    bool inShard = true;
 
     /** Harmonic mean of per-checkpoint IPCs (paper Section V). */
     double ipcHmean() const;
@@ -66,6 +100,11 @@ PhaseResult runPhase(const SimConfig &cfg, const std::string &bench_name,
 
 /** Run @p bench_name under @p cfg (all checkpoints, serially). */
 RunResult runWorkload(const SimConfig &cfg, const std::string &bench_name);
+
+/** Fold one finished cell into a run's timing/cache accounting
+ *  (cache misses are counted by the matrix runner, which knows
+ *  whether a cache was configured at all). */
+void accountPhaseTiming(RunTiming &timing, const PhaseResult &pr);
 
 /** Speedup of @p a over @p b in percent. */
 double speedupPct(const RunResult &a, const RunResult &b);

@@ -102,9 +102,27 @@ fmtDouble(double v)
 
 } // namespace
 
+void
+canonicalizeStatRows(std::vector<StatRow> &rows)
+{
+    for (StatRow &row : rows)
+        std::sort(row.counters.begin(), row.counters.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+    std::sort(rows.begin(), rows.end(),
+              [](const StatRow &a, const StatRow &b) {
+                  if (a.benchmark != b.benchmark)
+                      return a.benchmark < b.benchmark;
+                  if (a.scenario != b.scenario)
+                      return a.scenario < b.scenario;
+                  return a.configHash < b.configHash;
+              });
+}
+
 std::vector<StatRow>
 collectStatRows(const std::vector<SimConfig> &configs,
-                const std::vector<MatrixRow> &rows)
+                const std::vector<MatrixRow> &rows, bool include_timings)
 {
     std::vector<std::string> hashes;
     hashes.reserve(configs.size());
@@ -116,6 +134,8 @@ collectStatRows(const std::vector<SimConfig> &configs,
         for (size_t c = 0; c < mrow.byConfig.size() && c < configs.size();
              ++c) {
             const RunResult &rr = mrow.byConfig[c];
+            if (!rr.inShard)
+                continue; // another shard's run; its dump has the row.
             StatRow row;
             row.benchmark = mrow.benchmark;
             row.scenario = configs[c].label;
@@ -123,9 +143,21 @@ collectStatRows(const std::vector<SimConfig> &configs,
             row.checkpoints = rr.phases.size();
             row.ipcHmean = rr.ipcHmean();
             row.counters = flattenCounters(rr);
+            if (include_timings) {
+                RunTiming timing = rr.timing; // visitStats is non-const.
+                visitStats(timing, [&](const char *name, StatCounter &c2) {
+                    row.counters.emplace_back(name, c2.value());
+                });
+                for (size_t p = 0; p < rr.phases.size(); ++p)
+                    row.counters.emplace_back(
+                        "timing.phase" + std::to_string(p) +
+                            "_wall_micros",
+                        rr.phases[p].wallMicros);
+            }
             out.push_back(std::move(row));
         }
     }
+    canonicalizeStatRows(out);
     return out;
 }
 

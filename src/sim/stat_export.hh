@@ -30,14 +30,31 @@ struct StatRow
     size_t checkpoints = 0;
     double ipcHmean = 0.0;
     /** (name, value) pairs summed over checkpoints: pipeline counters,
-     *  commit_group_producers_<b> histogram buckets, then engine.*. */
+     *  commit_group_producers_<b> histogram buckets, engine.* and —
+     *  only when timings were requested — timing.*. Canonical rows
+     *  keep this sorted by name. */
     std::vector<std::pair<std::string, u64>> counters;
 };
 
-/** Flatten runMatrix output. @p configs parallels MatrixRow::byConfig. */
+/**
+ * Canonical dump order: rows sorted by (benchmark, scenario, config
+ * hash), counters within each row sorted by name. Both the collector
+ * and the merge tool normalise through this, which is what makes a
+ * sharded-and-merged dump byte-identical to the unsharded one.
+ */
+void canonicalizeStatRows(std::vector<StatRow> &rows);
+
+/**
+ * Flatten runMatrix output into canonical rows. @p configs parallels
+ * MatrixRow::byConfig. Runs owned by another shard (inShard = false)
+ * produce no row. @p include_timings adds the host-dependent timing.*
+ * counters (RunTiming) — off by default so dumps of the same matrix
+ * are bit-reproducible across runs, shards and cache temperatures.
+ */
 std::vector<StatRow>
 collectStatRows(const std::vector<SimConfig> &configs,
-                const std::vector<MatrixRow> &rows);
+                const std::vector<MatrixRow> &rows,
+                bool include_timings = false);
 
 /** A stat-export format. */
 class StatSink

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Offline half of the sharded-run toolchain: parse the CSV/JSON stat
+ * dumps that sharded driver processes exported, validate that they
+ * tile the experiment matrix (pairwise disjoint rows, complete
+ * benchmark x scenario rectangle), merge them back into one canonical
+ * row set, and derive the paper's figure summaries (per-benchmark
+ * speedup bars and gmean rows) from the merged table.
+ *
+ * Round-trip contract: parsing a dump written by CsvStatSink /
+ * JsonStatSink and re-emitting it through the same sink reproduces the
+ * input byte for byte, so `rsep_merge` over N shard dumps of a matrix
+ * emits exactly the dump an unsharded run would have written
+ * (tests/test_stat_merge.cc pins this).
+ */
+
+#ifndef RSEP_SIM_STAT_MERGE_HH
+#define RSEP_SIM_STAT_MERGE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stat_export.hh"
+
+namespace rsep::sim
+{
+
+/** Outcome of parsing one stat dump: rows, or a diagnostic. */
+struct DumpParse
+{
+    std::vector<StatRow> rows;
+    std::string error; ///< "origin: message"; empty on success.
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Parse a CsvStatSink dump (quoted fields, empty cell = no counter). */
+DumpParse parseCsvDump(const std::string &text, const std::string &origin);
+
+/** Parse a JsonStatSink dump. */
+DumpParse parseJsonDump(const std::string &text, const std::string &origin);
+
+/** Sniff the format ('[' starts JSON) and parse. */
+DumpParse parseDumpText(const std::string &text, const std::string &origin);
+
+/** Load and parse a dump file from disk. */
+DumpParse parseDumpFile(const std::string &path);
+
+/**
+ * Merge per-shard row sets into one canonical set. Validates
+ * disjointness: the same (benchmark, scenario, config hash) key in two
+ * inputs — or twice in one input — is an error naming both origins.
+ * @p origins parallels @p inputs (for diagnostics). Returns the empty
+ * string on success, the diagnostic otherwise.
+ */
+std::string mergeStatRows(const std::vector<std::vector<StatRow>> &inputs,
+                          const std::vector<std::string> &origins,
+                          std::vector<StatRow> &out);
+
+/**
+ * Completeness check over a merged row set: every benchmark must
+ * appear under every (scenario, config hash) arm — a hole means a
+ * shard dump is missing or a sweep was interrupted. The benchmark set
+ * is the union of @p expected_benchmarks and the benchmarks present in
+ * @p rows; with an empty @p expected_benchmarks the check is derived
+ * purely from the rows, which **cannot** notice a benchmark (or whole
+ * arm) that every supplied dump is missing — pass the intended set
+ * (rsep_merge `--expect-benchmarks`) to close that gap. Returns the
+ * empty string when the rectangle is full, otherwise a diagnostic
+ * listing the missing cells.
+ */
+std::string
+checkCompleteness(const std::vector<StatRow> &rows,
+                  const std::vector<std::string> &expected_benchmarks = {});
+
+/**
+ * The paper's figure summaries from a merged table: one CSV-style row
+ * per (benchmark, non-baseline arm) with its IPC and speedup over the
+ * baseline arm, then one gmean row per arm (Fig. 4/6/7 bars data).
+ * @p baseline_scenario selects the divisor arm; "" means "the arm
+ * named 'baseline' if present, else the lexicographically first".
+ * Returns false (with @p err) when the baseline is unknown.
+ */
+bool writeFigureSummary(std::ostream &os, const std::vector<StatRow> &rows,
+                        const std::string &baseline_scenario,
+                        std::string *err = nullptr);
+
+} // namespace rsep::sim
+
+#endif // RSEP_SIM_STAT_MERGE_HH

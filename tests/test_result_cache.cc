@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Result-cache tests: record serialization round-trips a PhaseResult
+ * exactly, hits/misses behave, every corruption mode (garbage,
+ * truncation, version drift, wrong-key echo) quarantines instead of
+ * serving bad data, and a warm-cache runMatrix re-simulates nothing
+ * while producing bit-identical results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "sim/result_cache.hh"
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
+#include "sim/stat_export.hh"
+
+namespace fs = std::filesystem;
+
+namespace rsep::sim
+{
+namespace
+{
+
+SimConfig
+shrunk(SimConfig c)
+{
+    c.warmupInsts = 1'000;
+    c.measureInsts = 3'000;
+    c.checkpoints = 2;
+    c.seed = 0x5eed;
+    return c;
+}
+
+/** A scratch cache directory, removed on scope exit. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        path = (fs::temp_directory_path() /
+                ("rsep-cache-test-" +
+                 std::to_string(::getpid()) + "-" +
+                 std::to_string(counter()++)))
+                   .string();
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    static int &
+    counter()
+    {
+        static int n = 0;
+        return n;
+    }
+};
+
+void
+expectSamePhase(const PhaseResult &a, const PhaseResult &b)
+{
+    EXPECT_EQ(a.ipc, b.ipc); // bit-equal, not approximately.
+    core::PipelineStats sa = a.stats, sb = b.stats;
+    visitStats(sa, [&](const char *name, StatCounter &c) {
+        u64 other = 0;
+        visitStats(sb, [&](const char *n2, StatCounter &c2) {
+            if (std::string(name) == n2)
+                other = c2.value();
+        });
+        EXPECT_EQ(c.value(), other) << name;
+    });
+    for (size_t i = 0; i < sa.commitGroupProducers.buckets(); ++i)
+        EXPECT_EQ(sa.commitGroupProducers.bucket(i),
+                  sb.commitGroupProducers.bucket(i))
+            << "bucket " << i;
+    ASSERT_EQ(a.engineStats.size(), b.engineStats.size());
+    for (size_t i = 0; i < a.engineStats.size(); ++i) {
+        EXPECT_EQ(a.engineStats[i].first, b.engineStats[i].first);
+        EXPECT_EQ(a.engineStats[i].second, b.engineStats[i].second);
+    }
+}
+
+TEST(ResultCache, RecordRoundTripIsExact)
+{
+    SimConfig cfg = shrunk(SimConfig::rsepIdeal());
+    PhaseResult pr = runPhase(cfg, "hmmer", 0);
+    CacheKey key{"hmmer", configHash(cfg), 0, cfg.seed};
+
+    std::string body = ResultCache::serializeRecord(key, pr);
+    PhaseResult back;
+    std::string err = ResultCache::parseRecord(body, key, back);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(back.fromCache);
+    expectSamePhase(pr, back);
+    EXPECT_EQ(back.wallMicros, pr.wallMicros);
+}
+
+TEST(ResultCache, HitMissAndKeyEcho)
+{
+    TempDir tmp;
+    ResultCache cache(tmp.path);
+    ASSERT_TRUE(cache.enabled());
+
+    SimConfig cfg = shrunk(SimConfig::baseline());
+    PhaseResult pr = runPhase(cfg, "mcf", 0);
+    CacheKey key{"mcf", configHash(cfg), 0, cfg.seed};
+
+    EXPECT_FALSE(cache.load(key).has_value()); // cold.
+    ASSERT_TRUE(cache.store(key, pr));
+    auto hit = cache.load(key);
+    ASSERT_TRUE(hit.has_value());
+    expectSamePhase(pr, *hit);
+
+    // Other phases/benchmarks miss.
+    EXPECT_FALSE(cache.load({"mcf", key.configHash, 1, cfg.seed}));
+    EXPECT_FALSE(cache.load({"namd", key.configHash, 0, cfg.seed}));
+
+    ResultCache::Counters c = cache.counters();
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 3u);
+    EXPECT_EQ(c.stores, 1u);
+    EXPECT_EQ(c.quarantined, 0u);
+
+    // A record reached through the wrong filename (the key echo does
+    // not match) is quarantined, not served.
+    CacheKey other{"namd", key.configHash, 0, cfg.seed};
+    fs::create_directories(
+        fs::path(cache.cellPath(other)).parent_path());
+    fs::copy_file(cache.cellPath(key), cache.cellPath(other));
+    EXPECT_FALSE(cache.load(other).has_value());
+    EXPECT_TRUE(fs::exists(cache.cellPath(other) + ".corrupt"));
+    EXPECT_EQ(cache.counters().quarantined, 1u);
+}
+
+TEST(ResultCache, CorruptionQuarantines)
+{
+    TempDir tmp;
+    ResultCache cache(tmp.path);
+
+    SimConfig cfg = shrunk(SimConfig::baseline());
+    PhaseResult pr = runPhase(cfg, "hmmer", 1);
+    CacheKey key{"hmmer", configHash(cfg), 1, cfg.seed};
+    std::string path = cache.cellPath(key);
+
+    auto corrupt_with = [&](const std::string &text) {
+        ASSERT_TRUE(cache.store(key, pr));
+        {
+            std::ofstream os(path, std::ios::binary | std::ios::trunc);
+            os << text;
+        }
+        EXPECT_FALSE(cache.load(key).has_value());
+        EXPECT_FALSE(fs::exists(path)) << "corrupt record left in place";
+        EXPECT_TRUE(fs::exists(path + ".corrupt"));
+        fs::remove(path + ".corrupt");
+    };
+
+    // Plain garbage.
+    corrupt_with("not a cache record at all\n");
+
+    // Flipped payload byte under a stale checksum.
+    {
+        ASSERT_TRUE(cache.store(key, pr));
+        std::ifstream is(path, std::ios::binary);
+        std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+        size_t digit = text.find("ipc_bits = ");
+        ASSERT_NE(digit, std::string::npos);
+        text[digit + 11] = text[digit + 11] == '0' ? '1' : '0';
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << text;
+    }
+    EXPECT_FALSE(cache.load(key).has_value());
+    EXPECT_TRUE(fs::exists(path + ".corrupt"));
+    fs::remove(path + ".corrupt");
+
+    // Truncation (torn write without the atomic rename).
+    {
+        ASSERT_TRUE(cache.store(key, pr));
+        std::ifstream is(path, std::ios::binary);
+        std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << text.substr(0, text.size() / 2);
+    }
+    EXPECT_FALSE(cache.load(key).has_value());
+
+    // Version drift.
+    PhaseResult back;
+    std::string body = ResultCache::serializeRecord(key, pr);
+    body.replace(body.find("rsep-cell-cache 1"), 17, "rsep-cell-cache 9");
+    EXPECT_FALSE(ResultCache::parseRecord(body, key, back).empty());
+
+    // After all that abuse a fresh store still works.
+    ASSERT_TRUE(cache.store(key, pr));
+    EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST(ResultCache, WarmMatrixSimulatesNothingAndMatchesCold)
+{
+    TempDir tmp;
+    std::vector<SimConfig> configs = {shrunk(SimConfig::baseline()),
+                                      shrunk(SimConfig::rsepIdeal())};
+    std::vector<std::string> benches = {"hmmer", "mcf"};
+
+    MatrixOptions opts;
+    opts.jobs = 2;
+    opts.progress = false;
+    opts.cacheDir = tmp.path;
+
+    auto cold = runMatrix(configs, benches, opts);
+    auto warm = runMatrix(configs, benches, opts);
+
+    for (size_t b = 0; b < benches.size(); ++b) {
+        for (size_t c = 0; c < configs.size(); ++c) {
+            const RunResult &rc = cold[b].byConfig[c];
+            const RunResult &rw = warm[b].byConfig[c];
+            // Cold run simulated everything...
+            EXPECT_EQ(rc.timing.cellsRun.value(), rc.phases.size());
+            EXPECT_EQ(rc.timing.cacheHits.value(), 0u);
+            EXPECT_EQ(rc.timing.cacheMisses.value(), rc.phases.size());
+            // ...the warm run simulated nothing.
+            EXPECT_EQ(rw.timing.cellsRun.value(), 0u);
+            EXPECT_EQ(rw.timing.cacheMisses.value(), 0u);
+            EXPECT_EQ(rw.timing.cacheHits.value(), rw.phases.size());
+            ASSERT_EQ(rc.phases.size(), rw.phases.size());
+            for (size_t p = 0; p < rc.phases.size(); ++p)
+                expectSamePhase(rc.phases[p], rw.phases[p]);
+        }
+    }
+
+    // The default (timing-free) stat dump is byte-reproducible across
+    // cache temperatures — the acceptance property of the cache.
+    std::ostringstream csv_cold, csv_warm;
+    CsvStatSink{}.write(csv_cold, collectStatRows(configs, cold));
+    CsvStatSink{}.write(csv_warm, collectStatRows(configs, warm));
+    EXPECT_EQ(csv_cold.str(), csv_warm.str());
+
+    // With --timings the cache-hit counters surface in the dump.
+    auto rows = collectStatRows(configs, warm, /*include_timings=*/true);
+    ASSERT_FALSE(rows.empty());
+    bool saw_hits = false;
+    for (const auto &[name, value] : rows[0].counters)
+        if (name == "timing.cache_hits") {
+            saw_hits = true;
+            EXPECT_EQ(value, rows[0].checkpoints);
+        }
+    EXPECT_TRUE(saw_hits);
+}
+
+} // namespace
+} // namespace rsep::sim

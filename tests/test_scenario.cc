@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdlib>
 
 #include "sim/scenario.hh"
@@ -246,6 +247,79 @@ TEST(ScenarioOverrides, DottedKeysDriveTheSweepDrivers)
     EXPECT_FALSE(applyScenarioKey(cfg, "rsep.nope", "1", &err));
     EXPECT_NE(err.find("unknown key"), std::string::npos);
     EXPECT_FALSE(applyScenarioKey(cfg, "rsep.sampling", "perhaps", &err));
+}
+
+TEST(ScenarioFormat, VpSectionDrivesDvtageGeometry)
+{
+    // D-VTAGE sweeps from a file, no rebuild: scalar keys, the nested
+    // ITTAGE geometry with an itage_ prefix, and array-valued keys as
+    // comma lists (unspecified tail components are 0).
+    const char *text =
+        "[scenario]\n"
+        "name = small-vp\n"
+        "base = vpred\n"
+        "[vp]\n"
+        "lvt_bits = 10\n"
+        "delta_bits = 8\n"
+        "itage_base_bits = 9\n"
+        "itage_num_tagged = 4\n"
+        "itage_hist_lens = 1, 2, 4, 8\n"
+        "itage_tag_bits = 9,9,10,10\n"
+        "itage_conf_kind = fpc3\n";
+    ScenarioParse p = parseScenarioText(text, "vp.scn");
+    ASSERT_TRUE(p.ok()) << p.error;
+    const pred::DvtageParams &vp = p.scenarios[0].config.mech.vp;
+    EXPECT_EQ(vp.lvtBits, 10u);
+    EXPECT_EQ(vp.deltaBits, 8u);
+    EXPECT_EQ(vp.itage.baseBits, 9u);
+    EXPECT_EQ(vp.itage.numTagged, 4u);
+    EXPECT_EQ(vp.itage.histLens,
+              (std::array<unsigned, pred::maxItageComps>{1, 2, 4, 8, 0, 0,
+                                                         0, 0}));
+    EXPECT_EQ(vp.itage.tagBits,
+              (std::array<unsigned, pred::maxItageComps>{9, 9, 10, 10, 0,
+                                                         0, 0, 0}));
+    EXPECT_EQ(vp.itage.confKind, ConfidenceKind::Fpc3);
+
+    // Geometry is part of the config identity.
+    EXPECT_NE(configHash(p.scenarios[0].config),
+              configHash(findScenario("vpred")->config));
+
+    // Canonical serialization round-trips the arrays.
+    ScenarioParse p2 =
+        parseScenarioText(serializeScenario(p.scenarios[0]), "rt");
+    ASSERT_TRUE(p2.ok()) << p2.error;
+    expectSameConfig(p.scenarios[0].config, p2.scenarios[0].config);
+    EXPECT_EQ(p2.scenarios[0].config.mech.vp.itage.histLens,
+              vp.itage.histLens);
+
+    // Dotted overrides reach the section too (the sweep-driver face).
+    SimConfig cfg = SimConfig::vpOnly();
+    std::string err;
+    EXPECT_TRUE(applyScenarioKey(cfg, "vp.itage_hist_lens", "3,6", &err))
+        << err;
+    EXPECT_EQ(cfg.mech.vp.itage.histLens[0], 3u);
+    EXPECT_EQ(cfg.mech.vp.itage.histLens[1], 6u);
+    EXPECT_EQ(cfg.mech.vp.itage.histLens[2], 0u);
+
+    // Array diagnostics: too many entries, junk, an empty list.
+    auto errorOf = [](const char *t) {
+        ScenarioParse bad = parseScenarioText(t, "t.scn");
+        EXPECT_FALSE(bad.ok());
+        return bad.error;
+    };
+    EXPECT_NE(errorOf("[scenario]\nname = x\n[vp]\n"
+                      "itage_hist_lens = 1,2,3,4,5,6,7,8,9\n")
+                  .find("comma list"),
+              std::string::npos);
+    EXPECT_NE(errorOf("[scenario]\nname = x\n[vp]\n"
+                      "itage_hist_lens = 1,two\n")
+                  .find("comma list"),
+              std::string::npos);
+    EXPECT_NE(
+        errorOf("[scenario]\nname = x\n[vp]\nitage_hist_lens =\n")
+            .find("comma list"),
+        std::string::npos);
 }
 
 TEST(ScenarioFormat, RegistryScenariosSerializeLosslessly)

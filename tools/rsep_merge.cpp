@@ -1,0 +1,254 @@
+/**
+ * @file
+ * rsep_merge — reassemble sharded stat dumps into the unsharded table.
+ *
+ * Ingests the per-shard CSV/JSON dumps that `--shard i/N` driver
+ * processes exported, validates that they tile the matrix (disjoint
+ * rows, complete benchmark x scenario rectangle), and emits the merged
+ * canonical dump plus the paper's figure summaries (per-benchmark
+ * speedup bars and gmean rows). Merging the shards of a matrix yields
+ * a dump byte-identical to the one an unsharded run writes.
+ *
+ *     rsep_merge --csv merged.csv shard0.csv shard1.csv shard2.csv
+ *     rsep_merge --summary - --baseline baseline shard*.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/stat_merge.hh"
+#include "wl/suite.hh"
+
+namespace
+{
+
+void
+printHelp()
+{
+    std::printf(
+        "usage: rsep_merge [options] DUMP [DUMP ...]\n"
+        "Merge per-shard stat dumps (CSV or JSON, from the drivers'\n"
+        "--csv/--json --shard runs) into one canonical table.\n"
+        "\noptions:\n"
+        "  --csv PATH       write the merged table as CSV ('-' = stdout)\n"
+        "  --json PATH      write the merged table as JSON ('-' = stdout)\n"
+        "  --summary PATH   write the figure summary: per-benchmark\n"
+        "                   speedup bars + gmean rows ('-' = stdout)\n"
+        "  --baseline NAME  baseline scenario for the summary speedups\n"
+        "                   (default: 'baseline' when present, else the\n"
+        "                   lexicographically first scenario)\n"
+        "  --expect-benchmarks NAME[,NAME...]\n"
+        "                   the benchmark set the matrix must cover\n"
+        "                   (repeatable; 'suite' = the built-in 29-bench\n"
+        "                   paper suite). Without it, a benchmark or arm\n"
+        "                   missing from EVERY input is undetectable.\n"
+        "  --allow-partial  tolerate an incomplete benchmark x scenario\n"
+        "                   matrix (missing cells warn instead of fail)\n"
+        "  --help, -h       show this help\n"
+        "\nWith no output option, the merged CSV goes to stdout.\n"
+        "Validation: duplicate (benchmark, scenario, config-hash) rows\n"
+        "across inputs are always an error (shards must be disjoint).\n");
+}
+
+int
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "rsep_merge: %s (try --help)\n", msg.c_str());
+    return 2;
+}
+
+/** Write through a sink to @p path, with '-' meaning stdout. */
+bool
+writeOut(const std::string &path, const rsep::sim::StatSink &sink,
+         const std::vector<rsep::sim::StatRow> &rows)
+{
+    if (path == "-") {
+        sink.write(std::cout, rows);
+        return static_cast<bool>(std::cout);
+    }
+    std::string err;
+    if (!rsep::sim::writeStatsFile(path, sink, rows, &err)) {
+        std::fprintf(stderr, "rsep_merge: %s\n", err.c_str());
+        return false;
+    }
+    std::fprintf(stderr, "[merge] wrote %s\n", path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsep::sim;
+
+    std::string csv_path, json_path, summary_path, baseline;
+    bool allow_partial = false;
+    std::vector<std::string> inputs;
+    std::vector<std::string> expect_benchmarks;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto valueOf = [&](const char *flag, std::string &value) -> int {
+            size_t n = std::strlen(flag);
+            if (a.compare(0, n, flag) != 0)
+                return 0;
+            if (a.size() == n) {
+                if (i + 1 >= argc)
+                    return -1;
+                value = argv[++i];
+                return 1;
+            }
+            if (a[n] != '=')
+                return 0;
+            value = a.substr(n + 1);
+            return 1;
+        };
+
+        if (a == "--help" || a == "-h") {
+            printHelp();
+            return 0;
+        }
+        if (a == "--allow-partial") {
+            allow_partial = true;
+            continue;
+        }
+        int hit;
+        if ((hit = valueOf("--csv", csv_path)) != 0) {
+            if (hit < 0)
+                return usageError("--csv requires a path");
+            continue;
+        }
+        if ((hit = valueOf("--json", json_path)) != 0) {
+            if (hit < 0)
+                return usageError("--json requires a path");
+            continue;
+        }
+        if ((hit = valueOf("--summary", summary_path)) != 0) {
+            if (hit < 0)
+                return usageError("--summary requires a path");
+            continue;
+        }
+        if ((hit = valueOf("--baseline", baseline)) != 0) {
+            if (hit < 0)
+                return usageError("--baseline requires a scenario name");
+            continue;
+        }
+        std::string expect;
+        if ((hit = valueOf("--expect-benchmarks", expect)) != 0) {
+            if (hit < 0)
+                return usageError(
+                    "--expect-benchmarks requires NAME[,NAME...]");
+            std::istringstream is(expect);
+            std::string item;
+            while (std::getline(is, item, ',')) {
+                if (item == "suite")
+                    for (const std::string &b : rsep::wl::suiteNames())
+                        expect_benchmarks.push_back(b);
+                else if (!item.empty())
+                    expect_benchmarks.push_back(item);
+            }
+            continue;
+        }
+        if (!a.empty() && a[0] == '-' && a != "-")
+            return usageError("unknown option '" + a + "'");
+        inputs.push_back(a);
+    }
+
+    if (inputs.empty())
+        return usageError("no input dumps given");
+
+    std::vector<std::vector<StatRow>> parsed;
+    size_t total_rows = 0;
+    for (const std::string &path : inputs) {
+        DumpParse p = parseDumpFile(path);
+        if (!p.ok()) {
+            std::fprintf(stderr, "rsep_merge: %s\n", p.error.c_str());
+            return 1;
+        }
+        total_rows += p.rows.size();
+        parsed.push_back(std::move(p.rows));
+    }
+
+    std::vector<StatRow> merged;
+    std::string err = mergeStatRows(parsed, inputs, merged);
+    if (!err.empty()) {
+        std::fprintf(stderr, "rsep_merge: %s\n", err.c_str());
+        return 1;
+    }
+
+    std::string holes = checkCompleteness(merged, expect_benchmarks);
+    if (!holes.empty()) {
+        std::fprintf(stderr, "rsep_merge: %s%s\n",
+                     allow_partial ? "warning: " : "", holes.c_str());
+        if (!allow_partial)
+            return 1;
+    }
+
+    // Heuristic guard for the forgotten-shard case the rectangle check
+    // cannot see: without --expect-benchmarks, a benchmark missing
+    // from EVERY input leaves no hole. If the merged set is a strict
+    // subset of the built-in paper suite, say so.
+    if (expect_benchmarks.empty() && holes.empty()) {
+        std::set<std::string> present;
+        for (const StatRow &r : merged)
+            present.insert(r.benchmark);
+        std::vector<std::string> suite = rsep::wl::suiteNames();
+        std::set<std::string> suite_set(suite.begin(), suite.end());
+        bool all_from_suite = true;
+        for (const std::string &b : present)
+            all_from_suite = all_from_suite && suite_set.count(b);
+        if (all_from_suite && !present.empty() &&
+            present.size() < suite_set.size())
+            std::fprintf(stderr,
+                         "rsep_merge: note: rows cover %zu of the %zu "
+                         "paper-suite benchmarks; if this sweep meant "
+                         "to run the full suite, a shard dump is "
+                         "missing (pass --expect-benchmarks suite to "
+                         "enforce)\n",
+                         present.size(), suite_set.size());
+    }
+
+    std::fprintf(stderr,
+                 "[merge] %zu input dump(s), %zu rows, %s matrix\n",
+                 inputs.size(), total_rows,
+                 holes.empty() ? "complete" : "PARTIAL");
+
+    bool ok = true;
+    if (!csv_path.empty())
+        ok = writeOut(csv_path, CsvStatSink{}, merged) && ok;
+    if (!json_path.empty())
+        ok = writeOut(json_path, JsonStatSink{}, merged) && ok;
+    if (!summary_path.empty()) {
+        std::string serr;
+        if (summary_path == "-") {
+            if (!writeFigureSummary(std::cout, merged, baseline, &serr)) {
+                std::fprintf(stderr, "rsep_merge: %s\n", serr.c_str());
+                ok = false;
+            }
+        } else {
+            std::ofstream os(summary_path);
+            if (!os ||
+                !writeFigureSummary(os, merged, baseline, &serr) ||
+                !(os.flush())) {
+                std::fprintf(stderr, "rsep_merge: %s\n",
+                             serr.empty()
+                                 ? (summary_path + ": write failed").c_str()
+                                 : serr.c_str());
+                ok = false;
+            } else {
+                std::fprintf(stderr, "[merge] wrote %s\n",
+                             summary_path.c_str());
+            }
+        }
+    }
+    if (csv_path.empty() && json_path.empty() && summary_path.empty())
+        ok = writeOut("-", CsvStatSink{}, merged) && ok;
+    return ok ? 0 : 1;
+}
