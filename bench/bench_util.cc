@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/env.hh"
+#include "wl/workload_spec.hh"
 
 namespace rsep::bench
 {
@@ -44,6 +45,22 @@ printScenarioList(std::ostream &os)
 }
 
 void
+printWorkloadList(std::ostream &os)
+{
+    os << "registered workloads (* = defined/overridden at runtime):\n";
+    char line[128];
+    for (const wl::WorkloadInfo &info : wl::listWorkloads()) {
+        std::snprintf(line, sizeof(line), "  %c %-34s %-14s %s\n",
+                      info.fromOverlay ? '*' : ' ', info.key.c_str(),
+                      info.archetype.c_str(), info.hash.c_str());
+        os << line;
+    }
+    os << "\nWorkload files (--workload-file) and [workload] sections in "
+          "scenario files\ncan define further kernels; see DESIGN.md, "
+          "\"First-class workloads\".\n";
+}
+
+void
 warnUnusedMatrixFlags(const char *driver, const DriverContext &ctx,
                       size_t scenarios_used)
 {
@@ -53,10 +70,12 @@ warnUnusedMatrixFlags(const char *driver, const DriverContext &ctx,
                      "%s: warning: no experiment matrix is run here; "
                      "--csv/--json/--stats/--timings are ignored\n",
                      driver);
-    if (ctx.matrix.shard.active() || !ctx.matrix.cacheDir.empty())
+    if (ctx.matrix.shard.active() || !ctx.matrix.cacheDir.empty() ||
+        ctx.matrix.traceIo.active())
         std::fprintf(stderr,
                      "%s: warning: no experiment matrix is run here; "
-                     "--shard/--cache-dir are ignored\n",
+                     "--shard/--cache-dir/--record-trace/--replay-trace "
+                     "are ignored\n",
                      driver);
     if (ctx.scenarios.size() > scenarios_used)
         std::fprintf(stderr,
@@ -64,6 +83,11 @@ warnUnusedMatrixFlags(const char *driver, const DriverContext &ctx,
                      "the first %zu are used\n",
                      driver, ctx.scenarios.size() - scenarios_used,
                      scenarios_used);
+    if (!ctx.workloads.empty())
+        std::fprintf(stderr,
+                     "%s: warning: this driver picks its own benchmarks; "
+                     "--workload/--workload-file selections are ignored\n",
+                     driver);
 }
 
 namespace
@@ -82,14 +106,24 @@ printHelp(const HarnessSpec &spec)
         "\noptions:\n"
         "  --scenario NAME[,NAME...]  run these registered scenarios\n"
         "                             (repeatable; see --list-scenarios)\n"
-        "  --scenario-file PATH       load scenarios from a .scn file\n"
+        "  --scenario-file PATH       load scenarios (and [workload]\n"
+        "                             definitions) from a .scn file\n"
         "                             (repeatable)\n"
         "  --list-scenarios           list registered scenarios and exit\n"
+        "  --workload NAME[,NAME...]  run these workloads instead of the\n"
+        "                             driver's benchmark set (repeatable;\n"
+        "                             see --list-workloads)\n"
+        "  --workload-file PATH       load [workload] definitions from a\n"
+        "                             .scn file and run them (repeatable)\n"
+        "  --list-workloads           list registered workloads and exit\n"
         "  --csv PATH                 write the stat matrix as CSV\n"
         "  --json PATH                write the stat matrix as JSON\n"
         "  --stats                    print per-engine counters per cell\n"
         "  --timings                  add wall-clock + cache counters\n"
         "                             (timing.*) to the dumps\n"
+        "  --seed N                   override every scenario's [sim]\n"
+        "                             seed (new config hash: fresh cache\n"
+        "                             cells and shard assignment)\n"
         "  --jobs N, -jN              worker threads (0 = auto: RSEP_JOBS\n"
         "                             or the hardware thread count)\n"
         "  --shard I/N                run only this process's slice of\n"
@@ -98,6 +132,12 @@ printHelp(const HarnessSpec &spec)
         "  --cache-dir PATH           persistent per-cell result cache:\n"
         "                             skip already-simulated cells and\n"
         "                             make interrupted sweeps resumable\n"
+        "  --record-trace DIR         write each live-emulated cell's\n"
+        "                             committed-path stream as a .rtr\n"
+        "                             trace (record once, replay many)\n"
+        "  --replay-trace DIR         feed the pipeline from recorded\n"
+        "                             .rtr traces instead of functional\n"
+        "                             emulation (byte-identical dumps)\n"
         "  --help, -h                 show this help\n");
     if (!spec.defaultScenarios.empty()) {
         std::printf("\ndefault scenarios:");
@@ -165,9 +205,41 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
             err = parsed.error;
             return false;
         }
+        // [workload] definitions become part of the registry (so the
+        // file's names — overridden suite benchmarks included — resolve
+        // in this run), but only join the run set via --workload[-file].
+        for (const wl::WorkloadSpec &w : parsed.workloads)
+            wl::registerWorkload(w);
         for (auto &sc : parsed.scenarios)
             ctx.scenarios.push_back(std::move(sc));
-        ctx.scenariosOverridden = true;
+        if (!parsed.scenarios.empty())
+            ctx.scenariosOverridden = true;
+        return true;
+    };
+
+    // --workload names cannot resolve until every --workload-file /
+    // --scenario-file has registered its definitions, so selections are
+    // collected raw (resolved == false) and resolved after the loop.
+    std::vector<std::pair<std::string, bool>> workload_sel;
+    auto addWorkloadFile = [&](const std::string &path, std::string &err) {
+        sim::ScenarioParse parsed = sim::parseScenarioFile(path);
+        if (!parsed.ok()) {
+            err = parsed.error;
+            return false;
+        }
+        if (parsed.workloads.empty()) {
+            err = path + ": no [workload] definitions found";
+            return false;
+        }
+        if (!parsed.scenarios.empty())
+            std::fprintf(stderr,
+                         "%s: warning: %s defines %zu scenario(s); "
+                         "--workload-file only takes its workloads (use "
+                         "--scenario-file for the arms)\n",
+                         spec.name, path.c_str(),
+                         parsed.scenarios.size());
+        for (const wl::WorkloadSpec &w : parsed.workloads)
+            workload_sel.emplace_back(wl::registerWorkload(w), true);
         return true;
     };
 
@@ -199,6 +271,32 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
         }
         if (a == "--list-scenarios") {
             printScenarioList(std::cout);
+            return 0;
+        }
+        if (a == "--list-workloads") {
+            // Load any later --workload-file / --scenario-file flags
+            // first so the listing reflects the full overlay.
+            for (int j = i + 1; j < argc; ++j) {
+                std::string rest = argv[j];
+                for (const char *f : {"--workload-file", "--scenario-file"}) {
+                    std::string path;
+                    size_t n = std::strlen(f);
+                    if (rest == f && j + 1 < argc)
+                        path = argv[j + 1];
+                    else if (rest.compare(0, n, f) == 0 &&
+                             rest.size() > n && rest[n] == '=')
+                        path = rest.substr(n + 1);
+                    if (!path.empty()) {
+                        sim::ScenarioParse parsed =
+                            sim::parseScenarioFile(path);
+                        if (parsed.ok())
+                            for (const wl::WorkloadSpec &w :
+                                 parsed.workloads)
+                                wl::registerWorkload(w);
+                    }
+                }
+            }
+            printWorkloadList(std::cout);
             return 0;
         }
         if (a == "--stats") {
@@ -241,6 +339,48 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
                 return usageError(spec, err);
             continue;
         }
+        if ((hit = valueOf("--workload-file", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--workload-file requires a path");
+            if (!addWorkloadFile(value, err))
+                return usageError(spec, err);
+            continue;
+        }
+        if ((hit = valueOf("--workload", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--workload requires a name");
+            for (const std::string &name : splitCommas(value))
+                workload_sel.emplace_back(name, false);
+            continue;
+        }
+        if ((hit = valueOf("--record-trace", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--record-trace requires a path");
+            if (value.empty())
+                return usageError(spec, "--record-trace path is empty");
+            ctx.matrix.traceIo.recordDir = value;
+            continue;
+        }
+        if ((hit = valueOf("--replay-trace", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--replay-trace requires a path");
+            if (value.empty())
+                return usageError(spec, "--replay-trace path is empty");
+            ctx.matrix.traceIo.replayDir = value;
+            continue;
+        }
+        if ((hit = valueOf("--seed", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--seed requires a value");
+            u64 seed = 0;
+            if (!parseU64(value, seed))
+                return usageError(spec, "invalid seed '" + value +
+                                            "' (expected an unsigned "
+                                            "integer)");
+            ctx.seedOverridden = true;
+            ctx.seedValue = seed;
+            continue;
+        }
         if ((hit = valueOf("--csv", value)) != 0) {
             if (hit < 0)
                 return usageError(spec, "--csv requires a path");
@@ -275,6 +415,25 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
         ctx.positional.push_back(a);
     }
 
+    // Resolve --workload names now that every file is loaded.
+    for (const auto &[name, resolved] : workload_sel) {
+        if (resolved) {
+            ctx.workloads.push_back(name);
+            continue;
+        }
+        auto key = wl::resolveWorkloadKey(name);
+        if (!key)
+            return usageError(spec, "unknown workload '" + name +
+                                        "' (see --list-workloads)");
+        ctx.workloads.push_back(*key);
+    }
+
+    // --seed overrides every scenario parsed so far; default-scenario
+    // runs apply it when the configs are built (runHarness).
+    if (ctx.seedOverridden)
+        for (sim::Scenario &sc : ctx.scenarios)
+            sc.config.seed = ctx.seedValue;
+
     if (!ctx.positional.empty() && !spec.positionalBenchmarks &&
         !spec.custom)
         return usageError(spec, "unexpected argument '" +
@@ -285,11 +444,24 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
 std::vector<std::string>
 benchmarksFor(const HarnessSpec &spec, const DriverContext &ctx)
 {
+    // --workload/--workload-file selections are already run-cell keys.
+    if (!ctx.workloads.empty())
+        return ctx.workloads;
+    std::vector<std::string> names;
     if (spec.positionalBenchmarks && !ctx.positional.empty())
-        return ctx.positional;
-    if (!spec.benchmarks.empty())
-        return spec.benchmarks;
-    return wl::suiteNames();
+        names = ctx.positional;
+    else if (!spec.benchmarks.empty())
+        names = spec.benchmarks;
+    else
+        names = wl::suiteNames();
+    // Translate names to run-cell keys so runtime [workload] overrides
+    // apply (a pristine suite name maps to itself, keeping flag-less
+    // dumps and cache/shard identities untouched). Unknown names pass
+    // through to the runner's own diagnostics.
+    for (std::string &n : names)
+        if (auto key = wl::resolveWorkloadKey(n))
+            n = *key;
+    return names;
 }
 
 /**
@@ -407,6 +579,8 @@ runHarness(int argc, char **argv, const HarnessSpec &spec)
                                         name + "'");
         if (spec.benchDefaults)
             applyBenchDefaults(sc->config);
+        if (ctx.seedOverridden)
+            sc->config.seed = ctx.seedValue;
         result.configs.push_back(std::move(sc->config));
     }
 

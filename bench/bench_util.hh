@@ -4,8 +4,10 @@
  * driver declares a HarnessSpec (its default scenarios, benchmarks and
  * bespoke report) and delegates flag handling, scenario resolution,
  * the matrix run and stat export to runHarness. All drivers accept the
- * same flags: --scenario, --scenario-file, --list-scenarios, --csv,
- * --json, --stats, --timings, --jobs, --shard, --cache-dir and --help.
+ * same flags: --scenario, --scenario-file, --list-scenarios,
+ * --workload, --workload-file, --list-workloads, --csv, --json,
+ * --stats, --timings, --seed, --jobs, --shard, --cache-dir,
+ * --record-trace, --replay-trace and --help.
  */
 
 #ifndef RSEP_BENCH_BENCH_UTIL_HH
@@ -40,10 +42,15 @@ std::vector<std::string> highlightBenchmarks();
 /** Everything runHarness parsed off the command line. */
 struct DriverContext
 {
-    sim::MatrixOptions matrix; ///< jobs, --shard slice, --cache-dir.
+    sim::MatrixOptions matrix; ///< jobs, --shard, --cache-dir,
+                               ///< --record-trace/--replay-trace.
     /** From --scenario / --scenario-file, in flag order. */
     std::vector<sim::Scenario> scenarios;
     bool scenariosOverridden = false;
+    /** Run-cell keys from --workload / --workload-file, in flag order
+     *  (already resolved through the workload registry); non-empty
+     *  overrides the driver's benchmark set. */
+    std::vector<std::string> workloads;
     std::string csvPath;
     std::string jsonPath;
     bool statsTable = false;
@@ -51,6 +58,10 @@ struct DriverContext
      *  (timing.<name>) to the dumps (off by default so dumps stay
      *  bit-reproducible). */
     bool timings = false;
+    /** --seed N: override every run scenario's [sim] seed (changes the
+     *  config hash, hence shard assignment and cache identity). */
+    bool seedOverridden = false;
+    u64 seedValue = 0;
     std::vector<std::string> positional;
 };
 
@@ -105,6 +116,9 @@ bool exportStats(const DriverContext &ctx,
 
 /** Print the registered-scenario listing (--list-scenarios). */
 void printScenarioList(std::ostream &os);
+
+/** Print the workload-registry listing (--list-workloads). */
+void printWorkloadList(std::ostream &os);
 
 /**
  * For custom drivers that run no experiment matrix: warn on stderr

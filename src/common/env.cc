@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -33,6 +34,26 @@ parseU64(const std::string &s, u64 &out)
     if (end == t.c_str() || *end != '\0' || errno == ERANGE)
         return false;
     out = v;
+    return true;
+}
+
+bool
+parseS64(const std::string &s, s64 &out)
+{
+    std::string t = trimmed(s);
+    bool neg = !t.empty() && t.front() == '-';
+    u64 mag = 0;
+    if (!parseU64(neg ? t.substr(1) : t, mag))
+        return false;
+    if (neg) {
+        if (mag > u64{1} << 63)
+            return false;
+        out = -static_cast<s64>(mag);
+    } else {
+        if (mag > static_cast<u64>(std::numeric_limits<s64>::max()))
+            return false;
+        out = static_cast<s64>(mag);
+    }
     return true;
 }
 

@@ -24,6 +24,8 @@ std::string trimmed(const std::string &s);
 // the unsigned parse) fails.
 
 bool parseU64(const std::string &s, u64 &out);
+/** Signed variant: an optional leading '-' then the parseU64 grammar. */
+bool parseS64(const std::string &s, s64 &out);
 bool parseDouble(const std::string &s, double &out);
 /** Accepts true/false, yes/no, on/off, 1/0 (case-insensitive). */
 bool parseBool(const std::string &s, bool &out);

@@ -16,8 +16,8 @@ namespace rsep::core
 using isa::OpClass;
 
 Pipeline::Pipeline(const CoreParams &core_params, const MechConfig &mech_cfg,
-                   wl::Emulator &emu, u64 seed)
-    : cp(core_params), mech(mech_cfg), emul(emu), trace(emu),
+                   wl::TraceSource &src, u64 seed)
+    : cp(core_params), mech(mech_cfg), emul(src), trace(src),
       hier(mem::HierarchyParams{}),
       bru(pred::TageParams{}, seed ^ 0x1111),
       isrbUnit(mech.rsep.isrbEntries, mech.rsep.isrbCounterBits),

@@ -201,8 +201,10 @@ visitStats(PipelineStats &st, V &&v)
 class Pipeline
 {
   public:
+    /** @p src is the committed-path stream: a live wl::Emulator or a
+     *  recorded-trace replay source (wl/trace_io.hh). */
     Pipeline(const CoreParams &core_params, const MechConfig &mech,
-             wl::Emulator &emu, u64 seed = 1234);
+             wl::TraceSource &src, u64 seed = 1234);
     ~Pipeline();
 
     /** Run until @p ninsts more instructions commit. */
@@ -283,7 +285,7 @@ class Pipeline
     MechConfig mech;
 
     // --- substrate ---
-    wl::Emulator &emul;
+    wl::TraceSource &emul; ///< the committed-path record stream.
     TraceBuffer trace;
     mem::MemoryHierarchy hier;
     pred::BranchUnit bru;

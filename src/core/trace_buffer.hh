@@ -1,9 +1,10 @@
 /**
  * @file
- * Replayable window over the functional emulator's committed-path
- * stream. Commit-time squashes (value/equality mispredictions) rewind
- * the fetch cursor; this is legal because such squashes do not change
- * architectural state, so re-reading the same records is exact.
+ * Replayable window over a TraceSource's committed-path stream (live
+ * functional emulation or a recorded-trace replay). Commit-time
+ * squashes (value/equality mispredictions) rewind the fetch cursor;
+ * this is legal because such squashes do not change architectural
+ * state, so re-reading the same records is exact.
  */
 
 #ifndef RSEP_CORE_TRACE_BUFFER_HH
@@ -12,7 +13,7 @@
 #include <deque>
 
 #include "common/logging.hh"
-#include "wl/emulator.hh"
+#include "wl/trace_source.hh"
 
 namespace rsep::core
 {
@@ -21,7 +22,7 @@ namespace rsep::core
 class TraceBuffer
 {
   public:
-    explicit TraceBuffer(wl::Emulator &emu) : em(emu)
+    explicit TraceBuffer(wl::TraceSource &src) : em(src)
     {
     }
 
@@ -52,7 +53,7 @@ class TraceBuffer
     size_t windowSize() const { return window.size(); }
 
   private:
-    wl::Emulator &em;
+    wl::TraceSource &em;
     std::deque<wl::DynRecord> window;
     u64 base = 0;
 };

@@ -1,0 +1,111 @@
+#include "sim/cache_gc.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "sim/result_cache.hh"
+
+namespace fs = std::filesystem;
+
+namespace rsep::sim
+{
+
+std::string
+cellFileConfigHash(const std::string &filename)
+{
+    return ResultCache::fileConfigHash(filename);
+}
+
+std::string
+runCacheGc(const GcOptions &opts, GcReport &report)
+{
+    if (opts.cacheDir.empty())
+        return "no cache directory given";
+    std::error_code ec;
+    if (!fs::is_directory(opts.cacheDir, ec))
+        return opts.cacheDir + ": not a directory";
+
+    struct Survivor
+    {
+        fs::path path;
+        u64 bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Survivor> survivors;
+
+    auto removeFile = [&](const fs::path &p, u64 bytes, u64 &counter) {
+        if (!opts.dryRun) {
+            std::error_code rec;
+            fs::remove(p, rec);
+            if (rec)
+                return false;
+        }
+        ++counter;
+        report.removedBytes += bytes;
+        return true;
+    };
+
+    fs::recursive_directory_iterator it(opts.cacheDir, ec), end;
+    if (ec)
+        return opts.cacheDir + ": " + ec.message();
+    for (; it != end; it.increment(ec)) {
+        if (ec)
+            return opts.cacheDir + ": " + ec.message();
+        if (!it->is_regular_file(ec))
+            continue;
+        const fs::path &p = it->path();
+        std::string name = p.filename().string();
+        u64 bytes = static_cast<u64>(it->file_size(ec));
+        if (ec)
+            bytes = 0;
+
+        if (name.size() > 8 &&
+            name.substr(name.size() - 8) == ".corrupt") {
+            // Quarantine debris: never read again, always collectable.
+            removeFile(p, bytes, report.corruptRemoved);
+            continue;
+        }
+        std::string hash = cellFileConfigHash(name);
+        if (hash.empty())
+            continue; // not a cache record: leave it alone.
+        ++report.scannedFiles;
+        report.scannedBytes += bytes;
+        if (!opts.liveHashes.empty() && !opts.liveHashes.count(hash)) {
+            removeFile(p, bytes, report.staleRemoved);
+            continue;
+        }
+        survivors.push_back({p, bytes, it->last_write_time(ec)});
+    }
+
+    u64 surviving_bytes = 0;
+    for (const Survivor &s : survivors)
+        surviving_bytes += s.bytes;
+
+    if (opts.maxBytes > 0 && surviving_bytes > opts.maxBytes) {
+        // LRU by mtime: evict the oldest records until the cap fits.
+        std::sort(survivors.begin(), survivors.end(),
+                  [](const Survivor &a, const Survivor &b) {
+                      if (a.mtime != b.mtime)
+                          return a.mtime < b.mtime;
+                      return a.path.string() < b.path.string();
+                  });
+        size_t evicted = 0;
+        for (const Survivor &s : survivors) {
+            if (surviving_bytes <= opts.maxBytes)
+                break;
+            if (removeFile(s.path, s.bytes, report.lruRemoved))
+                surviving_bytes -= s.bytes;
+            ++evicted;
+        }
+        survivors.erase(survivors.begin(),
+                        survivors.begin() +
+                            static_cast<std::ptrdiff_t>(evicted));
+    }
+
+    report.keptFiles = survivors.size();
+    report.keptBytes = surviving_bytes;
+    return {};
+}
+
+} // namespace rsep::sim

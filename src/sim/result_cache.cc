@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/fnv.hh"
 #include "common/logging.hh"
 #include "core/pipeline.hh"
 
@@ -20,27 +21,6 @@ namespace rsep::sim
 
 namespace
 {
-
-/** FNV-1a 64 of a byte string (the record checksum). */
-u64
-fnv64(const std::string &s)
-{
-    u64 h = 0xcbf29ce484222325ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-std::string
-hex64(u64 v)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
-}
 
 /** Benchmark names are plain tokens, but never trust a path element. */
 std::string
@@ -53,25 +33,6 @@ sanitized(const std::string &s)
                    ? c
                    : '_';
     return out.empty() ? std::string("_") : out;
-}
-
-bool
-parseHex64(const std::string &s, u64 &out)
-{
-    if (s.empty() || s.size() > 16)
-        return false;
-    out = 0;
-    for (char c : s) {
-        int d;
-        if (c >= '0' && c <= '9')
-            d = c - '0';
-        else if (c >= 'a' && c <= 'f')
-            d = c - 'a' + 10;
-        else
-            return false;
-        out = (out << 4) | static_cast<u64>(d);
-    }
-    return true;
 }
 
 } // namespace
@@ -97,6 +58,58 @@ ResultCache::cellPath(const CacheKey &key) const
     return root + "/" + sanitized(key.benchmark) + "/" + key.configHash +
            "-p" + std::to_string(key.phase) + "-s" + hex64(key.seed) +
            ".cell";
+}
+
+namespace
+{
+
+bool
+allHex(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
+}
+
+bool
+allDigits(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (c < '0' || c > '9')
+            return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+ResultCache::fileConfigHash(const std::string &filename)
+{
+    // The inverse of the cellPath naming just above:
+    // <16-hex config hash>-p<digits>-s<16-hex seed>.cell
+    constexpr const char *ext = ".cell";
+    if (filename.size() < 16 + 2 + 1 + 2 + 16 + 5)
+        return {};
+    if (filename.substr(filename.size() - 5) != ext)
+        return {};
+    std::string stem = filename.substr(0, filename.size() - 5);
+    std::string hash = stem.substr(0, 16);
+    if (!allHex(hash) || stem.size() < 17 || stem[16] != '-' ||
+        stem[17] != 'p')
+        return {};
+    size_t sdash = stem.rfind("-s");
+    if (sdash == std::string::npos || sdash < 18)
+        return {};
+    if (!allDigits(stem.substr(18, sdash - 18)))
+        return {};
+    if (!allHex(stem.substr(sdash + 2)) || stem.size() - (sdash + 2) != 16)
+        return {};
+    return hash;
 }
 
 std::string
@@ -261,7 +274,7 @@ ResultCache::load(const CacheKey &key)
         return std::nullopt;
     };
 
-    // Outer envelope: "<body>checksum = <fnv64(body)>\n".
+    // Outer envelope: "<body>checksum = <fnv1a64(body)>\n".
     size_t mark = text.rfind("checksum = ");
     if (mark == std::string::npos || text.back() != '\n')
         return quarantine("missing checksum");
@@ -269,7 +282,7 @@ ResultCache::load(const CacheKey &key)
     u64 want = 0;
     if (!parseHex64(text.substr(mark + 11, text.size() - mark - 12),
                     want) ||
-        fnv64(body) != want)
+        fnv1a64(body) != want)
         return quarantine("checksum mismatch");
 
     PhaseResult pr;
@@ -294,7 +307,7 @@ ResultCache::store(const CacheKey &key, const PhaseResult &pr)
     }
 
     std::string body = serializeRecord(key, pr);
-    std::string text = body + "checksum = " + hex64(fnv64(body)) + "\n";
+    std::string text = body + "checksum = " + hex64(fnv1a64(body)) + "\n";
 
     // Atomic publish: a concurrent reader sees the old record or the
     // new one, never a torn write. The temp name is per-process so

@@ -79,6 +79,14 @@ class ResultCache
     /** On-disk location of a cell record (for tests and tooling). */
     std::string cellPath(const CacheKey &key) const;
 
+    /**
+     * Parse the config hash back out of a record filename
+     * (`<16-hex>-p<phase>-s<16-hex>.cell` — the cellPath grammar; keep
+     * the two together). Empty when the name is not a cache record.
+     * The cache GC's liveness matching keys on this.
+     */
+    static std::string fileConfigHash(const std::string &filename);
+
     /** Serialize / parse one record body (exposed for tests). */
     static std::string serializeRecord(const CacheKey &key,
                                        const PhaseResult &pr);

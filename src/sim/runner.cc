@@ -159,6 +159,12 @@ runMatrix(const std::vector<SimConfig> &configs,
                          plan.selectedRuns, plan.totalRuns);
         if (cache.enabled())
             std::fprintf(stderr, " [cache %s]", cache.dir().c_str());
+        if (!opts.traceIo.replayDir.empty())
+            std::fprintf(stderr, " [replay %s]",
+                         opts.traceIo.replayDir.c_str());
+        if (!opts.traceIo.recordDir.empty())
+            std::fprintf(stderr, " [record %s]",
+                         opts.traceIo.recordDir.c_str());
         std::fprintf(stderr, "\n");
     }
 
@@ -178,7 +184,8 @@ runMatrix(const std::vector<SimConfig> &configs,
                     if (cache.enabled())
                         pr = cache.load(key);
                     if (!pr) {
-                        pr = runPhase(configs[c], benchmarks[b], p);
+                        pr = runPhase(configs[c], benchmarks[b], p,
+                                      opts.traceIo);
                         if (cache.enabled())
                             cache.store(key, *pr);
                     }
@@ -191,7 +198,9 @@ runMatrix(const std::vector<SimConfig> &configs,
                         std::fprintf(
                             stderr,
                             "[%s] %-12s %-20s ckpt %u ipc=%.3f (%zu/%zu)\n",
-                            ph.fromCache ? "hit" : "run",
+                            ph.fromCache    ? "hit"
+                            : ph.replayed   ? "rpl"
+                                            : "run",
                             benchmarks[b].c_str(),
                             configs[c].label.c_str(), p, ph.ipc, k,
                             total_cells);

@@ -38,6 +38,10 @@ struct MatrixOptions
     /** Root of the persistent per-cell result cache (`--cache-dir`);
      *  empty = no caching. Cached cells are not re-simulated. */
     std::string cacheDir;
+    /** Recorded-trace record/replay directories (`--record-trace`,
+     *  `--replay-trace`); see TraceIoOptions. Replay is consulted only
+     *  for cells the result cache could not serve. */
+    TraceIoOptions traceIo;
 };
 
 /** Hard ceiling on explicit worker-thread requests. */

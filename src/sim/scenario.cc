@@ -131,7 +131,7 @@ constexpr const char *sectionNames[] = {"sim", "core", "mech", "rsep",
                                         "vp"};
 
 constexpr const char *sectionList =
-    "[scenario], [sim], [core], [mech], [rsep] or [vp]";
+    "[scenario], [workload], [sim], [core], [mech], [rsep] or [vp]";
 
 /** Visit the fields of one named section of @p cfg. False when the
  *  section is unknown. */
@@ -390,20 +390,37 @@ parseScenarioText(const std::string &text, const std::string &origin)
         bool explicitLabel = false;
     } cur;
 
+    struct BuildingWorkload
+    {
+        wl::WorkloadSpec spec;
+        bool open = false;
+        bool haveParams = false; ///< archetype or base seen.
+    } curWl;
+
     auto fail = [&](int line, const std::string &msg) {
         out.error = origin + ":" + std::to_string(line) + ": " + msg;
         out.scenarios.clear();
+        out.workloads.clear();
         return out;
     };
     auto flush = [&]() -> std::string {
-        if (!cur.open)
-            return {};
-        if (cur.sc.name.empty())
-            return "scenario is missing a 'name' key";
-        cur.sc.config.label =
-            cur.explicitLabel ? cur.label : cur.sc.name;
-        out.scenarios.push_back(std::move(cur.sc));
-        cur = Building{};
+        if (cur.open) {
+            if (cur.sc.name.empty())
+                return "scenario is missing a 'name' key";
+            cur.sc.config.label =
+                cur.explicitLabel ? cur.label : cur.sc.name;
+            out.scenarios.push_back(std::move(cur.sc));
+            cur = Building{};
+        }
+        if (curWl.open) {
+            if (curWl.spec.name.empty())
+                return "workload is missing a 'name' key";
+            if (!curWl.haveParams)
+                return "workload '" + curWl.spec.name +
+                       "' needs an 'archetype' or 'base' key";
+            out.workloads.push_back(std::move(curWl.spec));
+            curWl = BuildingWorkload{};
+        }
         return {};
     };
 
@@ -424,11 +441,11 @@ parseScenarioText(const std::string &text, const std::string &origin)
                 return fail(lineno, "malformed section header '" + line +
                                         "'");
             section = trimmed(line.substr(1, line.size() - 2));
-            if (section == "scenario") {
+            if (section == "scenario" || section == "workload") {
                 std::string err = flush();
                 if (!err.empty())
                     return fail(lineno, err);
-                cur.open = true;
+                (section == "scenario" ? cur.open : curWl.open) = true;
             } else {
                 bool known = false;
                 for (const char *s : sectionNames)
@@ -437,6 +454,11 @@ parseScenarioText(const std::string &text, const std::string &origin)
                     return fail(lineno, "unknown section '[" + section +
                                             "]' (expected " +
                                             sectionList + ")");
+                if (curWl.open)
+                    return fail(lineno,
+                                "section '[" + section +
+                                    "]' is not valid inside a "
+                                    "[workload] block");
                 if (!cur.open)
                     return fail(lineno, "section '[" + section +
                                             "]' before any [scenario]");
@@ -452,8 +474,50 @@ parseScenarioText(const std::string &text, const std::string &origin)
         std::string value = trimmed(line.substr(eq + 1));
         if (key.empty())
             return fail(lineno, "empty key");
-        if (!cur.open)
-            return fail(lineno, "key '" + key + "' before any [scenario]");
+        if (!cur.open && !curWl.open)
+            return fail(lineno, "key '" + key +
+                                    "' before any [scenario] or "
+                                    "[workload]");
+
+        if (curWl.open) {
+            if (key == "name") {
+                curWl.spec.name = value;
+            } else if (key == "base") {
+                auto base = wl::findWorkloadSpec(value);
+                if (!base) {
+                    // Earlier definitions in this same file are valid
+                    // bases even when not registered yet.
+                    for (const wl::WorkloadSpec &w : out.workloads)
+                        if (w.name == value || wl::workloadKey(w) == value)
+                            base = w;
+                }
+                if (!base)
+                    return fail(lineno, "unknown base workload '" + value +
+                                            "' (see --list-workloads)");
+                curWl.spec.params = base->params;
+                curWl.haveParams = true;
+            } else if (key == "archetype") {
+                if (!wl::setArchetype(curWl.spec, value)) {
+                    std::string all;
+                    for (const std::string &a : wl::archetypeNames())
+                        all += (all.empty() ? "" : ", ") + a;
+                    return fail(lineno, "unknown archetype '" + value +
+                                            "' (expected one of " + all +
+                                            ")");
+                }
+                curWl.haveParams = true;
+            } else {
+                if (!curWl.haveParams)
+                    return fail(lineno,
+                                "key '" + key +
+                                    "' before the workload's "
+                                    "'archetype' (or 'base') key");
+                std::string err;
+                if (!wl::applyWorkloadKey(curWl.spec, key, value, &err))
+                    return fail(lineno, err);
+            }
+            continue;
+        }
 
         if (section == "scenario") {
             if (key == "name") {
@@ -485,8 +549,9 @@ parseScenarioText(const std::string &text, const std::string &origin)
     std::string err = flush();
     if (!err.empty())
         return fail(lineno, err);
-    if (out.scenarios.empty() && out.error.empty())
-        out.error = origin + ": no [scenario] found";
+    if (out.scenarios.empty() && out.workloads.empty() &&
+        out.error.empty())
+        out.error = origin + ": no [scenario] or [workload] found";
     return out;
 }
 

@@ -27,6 +27,21 @@
  * a whole sweep. The key set per section is generated from the
  * `visitFields` introspection hooks on the config structs — parser,
  * serializer and config hash can never drift apart.
+ *
+ * A file may also carry `[workload]` blocks — the workload axis of the
+ * same idea (see wl/workload_spec.hh): define or override benchmarks
+ * without a rebuild. A workload block names a kernel archetype (or a
+ * `base` workload to start from) and then sets that archetype's
+ * parameter keys:
+ *
+ *     [workload]
+ *     name = mcf-big
+ *     base = mcf               # start from a registered workload, or
+ *     archetype = pointer_chase#   pick an archetype's defaults
+ *     nodes = 262144           # archetype parameter keys (kernels.hh)
+ *
+ * Parsed workload definitions are returned in ScenarioParse::workloads
+ * (file order); registering them is the driver's decision.
  */
 
 #ifndef RSEP_SIM_SCENARIO_HH
@@ -37,6 +52,7 @@
 #include <vector>
 
 #include "sim/sim_config.hh"
+#include "wl/workload_spec.hh"
 
 namespace rsep::sim
 {
@@ -66,10 +82,13 @@ const std::vector<ScenarioInfo> &registeredScenarios();
  */
 std::optional<Scenario> findScenario(const std::string &name);
 
-/** Outcome of parsing scenario text: arms, or a diagnostic. */
+/** Outcome of parsing scenario text: arms and workload definitions,
+ *  or a diagnostic. A file holding only [workload] blocks is valid. */
 struct ScenarioParse
 {
     std::vector<Scenario> scenarios;
+    /** `[workload]` definitions, in file order (not yet registered). */
+    std::vector<wl::WorkloadSpec> workloads;
     std::string error; ///< "origin:line: message"; empty on success.
 
     bool ok() const { return error.empty(); }

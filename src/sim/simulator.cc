@@ -1,9 +1,13 @@
 #include "sim/simulator.hh"
 
 #include <chrono>
+#include <filesystem>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "core/spec_engine.hh"
+#include "wl/trace_io.hh"
+#include "wl/workload_spec.hh"
 
 namespace rsep::sim
 {
@@ -27,16 +31,23 @@ RunResult::ratioOfCommitted(StatCounter core::PipelineStats::* member) const
     return static_cast<double>(sum(member)) / static_cast<double>(insts);
 }
 
-PhaseResult
-runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase)
+namespace
 {
-    auto t0 = std::chrono::steady_clock::now();
-    wl::Workload w = wl::makeWorkload(bench_name);
-    wl::Emulator emu(w.program);
-    emu.resetArchState();
-    w.init(emu, phase);
 
-    core::Pipeline pipe(cfg.core, cfg.mech, emu,
+/**
+ * Slack records appended after a recording run: a later replay under a
+ * config with a slightly deeper fetch lookahead (bigger ROB/front-end,
+ * different squash pattern) may pull a few more records than the
+ * recording config did. Generously above any lookahead the Table I
+ * core family can reach, and cheap (~200KB per trace).
+ */
+constexpr u64 traceRecordSlack = 8192;
+
+/** The timing run itself, identical for every source kind. */
+PhaseResult
+runTimedPhase(const SimConfig &cfg, wl::TraceSource &src, u32 phase)
+{
+    core::Pipeline pipe(cfg.core, cfg.mech, src,
                         cfg.seed ^ (0x9e37 * (phase + 1)));
     pipe.run(cfg.warmupInsts);
     pipe.resetStats();
@@ -50,11 +61,91 @@ runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase)
             pr.engineStats.emplace_back("engine." + eng->name() + "." +
                                             entry.name,
                                         entry.counter->value());
-    pr.wallMicros = static_cast<u64>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
     return pr;
+}
+
+} // namespace
+
+PhaseResult
+runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase,
+         const TraceIoOptions &trace_io)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto finish = [&](PhaseResult pr) {
+        pr.wallMicros = static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        return pr;
+    };
+
+    // ---- replay path: no emulator, no memory init ----
+    if (!trace_io.replayDir.empty()) {
+        std::optional<wl::WorkloadSpec> spec =
+            wl::findWorkloadSpec(bench_name);
+        if (!spec)
+            rsep_fatal("replay: unknown workload '%s' (scenario-defined "
+                       "workloads must be registered before the run)",
+                       bench_name.c_str());
+        std::string path =
+            wl::tracePath(trace_io.replayDir, bench_name, phase);
+        std::error_code ec;
+        if (!std::filesystem::exists(path, ec)) {
+            if (trace_io.recordDir.empty())
+                rsep_fatal("replay: %s: no trace recorded for (%s, phase "
+                           "%u); record it first with --record-trace",
+                           path.c_str(), bench_name.c_str(), phase);
+            // Fall through: live-emulate (and record) the missing cell.
+        } else {
+            wl::TraceParse parse = wl::readTraceFile(path);
+            if (!parse.ok())
+                rsep_fatal("replay: %s (re-record the trace)",
+                           parse.error.c_str());
+            if (parse.header.workload != bench_name ||
+                parse.header.phase != phase ||
+                parse.header.workloadHash != wl::workloadHash(*spec))
+                rsep_fatal("replay: %s: trace identity (%s, phase %u, "
+                           "hash %s) does not match the requested cell "
+                           "(%s, phase %u, hash %s)",
+                           path.c_str(), parse.header.workload.c_str(),
+                           parse.header.phase,
+                           parse.header.workloadHash.c_str(),
+                           bench_name.c_str(), phase,
+                           wl::workloadHash(*spec).c_str());
+            wl::Workload w = wl::buildWorkload(*spec);
+            wl::ReplayTraceSource src(std::move(parse), w.program, path);
+            PhaseResult pr = runTimedPhase(cfg, src, phase);
+            pr.replayed = true;
+            return finish(std::move(pr));
+        }
+    }
+
+    // ---- live-emulation path (optionally recording) ----
+    wl::Workload w = wl::makeWorkload(bench_name);
+    wl::Emulator emu(w.program);
+    emu.resetArchState();
+    w.init(emu, phase);
+
+    if (!trace_io.recordDir.empty()) {
+        wl::RecordingTraceSource rec(emu);
+        PhaseResult pr = runTimedPhase(cfg, rec, phase);
+        rec.recordSlack(traceRecordSlack);
+        wl::TraceHeader header;
+        header.workload = bench_name;
+        std::optional<wl::WorkloadSpec> spec =
+            wl::findWorkloadSpec(bench_name);
+        header.workloadHash =
+            spec ? wl::workloadHash(*spec) : std::string(16, '0');
+        header.phase = phase;
+        std::string path =
+            wl::tracePath(trace_io.recordDir, bench_name, phase);
+        std::string err;
+        if (!rec.write(path, header, &err))
+            rsep_warn("record-trace: %s", err.c_str());
+        return finish(std::move(pr));
+    }
+
+    return finish(runTimedPhase(cfg, emu, phase));
 }
 
 void

@@ -33,6 +33,34 @@ struct PhaseResult
      *  (the price the cache saved), not the load time. */
     u64 wallMicros = 0;
     bool fromCache = false; ///< served by ResultCache, not simulated.
+    /** Simulated over a recorded-trace replay instead of live
+     *  emulation (transient, not part of the cached record — the
+     *  replay invariant is that the results are identical). */
+    bool replayed = false;
+};
+
+/**
+ * Recorded-trace options of a run (`--record-trace` / `--replay-trace`
+ * on every driver; see wl/trace_io.hh for the `.rtr` format).
+ *
+ * Replay: a cell's trace is loaded from `replayDir` and the pipeline
+ * runs without a functional emulator; the stat dump is byte-identical
+ * to the live-emulation run. A missing trace is fatal unless
+ * `recordDir` is also set, in which case the cell falls back to live
+ * emulation and records — so `--replay-trace D --record-trace D` is an
+ * idempotent "use traces, fill the gaps" sweep mode. A present but
+ * invalid or mismatched trace is always fatal (never silently
+ * re-emulated).
+ *
+ * Record: live-emulated cells tee their stream and write
+ * `recordDir/<workload>-p<phase>.rtr` (atomic) when the cell ends.
+ */
+struct TraceIoOptions
+{
+    std::string recordDir;
+    std::string replayDir;
+
+    bool active() const { return !recordDir.empty() || !replayDir.empty(); }
 };
 
 /**
@@ -96,7 +124,7 @@ struct RunResult
  * matrix runner.
  */
 PhaseResult runPhase(const SimConfig &cfg, const std::string &bench_name,
-                     u32 phase);
+                     u32 phase, const TraceIoOptions &trace_io = {});
 
 /** Run @p bench_name under @p cfg (all checkpoints, serially). */
 RunResult runWorkload(const SimConfig &cfg, const std::string &bench_name);

@@ -16,12 +16,16 @@
 #include "isa/program.hh"
 #include "wl/dynrecord.hh"
 #include "wl/memory.hh"
+#include "wl/trace_source.hh"
 
 namespace rsep::wl
 {
 
-/** Architectural state + single-step execution of one Program. */
-class Emulator
+/**
+ * Architectural state + single-step execution of one Program — the
+ * live-emulation TraceSource.
+ */
+class Emulator : public TraceSource
 {
   public:
     explicit Emulator(const isa::Program &prog);
@@ -34,7 +38,7 @@ class Emulator
      * record. Halt wraps silently back to instruction 0 (kernels are
      * structured as endless outer loops; Halt is a safety net).
      */
-    const DynRecord &step();
+    const DynRecord &step() override;
 
     u64 readReg(ArchReg r) const;
     void setReg(ArchReg r, u64 v);
@@ -44,7 +48,7 @@ class Emulator
     SparseMemory &memory() { return mem; }
     const SparseMemory &memory() const { return mem; }
 
-    const isa::Program &program() const { return prog; }
+    const isa::Program &program() const override { return prog; }
     /** Total instructions executed (excluding skipped Halts). */
     u64 instCount() const { return icount; }
     /** Static index of the next instruction to execute. */

@@ -70,12 +70,27 @@ struct Workload
     std::function<void(Emulator &, u32 phase)> init;
 };
 
+// Every parameter struct carries a visitFields introspection hook
+// (mirroring the config structs): the workload registry, the
+// `[workload]` scenario-file section and the stable workload hash are
+// all generated from the same enumeration, so they can never drift
+// from the structs (see workload_spec.hh).
+
 struct PointerChaseParams
 {
     u64 nodes = 1 << 17;       ///< 32B/node -> footprint = nodes*32.
     u32 costAlphabet = 61;     ///< distinct cost values.
     u64 threshold = 1000;      ///< taken-rate control for the body branch.
 };
+
+template <class V>
+void
+visitFields(PointerChaseParams &p, V &&v)
+{
+    v("nodes", p.nodes);
+    v("cost_alphabet", p.costAlphabet);
+    v("threshold", p.threshold);
+}
 
 struct DynProgParams
 {
@@ -84,11 +99,28 @@ struct DynProgParams
     u32 scoreSpread = 1 << 20; ///< magnitude of per-column scores.
 };
 
+template <class V>
+void
+visitFields(DynProgParams &p, V &&v)
+{
+    v("cols", p.cols);
+    v("clamp_duty", p.clampDuty);
+    v("score_spread", p.scoreSpread);
+}
+
 struct RecomputeParams
 {
     u64 elems = 1 << 12;       ///< per-element operand arrays.
     bool fpFlavor = true;      ///< use FP muls (dealII) vs int.
 };
+
+template <class V>
+void
+visitFields(RecomputeParams &p, V &&v)
+{
+    v("elems", p.elems);
+    v("fp_flavor", p.fpFlavor);
+}
 
 struct GateSimParams
 {
@@ -97,11 +129,28 @@ struct GateSimParams
     u32 setBitPct = 12;        ///< % of words with the control bit set.
 };
 
+template <class V>
+void
+visitFields(GateSimParams &p, V &&v)
+{
+    v("state_words", p.stateWords);
+    v("control_bit", p.controlBit);
+    v("set_bit_pct", p.setBitPct);
+}
+
 struct EventQueueParams
 {
     u64 heapSize = 1 << 12;
     u32 deltaAlphabet = 7;     ///< distinct event deltas.
 };
+
+template <class V>
+void
+visitFields(EventQueueParams &p, V &&v)
+{
+    v("heap_size", p.heapSize);
+    v("delta_alphabet", p.deltaAlphabet);
+}
 
 struct XmlParseParams
 {
@@ -110,11 +159,28 @@ struct XmlParseParams
     u32 numStates = 12;
 };
 
+template <class V>
+void
+visitFields(XmlParseParams &p, V &&v)
+{
+    v("text_len", p.textLen);
+    v("num_classes", p.numClasses);
+    v("num_states", p.numStates);
+}
+
 struct InterpParams
 {
     u64 bytecodeLen = 64;
     u32 numOpcodes = 6;
 };
+
+template <class V>
+void
+visitFields(InterpParams &p, V &&v)
+{
+    v("bytecode_len", p.bytecodeLen);
+    v("num_opcodes", p.numOpcodes);
+}
 
 struct BlockSortParams
 {
@@ -123,11 +189,28 @@ struct BlockSortParams
     u32 alphabet = 220;
 };
 
+template <class V>
+void
+visitFields(BlockSortParams &p, V &&v)
+{
+    v("block_len", p.blockLen);
+    v("mean_run_len", p.meanRunLen);
+    v("alphabet", p.alphabet);
+}
+
 struct StencilParams
 {
     u64 gridCells = 1 << 14;
     u32 zeroPct = 45;          ///< % of grid cells equal to 0.0.
 };
+
+template <class V>
+void
+visitFields(StencilParams &p, V &&v)
+{
+    v("grid_cells", p.gridCells);
+    v("zero_pct", p.zeroPct);
+}
 
 struct DenseLinAlgParams
 {
@@ -135,17 +218,41 @@ struct DenseLinAlgParams
     u32 constCoefPct = 0;      ///< % iterations reloading a VP-friendly constant.
 };
 
+template <class V>
+void
+visitFields(DenseLinAlgParams &p, V &&v)
+{
+    v("vec_len", p.vecLen);
+    v("const_coef_pct", p.constCoefPct);
+}
+
 struct StridedMediaParams
 {
     u64 frameLen = 1 << 14;
     s64 clipMax = 255;
 };
 
+template <class V>
+void
+visitFields(StridedMediaParams &p, V &&v)
+{
+    v("frame_len", p.frameLen);
+    v("clip_max", p.clipMax);
+}
+
 struct BranchyGameParams
 {
     u64 boardCells = 1 << 14;
     u32 takenPct = 52;         ///< average taken rate of the hard branch.
 };
+
+template <class V>
+void
+visitFields(BranchyGameParams &p, V &&v)
+{
+    v("board_cells", p.boardCells);
+    v("taken_pct", p.takenPct);
+}
 
 struct SparseSolverParams
 {
@@ -154,15 +261,38 @@ struct SparseSolverParams
     bool vpFriendly = false;   ///< wrf-style quasi-constant values.
 };
 
+template <class V>
+void
+visitFields(SparseSolverParams &p, V &&v)
+{
+    v("rows", p.rows);
+    v("nnz_per_row", p.nnzPerRow);
+    v("vp_friendly", p.vpFriendly);
+}
+
 struct RegularZeroParams
 {
     u64 groupLen = 1 << 10;
 };
 
+template <class V>
+void
+visitFields(RegularZeroParams &p, V &&v)
+{
+    v("group_len", p.groupLen);
+}
+
 struct StreamingParams
 {
     u64 arrayLen = 1 << 16;
 };
+
+template <class V>
+void
+visitFields(StreamingParams &p, V &&v)
+{
+    v("array_len", p.arrayLen);
+}
 
 Workload makePointerChase(const std::string &name, const PointerChaseParams &p);
 Workload makeDynProg(const std::string &name, const DynProgParams &p);

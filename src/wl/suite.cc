@@ -1,90 +1,74 @@
 #include "wl/suite.hh"
 
 #include "common/logging.hh"
+#include "wl/workload_spec.hh"
 
 namespace rsep::wl
 {
 
+const std::vector<WorkloadSpec> &
+suiteSpecs()
+{
+    // Archetype + parameter choices are documented in kernels.hh and
+    // DESIGN.md; per-benchmark params target that benchmark's behaviour
+    // in the paper's Figs. 1, 4, 5 (zero ratio, redundancy, who wins).
+    // Order is the paper's figure order (suiteNames derives from it).
+    static const std::vector<WorkloadSpec> specs = {
+        {"perlbench", InterpParams{}},
+        {"bzip2", BlockSortParams{.blockLen = 1 << 19, .meanRunLen = 24}},
+        {"gcc", BranchyGameParams{.boardCells = 1 << 15, .takenPct = 40}},
+        {"bwaves", DenseLinAlgParams{.constCoefPct = 10}},
+        {"gamess", RegularZeroParams{}},
+        {"mcf", PointerChaseParams{.nodes = 1 << 16}},
+        {"milc", SparseSolverParams{.rows = 1 << 12, .nnzPerRow = 16}},
+        {"zeusmp", StencilParams{.gridCells = 1 << 14, .zeroPct = 50}},
+        {"gromacs", DenseLinAlgParams{.constCoefPct = 60}},
+        {"cactusADM", StencilParams{.gridCells = 1 << 14, .zeroPct = 45}},
+        {"leslie3d", StencilParams{.gridCells = 1 << 14, .zeroPct = 12}},
+        {"namd", DenseLinAlgParams{.constCoefPct = 0}},
+        {"gobmk", BranchyGameParams{.takenPct = 52}},
+        {"dealII", RecomputeParams{}},
+        {"soplex", SparseSolverParams{.rows = 1 << 11, .nnzPerRow = 24}},
+        {"povray", DenseLinAlgParams{.constCoefPct = 30}},
+        {"calculix", DenseLinAlgParams{.constCoefPct = 5}},
+        {"hmmer", DynProgParams{.clampDuty = 45}},
+        {"sjeng", BranchyGameParams{.takenPct = 48}},
+        {"GemsFDTD", StencilParams{.gridCells = 1 << 14, .zeroPct = 20}},
+        {"libquantum", GateSimParams{.stateWords = 1 << 19}},
+        {"h264ref", StridedMediaParams{}},
+        {"tonto", DenseLinAlgParams{.constCoefPct = 15}},
+        {"lbm", StreamingParams{}},
+        {"omnetpp", EventQueueParams{.heapSize = 1 << 16}},
+        {"astar", BranchyGameParams{.boardCells = 1 << 16, .takenPct = 55}},
+        {"wrf", SparseSolverParams{.rows = 1 << 11, .nnzPerRow = 16,
+                                   .vpFriendly = true}},
+        {"sphinx3", SparseSolverParams{.rows = 1 << 10, .nnzPerRow = 8}},
+        {"xalancbmk", XmlParseParams{}},
+    };
+    return specs;
+}
+
 const std::vector<std::string> &
 suiteNames()
 {
-    static const std::vector<std::string> names = {
-        "perlbench", "bzip2",      "gcc",      "bwaves",   "gamess",
-        "mcf",       "milc",       "zeusmp",   "gromacs",  "cactusADM",
-        "leslie3d",  "namd",       "gobmk",    "dealII",   "soplex",
-        "povray",    "calculix",   "hmmer",    "sjeng",    "GemsFDTD",
-        "libquantum","h264ref",    "tonto",    "lbm",      "omnetpp",
-        "astar",     "wrf",        "sphinx3",  "xalancbmk",
-    };
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        v.reserve(suiteSpecs().size());
+        for (const WorkloadSpec &s : suiteSpecs())
+            v.push_back(s.name);
+        return v;
+    }();
     return names;
 }
 
 Workload
 makeWorkload(const std::string &name)
 {
-    // Archetype + parameter choices are documented in kernels.hh and
-    // DESIGN.md; per-benchmark params target that benchmark's behaviour
-    // in the paper's Figs. 1, 4, 5 (zero ratio, redundancy, who wins).
-    if (name == "perlbench")
-        return makeInterp(name, {});
-    if (name == "bzip2")
-        return makeBlockSort(name, {.blockLen = 1 << 19, .meanRunLen = 24});
-    if (name == "gcc")
-        return makeBranchyGame(name, {.boardCells = 1 << 15, .takenPct = 40});
-    if (name == "bwaves")
-        return makeDenseLinAlg(name, {.constCoefPct = 10});
-    if (name == "gamess")
-        return makeRegularZero(name, {});
-    if (name == "mcf")
-        return makePointerChase(name, {.nodes = 1 << 16});
-    if (name == "milc")
-        return makeSparseSolver(name, {.rows = 1 << 12, .nnzPerRow = 16});
-    if (name == "zeusmp")
-        return makeStencil(name, {.gridCells = 1 << 14, .zeroPct = 50});
-    if (name == "gromacs")
-        return makeDenseLinAlg(name, {.constCoefPct = 60});
-    if (name == "cactusADM")
-        return makeStencil(name, {.gridCells = 1 << 14, .zeroPct = 45});
-    if (name == "leslie3d")
-        return makeStencil(name, {.gridCells = 1 << 14, .zeroPct = 12});
-    if (name == "namd")
-        return makeDenseLinAlg(name, {.constCoefPct = 0});
-    if (name == "gobmk")
-        return makeBranchyGame(name, {.takenPct = 52});
-    if (name == "dealII")
-        return makeRecompute(name, {});
-    if (name == "soplex")
-        return makeSparseSolver(name, {.rows = 1 << 11, .nnzPerRow = 24});
-    if (name == "povray")
-        return makeDenseLinAlg(name, {.constCoefPct = 30});
-    if (name == "calculix")
-        return makeDenseLinAlg(name, {.constCoefPct = 5});
-    if (name == "hmmer")
-        return makeDynProg(name, {.clampDuty = 45});
-    if (name == "sjeng")
-        return makeBranchyGame(name, {.takenPct = 48});
-    if (name == "GemsFDTD")
-        return makeStencil(name, {.gridCells = 1 << 14, .zeroPct = 20});
-    if (name == "libquantum")
-        return makeGateSim(name, {.stateWords = 1 << 19});
-    if (name == "h264ref")
-        return makeStridedMedia(name, {});
-    if (name == "tonto")
-        return makeDenseLinAlg(name, {.constCoefPct = 15});
-    if (name == "lbm")
-        return makeStreaming(name, {});
-    if (name == "omnetpp")
-        return makeEventQueue(name, {.heapSize = 1 << 16});
-    if (name == "astar")
-        return makeBranchyGame(name, {.boardCells = 1 << 16, .takenPct = 55});
-    if (name == "wrf")
-        return makeSparseSolver(name, {.rows = 1 << 11, .nnzPerRow = 16,
-                                       .vpFriendly = true});
-    if (name == "sphinx3")
-        return makeSparseSolver(name, {.rows = 1 << 10, .nnzPerRow = 8});
-    if (name == "xalancbmk")
-        return makeXmlParse(name, {});
-    rsep_fatal("unknown workload '%s'", name.c_str());
+    std::optional<WorkloadSpec> spec = findWorkloadSpec(name);
+    if (!spec)
+        rsep_fatal("unknown workload '%s' (see --list-workloads)",
+                   name.c_str());
+    return buildWorkload(*spec);
 }
 
 std::vector<Workload>

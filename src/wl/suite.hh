@@ -18,7 +18,11 @@ namespace rsep::wl
 /** The 29 benchmark names in the paper's figure order. */
 const std::vector<std::string> &suiteNames();
 
-/** Build the named workload (fatal on unknown name). */
+/**
+ * Build a workload by registry name or qualified `name@hash` key —
+ * suite benchmarks and runtime-registered workloads alike (see
+ * workload_spec.hh). Fatal on an unknown name.
+ */
 Workload makeWorkload(const std::string &name);
 
 /** Build every workload in suite order. */

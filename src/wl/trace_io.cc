@@ -1,0 +1,316 @@
+#include "wl/trace_io.hh"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/fnv.hh"
+#include "common/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace rsep::wl
+{
+
+namespace
+{
+
+constexpr size_t recordBytes = 4 + 4 + 8 + 8 + 1;
+
+/** Workload keys are plain tokens (possibly `name@hash`), but never
+ *  trust a path element. */
+std::string
+sanitized(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        out += (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                c == '-' || c == '+' || c == '_' || c == '@')
+                   ? c
+                   : '_';
+    return out.empty() ? std::string("_") : out;
+}
+
+void
+putU32(std::string &s, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &s, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+u32
+getU32(const char *p)
+{
+    u32 v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+u64
+getU64(const char *p)
+{
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+std::string
+encodePayload(const std::vector<DynRecord> &records)
+{
+    std::string payload;
+    payload.reserve(records.size() * recordBytes);
+    for (const DynRecord &r : records) {
+        putU32(payload, r.staticIdx);
+        putU32(payload, r.nextIdx);
+        putU64(payload, r.result);
+        putU64(payload, r.effAddr);
+        payload.push_back(r.taken ? 1 : 0);
+    }
+    return payload;
+}
+
+} // namespace
+
+std::string
+tracePath(const std::string &dir, const std::string &workload, u32 phase)
+{
+    return dir + "/" + sanitized(workload) + "-p" + std::to_string(phase) +
+           traceFileExtension;
+}
+
+std::string
+serializeTrace(const TraceHeader &header,
+               const std::vector<DynRecord> &records)
+{
+    std::string payload = encodePayload(records);
+    std::ostringstream os;
+    os << "rsep-trace " << traceFormatVersion << "\n";
+    os << "workload = " << header.workload << "\n";
+    os << "workload_hash = " << header.workloadHash << "\n";
+    os << "phase = " << header.phase << "\n";
+    os << "program_length = " << header.programLength << "\n";
+    os << "records = " << records.size() << "\n";
+    os << "payload\n";
+    os << payload;
+    os << "\nchecksum = " << hex64(fnv1a64(payload)) << "\n";
+    return os.str();
+}
+
+TraceParse
+parseTrace(const std::string &text, const std::string &origin,
+           bool header_only)
+{
+    TraceParse out;
+    auto fail = [&](const std::string &msg) {
+        out.error = origin + ": " + msg;
+        out.records.clear();
+        return out;
+    };
+
+    // ---- text header (line oriented, fixed order) ----
+    size_t pos = 0;
+    auto nextLine = [&](std::string &line) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            return false;
+        line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        return true;
+    };
+    auto valueOf = [](const std::string &l, const char *k,
+                      std::string &v) {
+        std::string prefix = std::string(k) + " = ";
+        if (l.rfind(prefix, 0) != 0)
+            return false;
+        v = l.substr(prefix.size());
+        return true;
+    };
+
+    std::string line, v;
+    if (!nextLine(line) ||
+        line != "rsep-trace " + std::to_string(traceFormatVersion))
+        return fail("bad or unsupported trace version");
+    if (!nextLine(line) || !valueOf(line, "workload", v) || v.empty())
+        return fail("bad workload header");
+    out.header.workload = v;
+    u64 dummy = 0;
+    if (!nextLine(line) || !valueOf(line, "workload_hash", v) ||
+        v.size() != 16 || !parseHex64(v, dummy))
+        return fail("bad workload_hash header");
+    out.header.workloadHash = v;
+    u64 wide = 0;
+    if (!nextLine(line) || !valueOf(line, "phase", v) ||
+        !parseU64(v, wide) || wide > 0xffffffffull)
+        return fail("bad phase header");
+    out.header.phase = static_cast<u32>(wide);
+    if (!nextLine(line) || !valueOf(line, "program_length", v) ||
+        !parseU64(v, out.header.programLength))
+        return fail("bad program_length header");
+    if (!nextLine(line) || !valueOf(line, "records", v) ||
+        !parseU64(v, out.header.records))
+        return fail("bad records header");
+    if (!nextLine(line) || line != "payload")
+        return fail("missing payload marker");
+
+    // ---- binary payload + trailing checksum ----
+    // Guard the record-count multiply: a corrupt header could name a
+    // count whose byte size wraps 64 bits and slips past the length
+    // check, turning reserve() below into an abort instead of a
+    // diagnostic.
+    if (out.header.records > (text.size() - pos) / recordBytes)
+        return fail("truncated payload: record count " +
+                    std::to_string(out.header.records) +
+                    " exceeds the available bytes");
+    u64 payload_bytes = out.header.records * recordBytes;
+    // "\nchecksum = " + 16 hex + "\n"
+    constexpr size_t trailerBytes = 12 + 16 + 1;
+    if (text.size() < pos || text.size() - pos != payload_bytes + trailerBytes)
+        return fail("truncated or oversized payload (" +
+                    std::to_string(text.size() - pos) + " bytes for " +
+                    std::to_string(out.header.records) + " records)");
+    std::string payload = text.substr(pos, payload_bytes);
+    std::string trailer = text.substr(pos + payload_bytes);
+    u64 want = 0;
+    if (trailer.rfind("\nchecksum = ", 0) != 0 || trailer.back() != '\n' ||
+        !parseHex64(trailer.substr(12, 16), want))
+        return fail("missing checksum");
+    if (fnv1a64(payload) != want)
+        return fail("checksum mismatch");
+
+    if (header_only)
+        return out;
+
+    out.records.reserve(out.header.records);
+    const char *p = payload.data();
+    for (u64 i = 0; i < out.header.records; ++i, p += recordBytes) {
+        DynRecord r;
+        r.staticIdx = getU32(p);
+        r.nextIdx = getU32(p + 4);
+        r.result = getU64(p + 8);
+        r.effAddr = getU64(p + 16);
+        r.taken = p[24] != 0;
+        out.records.push_back(r);
+    }
+    return out;
+}
+
+TraceParse
+readTraceFile(const std::string &path, bool header_only)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        TraceParse out;
+        out.error = path + ": cannot open trace file";
+        return out;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return parseTrace(buf.str(), path, header_only);
+}
+
+bool
+writeTraceFile(const std::string &path, const TraceHeader &header,
+               const std::vector<DynRecord> &records, std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = path + ": " + msg;
+        return false;
+    };
+    std::error_code ec;
+    fs::path parent = fs::path(path).parent_path();
+    if (!parent.empty()) {
+        fs::create_directories(parent, ec);
+        if (ec)
+            return fail(ec.message());
+    }
+    std::string text = serializeTrace(header, records);
+    // Atomic publish (cf. the result cache): a concurrent reader sees
+    // the old trace or the new one, never a torn write. The temp name
+    // carries pid AND a process-wide sequence number: one matrix run
+    // records a (workload, phase) trace once per config, on different
+    // worker threads of the same process, so pid alone would tear.
+    static std::atomic<u64> writerSeq{0};
+    std::string tmp = path + ".tmp." +
+                      std::to_string(static_cast<unsigned long>(::getpid())) +
+                      "." + std::to_string(++writerSeq);
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return fail("cannot open temp file for writing");
+        os << text;
+        os.flush();
+        if (!os) {
+            fs::remove(tmp, ec);
+            return fail("write failed");
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return fail("rename failed");
+    }
+    return true;
+}
+
+bool
+RecordingTraceSource::write(const std::string &path, TraceHeader header,
+                            std::string *err) const
+{
+    header.records = buffer.size();
+    header.programLength = program().size();
+    return writeTraceFile(path, header, buffer, err);
+}
+
+ReplayTraceSource::ReplayTraceSource(TraceParse parse,
+                                     const isa::Program &program,
+                                     std::string origin_label)
+    : trace(std::move(parse)), prog(program),
+      origin(std::move(origin_label))
+{
+    if (!trace.ok())
+        rsep_fatal("replay: %s", trace.error.c_str());
+    if (trace.header.programLength != prog.size())
+        rsep_fatal("replay: %s: program length %llu does not match the "
+                   "registry workload's %zu instructions",
+                   origin.c_str(),
+                   static_cast<unsigned long long>(
+                       trace.header.programLength),
+                   prog.size());
+}
+
+const DynRecord &
+ReplayTraceSource::step()
+{
+    if (next >= trace.records.size())
+        rsep_fatal("replay: %s: trace exhausted after %zu records — the "
+                   "trace was recorded under a smaller run sizing than "
+                   "this replay needs; re-record with at least this "
+                   "run's warmup+measure window",
+                   origin.c_str(), trace.records.size());
+    const DynRecord &r = trace.records[next++];
+    if (r.staticIdx >= prog.size() || r.nextIdx >= prog.size())
+        rsep_fatal("replay: %s: record %llu indexes outside the program "
+                   "(staticIdx %u, nextIdx %u, program %zu)",
+                   origin.c_str(),
+                   static_cast<unsigned long long>(next - 1), r.staticIdx,
+                   r.nextIdx, prog.size());
+    return r;
+}
+
+} // namespace rsep::wl

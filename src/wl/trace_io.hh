@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The `.rtr` recorded-trace format plus the recording/replay
+ * TraceSources built on it.
+ *
+ * A trace is the committed-path DynRecord stream of one (workload,
+ * checkpoint-phase) cell. The stream is purely architectural — it
+ * depends only on the workload's program and per-phase init, never on
+ * the core configuration — so one recording serves every mechanism arm
+ * of a sweep (record once, replay many; warm sweeps skip functional
+ * emulation entirely, stacking with the per-cell result cache).
+ *
+ * On-disk layout (version 1): a text header, a raw little-endian
+ * payload, and a trailing FNV-1a checksum of the payload:
+ *
+ *     rsep-trace 1
+ *     workload = mcf                 # run-cell key (name or name@hash)
+ *     workload_hash = 16-hex         # workloadHash of the spec
+ *     phase = 0
+ *     program_length = 57            # static-instruction count echo
+ *     records = 123456
+ *     payload
+ *     <records x 25 bytes: u32 staticIdx, u32 nextIdx, u64 result,
+ *      u64 effAddr, u8 taken  (all little-endian)>
+ *     checksum = 16-hex
+ *
+ * Files are written atomically (temp + rename). A reader rejects —
+ * with a diagnostic, never a partial result — version or checksum
+ * mismatches, truncation, and malformed headers; replay additionally
+ * validates the workload identity and program-length echo against the
+ * registry spec it is asked to feed.
+ */
+
+#ifndef RSEP_WL_TRACE_IO_HH
+#define RSEP_WL_TRACE_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "wl/trace_source.hh"
+
+namespace rsep::wl
+{
+
+/** Trace-format version; bump on any layout change. */
+constexpr unsigned traceFormatVersion = 1;
+
+/** Conventional file extension (tracePath appends it). */
+constexpr const char *traceFileExtension = ".rtr";
+
+/** Identity header of one `.rtr` file. */
+struct TraceHeader
+{
+    std::string workload;     ///< run-cell key (workloadKey).
+    std::string workloadHash; ///< 16-hex workloadHash of the spec.
+    u32 phase = 0;
+    u64 programLength = 0;    ///< static-instruction count echo.
+    u64 records = 0;
+};
+
+/** Canonical on-disk location of a cell's trace under @p dir. */
+std::string tracePath(const std::string &dir, const std::string &workload,
+                      u32 phase);
+
+/** Serialize a complete trace file image (header+payload+checksum). */
+std::string serializeTrace(const TraceHeader &header,
+                           const std::vector<DynRecord> &records);
+
+/** Outcome of reading a trace file: header+records, or a diagnostic. */
+struct TraceParse
+{
+    TraceHeader header;
+    std::vector<DynRecord> records;
+    std::string error; ///< "path: message"; empty on success.
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Parse a trace image. @p origin labels diagnostics. When
+ *  @p header_only is set the payload is checksummed but not decoded. */
+TraceParse parseTrace(const std::string &text, const std::string &origin,
+                      bool header_only = false);
+
+/** Load and parse a trace file from disk. */
+TraceParse readTraceFile(const std::string &path, bool header_only = false);
+
+/** Atomically write a trace file (temp + rename, directories created).
+ *  False + @p err on I/O failure. */
+bool writeTraceFile(const std::string &path, const TraceHeader &header,
+                    const std::vector<DynRecord> &records,
+                    std::string *err = nullptr);
+
+/**
+ * Pass-through TraceSource that tees every record produced by the
+ * wrapped source into an in-memory buffer, for writing out once the
+ * timing run completes.
+ */
+class RecordingTraceSource : public TraceSource
+{
+  public:
+    explicit RecordingTraceSource(TraceSource &inner) : src(inner) {}
+
+    const DynRecord &
+    step() override
+    {
+        const DynRecord &r = src.step();
+        buffer.push_back(r);
+        return r;
+    }
+
+    const isa::Program &program() const override { return src.program(); }
+
+    /**
+     * Pull @p n more records from the wrapped source into the buffer
+     * without handing them to the consumer — slack appended after the
+     * run so a replay under a config with a slightly deeper fetch
+     * lookahead does not exhaust the trace.
+     */
+    void
+    recordSlack(u64 n)
+    {
+        for (u64 i = 0; i < n; ++i)
+            buffer.push_back(src.step());
+    }
+
+    const std::vector<DynRecord> &records() const { return buffer; }
+
+    /** Write the buffered stream to @p path (atomic). The header's
+     *  record count is filled from the buffer. */
+    bool write(const std::string &path, TraceHeader header,
+               std::string *err = nullptr) const;
+
+  private:
+    TraceSource &src;
+    std::vector<DynRecord> buffer;
+};
+
+/**
+ * TraceSource replaying a parsed `.rtr` stream against the workload's
+ * registry-built Program. Exhausting the stream is fatal (the trace
+ * was recorded under a smaller run sizing than the replay asks for);
+ * so is a record indexing outside the program.
+ */
+class ReplayTraceSource : public TraceSource
+{
+  public:
+    /** @p prog must outlive the source (the caller owns the built
+     *  workload). @p origin labels diagnostics (e.g. the file path). */
+    ReplayTraceSource(TraceParse parse, const isa::Program &prog,
+                      std::string origin);
+
+    const DynRecord &step() override;
+    const isa::Program &program() const override { return prog; }
+
+    const TraceHeader &header() const { return trace.header; }
+    u64 consumed() const { return next; }
+
+  private:
+    TraceParse trace;
+    const isa::Program &prog;
+    std::string origin;
+    u64 next = 0;
+};
+
+} // namespace rsep::wl
+
+#endif // RSEP_WL_TRACE_IO_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * First-class workload descriptions: an introspectable `WorkloadSpec`
+ * (kernel archetype + its parameter struct) with a stable FNV workload
+ * hash, plus a named workload registry.
+ *
+ * The registry has two layers:
+ *
+ *  - the **suite layer**: the 29 paper benchmarks (suite.hh), held as
+ *    data — one spec per benchmark — instead of a hard-coded factory
+ *    ladder;
+ *  - a **dynamic overlay**: workloads defined at runtime (`[workload]`
+ *    scenario-file sections, `--workload-file`), which may introduce
+ *    new names or *override* suite benchmarks without a rebuild.
+ *
+ * Identity: `workloadHash` is a stable FNV-1a 64 of the canonical
+ * serialization of (archetype, params) — name excluded — mirroring the
+ * scenario layer's configHash. `workloadKey` is the string the runner,
+ * shard partitioner, result cache and stat export key on: a pristine
+ * suite benchmark keys as its bare name (so suite shard assignments
+ * and cache records are untouched by this layer), while any other spec
+ * keys as `name@<hash>` so two parameterizations of one name can never
+ * collide in a cache or a merged dump.
+ */
+
+#ifndef RSEP_WL_WORKLOAD_SPEC_HH
+#define RSEP_WL_WORKLOAD_SPEC_HH
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "wl/kernels.hh"
+
+namespace rsep::wl
+{
+
+/** One alternative per kernel archetype, in kernels.hh order. */
+using WorkloadParams =
+    std::variant<PointerChaseParams, DynProgParams, RecomputeParams,
+                 GateSimParams, EventQueueParams, XmlParseParams,
+                 InterpParams, BlockSortParams, StencilParams,
+                 DenseLinAlgParams, StridedMediaParams, BranchyGameParams,
+                 SparseSolverParams, RegularZeroParams, StreamingParams>;
+
+/** An introspectable workload description. */
+struct WorkloadSpec
+{
+    std::string name;      ///< benchmark name (SPEC'06 naming or custom).
+    WorkloadParams params; ///< the archetype is the active alternative.
+};
+
+/** Archetype name of @p params' active alternative (e.g. "stencil"). */
+const std::string &archetypeName(const WorkloadParams &params);
+
+/** Every archetype name, in kernels.hh order. */
+const std::vector<std::string> &archetypeNames();
+
+/**
+ * Reset @p spec to @p archetype with that archetype's default
+ * parameters. False when the archetype name is unknown.
+ */
+bool setArchetype(WorkloadSpec &spec, const std::string &archetype);
+
+/** Visit the active parameter struct's fields (for generic visitors). */
+template <class V>
+void
+visitParamFields(WorkloadSpec &spec, V &&v)
+{
+    std::visit([&](auto &p) { visitFields(p, v); }, spec.params);
+}
+
+/**
+ * Apply one `key = value` to the spec's parameter struct. On failure
+ * returns false and, when @p err is non-null, stores the diagnostic
+ * (unknown key or type error naming the expected form).
+ */
+bool applyWorkloadKey(WorkloadSpec &spec, const std::string &key,
+                      const std::string &value, std::string *err = nullptr);
+
+/**
+ * Canonical `[workload]` serialization: header, name, archetype, then
+ * every parameter field in introspection order with canonical value
+ * spellings. parse(serialize(s)) round-trips to an identical spec.
+ */
+std::string serializeWorkload(const WorkloadSpec &spec);
+
+/**
+ * Stable 64-bit FNV-1a hash of the canonical (archetype, params) body
+ * — name excluded — as 16 hex digits. Identical kernels hash
+ * identically whatever they are called.
+ */
+std::string workloadHash(const WorkloadSpec &spec);
+
+/**
+ * The run-cell identity string for @p spec: the bare name when the
+ * spec is byte-identical to the suite benchmark of the same name,
+ * otherwise `name@<workloadHash>`. This is what flows into runMatrix
+ * benchmark lists — and therefore into shard assignment, result-cache
+ * paths and stat-export rows.
+ */
+std::string workloadKey(const WorkloadSpec &spec);
+
+/** Registry metadata for --list-workloads. */
+struct WorkloadInfo
+{
+    std::string key;       ///< run-cell identity (see workloadKey).
+    std::string name;
+    std::string archetype;
+    std::string hash;      ///< 16-hex workloadHash.
+    bool fromOverlay = false; ///< defined/overridden at runtime.
+};
+
+/** The 29 suite benchmark specs, in figure order. */
+const std::vector<WorkloadSpec> &suiteSpecs();
+
+/**
+ * Register a runtime-defined workload (overlay layer) and return its
+ * key. Registering a spec identical to the suite benchmark of the same
+ * name is a no-op returning the bare name; a same-name spec with
+ * different parameters *overrides* that name for name-based lookups
+ * while remaining reachable under its hash-qualified key. Thread-safe;
+ * intended to run during driver setup, before the matrix fans out.
+ */
+std::string registerWorkload(const WorkloadSpec &spec);
+
+/**
+ * Resolve a benchmark name (or an already-qualified `name@hash` key)
+ * to its run-cell key: overlay first, then the suite. Returns nullopt
+ * when the name is known to neither layer.
+ */
+std::optional<std::string> resolveWorkloadKey(const std::string &name);
+
+/**
+ * Look up a spec by name or key (overlay first, then suite). Returns
+ * nullopt when unknown.
+ */
+std::optional<WorkloadSpec> findWorkloadSpec(const std::string &name);
+
+/** Every visible workload: suite order, then overlay definitions. */
+std::vector<WorkloadInfo> listWorkloads();
+
+/** Build the runnable workload for @p spec (kernels.hh factories). */
+Workload buildWorkload(const WorkloadSpec &spec);
+
+} // namespace rsep::wl
+
+#endif // RSEP_WL_WORKLOAD_SPEC_HH

@@ -352,5 +352,83 @@ TEST(SparseMemory, UnwrittenReadsZero)
     EXPECT_EQ(m.read(0x100), 0u);
 }
 
+TEST(SparseMemory, PageBoundaryAccesses)
+{
+    SparseMemory m;
+    constexpr Addr page = SparseMemory::pageBytes;
+
+    // The last word of page 0 and the first word of page 1 are
+    // distinct storage across the boundary.
+    m.write(page - 8, 0x1111);
+    m.write(page, 0x2222);
+    EXPECT_EQ(m.read(page - 8), 0x1111u);
+    EXPECT_EQ(m.read(page), 0x2222u);
+    EXPECT_EQ(m.touchedPages(), 2u);
+
+    // Writes near a page boundary never bleed into the neighbour.
+    EXPECT_EQ(m.read(page - 16), 0u);
+    EXPECT_EQ(m.read(page + 8), 0u);
+
+    // The same word reached through different low-bit spellings is one
+    // location (addresses are force-aligned down to 8 bytes).
+    m.write(page + 3, 0x3333); // aligns down onto `page`.
+    EXPECT_EQ(m.read(page), 0x3333u);
+    EXPECT_EQ(m.read(page + 7), 0x3333u);
+    EXPECT_EQ(m.touchedPages(), 2u);
+
+    // Far-apart pages are sparse: only the touched ones materialise.
+    m.write(page * 1000, 0x4444);
+    EXPECT_EQ(m.read(page * 1000), 0x4444u);
+    EXPECT_EQ(m.touchedPages(), 3u);
+    EXPECT_EQ(m.read(page * 999), 0u);
+
+    m.clear();
+    EXPECT_EQ(m.touchedPages(), 0u);
+    EXPECT_EQ(m.read(page - 8), 0u);
+}
+
+TEST(Emulator, HaltWrapsBackToProgramStart)
+{
+    // Kernels are endless outer loops; a Halt reached mid-stream must
+    // silently wrap the cursor back to instruction 0 and continue.
+    ProgramBuilder b("haltwrap");
+    b.addi(1, 1, 1);
+    b.addi(2, 2, 10);
+    b.halt();
+    Program p = b.build();
+    Emulator em(p);
+
+    // Two instructions execute, the Halt is skipped, and the stream
+    // resumes at static index 0 — with icount never counting the Halt.
+    for (int round = 0; round < 3; ++round) {
+        const DynRecord &r0 = em.step();
+        EXPECT_EQ(r0.staticIdx, 0u) << "round " << round;
+        const DynRecord &r1 = em.step();
+        EXPECT_EQ(r1.staticIdx, 1u) << "round " << round;
+    }
+    EXPECT_EQ(em.instCount(), 6u);
+    EXPECT_EQ(em.readReg(1), 3u);
+    EXPECT_EQ(em.readReg(2), 30u);
+    EXPECT_EQ(em.nextIndex(), 2u); // parked on the Halt until stepped.
+}
+
+TEST(Emulator, HaltAtEndAndTrailingWrapKeepArchState)
+{
+    // Wrapping must not reset registers or memory (only the cursor).
+    ProgramBuilder b("haltkeep");
+    b.movi(5, 123);
+    b.str(5, isa::zeroReg, 0x100);
+    b.ldr(6, isa::zeroReg, 0x100);
+    b.addi(7, 7, 1);
+    b.halt();
+    Program p = b.build();
+    Emulator em(p);
+    for (int i = 0; i < 8; ++i)
+        em.step();
+    EXPECT_EQ(em.readReg(6), 123u);
+    EXPECT_EQ(em.readReg(7), 2u);
+    EXPECT_EQ(em.memory().read(0x100), 123u);
+}
+
 } // namespace
 } // namespace rsep::wl

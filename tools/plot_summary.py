@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Render `rsep_merge --summary` CSV output as the paper's figure images.
+
+The summary format (stat_merge.cc, writeFigureSummary) is:
+
+    # per-benchmark speedup bars over '<baseline>' (percent)
+    benchmark,scenario,config_hash,ipc_hmean,speedup_pct
+    mcf,rsep,2ca460ee67616cb1,0.139027,8.67
+    ...
+    gmean,rsep,2ca460ee67616cb1,,3.12
+
+This script draws the Fig. 4/6/7-style grouped speedup bars (one group
+per benchmark, one bar per scenario arm) with the gmean rows as a
+legend annotation. It needs matplotlib but is deliberately NOT a build
+dependency: when matplotlib is missing it exits with status 2 and a
+clear message, so CI can treat the image as an optional artifact.
+
+    rsep_merge --summary bars.csv shard*.csv
+    tools/plot_summary.py bars.csv -o bars.png
+"""
+
+import argparse
+import csv
+import sys
+
+
+def parse_summary(path):
+    """Return (rows, gmeans): per-benchmark bars and per-arm gmean %."""
+    rows = []  # (benchmark, scenario, speedup_pct)
+    gmeans = {}  # scenario -> speedup_pct
+    with open(path, newline="") as fh:
+        reader = csv.reader(line for line in fh if not line.startswith("#"))
+        header = next(reader, None)
+        expect = ["benchmark", "scenario", "config_hash", "ipc_hmean",
+                  "speedup_pct"]
+        if header != expect:
+            sys.exit(f"{path}: not an rsep_merge --summary file "
+                     f"(header {header!r}, expected {expect!r})")
+        for rec in reader:
+            if len(rec) != len(expect):
+                sys.exit(f"{path}: malformed row {rec!r}")
+            bench, scenario, _, _, pct = rec
+            try:
+                pct = float(pct)
+            except ValueError:
+                sys.exit(f"{path}: bad speedup_pct in row {rec!r}")
+            if bench == "gmean":
+                gmeans[scenario] = pct
+            else:
+                rows.append((bench, scenario, pct))
+    if not rows:
+        sys.exit(f"{path}: no per-benchmark rows found")
+    return rows, gmeans
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Turn rsep_merge --summary CSV into figure images.")
+    ap.add_argument("summary", help="summary CSV from rsep_merge --summary")
+    ap.add_argument("-o", "--output", default="summary.png",
+                    help="output image path (default: %(default)s; the "
+                         "extension picks the format)")
+    ap.add_argument("--title", default="Speedup over baseline (percent)",
+                    help="figure title")
+    ap.add_argument("--dpi", type=int, default=150)
+    args = ap.parse_args()
+
+    rows, gmeans = parse_summary(args.summary)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")  # headless: no display needed in CI.
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.stderr.write(
+            "plot_summary: matplotlib is not available; skipping figure "
+            "rendering (pip install matplotlib to enable)\n")
+        sys.exit(2)
+
+    benchmarks = []
+    for bench, _, _ in rows:
+        if bench not in benchmarks:
+            benchmarks.append(bench)
+    scenarios = []
+    for _, scenario, _ in rows:
+        if scenario not in scenarios:
+            scenarios.append(scenario)
+    values = {(b, s): None for b in benchmarks for s in scenarios}
+    for bench, scenario, pct in rows:
+        values[(bench, scenario)] = pct
+
+    width = 0.8 / max(1, len(scenarios))
+    fig_w = max(7.0, 0.38 * len(benchmarks) * max(1, len(scenarios)))
+    fig, ax = plt.subplots(figsize=(fig_w, 4.5))
+    for si, scenario in enumerate(scenarios):
+        xs, ys = [], []
+        for bi, bench in enumerate(benchmarks):
+            pct = values[(bench, scenario)]
+            if pct is None:
+                continue
+            xs.append(bi + (si - (len(scenarios) - 1) / 2) * width)
+            ys.append(pct)
+        label = scenario
+        if scenario in gmeans:
+            label += f" (gmean {gmeans[scenario]:+.2f}%)"
+        ax.bar(xs, ys, width=width, label=label)
+
+    ax.set_xticks(range(len(benchmarks)))
+    ax.set_xticklabels(benchmarks, rotation=60, ha="right", fontsize=8)
+    ax.set_ylabel("speedup over baseline (%)")
+    ax.set_title(args.title)
+    ax.axhline(0.0, color="black", linewidth=0.8)
+    ax.legend(fontsize=8)
+    ax.margins(x=0.01)
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=args.dpi)
+    print(f"plot_summary: wrote {args.output} "
+          f"({len(benchmarks)} benchmarks x {len(scenarios)} arms)")
+
+
+if __name__ == "__main__":
+    main()

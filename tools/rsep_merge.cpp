@@ -11,6 +11,14 @@
  *
  *     rsep_merge --csv merged.csv shard0.csv shard1.csv shard2.csv
  *     rsep_merge --summary - --baseline baseline shard*.json
+ *
+ * `--gc` switches to result-cache garbage collection: drop `--cache-dir`
+ * records whose config hash no longer appears in the given scenario
+ * set, clear quarantine debris, and optionally LRU-cap the cache size:
+ *
+ *     rsep_merge --gc --cache-dir cc --scenario-file sweep.scn
+ *     rsep_merge --gc --cache-dir cc --scenario rsep,baseline \
+ *                --max-bytes 500000000
  */
 
 #include <cstdio>
@@ -22,6 +30,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hh"
+#include "common/env.hh"
+#include "sim/cache_gc.hh"
+#include "sim/scenario.hh"
 #include "sim/stat_merge.hh"
 #include "wl/suite.hh"
 
@@ -53,7 +65,27 @@ printHelp()
         "  --help, -h       show this help\n"
         "\nWith no output option, the merged CSV goes to stdout.\n"
         "Validation: duplicate (benchmark, scenario, config-hash) rows\n"
-        "across inputs are always an error (shards must be disjoint).\n");
+        "across inputs are always an error (shards must be disjoint).\n"
+        "\ncache garbage collection (no DUMP inputs in this mode):\n"
+        "  --gc             collect a result cache instead of merging\n"
+        "  --cache-dir PATH the cache directory to collect (required)\n"
+        "  --scenario NAME[,NAME...]\n"
+        "                   registered scenarios whose records stay live\n"
+        "                   (repeatable; hashed under both the library\n"
+        "                   and the bench-harness run sizing)\n"
+        "  --scenario-file PATH\n"
+        "                   scenario file whose arms' records stay live\n"
+        "                   (repeatable)\n"
+        "  --seed N         hash the live scenarios under this [sim]\n"
+        "                   seed too (mirror of the drivers' --seed)\n"
+        "  --max-bytes N    after dropping stale records, evict the\n"
+        "                   oldest surviving records (LRU by mtime)\n"
+        "                   until the cache fits N bytes\n"
+        "  --dry-run        report what would be removed; remove nothing\n"
+        "\nWithout --scenario/--scenario-file every record is considered\n"
+        "live (only quarantine debris and --max-bytes apply). Records\n"
+        "are matched by the <config-hash>-p<phase>-s<seed>.cell naming;\n"
+        "other files are never touched.\n");
 }
 
 int
@@ -93,6 +125,11 @@ main(int argc, char **argv)
     std::vector<std::string> inputs;
     std::vector<std::string> expect_benchmarks;
 
+    bool gc = false, gc_dry_run = false, gc_seed_overridden = false;
+    rsep::u64 gc_seed = 0, gc_max_bytes = 0;
+    std::string gc_cache_dir;
+    std::vector<std::string> gc_scenarios, gc_scenario_files;
+
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         auto valueOf = [&](const char *flag, std::string &value) -> int {
@@ -119,7 +156,53 @@ main(int argc, char **argv)
             allow_partial = true;
             continue;
         }
+        if (a == "--gc") {
+            gc = true;
+            continue;
+        }
+        if (a == "--dry-run") {
+            gc_dry_run = true;
+            continue;
+        }
         int hit;
+        if ((hit = valueOf("--cache-dir", gc_cache_dir)) != 0) {
+            if (hit < 0)
+                return usageError("--cache-dir requires a path");
+            continue;
+        }
+        std::string value;
+        if ((hit = valueOf("--scenario-file", value)) != 0) {
+            if (hit < 0)
+                return usageError("--scenario-file requires a path");
+            gc_scenario_files.push_back(value);
+            continue;
+        }
+        if ((hit = valueOf("--scenario", value)) != 0) {
+            if (hit < 0)
+                return usageError("--scenario requires NAME[,NAME...]");
+            std::istringstream is(value);
+            std::string item;
+            while (std::getline(is, item, ','))
+                if (!item.empty())
+                    gc_scenarios.push_back(item);
+            continue;
+        }
+        if ((hit = valueOf("--seed", value)) != 0) {
+            if (hit < 0)
+                return usageError("--seed requires a value");
+            if (!rsep::parseU64(value, gc_seed))
+                return usageError("invalid --seed '" + value + "'");
+            gc_seed_overridden = true;
+            continue;
+        }
+        if ((hit = valueOf("--max-bytes", value)) != 0) {
+            if (hit < 0)
+                return usageError("--max-bytes requires a value");
+            if (!rsep::parseU64(value, gc_max_bytes) || gc_max_bytes == 0)
+                return usageError("invalid --max-bytes '" + value +
+                                  "' (expected a positive byte count)");
+            continue;
+        }
         if ((hit = valueOf("--csv", csv_path)) != 0) {
             if (hit < 0)
                 return usageError("--csv requires a path");
@@ -159,6 +242,88 @@ main(int argc, char **argv)
         if (!a.empty() && a[0] == '-' && a != "-")
             return usageError("unknown option '" + a + "'");
         inputs.push_back(a);
+    }
+
+    if (!gc && (!gc_cache_dir.empty() || !gc_scenarios.empty() ||
+                !gc_scenario_files.empty() || gc_max_bytes > 0 ||
+                gc_dry_run || gc_seed_overridden))
+        return usageError("--cache-dir/--scenario/--scenario-file/--seed/"
+                          "--max-bytes/--dry-run require --gc");
+
+    if (gc) {
+        if (!inputs.empty())
+            return usageError("unexpected DUMP input '" + inputs.front() +
+                              "' in --gc mode");
+        if (gc_cache_dir.empty())
+            return usageError("--gc requires --cache-dir");
+
+        std::set<std::string> live;
+        auto addConfig = [&](SimConfig cfg) {
+            // Registry arms run under the bench-harness sizing too, and
+            // a --seed sweep runs beside the default-seed records: keep
+            // every variant's hash alive (--seed is additive, as the
+            // help promises).
+            std::vector<SimConfig> variants{cfg};
+            if (gc_seed_overridden) {
+                SimConfig seeded = cfg;
+                seeded.seed = gc_seed;
+                variants.push_back(seeded);
+            }
+            for (SimConfig &v : variants) {
+                live.insert(configHash(v));
+                rsep::bench::applyBenchDefaults(v);
+                live.insert(configHash(v));
+            }
+        };
+        for (const std::string &name : gc_scenarios) {
+            auto sc = findScenario(name);
+            if (!sc)
+                return usageError("unknown scenario '" + name +
+                                  "' (see the drivers' --list-scenarios)");
+            addConfig(sc->config);
+        }
+        for (const std::string &path : gc_scenario_files) {
+            ScenarioParse parsed = parseScenarioFile(path);
+            if (!parsed.ok()) {
+                std::fprintf(stderr, "rsep_merge: %s\n",
+                             parsed.error.c_str());
+                return 1;
+            }
+            for (const Scenario &sc : parsed.scenarios)
+                addConfig(sc.config);
+        }
+        if (live.empty() && gc_max_bytes == 0)
+            std::fprintf(stderr,
+                         "rsep_merge: note: no scenario set and no "
+                         "--max-bytes; only quarantine debris will be "
+                         "collected\n");
+
+        GcOptions opts;
+        opts.cacheDir = gc_cache_dir;
+        opts.liveHashes = std::move(live);
+        opts.maxBytes = gc_max_bytes;
+        opts.dryRun = gc_dry_run;
+        GcReport report;
+        std::string err = runCacheGc(opts, report);
+        if (!err.empty()) {
+            std::fprintf(stderr, "rsep_merge: %s\n", err.c_str());
+            return 1;
+        }
+        std::fprintf(
+            stderr,
+            "[gc]%s %llu record(s) scanned (%llu bytes): %llu stale + "
+            "%llu corrupt + %llu LRU removed (%llu bytes); %llu "
+            "record(s) kept (%llu bytes)\n",
+            opts.dryRun ? " (dry run)" : "",
+            static_cast<unsigned long long>(report.scannedFiles),
+            static_cast<unsigned long long>(report.scannedBytes),
+            static_cast<unsigned long long>(report.staleRemoved),
+            static_cast<unsigned long long>(report.corruptRemoved),
+            static_cast<unsigned long long>(report.lruRemoved),
+            static_cast<unsigned long long>(report.removedBytes),
+            static_cast<unsigned long long>(report.keptFiles),
+            static_cast<unsigned long long>(report.keptBytes));
+        return 0;
     }
 
     if (inputs.empty())

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * rsep_trace — inspect, dump and validate `.rtr` recorded traces.
+ *
+ * Traces are the committed-path streams the drivers write with
+ * `--record-trace` and replay with `--replay-trace` (wl/trace_io.hh).
+ *
+ *     rsep_trace info traces/*.rtr
+ *     rsep_trace dump --limit 40 traces/mcf-p0.rtr
+ *     rsep_trace validate --deep traces/*.rtr
+ *
+ * `validate` always checks the envelope (version, header, payload
+ * size, checksum) plus — when the trace's workload resolves in the
+ * registry — the workload-hash and program-length echoes and every
+ * record's static-index bounds. `--deep` additionally re-runs the
+ * functional emulator for the cell and requires the recorded stream to
+ * match it bit for bit.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hh"
+#include "wl/emulator.hh"
+#include "wl/trace_io.hh"
+#include "wl/workload_spec.hh"
+
+namespace
+{
+
+using namespace rsep;
+
+void
+printHelp()
+{
+    std::printf(
+        "usage: rsep_trace COMMAND [options] FILE [FILE ...]\n"
+        "Inspect and validate .rtr recorded traces (--record-trace /\n"
+        "--replay-trace on the bench drivers).\n"
+        "\ncommands:\n"
+        "  info             print each trace's header summary\n"
+        "  dump             print decoded records (with disassembly when\n"
+        "                   the workload resolves in the registry)\n"
+        "  validate         check version, header, checksum and record\n"
+        "                   bounds; non-zero exit on any failure\n"
+        "\noptions:\n"
+        "  --limit N        dump: stop after N records (default 32,\n"
+        "                   0 = all)\n"
+        "  --deep           validate: re-run the functional emulator and\n"
+        "                   require a bit-exact record match\n"
+        "  --workload-file PATH\n"
+        "                   register a file's [workload] definitions so\n"
+        "                   traces of custom workloads resolve\n"
+        "                   (repeatable)\n"
+        "  --help, -h       show this help\n");
+}
+
+int
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "rsep_trace: %s (try --help)\n", msg.c_str());
+    return 2;
+}
+
+/** Registry spec for a trace, when its workload is still known. */
+std::optional<wl::WorkloadSpec>
+specFor(const wl::TraceHeader &header)
+{
+    return wl::findWorkloadSpec(header.workload);
+}
+
+int
+cmdInfo(const std::vector<std::string> &files)
+{
+    bool ok = true;
+    for (const std::string &path : files) {
+        wl::TraceParse t = wl::readTraceFile(path, /*header_only=*/true);
+        if (!t.ok()) {
+            std::fprintf(stderr, "rsep_trace: %s\n", t.error.c_str());
+            ok = false;
+            continue;
+        }
+        std::printf("%s:\n", path.c_str());
+        std::printf("  workload       %s\n", t.header.workload.c_str());
+        std::printf("  workload_hash  %s%s\n",
+                    t.header.workloadHash.c_str(),
+                    specFor(t.header) ? "" : "  (not in this registry)");
+        std::printf("  phase          %u\n", t.header.phase);
+        std::printf("  records        %llu\n",
+                    static_cast<unsigned long long>(t.header.records));
+        std::printf("  program_length %llu\n",
+                    static_cast<unsigned long long>(
+                        t.header.programLength));
+    }
+    return ok ? 0 : 1;
+}
+
+int
+cmdDump(const std::vector<std::string> &files, u64 limit)
+{
+    bool ok = true;
+    for (const std::string &path : files) {
+        wl::TraceParse t = wl::readTraceFile(path);
+        if (!t.ok()) {
+            std::fprintf(stderr, "rsep_trace: %s\n", t.error.c_str());
+            ok = false;
+            continue;
+        }
+        std::optional<wl::WorkloadSpec> spec = specFor(t.header);
+        std::optional<wl::Workload> w;
+        if (spec)
+            w = wl::buildWorkload(*spec);
+        std::printf("%s: %s phase %u, %zu records\n", path.c_str(),
+                    t.header.workload.c_str(), t.header.phase,
+                    t.records.size());
+        u64 shown = 0;
+        for (const wl::DynRecord &r : t.records) {
+            if (limit && shown >= limit) {
+                std::printf("  ... (%zu more)\n",
+                            t.records.size() - static_cast<size_t>(shown));
+                break;
+            }
+            std::string disasm =
+                w && r.staticIdx < w->program.size()
+                    ? w->program.disasm(r.staticIdx)
+                    : std::string("<unknown>");
+            std::printf("  %8llu  si=%-5u next=%-5u result=%016llx "
+                        "ea=%010llx %s  %s\n",
+                        static_cast<unsigned long long>(shown),
+                        r.staticIdx, r.nextIdx,
+                        static_cast<unsigned long long>(r.result),
+                        static_cast<unsigned long long>(r.effAddr),
+                        r.taken ? "T" : "-", disasm.c_str());
+            ++shown;
+        }
+    }
+    return ok ? 0 : 1;
+}
+
+int
+cmdValidate(const std::vector<std::string> &files, bool deep)
+{
+    bool ok = true;
+    for (const std::string &path : files) {
+        auto bad = [&](const std::string &msg) {
+            std::fprintf(stderr, "rsep_trace: %s: %s\n", path.c_str(),
+                         msg.c_str());
+            ok = false;
+        };
+        wl::TraceParse t = wl::readTraceFile(path);
+        if (!t.ok()) {
+            std::fprintf(stderr, "rsep_trace: %s\n", t.error.c_str());
+            ok = false;
+            continue;
+        }
+        if (t.records.size() != t.header.records) {
+            bad("record count mismatch");
+            continue;
+        }
+        std::optional<wl::WorkloadSpec> spec = specFor(t.header);
+        if (!spec) {
+            std::printf("%s: OK (envelope only; workload '%s' is not in "
+                        "this registry)\n",
+                        path.c_str(), t.header.workload.c_str());
+            continue;
+        }
+        if (wl::workloadHash(*spec) != t.header.workloadHash) {
+            bad("workload_hash " + t.header.workloadHash +
+                " does not match the registry's " +
+                wl::workloadHash(*spec) +
+                " (the kernel changed since recording; re-record)");
+            continue;
+        }
+        wl::Workload w = wl::buildWorkload(*spec);
+        if (w.program.size() != t.header.programLength) {
+            bad("program_length mismatch");
+            continue;
+        }
+        bool bounds_ok = true;
+        for (size_t i = 0; i < t.records.size() && bounds_ok; ++i)
+            if (t.records[i].staticIdx >= w.program.size() ||
+                t.records[i].nextIdx >= w.program.size()) {
+                bad("record " + std::to_string(i) +
+                    " indexes outside the program");
+                bounds_ok = false;
+            }
+        if (!bounds_ok)
+            continue;
+        if (deep) {
+            wl::Emulator emu(w.program);
+            emu.resetArchState();
+            w.init(emu, t.header.phase);
+            bool match = true;
+            for (size_t i = 0; i < t.records.size() && match; ++i) {
+                const wl::DynRecord &want = t.records[i];
+                const wl::DynRecord &got = emu.step();
+                if (got.staticIdx != want.staticIdx ||
+                    got.nextIdx != want.nextIdx ||
+                    got.result != want.result ||
+                    got.effAddr != want.effAddr ||
+                    got.taken != want.taken) {
+                    bad("record " + std::to_string(i) +
+                        " diverges from live emulation (re-record)");
+                    match = false;
+                }
+            }
+            if (!match)
+                continue;
+        }
+        std::printf("%s: OK (%zu records%s)\n", path.c_str(),
+                    t.records.size(),
+                    deep ? ", deep-verified against live emulation" : "");
+    }
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string command;
+    std::vector<std::string> files;
+    u64 limit = 32;
+    bool deep = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            printHelp();
+            return 0;
+        }
+        if (a == "--deep") {
+            deep = true;
+            continue;
+        }
+        if (a == "--workload-file" || a.rfind("--workload-file=", 0) == 0) {
+            std::string path;
+            if (a == "--workload-file") {
+                if (i + 1 >= argc)
+                    return usageError("--workload-file requires a path");
+                path = argv[++i];
+            } else {
+                path = a.substr(16);
+            }
+            rsep::sim::ScenarioParse parsed =
+                rsep::sim::parseScenarioFile(path);
+            if (!parsed.ok()) {
+                std::fprintf(stderr, "rsep_trace: %s\n",
+                             parsed.error.c_str());
+                return 1;
+            }
+            for (const wl::WorkloadSpec &w : parsed.workloads)
+                wl::registerWorkload(w);
+            continue;
+        }
+        if (a == "--limit" || a.rfind("--limit=", 0) == 0) {
+            std::string value;
+            if (a == "--limit") {
+                if (i + 1 >= argc)
+                    return usageError("--limit requires a value");
+                value = argv[++i];
+            } else {
+                value = a.substr(8);
+            }
+            char *end = nullptr;
+            limit = std::strtoull(value.c_str(), &end, 10);
+            if (!end || *end != '\0' || value.empty())
+                return usageError("invalid --limit '" + value + "'");
+            continue;
+        }
+        if (!a.empty() && a[0] == '-')
+            return usageError("unknown option '" + a + "'");
+        if (command.empty())
+            command = a;
+        else
+            files.push_back(a);
+    }
+
+    if (command.empty())
+        return usageError("no command given (info, dump or validate)");
+    if (files.empty())
+        return usageError("no trace files given");
+
+    if (command == "info")
+        return cmdInfo(files);
+    if (command == "dump")
+        return cmdDump(files, limit);
+    if (command == "validate")
+        return cmdValidate(files, deep);
+    return usageError("unknown command '" + command +
+                      "' (expected info, dump or validate)");
+}
