@@ -119,8 +119,26 @@ printHelp(const HarnessSpec &spec)
         "  --csv PATH                 write the stat matrix as CSV\n"
         "  --json PATH                write the stat matrix as JSON\n"
         "  --stats                    print per-engine counters per cell\n"
-        "  --timings                  add wall-clock + cache counters\n"
-        "                             (timing.*) to the dumps\n"
+        "  --timings                  add the host-dependent timing.*\n"
+        "                             counters to the dumps (off by\n"
+        "                             default so dumps stay\n"
+        "                             bit-reproducible): per run,\n"
+        "                             timing.wall_micros (summed\n"
+        "                             simulation cost; cached cells keep\n"
+        "                             their original cost),\n"
+        "                             timing.cells_run /\n"
+        "                             timing.cache_hits /\n"
+        "                             timing.cache_misses (cell counts\n"
+        "                             by provenance), timing.steal_window\n"
+        "                             (1 when --steal window produced the\n"
+        "                             numbers) and per-checkpoint\n"
+        "                             timing.phaseN_wall_micros\n"
+        "  --steal cell|window        work-stealing granularity of the\n"
+        "                             parallel matrix: per-checkpoint\n"
+        "                             cells (default) or whole\n"
+        "                             (benchmark, scenario) run windows;\n"
+        "                             results are bit-identical either\n"
+        "                             way, only wall-clock changes\n"
         "  --seed N                   override every scenario's [sim]\n"
         "                             seed (new config hash: fresh cache\n"
         "                             cells and shard assignment)\n"
@@ -314,6 +332,14 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
                 return usageError(spec, "--shard requires INDEX/COUNT "
                                         "(e.g. 0/4)");
             if (!sim::parseShardValue(value, ctx.matrix.shard, err))
+                return usageError(spec, err);
+            continue;
+        }
+        if ((hit = valueOf("--steal", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--steal requires 'cell' or "
+                                        "'window'");
+            if (!sim::parseStealValue(value, ctx.matrix.steal, err))
                 return usageError(spec, err);
             continue;
         }

@@ -6,7 +6,7 @@
  * the matrix run and stat export to runHarness. All drivers accept the
  * same flags: --scenario, --scenario-file, --list-scenarios,
  * --workload, --workload-file, --list-workloads, --csv, --json,
- * --stats, --timings, --seed, --jobs, --shard, --cache-dir,
+ * --stats, --timings, --seed, --jobs, --steal, --shard, --cache-dir,
  * --record-trace, --replay-trace and --help.
  */
 
@@ -42,7 +42,7 @@ std::vector<std::string> highlightBenchmarks();
 /** Everything runHarness parsed off the command line. */
 struct DriverContext
 {
-    sim::MatrixOptions matrix; ///< jobs, --shard, --cache-dir,
+    sim::MatrixOptions matrix; ///< jobs, --steal, --shard, --cache-dir,
                                ///< --record-trace/--replay-trace.
     /** From --scenario / --scenario-file, in flag order. */
     std::vector<sim::Scenario> scenarios;

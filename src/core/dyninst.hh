@@ -8,6 +8,7 @@
 
 #include <array>
 
+#include "core/wakeup.hh"
 #include "isa/static_inst.hh"
 #include "pred/branch_unit.hh"
 #include "pred/dvtage.hh"
@@ -16,6 +17,18 @@
 
 namespace rsep::core
 {
+
+/**
+ * Where an unissued instruction currently lives in the event-driven
+ * issue scheduler (see wakeup.hh and DESIGN.md §9).
+ */
+enum class SchedState : u8 {
+    None,     ///< not scheduled (non-exec, or already issued).
+    WaitPreg, ///< parked on a source preg whose ready time is unknown.
+    WaitSeq,  ///< parked on a producing instruction's waiter chain.
+    InHeap,   ///< ready time known; sleeping until that cycle.
+    Ready,    ///< in the ready list, contending for issue ports.
+};
 
 /** Which mechanism (if any) handled the instruction at rename. */
 enum class RenameAction : u8 {
@@ -84,6 +97,16 @@ struct InflightInst
     bool needsValidation = false;
     bool validationIssued = false;
     Cycle validationCycle = invalidCycle;
+
+    // Event-driven issue-scheduling state (core/wakeup.hh). The token
+    // stamps the instruction's current scheduler membership; stale
+    // heap/chain entries (e.g. orphaned by a squash whose seq was
+    // re-fetched) carry an older token and are dropped at wake time.
+    SchedState schedState = SchedState::None;
+    u32 schedToken = 0;
+    /** Head of the chain of younger instructions waiting on this one
+     *  (store-set or shared-producer dependences). */
+    u32 waiterHead = invalidWaiter;
 
     bool
     isLoad() const

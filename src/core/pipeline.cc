@@ -23,9 +23,16 @@ Pipeline::Pipeline(const CoreParams &core_params, const MechConfig &mech_cfg,
       isrbUnit(mech.rsep.isrbEntries, mech.rsep.isrbCounterBits),
       rename(core_params), fuPool(core_params),
       pregReady(core_params.intPregs + core_params.fpPregs, 0),
-      pregValue(core_params.intPregs + core_params.fpPregs, 0),
+      memIdx(4 * (core_params.lqSize + core_params.sqSize)),
       rng(seed ^ 0x4444)
 {
+    // Fixed-capacity rings: reserve the structural bounds once so the
+    // steady-state cycle loop never allocates.
+    rob.reserve(cp.robSize + 1);
+    frontendQ.reserve(cp.frontendDepth * cp.fetchWidth + 16 +
+                      cp.fetchWidth);
+    pregWaiterHead.assign(pregReady.size(), invalidWaiter);
+    idealVal = mech.rsep.validation == equality::ValidationPolicy::Ideal;
     // Engines are constructed in every configuration (their structures
     // stay inspectable through the accessors below); only those enabled
     // in MechConfig are registered, i.e. receive hook dispatches.
@@ -67,8 +74,13 @@ Pipeline::Pipeline(const CoreParams &core_params, const MechConfig &mech_cfg,
     for (unsigned p = 0; p < pregReady.size(); ++p)
         pregReady[p] = 0;
     if (mech.fig1Probe) {
+        // The probe's value-liveness bookkeeping is only allocated (and
+        // only maintained) when the probe runs; every other arm pays
+        // nothing for it on the commit path.
+        fig1 = std::make_unique<Fig1State>();
+        fig1->pregValue.assign(pregReady.size(), 0);
         // Initial mappings (1 per arch reg + zero reg) all hold 0.
-        liveValues[0] = isa::numArchRegs;
+        fig1->liveValues[0] = isa::numArchRegs;
     }
 }
 
@@ -288,8 +300,19 @@ Pipeline::renameOne(InflightInst &di)
     }
     if (si.isLoad())
         ++lqUsed;
-    if (si.isStore())
+    if (si.isStore()) {
         ++sqUsed;
+        // In-window stores are indexed by doubleword from rename (the
+        // STLF probe must see unissued conflicting stores too).
+        memIdx.addStore(di.rec.effAddr & ~Addr{7}, di.traceIdx);
+    }
+
+    // Hand the instruction to the issue scheduler. Rename order is
+    // seq order, so both lists stay age-sorted by construction.
+    if (di.needsValidation)
+        pendingValidation.push_back(di.traceIdx);
+    if (di.needsExec)
+        scheduleIssue(di);
 }
 
 bool
@@ -348,6 +371,138 @@ Pipeline::sourcesReady(const InflightInst &di) const
     return true;
 }
 
+u64
+Pipeline::issueProducerSeq(const InflightInst &di) const
+{
+    // Equality-predicted instructions (and likely candidates) are made
+    // dependent on their producer so the validation micro-op can catch
+    // the shared value on the bypass network (IV-F1). The ideal-
+    // validation arm has no such constraint.
+    if (idealVal)
+        return 0;
+    if (di.action == RenameAction::RsepShared)
+        return di.shareProducerSeq;
+    return di.likelyCandidate ? di.candidateProducerSeq : 0;
+}
+
+void
+Pipeline::parkWaiter(InflightInst &di, u32 &chain_head, SchedState state)
+{
+    di.schedToken = ++schedCounter;
+    di.schedState = state;
+    chain_head = waiters.alloc(di.traceIdx, di.schedToken, chain_head);
+}
+
+void
+Pipeline::scheduleIssue(InflightInst &di)
+{
+    // Park on the first blocker whose ready time is not yet known; its
+    // wake re-runs this from scratch, so one chain membership at a
+    // time is enough.
+    for (unsigned i = 0; i < di.numSrcs; ++i) {
+        PhysReg p = di.srcPregs[i];
+        if (pregReady[p] == invalidCycle) {
+            parkWaiter(di, pregWaiterHead[p], SchedState::WaitPreg);
+            return;
+        }
+    }
+    Cycle wake = di.dispatchCycle + 1;
+    for (unsigned i = 0; i < di.numSrcs; ++i)
+        wake = std::max(wake, pregReady[di.srcPregs[i]]);
+    if (u64 extra = issueProducerSeq(di)) {
+        if (InflightInst *prod = findBySeq(extra)) {
+            if (!prod->issued) {
+                // Executing producers announce a completion time at
+                // issue; eliminated ones unblock when they retire.
+                // Both drain the same chain.
+                parkWaiter(di, prod->waiterHead, SchedState::WaitSeq);
+                return;
+            }
+            wake = std::max(wake, prod->completeCycle);
+        }
+    }
+    if (di.storeDepSeq) {
+        InflightInst *dep = findBySeq(di.storeDepSeq - 1);
+        if (dep && dep->isStore()) {
+            if (!dep->issued) {
+                parkWaiter(di, dep->waiterHead, SchedState::WaitSeq);
+                return;
+            }
+            wake = std::max(wake, dep->completeCycle);
+        }
+    }
+    di.schedToken = ++schedCounter;
+    if (wake <= cycle) {
+        di.schedState = SchedState::Ready;
+        if (inIssueScan) {
+            // Mid-scan wake (zero-latency producer): join the current
+            // pass through the deferred side list, never by mutating
+            // the vector being scanned.
+            auto it = std::lower_bound(
+                deferredReady.begin() +
+                    static_cast<std::ptrdiff_t>(deferredPos),
+                deferredReady.end(), di.traceIdx,
+                [](const ReadyEntry &e, u64 s) { return e.seq < s; });
+            deferredReady.insert(it,
+                                 ReadyEntry{di.traceIdx, di.schedToken});
+        } else {
+            readyList.insert(di.traceIdx, di.schedToken);
+        }
+    } else {
+        di.schedState = SchedState::InHeap;
+        wakeHeap.push(wake, di.traceIdx, di.schedToken);
+    }
+}
+
+void
+Pipeline::wakeChain(u32 head, SchedState expected)
+{
+    while (head != invalidWaiter) {
+        WaiterNode n = waiters.at(head);
+        waiters.free(head);
+        head = n.next;
+        // Stale nodes — the waiter issued, squashed, or its seq was
+        // re-fetched since parking — fail the token/state check.
+        InflightInst *w = findBySeq(n.seq);
+        if (w && w->schedToken == n.token && w->schedState == expected)
+            scheduleIssue(*w);
+    }
+}
+
+void
+Pipeline::promoteDueWakeups()
+{
+    WakeEntry e;
+    while (wakeHeap.popDue(cycle, e)) {
+        InflightInst *di = findBySeq(e.seq);
+        if (!di || di->schedToken != e.token ||
+            di->schedState != SchedState::InHeap)
+            continue; // orphaned by a squash.
+        di->schedState = SchedState::Ready;
+        readyList.insert(e.seq, e.token);
+    }
+}
+
+void
+Pipeline::squashSchedCleanup(u64 first_seq)
+{
+    readyList.truncateFrom(first_seq);
+    auto it = std::lower_bound(pendingValidation.begin(),
+                               pendingValidation.end(), first_seq);
+    pendingValidation.erase(it, pendingValidation.end());
+    // Heap entries of squashed instructions go stale by token and are
+    // dropped when their wake cycle arrives.
+}
+
+void
+Pipeline::memIndexRemove(const InflightInst &di)
+{
+    if (di.isStore())
+        memIdx.removeStore(di.rec.effAddr & ~Addr{7}, di.traceIdx);
+    else if (di.isLoad() && di.issued)
+        memIdx.removeIssuedLoad(di.rec.effAddr & ~Addr{7}, di.traceIdx);
+}
+
 Cycle
 Pipeline::executeMemOrAlu(InflightInst &di, int port)
 {
@@ -355,23 +510,14 @@ Pipeline::executeMemOrAlu(InflightInst &di, int port)
     OpClass c = si.opClass();
     if (c == OpClass::Load) {
         // Store-to-load forwarding: youngest older store to the same
-        // doubleword that has already executed.
+        // doubleword that has already executed (O(1) via the index;
+        // an unexecuted conflicting store is speculated past).
         Addr dword = di.rec.effAddr & ~Addr{7};
-        u64 base_seq = rob.front().traceIdx;
-        if (di.traceIdx > base_seq) {
-            for (u64 s = di.traceIdx - 1; s + 1 > base_seq; --s) {
-                InflightInst *older = findBySeq(s);
-                if (!older)
-                    break;
-                if (!older->isStore())
-                    continue;
-                if ((older->rec.effAddr & ~Addr{7}) != dword)
-                    continue;
-                if (older->issued)
-                    return std::max(cycle, older->completeCycle) +
-                           cp.stlfLat;
-                break; // unexecuted conflicting store: speculate past it.
-            }
+        if (auto s = memIdx.youngestStoreBelow(dword, di.traceIdx)) {
+            InflightInst *older = findBySeq(*s);
+            if (older && older->issued)
+                return std::max(cycle, older->completeCycle) +
+                       cp.stlfLat;
         }
         return hier.load(di.pc, di.rec.effAddr, cycle);
     }
@@ -388,124 +534,239 @@ Pipeline::doIssueAndValidate()
     fuPool.beginCycle(cycle);
     const bool lock_fu =
         mech.rsep.validation == equality::ValidationPolicy::Issue2xLockFu;
-    const bool ideal_val =
-        mech.rsep.validation == equality::ValidationPolicy::Ideal;
 
     // 1. Validation micro-ops (picker gives them priority, IV-F1).
-    for (auto &di : rob) {
-        if (!di.needsValidation || di.validationIssued)
-            continue;
-        if (!di.issued || di.completeCycle > cycle)
-            continue;
-        // The shared/partner value must be available (back-to-back
-        // with the producer via the bypass network).
-        u64 prod_seq = di.action == RenameAction::RsepShared
-            ? di.shareProducerSeq
-            : (di.likelyCandidate ? di.candidateProducerSeq : 0);
-        if (prod_seq) {
-            InflightInst *prod = findBySeq(prod_seq);
-            if (prod && (!prod->issued || prod->completeCycle > cycle))
+    // Only instructions with a pending micro-op are on the list, in
+    // ROB age order — arms without validation pay nothing here.
+    if (!pendingValidation.empty()) {
+        size_t w = 0;
+        for (size_t i = 0; i < pendingValidation.size(); ++i) {
+            u64 seq = pendingValidation[i];
+            InflightInst *dp = findBySeq(seq);
+            if (!dp || !dp->needsValidation || dp->validationIssued)
+                continue; // retired, squashed or done: drop.
+            InflightInst &di = *dp;
+            auto keep = [&] { pendingValidation[w++] = seq; };
+            if (!di.issued || di.completeCycle > cycle) {
+                keep();
                 continue;
-        }
-        if (ideal_val) {
+            }
+            // The shared/partner value must be available (back-to-back
+            // with the producer via the bypass network).
+            u64 prod_seq = di.action == RenameAction::RsepShared
+                ? di.shareProducerSeq
+                : (di.likelyCandidate ? di.candidateProducerSeq : 0);
+            if (prod_seq) {
+                InflightInst *prod = findBySeq(prod_seq);
+                if (prod &&
+                    (!prod->issued || prod->completeCycle > cycle)) {
+                    keep();
+                    continue;
+                }
+            }
+            if (!idealVal) {
+                int port =
+                    fuPool.tryIssueValidation(di.si->opClass(), lock_fu);
+                if (port < 0) {
+                    keep();
+                    continue;
+                }
+            }
             di.validationIssued = true;
             di.validationCycle = cycle;
             if (di.inIq) {
                 di.inIq = false;
                 --iqUsed;
             }
-            continue;
         }
-        int port = fuPool.tryIssueValidation(di.si->opClass(), lock_fu);
-        if (port < 0)
-            continue;
-        di.validationIssued = true;
-        di.validationCycle = cycle;
-        if (di.inIq) {
-            di.inIq = false;
-            --iqUsed;
+        pendingValidation.resize(w);
+    }
+
+    // 2. Regular issue, oldest first: wake the instructions whose
+    // operands become ready this cycle, then scan only the ready set
+    // (seq-sorted, so arbitration order matches the old full-ROB walk
+    // exactly). Entries that lose port arbitration stay for the next
+    // cycle; entries whose conditions are found unmet re-park.
+    promoteDueWakeups();
+    auto &ready = readyList.entries();
+    deferredReady.clear();
+    deferredPos = 0;
+    inIssueScan = true;
+
+    // Fast path: in-place compaction over the stable vector (mid-scan
+    // wakes are routed to deferredReady, never into this vector). The
+    // slow merge path below engages only once a same-cycle deferred
+    // wake actually appears — possible only under zero-latency
+    // configurations.
+    const size_t n = ready.size();
+    size_t w = 0, i = 0;
+    size_t squash_pos = 0;
+    // Seq-sorted merge of the unprocessed vector remainder (from
+    // @p vec_from) with the unconsumed deferred wakes into the
+    // scratch, which then becomes the ready list. Every exit that can
+    // leave entries unprocessed — a mid-stage memory-order squash in
+    // either pass, or slow-path completion — funnels through this so
+    // the list stays sorted and no deferred wake is dropped.
+    auto mergeRestInto = [&](size_t vec_from) {
+        while (vec_from < n || deferredPos < deferredReady.size()) {
+            if (deferredPos >= deferredReady.size() ||
+                (vec_from < n &&
+                 ready[vec_from].seq <= deferredReady[deferredPos].seq))
+                retainedScratch.push_back(ready[vec_from++]);
+            else
+                retainedScratch.push_back(deferredReady[deferredPos++]);
+        }
+        ready.swap(retainedScratch);
+        inIssueScan = false;
+    };
+    for (; i < n && deferredReady.empty(); ++i) {
+        switch (processReadyEntry(ready[i], squash_pos)) {
+          case IssueStep::Drop:
+            break;
+          case IssueStep::Keep:
+            ready[w++] = ready[i];
+            break;
+          case IssueStep::EndStage:
+            // The issuing store may have raised same-cycle deferred
+            // wakes before its violation check fired; merge them in,
+            // the squash cleanup truncates whatever it removes.
+            retainedScratch.assign(ready.begin(),
+                                   ready.begin() +
+                                       static_cast<std::ptrdiff_t>(w));
+            mergeRestInto(i + 1);
+            squashFrom(squash_pos, true);
+            return;
+        }
+    }
+    if (i >= n && deferredReady.empty()) {
+        ready.resize(w);
+        inIssueScan = false;
+        return;
+    }
+
+    // Slow path: merge the unprocessed vector remainder with the
+    // same-cycle deferred wakes in ascending seq order (consumers are
+    // always younger than the producer that woke them, so the merge
+    // only looks forward); survivors collect into the scratch.
+    retainedScratch.assign(ready.begin(),
+                           ready.begin() + static_cast<std::ptrdiff_t>(w));
+    while (i < n || deferredPos < deferredReady.size()) {
+        ReadyEntry e;
+        if (deferredPos >= deferredReady.size() ||
+            (i < n && ready[i].seq <= deferredReady[deferredPos].seq))
+            e = ready[i++];
+        else
+            e = deferredReady[deferredPos++];
+        switch (processReadyEntry(e, squash_pos)) {
+          case IssueStep::Drop:
+            break;
+          case IssueStep::Keep:
+            retainedScratch.push_back(e);
+            break;
+          case IssueStep::EndStage:
+            mergeRestInto(i);
+            squashFrom(squash_pos, true);
+            return;
+        }
+    }
+    mergeRestInto(n);
+}
+
+/**
+ * Attempt to issue one ready-list entry: the body of the per-cycle
+ * issue scan (both the fast in-place pass and the deferred-merge
+ * pass). Returns whether the entry leaves the list, stays for the
+ * next cycle, or — on a detected memory-order violation — the stage
+ * must end with a squash from @p squash_pos.
+ */
+Pipeline::IssueStep
+Pipeline::processReadyEntry(ReadyEntry e, size_t &squash_pos)
+{
+    InflightInst *dp = findBySeq(e.seq);
+    if (!dp || dp->schedToken != e.token ||
+        dp->schedState != SchedState::Ready)
+        return IssueStep::Drop; // stale entry.
+    InflightInst &di = *dp;
+
+    // Re-verify the issue conditions. Wake times are exact, so these
+    // only fail on the port-retry path when a dependence was
+    // re-evaluated conservatively; re-parking keeps us honest.
+    if (!sourcesReady(di)) {
+        scheduleIssue(di);
+        return IssueStep::Drop;
+    }
+    if (u64 extra_seq = issueProducerSeq(di)) {
+        InflightInst *prod = findBySeq(extra_seq);
+        if (prod && (!prod->issued || prod->completeCycle > cycle)) {
+            scheduleIssue(di);
+            return IssueStep::Drop;
+        }
+    }
+    if (di.storeDepSeq) {
+        InflightInst *dep = findBySeq(di.storeDepSeq - 1);
+        if (dep && dep->isStore() &&
+            (!dep->issued || dep->completeCycle > cycle)) {
+            scheduleIssue(di);
+            return IssueStep::Drop;
         }
     }
 
-    // 2. Regular issue, oldest first.
-    for (size_t pos = 0; pos < rob.size(); ++pos) {
-        InflightInst &di = rob[pos];
-        if (!di.needsExec || di.issued)
-            continue;
-        if (di.dispatchCycle >= cycle)
-            continue;
-        if (!sourcesReady(di))
-            continue;
+    int port = fuPool.tryIssue(di.si->opClass());
+    if (port < 0)
+        return IssueStep::Keep; // retry next cycle.
 
-        // Equality-predicted instructions (and likely candidates) are
-        // made dependent on their producer so the validation micro-op
-        // can catch the shared value on the bypass network (IV-F1).
-        // The ideal-validation arm has no such constraint.
-        u64 extra_seq = di.action == RenameAction::RsepShared
-            ? di.shareProducerSeq
-            : (di.likelyCandidate ? di.candidateProducerSeq : 0);
-        if (ideal_val)
-            extra_seq = 0;
-        if (extra_seq) {
-            InflightInst *prod = findBySeq(extra_seq);
-            if (prod && (!prod->issued || prod->completeCycle > cycle))
-                continue;
-        }
+    di.issued = true;
+    di.schedState = SchedState::None;
+    di.completeCycle = executeMemOrAlu(di, port);
 
-        // Memory dependence (store sets).
-        if (di.storeDepSeq) {
-            InflightInst *dep = findBySeq(di.storeDepSeq - 1);
-            if (dep && dep->isStore() &&
-                (!dep->issued || dep->completeCycle > cycle))
-                continue;
-        }
-
-        int port = fuPool.tryIssue(di.si->opClass());
-        if (port < 0)
-            continue;
-
-        di.issued = true;
-        di.completeCycle = executeMemOrAlu(di, port);
-
-        if (!issueSubscribers.empty()) {
-            EngineContext ctx = makeContext();
-            for (auto *e : issueSubscribers)
-                e->atIssue(di, ctx);
-        }
-
-        if (di.allocatedPreg &&
-            di.action != RenameAction::ValuePredicted)
-            pregReady[di.destPreg] = di.completeCycle;
-
-        if (!di.needsValidation && di.inIq) {
-            di.inIq = false;
-            --iqUsed;
-        }
-
-        // Branch resolution releases a stalled front end.
-        if (di.si->isBranch() &&
-            di.bp.redirect == pred::Redirect::Execute) {
-            fetchResumeCycle = di.completeCycle + 1;
-            fetchWaitingExec = false;
-            lastFetchLine = ~Addr{0};
-        }
-
-        // Stores: detect memory-order violations against younger loads
-        // that already issued to the same doubleword.
-        if (di.si->isStore()) {
-            Addr dword = di.rec.effAddr & ~Addr{7};
-            for (size_t j = pos + 1; j < rob.size(); ++j) {
-                InflightInst &yng = rob[j];
-                if (yng.isLoad() && yng.issued &&
-                    (yng.rec.effAddr & ~Addr{7}) == dword) {
-                    storeSets.reportViolation(yng.pc, di.pc);
-                    ++st.memOrderSquashes;
-                    squashFrom(j, true);
-                    return; // ROB changed; end the stage.
-                }
-            }
-        }
+    if (!issueSubscribers.empty()) {
+        EngineContext ctx = makeContext();
+        for (auto *eng : issueSubscribers)
+            eng->atIssue(di, ctx);
     }
+
+    if (di.allocatedPreg && di.action != RenameAction::ValuePredicted) {
+        pregReady[di.destPreg] = di.completeCycle;
+        u32 chain = pregWaiterHead[di.destPreg];
+        pregWaiterHead[di.destPreg] = invalidWaiter;
+        wakeChain(chain, SchedState::WaitPreg);
+    }
+    // Store-set and shared-producer dependants now know this
+    // instruction's completion time.
+    u32 chain = di.waiterHead;
+    di.waiterHead = invalidWaiter;
+    wakeChain(chain, SchedState::WaitSeq);
+
+    if (!di.needsValidation && di.inIq) {
+        di.inIq = false;
+        --iqUsed;
+    }
+
+    // Branch resolution releases a stalled front end.
+    if (di.si->isBranch() && di.bp.redirect == pred::Redirect::Execute) {
+        fetchResumeCycle = di.completeCycle + 1;
+        fetchWaitingExec = false;
+        lastFetchLine = ~Addr{0};
+    }
+
+    // Stores: detect memory-order violations against younger loads
+    // that already issued to the same doubleword (the index keeps
+    // issued loads per doubleword; the oldest younger one is the
+    // squash point, as in the old ascending scan).
+    if (di.si->isStore()) {
+        Addr dword = di.rec.effAddr & ~Addr{7};
+        if (auto viol = memIdx.oldestIssuedLoadAbove(dword, di.traceIdx)) {
+            InflightInst *yng = findBySeq(*viol);
+            storeSets.reportViolation(yng->pc, di.pc);
+            ++st.memOrderSquashes;
+            squash_pos =
+                static_cast<size_t>(*viol - rob.front().traceIdx);
+            return IssueStep::EndStage;
+        }
+    } else if (di.isLoad()) {
+        memIdx.addIssuedLoad(di.rec.effAddr & ~Addr{7}, di.traceIdx);
+    }
+    return IssueStep::Drop; // issued: leaves the ready list.
 }
 
 // --------------------------------------------------------------- squash
@@ -517,7 +778,10 @@ Pipeline::undoRename(InflightInst &di)
         return;
     rename.setMap(di.si->dst, di.oldPreg);
     if (di.allocatedPreg) {
-        // Normal (or value-predicted) allocation: plain free.
+        // Normal (or value-predicted) allocation: plain free. Anyone
+        // parked on this preg is younger and squashes with it.
+        waiters.freeChain(pregWaiterHead[di.destPreg]);
+        pregWaiterHead[di.destPreg] = invalidWaiter;
         rename.release(di.destPreg);
         return;
     }
@@ -531,11 +795,17 @@ Pipeline::undoRename(InflightInst &di)
 void
 Pipeline::releaseMapping(PhysReg preg)
 {
+    // Any waiter chain here is stale: in-flight consumers of a preg
+    // pin it live, so a released preg has none (commit releases happen
+    // after every older consumer retired; squash releases squash the
+    // younger consumers too).
+    waiters.freeChain(pregWaiterHead[preg]);
+    pregWaiterHead[preg] = invalidWaiter;
     rename.release(preg);
-    if (mech.fig1Probe) {
-        auto it = liveValues.find(pregValue[preg]);
-        if (it != liveValues.end() && --it->second == 0)
-            liveValues.erase(it);
+    if (fig1) {
+        auto it = fig1->liveValues.find(fig1->pregValue[preg]);
+        if (it != fig1->liveValues.end() && --it->second == 0)
+            fig1->liveValues.erase(it);
     }
 }
 
@@ -555,9 +825,16 @@ Pipeline::squashFrom(size_t rob_pos, bool refetch_penalty)
         fetchIdx = first.traceIdx;
     }
 
+    const bool any_rob = rob_pos < rob.size();
+    const u64 first_seq = any_rob ? rob[rob_pos].traceIdx : 0;
     for (size_t i = rob.size(); i-- > rob_pos;) {
         InflightInst &di = rob[i];
         undoRename(di);
+        // Dependants parked on this instruction are younger: squashed
+        // with it. Drop the chain without waking anyone.
+        waiters.freeChain(di.waiterHead);
+        di.waiterHead = invalidWaiter;
+        memIndexRemove(di);
         if (di.inIq)
             --iqUsed;
         if (di.isLoad())
@@ -567,6 +844,8 @@ Pipeline::squashFrom(size_t rob_pos, bool refetch_penalty)
         rob.pop_back();
     }
     frontendQ.clear();
+    if (any_rob)
+        squashSchedCleanup(first_seq);
     {
         EngineContext ctx = makeContext();
         for (auto *e : active)
@@ -607,10 +886,10 @@ Pipeline::commitOne(InflightInst &di, bool squash_follows)
         ++st.committedProducers;
 
     // Fig. 1 probe: result redundancy at commit.
-    if (mech.fig1Probe && di.producesReg) {
+    if (fig1 && di.producesReg) {
         if (di.rec.result == 0 && !si.isZeroIdiom())
             ++(si.isLoad() ? st.fig1ZeroLoad : st.fig1ZeroOther);
-        if (liveValues.count(di.rec.result))
+        if (fig1->liveValues.count(di.rec.result))
             ++(si.isLoad() ? st.fig1InPrfLoad : st.fig1InPrfOther);
     }
 
@@ -633,6 +912,7 @@ Pipeline::commitOne(InflightInst &di, bool squash_follows)
     }
     if (si.isLoad())
         --lqUsed;
+    memIndexRemove(di);
 
     // Release the previous mapping of the destination register.
     if (di.producesReg && di.oldPreg != invalidPhysReg &&
@@ -648,9 +928,9 @@ Pipeline::commitOne(InflightInst &di, bool squash_follows)
     }
 
     // Fig. 1 probe bookkeeping: the new mapping's value becomes live.
-    if (mech.fig1Probe && di.allocatedPreg) {
-        pregValue[di.destPreg] = di.rec.result;
-        ++liveValues[di.rec.result];
+    if (fig1 && di.allocatedPreg) {
+        fig1->pregValue[di.destPreg] = di.rec.result;
+        ++fig1->liveValues[di.rec.result];
     }
 
     ++committed;
@@ -686,6 +966,10 @@ Pipeline::doCommit()
         if (verdict == CommitVerdict::CommitThenSquash) {
             commitOne(di, /*squash_follows=*/true);
             u64 next_idx = di.traceIdx + 1;
+            // Dependants parked on the head are about to squash;
+            // drop the chain unwoken.
+            waiters.freeChain(di.waiterHead);
+            di.waiterHead = invalidWaiter;
             rob.pop_front();
             squashFrom(0, true);
             fetchIdx = next_idx;
@@ -697,7 +981,14 @@ Pipeline::doCommit()
         if (di.producesReg)
             ++producers_this_cycle;
 
+        // Retirement is a wake event: an eliminated (never-issuing)
+        // producer unblocks its shared-value dependants by leaving the
+        // window. Wake after the pop so the rescheduled dependants see
+        // it gone — the same cycle the old scan saw findBySeq fail.
+        u32 chain = di.waiterHead;
+        di.waiterHead = invalidWaiter;
         rob.pop_front();
+        wakeChain(chain, SchedState::WaitSeq);
         if (!rob.empty()) {
             trace.trimBelow(rob.front().traceIdx);
         } else {
@@ -734,7 +1025,8 @@ Pipeline::checkRegisterConservation() const
         if (p_ != invalidPhysReg && p_ != zeroPreg)
             live[p_] = 1;
     }
-    for (const auto &di : rob) {
+    for (size_t i = 0; i < rob.size(); ++i) {
+        const InflightInst &di = rob[i];
         if (di.producesReg && di.oldPreg != invalidPhysReg &&
             di.oldPreg != zeroPreg)
             live[di.oldPreg] = 1;

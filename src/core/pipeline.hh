@@ -20,18 +20,19 @@
 #ifndef RSEP_CORE_PIPELINE_HH
 #define RSEP_CORE_PIPELINE_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "core/dyninst.hh"
 #include "core/fu_pool.hh"
 #include "core/params.hh"
 #include "core/rename.hh"
 #include "core/spec_engine.hh"
 #include "core/trace_buffer.hh"
+#include "core/wakeup.hh"
 #include "mem/hierarchy.hh"
 #include "pred/branch_unit.hh"
 #include "pred/dvtage.hh"
@@ -280,6 +281,35 @@ class Pipeline
     Cycle
     opLatency(isa::OpClass c) const;
 
+    // --- event-driven issue scheduling (wakeup.hh, DESIGN.md §9) ---
+    /** The producer seq the issue stage must see complete on the
+     *  bypass before @p di may issue (0 = none). */
+    u64 issueProducerSeq(const InflightInst &di) const;
+    /** (Re)compute where @p di belongs in the scheduler: a waiter
+     *  chain, the wakeup heap, or the ready list. */
+    void scheduleIssue(InflightInst &di);
+    /** Park @p di on @p chain_head with a fresh token. */
+    void parkWaiter(InflightInst &di, u32 &chain_head, SchedState state);
+    /** Drain a detached waiter chain, rescheduling every still-valid
+     *  waiter (callers detach the head first so re-parks never land
+     *  back on the chain being drained). */
+    void wakeChain(u32 head, SchedState expected);
+    /** Promote heap entries due at the current cycle into the ready
+     *  list. */
+    void promoteDueWakeups();
+    /** Outcome of attempting one ready-list entry this cycle. */
+    enum class IssueStep : u8 {
+        Drop,     ///< leaves the list (issued, stale, or re-parked).
+        Keep,     ///< lost port arbitration; retry next cycle.
+        EndStage, ///< memory-order violation: squash and end the stage.
+    };
+    IssueStep processReadyEntry(ReadyEntry e, size_t &squash_pos);
+    /** Drop scheduler entries for a squashed ROB suffix starting at
+     *  @p first_seq. */
+    void squashSchedCleanup(u64 first_seq);
+    /** Record/drop @p di's memory footprint in the doubleword index. */
+    void memIndexRemove(const InflightInst &di);
+
     // --- configuration ---
     CoreParams cp;
     MechConfig mech;
@@ -306,11 +336,43 @@ class Pipeline
     // --- core state ---
     RenameState rename;
     FuPool fuPool;
-    std::deque<InflightInst> rob;
-    std::deque<InflightInst> frontendQ; ///< fetched, waiting for rename.
+    /** Fixed-capacity rings (reserved to the structure bounds in the
+     *  constructor): zero steady-state allocation, contiguous seqs. */
+    RingBuffer<InflightInst> rob;
+    RingBuffer<InflightInst> frontendQ; ///< fetched, waiting for rename.
     std::vector<Cycle> pregReady;
-    std::vector<u64> pregValue;  ///< Fig. 1 probe bookkeeping.
-    std::unordered_map<u64, u64> liveValues; ///< value -> live preg count.
+
+    // --- issue scheduler state ---
+    WaiterPool waiters;
+    std::vector<u32> pregWaiterHead; ///< per-preg chain of WaitPreg insts.
+    WakeupHeap wakeHeap;
+    ReadyList readyList;
+    /** Seqs with a pending validation micro-op, in age order (the
+     *  validation pass scans only these, not the whole ROB). */
+    std::vector<u64> pendingValidation;
+    MemDwordIndex memIdx;
+    /** Same-cycle wakes raised while the issue scan is running (only
+     *  possible with zero-latency configs): they must join *this*
+     *  cycle's ascending pass — as the old full-ROB walk would have
+     *  reached them — but inserting into the vector being scanned
+     *  would corrupt it, so they queue here and the scan merges them
+     *  in seq order. Consumers are always younger than the producer
+     *  that woke them, so the merge only ever looks forward. */
+    std::vector<ReadyEntry> deferredReady;
+    size_t deferredPos = 0;
+    bool inIssueScan = false;
+    std::vector<ReadyEntry> retainedScratch; ///< scan survivors (reused).
+    u32 schedCounter = 0; ///< token source (monotone, never reused).
+    bool idealVal = false; ///< validation == Ideal (config constant).
+
+    /** Fig. 1 probe state, allocated only when the probe runs so the
+     *  liveValues bookkeeping costs nothing on every other arm. */
+    struct Fig1State
+    {
+        std::vector<u64> pregValue; ///< last committed value per preg.
+        std::unordered_map<u64, u64> liveValues; ///< value -> live pregs.
+    };
+    std::unique_ptr<Fig1State> fig1;
 
     unsigned iqUsed = 0;
     unsigned lqUsed = 0;

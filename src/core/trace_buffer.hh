@@ -10,9 +10,8 @@
 #ifndef RSEP_CORE_TRACE_BUFFER_HH
 #define RSEP_CORE_TRACE_BUFFER_HH
 
-#include <deque>
-
 #include "common/logging.hh"
+#include "common/ring_buffer.hh"
 #include "wl/trace_source.hh"
 
 namespace rsep::core
@@ -22,7 +21,10 @@ namespace rsep::core
 class TraceBuffer
 {
   public:
-    explicit TraceBuffer(wl::TraceSource &src) : em(src)
+    /** The window spans the ROB plus the frontend queue plus the fetch
+     *  lookahead; reserve comfortably past that so the steady state
+     *  never allocates (the ring still grows if a config exceeds it). */
+    explicit TraceBuffer(wl::TraceSource &src) : em(src), window(1024)
     {
     }
 
@@ -54,7 +56,7 @@ class TraceBuffer
 
   private:
     wl::TraceSource &em;
-    std::deque<wl::DynRecord> window;
+    RingBuffer<wl::DynRecord> window;
     u64 base = 0;
 };
 

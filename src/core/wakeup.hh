@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Event-driven issue-wakeup structures and the in-window memory
+ * doubleword index — the data structures behind the PR 5 cycle-loop
+ * overhaul (DESIGN.md §9).
+ *
+ * The contract of every structure here is *behavioural transparency*:
+ * they only change WHEN the pipeline looks at an instruction, never
+ * what it decides — issue order, tie-breaks and stat dumps stay
+ * byte-identical to the full-ROB-scan implementation (pinned by
+ * tests/test_golden_dumps.cc).
+ *
+ *  - WaiterPool: free-listed singly-linked waiter nodes. An
+ *    instruction blocked on an operand whose ready time is not yet
+ *    known parks on exactly one chain: the producing physical
+ *    register's chain (pregReady still unset) or the producing
+ *    instruction's chain (store-set / shared-producer dependences).
+ *    Chains are drained when the producer issues or retires and freed
+ *    wholesale when it squashes. Nodes carry (seq, token) so stale
+ *    entries — the waiter squashed and its slot re-used by a re-fetch
+ *    — are recognised and dropped at wake time.
+ *
+ *  - WakeupHeap: a min-heap of (wake cycle, seq, token). Once every
+ *    operand's ready time is known, the instruction's eligibility
+ *    cycle is exact; it sleeps here and is promoted to the ready list
+ *    at that cycle. Tokens invalidate entries orphaned by squashes.
+ *
+ *  - ReadyList: the seq-sorted set of instructions eligible for issue
+ *    (or retrying after losing port arbitration). The per-cycle issue
+ *    scan walks this list oldest-first — the same order the old code's
+ *    full-ROB walk produced — re-verifying each entry's conditions
+ *    before it may claim a port.
+ *
+ *  - MemDwordIndex: open-addressing table keyed on effAddr & ~7
+ *    holding, per doubleword, the in-window store seqs (maintained at
+ *    rename/commit/squash) and the issued-load seqs (issue/commit/
+ *    squash). Store-to-load forwarding ("youngest older store") and
+ *    store-issue memory-order violation checks ("oldest younger issued
+ *    load") become O(1) lookups instead of O(ROB) walks.
+ */
+
+#ifndef RSEP_CORE_WAKEUP_HH
+#define RSEP_CORE_WAKEUP_HH
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rsep::core
+{
+
+/** Sentinel for "no waiter node". */
+constexpr u32 invalidWaiter = ~u32{0};
+
+/** One parked dependence: instruction @c seq (scheduling generation
+ *  @c token) waits on the chain owner. */
+struct WaiterNode
+{
+    u64 seq = 0;
+    u32 token = 0;
+    u32 next = invalidWaiter;
+};
+
+/** Free-listed node pool; chains are intrusive via node indices. */
+class WaiterPool
+{
+  public:
+    /** Allocate a node chained in front of @p head. */
+    u32
+    alloc(u64 seq, u32 token, u32 head)
+    {
+        u32 idx;
+        if (freeHead != invalidWaiter) {
+            idx = freeHead;
+            freeHead = nodes[idx].next;
+        } else {
+            idx = static_cast<u32>(nodes.size());
+            nodes.emplace_back();
+        }
+        nodes[idx] = WaiterNode{seq, token, head};
+        return idx;
+    }
+
+    void
+    free(u32 idx)
+    {
+        nodes[idx].next = freeHead;
+        freeHead = idx;
+    }
+
+    /** Free a whole chain (squash path: nobody gets woken). */
+    void
+    freeChain(u32 head)
+    {
+        while (head != invalidWaiter) {
+            u32 next = nodes[head].next;
+            free(head);
+            head = next;
+        }
+    }
+
+    WaiterNode &at(u32 idx) { return nodes[idx]; }
+
+    size_t poolSize() const { return nodes.size(); }
+
+  private:
+    std::vector<WaiterNode> nodes;
+    u32 freeHead = invalidWaiter;
+};
+
+/** A scheduled future wake. */
+struct WakeEntry
+{
+    Cycle wake = 0;
+    u64 seq = 0;
+    u32 token = 0;
+};
+
+/** Min-heap over WakeEntry::wake (entries of equal cycle may pop in
+ *  any order; the ReadyList re-sorts by age). */
+class WakeupHeap
+{
+  public:
+    void
+    push(Cycle wake, u64 seq, u32 token)
+    {
+        heap.push_back(WakeEntry{wake, seq, token});
+        std::push_heap(heap.begin(), heap.end(), later);
+    }
+
+    bool
+    popDue(Cycle now, WakeEntry &out)
+    {
+        if (heap.empty() || heap.front().wake > now)
+            return false;
+        std::pop_heap(heap.begin(), heap.end(), later);
+        out = heap.back();
+        heap.pop_back();
+        return true;
+    }
+
+    bool empty() const { return heap.empty(); }
+    size_t size() const { return heap.size(); }
+
+    void
+    clear()
+    {
+        heap.clear();
+    }
+
+  private:
+    static bool
+    later(const WakeEntry &a, const WakeEntry &b)
+    {
+        return a.wake > b.wake;
+    }
+
+    std::vector<WakeEntry> heap;
+};
+
+/** An eligible-for-issue (or port-retrying) instruction. */
+struct ReadyEntry
+{
+    u64 seq = 0;
+    u32 token = 0;
+};
+
+/** Seq-sorted ready set; the issue stage scans it oldest-first. */
+class ReadyList
+{
+  public:
+    void
+    insert(u64 seq, u32 token)
+    {
+        auto it = std::lower_bound(list.begin(), list.end(), seq,
+                                   [](const ReadyEntry &e, u64 s) {
+                                       return e.seq < s;
+                                   });
+        list.insert(it, ReadyEntry{seq, token});
+    }
+
+    /** Drop every entry with seq >= @p first (squash suffix). */
+    void
+    truncateFrom(u64 first)
+    {
+        auto it = std::lower_bound(list.begin(), list.end(), first,
+                                   [](const ReadyEntry &e, u64 s) {
+                                       return e.seq < s;
+                                   });
+        list.erase(it, list.end());
+    }
+
+    std::vector<ReadyEntry> &entries() { return list; }
+    bool empty() const { return list.empty(); }
+    size_t size() const { return list.size(); }
+    void clear() { list.clear(); }
+
+  private:
+    std::vector<ReadyEntry> list;
+};
+
+/**
+ * Open-addressing (linear-probe, tombstoned) table from doubleword
+ * address to the in-window memory instructions touching it. Capacity
+ * is bounded by the LQ+SQ sizes, so the table stays small and hot;
+ * it grows (and flushes tombstones) by rehashing when load factor
+ * passes 3/4. Slot vectors are kept seq-sorted.
+ */
+class MemDwordIndex
+{
+  public:
+    explicit MemDwordIndex(size_t capacity_hint = 256)
+    {
+        size_t cap = 16;
+        while (cap < capacity_hint)
+            cap *= 2;
+        slots.resize(cap);
+    }
+
+    /** Stores join at rename (ascending seq). */
+    void
+    addStore(Addr dword, u64 seq)
+    {
+        insertSorted(findOrCreate(dword).stores, seq);
+    }
+
+    void
+    removeStore(Addr dword, u64 seq)
+    {
+        removeSeq(dword, /*stores=*/true, seq);
+    }
+
+    /** Loads join when they issue (out of order). */
+    void
+    addIssuedLoad(Addr dword, u64 seq)
+    {
+        insertSorted(findOrCreate(dword).loads, seq);
+    }
+
+    void
+    removeIssuedLoad(Addr dword, u64 seq)
+    {
+        removeSeq(dword, /*stores=*/false, seq);
+    }
+
+    /** Youngest in-window store with seq < @p before (STLF probe). */
+    std::optional<u64>
+    youngestStoreBelow(Addr dword, u64 before) const
+    {
+        const Slot *s = find(dword);
+        if (!s)
+            return std::nullopt;
+        auto it = std::lower_bound(s->stores.begin(), s->stores.end(),
+                                   before);
+        if (it == s->stores.begin())
+            return std::nullopt;
+        return *(it - 1);
+    }
+
+    /** Oldest issued load with seq > @p after (violation probe). */
+    std::optional<u64>
+    oldestIssuedLoadAbove(Addr dword, u64 after) const
+    {
+        const Slot *s = find(dword);
+        if (!s)
+            return std::nullopt;
+        auto it = std::upper_bound(s->loads.begin(), s->loads.end(), after);
+        if (it == s->loads.end())
+            return std::nullopt;
+        return *it;
+    }
+
+    size_t slotCapacity() const { return slots.size(); }
+    size_t entriesUsed() const { return used; }
+
+  private:
+    enum : u8 { Empty = 0, Used = 1, Tomb = 2 };
+
+    struct Slot
+    {
+        Addr key = 0;
+        u8 state = Empty;
+        std::vector<u64> stores;
+        std::vector<u64> loads;
+    };
+
+    static size_t
+    hashOf(Addr dword)
+    {
+        u64 x = dword >> 3;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        return static_cast<size_t>(x);
+    }
+
+    const Slot *
+    find(Addr dword) const
+    {
+        size_t mask = slots.size() - 1;
+        for (size_t i = hashOf(dword) & mask;; i = (i + 1) & mask) {
+            const Slot &s = slots[i];
+            if (s.state == Empty)
+                return nullptr;
+            if (s.state == Used && s.key == dword)
+                return &s;
+        }
+    }
+
+    Slot &
+    findOrCreate(Addr dword)
+    {
+        // Rehash before the table gets too full to probe efficiently
+        // (tombstones count: they extend probe chains).
+        if ((used + tombs + 1) * 4 > slots.size() * 3)
+            rehash(slots.size() * 2);
+        size_t mask = slots.size() - 1;
+        size_t first_tomb = slots.size();
+        for (size_t i = hashOf(dword) & mask;; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (s.state == Used && s.key == dword)
+                return s;
+            if (s.state == Tomb && first_tomb == slots.size())
+                first_tomb = i;
+            if (s.state == Empty) {
+                Slot &dst =
+                    first_tomb != slots.size() ? slots[first_tomb] : s;
+                if (dst.state == Tomb)
+                    --tombs;
+                dst.key = dword;
+                dst.state = Used;
+                ++used;
+                return dst;
+            }
+        }
+    }
+
+    void
+    removeSeq(Addr dword, bool stores, u64 seq)
+    {
+        size_t mask = slots.size() - 1;
+        for (size_t i = hashOf(dword) & mask;; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (s.state == Empty)
+                return; // not present (nothing to remove).
+            if (s.state != Used || s.key != dword)
+                continue;
+            std::vector<u64> &v = stores ? s.stores : s.loads;
+            auto it = std::lower_bound(v.begin(), v.end(), seq);
+            if (it != v.end() && *it == seq)
+                v.erase(it);
+            if (s.stores.empty() && s.loads.empty()) {
+                // Evict the slot; vectors keep their capacity for the
+                // next tenant of this slot.
+                s.state = Tomb;
+                --used;
+                ++tombs;
+            }
+            return;
+        }
+    }
+
+    static void
+    insertSorted(std::vector<u64> &v, u64 seq)
+    {
+        auto it = std::lower_bound(v.begin(), v.end(), seq);
+        if (it == v.end() || *it != seq)
+            v.insert(it, seq);
+    }
+
+    void
+    rehash(size_t cap)
+    {
+        std::vector<Slot> old = std::move(slots);
+        slots.clear();
+        slots.resize(cap);
+        used = 0;
+        tombs = 0;
+        for (Slot &s : old) {
+            if (s.state != Used)
+                continue;
+            Slot &dst = findOrCreate(s.key);
+            dst.stores = std::move(s.stores);
+            dst.loads = std::move(s.loads);
+        }
+    }
+
+    std::vector<Slot> slots;
+    size_t used = 0;
+    size_t tombs = 0;
+};
+
+} // namespace rsep::core
+
+#endif // RSEP_CORE_WAKEUP_HH

@@ -112,6 +112,22 @@ parseJobsArg(int argc, char **argv)
     return jobs;
 }
 
+bool
+parseStealValue(const std::string &s, StealMode &mode, std::string &err)
+{
+    if (s == "cell") {
+        mode = StealMode::Cell;
+        return true;
+    }
+    if (s == "window") {
+        mode = StealMode::Window;
+        return true;
+    }
+    err = "invalid steal granularity '" + s +
+          "' (expected 'cell' or 'window')";
+    return false;
+}
+
 std::vector<MatrixRow>
 runMatrix(const std::vector<SimConfig> &configs,
           const std::vector<std::string> &benchmarks,
@@ -157,6 +173,8 @@ runMatrix(const std::vector<SimConfig> &configs,
             std::fprintf(stderr, " (shard %u/%u: %zu of %zu runs)",
                          opts.shard.index, opts.shard.count,
                          plan.selectedRuns, plan.totalRuns);
+        if (opts.steal == StealMode::Window)
+            std::fprintf(stderr, " [steal window]");
         if (cache.enabled())
             std::fprintf(stderr, " [cache %s]", cache.dir().c_str());
         if (!opts.traceIo.replayDir.empty())
@@ -171,42 +189,50 @@ runMatrix(const std::vector<SimConfig> &configs,
     std::atomic<size_t> done{0};
     std::mutex progress_mtx;
 
+    // One cell's work, identical under either steal granularity: the
+    // cell computes from its own seed into its own slot, so the steal
+    // mode only decides how cells are batched into pool tasks.
+    auto run_cell = [&](size_t b, size_t c, u32 p) {
+        CacheKey key{benchmarks[b], hashes[c], p, configs[c].seed};
+        std::optional<PhaseResult> pr;
+        if (cache.enabled())
+            pr = cache.load(key);
+        if (!pr) {
+            pr = runPhase(configs[c], benchmarks[b], p, opts.traceIo);
+            if (cache.enabled())
+                cache.store(key, *pr);
+        }
+        rows[b].byConfig[c].phases[p] = std::move(*pr);
+        size_t k = ++done;
+        if (opts.progress) {
+            const PhaseResult &ph = rows[b].byConfig[c].phases[p];
+            std::lock_guard<std::mutex> lk(progress_mtx);
+            std::fprintf(
+                stderr,
+                "[%s] %-12s %-20s ckpt %u ipc=%.3f (%zu/%zu)\n",
+                ph.fromCache    ? "hit"
+                : ph.replayed   ? "rpl"
+                                : "run",
+                benchmarks[b].c_str(), configs[c].label.c_str(), p,
+                ph.ipc, k, total_cells);
+        }
+    };
+
     ThreadPool pool(jobs);
     for (size_t b = 0; b < benchmarks.size(); ++b) {
         for (size_t c = 0; c < configs.size(); ++c) {
             if (!plan.selected[b][c])
                 continue;
-            for (u32 p = 0; p < configs[c].checkpoints; ++p) {
-                pool.submit([&, b, c, p] {
-                    CacheKey key{benchmarks[b], hashes[c], p,
-                                 configs[c].seed};
-                    std::optional<PhaseResult> pr;
-                    if (cache.enabled())
-                        pr = cache.load(key);
-                    if (!pr) {
-                        pr = runPhase(configs[c], benchmarks[b], p,
-                                      opts.traceIo);
-                        if (cache.enabled())
-                            cache.store(key, *pr);
-                    }
-                    rows[b].byConfig[c].phases[p] = std::move(*pr);
-                    size_t k = ++done;
-                    if (opts.progress) {
-                        const PhaseResult &ph =
-                            rows[b].byConfig[c].phases[p];
-                        std::lock_guard<std::mutex> lk(progress_mtx);
-                        std::fprintf(
-                            stderr,
-                            "[%s] %-12s %-20s ckpt %u ipc=%.3f (%zu/%zu)\n",
-                            ph.fromCache    ? "hit"
-                            : ph.replayed   ? "rpl"
-                                            : "run",
-                            benchmarks[b].c_str(),
-                            configs[c].label.c_str(), p, ph.ipc, k,
-                            total_cells);
-                    }
+            if (opts.steal == StealMode::Window) {
+                // Per-window granularity: the whole run is one task.
+                pool.submit([&run_cell, b, c, &configs] {
+                    for (u32 p = 0; p < configs[c].checkpoints; ++p)
+                        run_cell(b, c, p);
                 });
+                continue;
             }
+            for (u32 p = 0; p < configs[c].checkpoints; ++p)
+                pool.submit([&run_cell, b, c, p] { run_cell(b, c, p); });
         }
     }
     pool.wait();
@@ -218,6 +244,8 @@ runMatrix(const std::vector<SimConfig> &configs,
         for (RunResult &rr : row.byConfig) {
             if (!rr.inShard)
                 continue;
+            if (opts.steal == StealMode::Window)
+                ++rr.timing.stealWindow;
             for (const PhaseResult &ph : rr.phases) {
                 accountPhaseTiming(rr.timing, ph);
                 if (cache.enabled() && !ph.fromCache)

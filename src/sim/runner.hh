@@ -25,6 +25,24 @@ struct MatrixRow
     std::vector<RunResult> byConfig; ///< parallel to the config list.
 };
 
+/**
+ * Work-stealing granularity of the matrix runner (`--steal`).
+ *
+ * Cell: one pool task per (benchmark, config, checkpoint) cell — the
+ * finest deterministic unit, best load balance at high thread counts.
+ * Window: one pool task per (benchmark, config) run window — all of a
+ * run's checkpoints execute consecutively on one worker, fewer/larger
+ * tasks with less scheduling overhead and better locality, at the
+ * price of coarser balancing. Results are bit-identical either way
+ * (cells keep their own seeds and output slots); only wall-clock
+ * changes, which is what the scaling study measures.
+ */
+enum class StealMode : u8 { Cell, Window };
+
+/** Parse a `--steal` value ("cell" or "window"). */
+bool parseStealValue(const std::string &s, StealMode &mode,
+                     std::string &err);
+
 /** Knobs of the parallel matrix runner. */
 struct MatrixOptions
 {
@@ -42,6 +60,8 @@ struct MatrixOptions
      *  `--replay-trace`); see TraceIoOptions. Replay is consulted only
      *  for cells the result cache could not serve. */
     TraceIoOptions traceIo;
+    /** Steal granularity (`--steal cell|window`). */
+    StealMode steal = StealMode::Cell;
 };
 
 /** Hard ceiling on explicit worker-thread requests. */

@@ -75,6 +75,11 @@ struct RunTiming
     StatCounter cellsRun;     ///< cells actually simulated.
     StatCounter cacheHits;    ///< cells served by the result cache.
     StatCounter cacheMisses;  ///< cells the cache could not serve.
+    /** 1 when the matrix ran at per-window steal granularity
+     *  (`--steal window`), 0 for per-cell — recorded so merged
+     *  `--timings` summaries stay self-describing about how their
+     *  wall-clock numbers were produced. */
+    StatCounter stealWindow;
 };
 
 /** Stat-introspection hook (mirrors visitStats on PipelineStats). */
@@ -86,6 +91,7 @@ visitStats(RunTiming &t, V &&v)
     v("timing.cells_run", t.cellsRun);
     v("timing.cache_hits", t.cacheHits);
     v("timing.cache_misses", t.cacheMisses);
+    v("timing.steal_window", t.stealWindow);
 }
 
 /** Result of one (workload, config) run across checkpoints. */

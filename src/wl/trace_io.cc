@@ -84,6 +84,174 @@ encodePayload(const std::vector<DynRecord> &records)
     return payload;
 }
 
+// ---- v2 varint/delta encoding ----
+
+// Per-record flag bits (see trace_io.hh).
+enum : u8 {
+    f2SameStatic = 1 << 0, ///< staticIdx == previous record's nextIdx.
+    f2Taken = 1 << 1,
+    f2SeqNext = 1 << 2,    ///< nextIdx == staticIdx + 1.
+    f2ResultZero = 1 << 3,
+    f2ResultSame = 1 << 4, ///< result == previous record's result.
+    f2EffZero = 1 << 5,    ///< effAddr == 0 (non-memory record).
+};
+
+void
+putVarint(std::string &s, u64 v)
+{
+    while (v >= 0x80) {
+        s.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    s.push_back(static_cast<char>(v));
+}
+
+bool
+getVarint(const char *&p, const char *end, u64 &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (p == end)
+            return false;
+        u8 byte = static_cast<u8>(*p++);
+        v |= static_cast<u64>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+    }
+    return false; // over-long varint.
+}
+
+u64
+zigzag(u64 v)
+{
+    s64 sv = static_cast<s64>(v);
+    return (static_cast<u64>(sv) << 1) ^ static_cast<u64>(sv >> 63);
+}
+
+u64
+unzigzag(u64 v)
+{
+    return (v >> 1) ^ (~(v & 1) + 1);
+}
+
+std::string
+encodePayloadV2(const std::vector<DynRecord> &records)
+{
+    std::string payload;
+    payload.reserve(records.size() * 4); // typical record: 1-4 bytes.
+    u32 prev_next = 0;
+    u64 prev_result = 0;
+    Addr prev_eff = 0; ///< last memory record's address.
+    for (const DynRecord &r : records) {
+        u8 flags = 0;
+        if (r.staticIdx == prev_next)
+            flags |= f2SameStatic;
+        if (r.taken)
+            flags |= f2Taken;
+        if (r.nextIdx == r.staticIdx + 1)
+            flags |= f2SeqNext;
+        if (r.result == 0)
+            flags |= f2ResultZero;
+        else if (r.result == prev_result)
+            flags |= f2ResultSame;
+        if (r.effAddr == 0)
+            flags |= f2EffZero;
+        payload.push_back(static_cast<char>(flags));
+        if (!(flags & f2SameStatic))
+            putVarint(payload, r.staticIdx);
+        if (!(flags & f2SeqNext))
+            putVarint(payload,
+                      zigzag(static_cast<u64>(r.nextIdx) -
+                             static_cast<u64>(r.staticIdx) - 1));
+        if (!(flags & (f2ResultZero | f2ResultSame)))
+            putVarint(payload, zigzag(r.result - prev_result));
+        if (!(flags & f2EffZero)) {
+            putVarint(payload, zigzag(r.effAddr - prev_eff));
+            prev_eff = r.effAddr;
+        }
+        prev_next = r.nextIdx;
+        prev_result = r.result;
+    }
+    return payload;
+}
+
+bool
+decodePayloadV2(const std::string &payload, u64 count,
+                std::vector<DynRecord> &out, std::string &msg)
+{
+    out.clear();
+    out.reserve(count);
+    const char *p = payload.data();
+    const char *end = p + payload.size();
+    u32 prev_next = 0;
+    u64 prev_result = 0;
+    Addr prev_eff = 0;
+    for (u64 i = 0; i < count; ++i) {
+        if (p == end) {
+            msg = "truncated payload at record " + std::to_string(i);
+            return false;
+        }
+        u8 flags = static_cast<u8>(*p++);
+        DynRecord r;
+        u64 v = 0;
+        if (flags & f2SameStatic) {
+            r.staticIdx = prev_next;
+        } else {
+            if (!getVarint(p, end, v) || v > 0xffffffffull) {
+                msg = "bad staticIdx varint at record " +
+                      std::to_string(i);
+                return false;
+            }
+            r.staticIdx = static_cast<u32>(v);
+        }
+        if (flags & f2SeqNext) {
+            r.nextIdx = r.staticIdx + 1;
+        } else {
+            if (!getVarint(p, end, v)) {
+                msg = "bad nextIdx varint at record " + std::to_string(i);
+                return false;
+            }
+            u64 next = static_cast<u64>(r.staticIdx) + 1 + unzigzag(v);
+            if ((next & 0xffffffffull) != next) {
+                msg = "nextIdx overflow at record " + std::to_string(i);
+                return false;
+            }
+            r.nextIdx = static_cast<u32>(next);
+        }
+        if (flags & f2ResultZero) {
+            r.result = 0;
+        } else if (flags & f2ResultSame) {
+            r.result = prev_result;
+        } else {
+            if (!getVarint(p, end, v)) {
+                msg = "bad result varint at record " + std::to_string(i);
+                return false;
+            }
+            r.result = prev_result + unzigzag(v);
+        }
+        if (flags & f2EffZero) {
+            r.effAddr = 0;
+        } else {
+            if (!getVarint(p, end, v)) {
+                msg = "bad effAddr varint at record " + std::to_string(i);
+                return false;
+            }
+            r.effAddr = prev_eff + unzigzag(v);
+            prev_eff = r.effAddr;
+        }
+        r.taken = (flags & f2Taken) != 0;
+        prev_next = r.nextIdx;
+        prev_result = r.result;
+        out.push_back(r);
+    }
+    if (p != end) {
+        msg = "payload has " + std::to_string(end - p) +
+              " trailing bytes after the last record";
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 std::string
@@ -97,9 +265,14 @@ std::string
 serializeTrace(const TraceHeader &header,
                const std::vector<DynRecord> &records)
 {
-    std::string payload = encodePayload(records);
+    if (header.version < traceFormatVersionMin ||
+        header.version > traceFormatVersion)
+        rsep_fatal("serializeTrace: unsupported trace version %u",
+                   header.version);
+    std::string payload = header.version >= 2 ? encodePayloadV2(records)
+                                              : encodePayload(records);
     std::ostringstream os;
-    os << "rsep-trace " << traceFormatVersion << "\n";
+    os << "rsep-trace " << header.version << "\n";
     os << "workload = " << header.workload << "\n";
     os << "workload_hash = " << header.workloadHash << "\n";
     os << "phase = " << header.phase << "\n";
@@ -142,9 +315,15 @@ parseTrace(const std::string &text, const std::string &origin,
     };
 
     std::string line, v;
-    if (!nextLine(line) ||
-        line != "rsep-trace " + std::to_string(traceFormatVersion))
-        return fail("bad or unsupported trace version");
+    if (!nextLine(line) || line.rfind("rsep-trace ", 0) != 0)
+        return fail("not a trace file");
+    {
+        u64 ver = 0;
+        if (!parseU64(line.substr(11), ver) ||
+            ver < traceFormatVersionMin || ver > traceFormatVersion)
+            return fail("bad or unsupported trace version");
+        out.header.version = static_cast<unsigned>(ver);
+    }
     if (!nextLine(line) || !valueOf(line, "workload", v) || v.empty())
         return fail("bad workload header");
     out.header.workload = v;
@@ -168,33 +347,51 @@ parseTrace(const std::string &text, const std::string &origin,
         return fail("missing payload marker");
 
     // ---- binary payload + trailing checksum ----
-    // Guard the record-count multiply: a corrupt header could name a
-    // count whose byte size wraps 64 bits and slips past the length
-    // check, turning reserve() below into an abort instead of a
-    // diagnostic.
-    if (out.header.records > (text.size() - pos) / recordBytes)
-        return fail("truncated payload: record count " +
-                    std::to_string(out.header.records) +
-                    " exceeds the available bytes");
-    u64 payload_bytes = out.header.records * recordBytes;
     // "\nchecksum = " + 16 hex + "\n"
     constexpr size_t trailerBytes = 12 + 16 + 1;
-    if (text.size() < pos || text.size() - pos != payload_bytes + trailerBytes)
-        return fail("truncated or oversized payload (" +
-                    std::to_string(text.size() - pos) + " bytes for " +
-                    std::to_string(out.header.records) + " records)");
+    if (text.size() < pos || text.size() - pos < trailerBytes)
+        return fail("truncated trailer");
+    u64 payload_bytes = text.size() - pos - trailerBytes;
+    if (out.header.version == 1) {
+        // v1 is fixed-width: the payload size is implied by the record
+        // count. Guard the multiply: a corrupt header could name a
+        // count whose byte size wraps 64 bits and slips past the
+        // length check, turning reserve() below into an abort instead
+        // of a diagnostic.
+        if (out.header.records > (text.size() - pos) / recordBytes)
+            return fail("truncated payload: record count " +
+                        std::to_string(out.header.records) +
+                        " exceeds the available bytes");
+        if (payload_bytes != out.header.records * recordBytes)
+            return fail("truncated or oversized payload (" +
+                        std::to_string(payload_bytes) + " bytes for " +
+                        std::to_string(out.header.records) + " records)");
+    }
     std::string payload = text.substr(pos, payload_bytes);
     std::string trailer = text.substr(pos + payload_bytes);
     u64 want = 0;
     if (trailer.rfind("\nchecksum = ", 0) != 0 || trailer.back() != '\n' ||
         !parseHex64(trailer.substr(12, 16), want))
-        return fail("missing checksum");
+        return fail("truncated trace or missing checksum trailer");
     if (fnv1a64(payload) != want)
         return fail("checksum mismatch");
 
     if (header_only)
         return out;
 
+    if (out.header.version >= 2) {
+        // Every v2 record takes at least its flag byte; reject absurd
+        // record counts before reserve() can abort on a corrupt header.
+        if (out.header.records > payload.size())
+            return fail("truncated payload: record count " +
+                        std::to_string(out.header.records) +
+                        " exceeds the available bytes");
+        std::string msg;
+        if (!decodePayloadV2(payload, out.header.records, out.records,
+                             msg))
+            return fail(msg);
+        return out;
+    }
     out.records.reserve(out.header.records);
     const char *p = payload.data();
     for (u64 i = 0; i < out.header.records; ++i, p += recordBytes) {

@@ -10,19 +10,31 @@
  * of a sweep (record once, replay many; warm sweeps skip functional
  * emulation entirely, stacking with the per-cell result cache).
  *
- * On-disk layout (version 1): a text header, a raw little-endian
- * payload, and a trailing FNV-1a checksum of the payload:
+ * On-disk layout: a text header, a binary payload, and a trailing
+ * FNV-1a checksum of the payload:
  *
- *     rsep-trace 1
+ *     rsep-trace 2
  *     workload = mcf                 # run-cell key (name or name@hash)
  *     workload_hash = 16-hex         # workloadHash of the spec
  *     phase = 0
  *     program_length = 57            # static-instruction count echo
  *     records = 123456
  *     payload
- *     <records x 25 bytes: u32 staticIdx, u32 nextIdx, u64 result,
- *      u64 effAddr, u8 taken  (all little-endian)>
+ *     <encoded records>
  *     checksum = 16-hex
+ *
+ * Payload encodings by version (readers accept both; writers emit the
+ * version in TraceHeader::version, default current):
+ *
+ *  - v1: raw little-endian 25-byte records (u32 staticIdx, u32
+ *    nextIdx, u64 result, u64 effAddr, u8 taken).
+ *  - v2: per-record flag byte + LEB128 varints, exploiting committed-
+ *    path structure to cut fleet trace-distribution cost several-fold:
+ *    staticIdx is usually the previous record's nextIdx (1 bit),
+ *    nextIdx is usually staticIdx+1 (1 bit, else a zigzag delta),
+ *    results are often zero or repeat the previous record's (1 bit
+ *    each, else a zigzag delta against the previous result), and
+ *    effective addresses delta against the previous memory access.
  *
  * Files are written atomically (temp + rename). A reader rejects —
  * with a diagnostic, never a partial result — version or checksum
@@ -42,8 +54,12 @@
 namespace rsep::wl
 {
 
-/** Trace-format version; bump on any layout change. */
-constexpr unsigned traceFormatVersion = 1;
+/** Current trace-format version (the writer default); bump on any
+ *  layout change, keeping older versions readable. */
+constexpr unsigned traceFormatVersion = 2;
+
+/** Oldest payload encoding readers still accept. */
+constexpr unsigned traceFormatVersionMin = 1;
 
 /** Conventional file extension (tracePath appends it). */
 constexpr const char *traceFileExtension = ".rtr";
@@ -51,6 +67,9 @@ constexpr const char *traceFileExtension = ".rtr";
 /** Identity header of one `.rtr` file. */
 struct TraceHeader
 {
+    /** Payload encoding to write / that was read (1 = raw records,
+     *  2 = varint/delta). */
+    unsigned version = traceFormatVersion;
     std::string workload;     ///< run-cell key (workloadKey).
     std::string workloadHash; ///< 16-hex workloadHash of the spec.
     u32 phase = 0;

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cross-scenario golden pin of the stat-export byte stream.
+ *
+ * The PR 5 cycle-loop overhaul (ring-buffer ROB, event-driven wakeup,
+ * O(1) memory-order checks) promises *byte-identical* stat dumps —
+ * same issue order, same tie-breaks — for every registered scenario.
+ * This test pins that promise: for each registered scenario (and each
+ * arm of the CI smoke scenario file) it runs a small fixed-size matrix
+ * over two benchmarks and hashes the canonical CSV dump. The golden
+ * hashes were generated from the PR 4 tree (the pre-overhaul
+ * simulator) at exactly this sizing; any behavioural drift in the
+ * issue/validate/commit machinery shows up as a hash mismatch with the
+ * offending scenario named.
+ *
+ * Regenerating (only legitimate when a PR *intentionally* changes
+ * timing behaviour): RSEP_GOLDEN_REGEN=1 ./test_golden_dumps prints
+ * the table to paste below.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "common/fnv.hh"
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
+#include "sim/stat_export.hh"
+
+#ifndef RSEP_SOURCE_DIR
+#define RSEP_SOURCE_DIR ".."
+#endif
+
+namespace rsep::sim
+{
+namespace
+{
+
+/** Golden (scenario -> CSV dump hash) table, generated on the PR 4
+ *  tree. Sizing: warmup 4000, measure 12000, 1 checkpoint, seed
+ *  0x5eed, benchmarks mcf + hmmer, single thread. */
+const std::map<std::string, std::string> goldenHashes = {
+    // clang-format off
+    {"baseline",               "04a515b479a1d26d"},
+    {"zero-pred",              "2d9b8c6ab9ade9b8"},
+    {"move-elim",              "192336dc08e069db"},
+    {"rsep",                   "d64281bca78a52ca"},
+    {"vpred",                  "07edf1aff4d902d7"},
+    {"rsep+vpred",             "9db33a9f3d3b168a"},
+    {"rsep-val-ideal",         "2266057bf7aa0e1e"},
+    {"rsep-val-2x-lock",       "663cbb5c1254ad1c"},
+    {"rsep-val-2x-any",        "32fea7d7675ed2d7"},
+    {"rsep-val-2x-sample15",   "6a87b03a1cbb6deb"},
+    {"rsep-val-2x-sample63",   "231542d1f87deb63"},
+    {"rsep-realistic",         "5d8653964aa0b890"},
+    {"fig1-probe",             "40ba0373a0a91ad0"},
+    {"fig1-redundancy",        "2e3476dcadab2410"},
+    {"rsep+zp",                "5ed1e0d1a8577530"},
+    {"rsep+vpred+zp",          "e68472a2f8bf89e7"},
+    {"rsep-oracle",            "fa7480e50fbb1ae9"},
+    {"ci_smoke:smoke-baseline","03031da18d82ebae"},
+    {"ci_smoke:smoke-rsep",    "3a9adbd721a9391e"},
+    // clang-format on
+};
+
+constexpr u64 goldenWarmup = 4000;
+constexpr u64 goldenMeasure = 12000;
+
+std::vector<std::string>
+goldenBenchmarks()
+{
+    return {"mcf", "hmmer"};
+}
+
+/** Run one scenario's golden matrix and return the CSV dump text. */
+std::string
+dumpFor(const SimConfig &config)
+{
+    MatrixOptions opts;
+    opts.jobs = 1;
+    opts.progress = false;
+    std::vector<SimConfig> configs{config};
+    std::vector<MatrixRow> rows =
+        runMatrix(configs, goldenBenchmarks(), opts);
+    std::vector<StatRow> stat_rows = collectStatRows(configs, rows);
+    std::ostringstream os;
+    CsvStatSink{}.write(os, stat_rows);
+    return os.str();
+}
+
+/** The scenarios under golden pin: every registered arm at the fixed
+ *  golden sizing, plus the CI smoke file's arms at their own sizing. */
+std::vector<Scenario>
+goldenScenarios()
+{
+    std::vector<Scenario> out;
+    for (const ScenarioInfo &info : registeredScenarios()) {
+        std::optional<Scenario> sc = findScenario(info.name);
+        if (!sc)
+            continue;
+        sc->config.warmupInsts = goldenWarmup;
+        sc->config.measureInsts = goldenMeasure;
+        sc->config.checkpoints = 1;
+        sc->config.seed = 0x5eed;
+        out.push_back(std::move(*sc));
+    }
+    ScenarioParse smoke = parseScenarioFile(
+        RSEP_SOURCE_DIR "/examples/scenarios/ci_smoke.scn");
+    EXPECT_TRUE(smoke.ok()) << smoke.error;
+    for (Scenario &sc : smoke.scenarios) {
+        sc.name = "ci_smoke:" + sc.name;
+        out.push_back(std::move(sc));
+    }
+    return out;
+}
+
+TEST(GoldenDumps, EveryScenarioByteIdenticalToPr4)
+{
+    const bool regen = std::getenv("RSEP_GOLDEN_REGEN") != nullptr;
+    std::ostringstream table;
+    for (const Scenario &sc : goldenScenarios()) {
+        std::string csv = dumpFor(sc.config);
+        std::string hash = hex64(fnv1a64(csv));
+        if (regen) {
+            table << "    {\"" << sc.name << "\", \"" << hash << "\"},\n";
+            continue;
+        }
+        auto it = goldenHashes.find(sc.name);
+        ASSERT_NE(it, goldenHashes.end())
+            << "scenario '" << sc.name << "' has no golden hash; "
+            << "regenerate with RSEP_GOLDEN_REGEN=1 and review the diff";
+        EXPECT_EQ(it->second, hash)
+            << "scenario '" << sc.name << "' no longer produces the "
+            << "PR 4 stat dump.\nFirst 2000 bytes of the drifted "
+            << "dump:\n"
+            << csv.substr(0, 2000);
+    }
+    if (regen)
+        std::printf("golden table:\n%s", table.str().c_str());
+}
+
+} // namespace
+} // namespace rsep::sim

@@ -174,6 +174,101 @@ TEST(TraceIo, RecordingSourceTeesAndSlack)
     }
 }
 
+TEST(TraceIo, V1StaysReadableAndMatchesV2Content)
+{
+    auto recs = sampleRecords(500);
+    wl::TraceHeader h1 = sampleHeader(recs.size());
+    h1.version = 1;
+    std::string v1 = wl::serializeTrace(h1, recs);
+    wl::TraceHeader h2 = sampleHeader(recs.size());
+    h2.version = 2;
+    std::string v2 = wl::serializeTrace(h2, recs);
+
+    EXPECT_NE(v1.substr(0, 12), v2.substr(0, 12)); // version line.
+    wl::TraceParse p1 = wl::parseTrace(v1, "<v1>");
+    wl::TraceParse p2 = wl::parseTrace(v2, "<v2>");
+    ASSERT_TRUE(p1.ok()) << p1.error;
+    ASSERT_TRUE(p2.ok()) << p2.error;
+    EXPECT_EQ(p1.header.version, 1u);
+    EXPECT_EQ(p2.header.version, 2u);
+    ASSERT_EQ(p1.records.size(), p2.records.size());
+    for (size_t i = 0; i < p1.records.size(); ++i) {
+        EXPECT_EQ(p1.records[i].staticIdx, p2.records[i].staticIdx) << i;
+        EXPECT_EQ(p1.records[i].nextIdx, p2.records[i].nextIdx) << i;
+        EXPECT_EQ(p1.records[i].result, p2.records[i].result) << i;
+        EXPECT_EQ(p1.records[i].effAddr, p2.records[i].effAddr) << i;
+        EXPECT_EQ(p1.records[i].taken, p2.records[i].taken) << i;
+    }
+    // Old files keep re-serializing as their own version (a reader
+    // that rewrites must not silently re-encode).
+    EXPECT_EQ(wl::serializeTrace(p1.header, p1.records), v1);
+}
+
+TEST(TraceIo, V2ExtremeValuesRoundTrip)
+{
+    // Adversarial records for the varint/delta coder: max values,
+    // backward next-branches, alternating zero/non-zero, repeated and
+    // wildly-jumping results and addresses.
+    std::vector<wl::DynRecord> recs;
+    auto add = [&](u32 si, u32 ni, u64 res, u64 ea, bool tk) {
+        wl::DynRecord r;
+        r.staticIdx = si;
+        r.nextIdx = ni;
+        r.result = res;
+        r.effAddr = ea;
+        r.taken = tk;
+        recs.push_back(r);
+    };
+    add(0xffffffff, 0, ~u64{0}, ~u64{0}, true);      // max everything.
+    add(0, 0xffffffff, 0, 0, false);                 // max forward jump.
+    add(5, 2, 1, 8, true);                           // backward branch.
+    add(2, 3, 1, 0, false);                          // repeated result.
+    add(3, 4, 0x8000000000000000ull, 16, false);     // sign-bit delta.
+    add(4, 5, 1, ~u64{0} - 7, false);                // huge addr delta.
+    for (u64 i = 0; i < 300; ++i)                    // dense typical run.
+        add(static_cast<u32>(i % 7), static_cast<u32>((i + 1) % 7),
+            i % 4 ? i : 0, i % 3 ? 0x1000 + 8 * (i % 16) : 0,
+            i % 9 == 0);
+    wl::TraceHeader h = sampleHeader(recs.size());
+    h.version = 2;
+    std::string image = wl::serializeTrace(h, recs);
+    wl::TraceParse p = wl::parseTrace(image, "<mem>");
+    ASSERT_TRUE(p.ok()) << p.error;
+    ASSERT_EQ(p.records.size(), recs.size());
+    for (size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(p.records[i].staticIdx, recs[i].staticIdx) << i;
+        EXPECT_EQ(p.records[i].nextIdx, recs[i].nextIdx) << i;
+        EXPECT_EQ(p.records[i].result, recs[i].result) << i;
+        EXPECT_EQ(p.records[i].effAddr, recs[i].effAddr) << i;
+        EXPECT_EQ(p.records[i].taken, recs[i].taken) << i;
+    }
+}
+
+TEST(TraceIo, V2CutsRealTraceSizeSeveralFold)
+{
+    // The point of the encoding: a real committed-path stream shrinks
+    // several-fold against the 25-byte raw records.
+    wl::Workload w = wl::makeWorkload("hmmer");
+    wl::Emulator emu(w.program);
+    emu.resetArchState();
+    w.init(emu, 0);
+    wl::RecordingTraceSource rec(emu);
+    for (int i = 0; i < 20000; ++i)
+        rec.step();
+    wl::TraceHeader h = sampleHeader(rec.records().size());
+    h.programLength = w.program.size();
+    h.version = 1;
+    std::string v1 = wl::serializeTrace(h, rec.records());
+    h.version = 2;
+    std::string v2 = wl::serializeTrace(h, rec.records());
+    EXPECT_LT(v2.size() * 3, v1.size())
+        << "v2 should be at least 3x smaller on a real stream "
+        << "(v1 " << v1.size() << "B, v2 " << v2.size() << "B)";
+    wl::TraceParse p = wl::parseTrace(v2, "<mem>");
+    ASSERT_TRUE(p.ok()) << p.error;
+    EXPECT_EQ(p.records.size(), rec.records().size());
+}
+
 sim::SimConfig
 tinyConfig()
 {

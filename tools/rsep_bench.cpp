@@ -1,0 +1,541 @@
+/**
+ * @file
+ * rsep_bench — reproducible simulator-throughput harness (the perf
+ * counterpart of the figure drivers; DESIGN.md §9).
+ *
+ * Three measurements, all wall-clock on the current host:
+ *
+ *  1. Single-thread cycle-loop throughput per workload, in committed
+ *     Minst/s, in two modes: *live* (pipeline fed by the functional
+ *     emulator — what a cold sweep pays) and *replay* (pipeline fed by
+ *     an in-memory recorded trace — the pure cycle loop, what a warm
+ *     fleet worker pays). Grouped per kernel archetype.
+ *  2. The replay-vs-live speedup implied by (1).
+ *  3. runMatrix wall-clock vs thread count, for both `--steal`
+ *     granularities (cell and window) — the ROADMAP scaling study.
+ *
+ * `--perf-json` writes the whole report as JSON (BENCH_PR5.json is a
+ * checked-in run of it); `--baseline` points at a flat
+ * "workload live replay" file (see --write-baseline) from an older
+ * build so the report carries before/after speedups.
+ *
+ *     rsep_bench --perf-json BENCH.json \
+ *                --baseline bench/baselines/pr4_cycle_loop.txt
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/pipeline.hh"
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
+#include "wl/emulator.hh"
+#include "wl/suite.hh"
+#include "wl/trace_io.hh"
+#include "wl/workload_spec.hh"
+
+namespace
+{
+
+using namespace rsep;
+using Clock = std::chrono::steady_clock;
+
+double
+secsBetween(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+struct WorkloadPerf
+{
+    std::string workload;
+    std::string archetype;
+    double liveMips = 0.0;
+    double replayMips = 0.0;
+    double baselineReplayMips = 0.0; ///< 0 when no baseline given.
+};
+
+struct ScalingPoint
+{
+    const char *steal;
+    unsigned jobs;
+    double wallSecs;
+};
+
+struct Options
+{
+    std::string perfJsonPath;
+    std::string baselinePath;
+    std::string writeBaselinePath;
+    std::string scenario = "baseline";
+    std::vector<std::string> workloads; ///< empty = full suite.
+    u64 warmup = 20000;
+    u64 measure = 200000;
+    u64 scalingMeasure = 8000;
+    std::vector<unsigned> threads = {1, 2, 4};
+    bool scaling = true;
+};
+
+void
+printHelp()
+{
+    std::printf(
+        "usage: rsep_bench [options]\n"
+        "Measure simulator throughput: single-thread cycle-loop Minst/s\n"
+        "per workload (live emulation vs recorded-trace replay) and\n"
+        "runMatrix thread scaling for both --steal granularities.\n"
+        "\noptions:\n"
+        "  --perf-json PATH       write the report as JSON\n"
+        "  --baseline PATH        flat 'workload live replay' Minst/s\n"
+        "                         file from an older build; the report\n"
+        "                         then carries speedup-vs-baseline\n"
+        "  --write-baseline PATH  write this run's numbers in the\n"
+        "                         --baseline format\n"
+        "  --scenario NAME        timing configuration (default:\n"
+        "                         baseline)\n"
+        "  --workload A[,B...]    subset of workloads (default: the\n"
+        "                         full suite; repeatable)\n"
+        "  --warmup N             warmup instructions per workload\n"
+        "                         (default 20000)\n"
+        "  --measure N            timed instructions per workload\n"
+        "                         (default 200000)\n"
+        "  --threads A[,B...]     thread counts of the scaling study\n"
+        "                         (default 1,2,4)\n"
+        "  --scaling-measure N    timed instructions per cell in the\n"
+        "                         scaling study (default 8000)\n"
+        "  --no-scaling           skip the scaling study\n"
+        "  --help, -h             show this help\n");
+}
+
+int
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "rsep_bench: %s (try --help)\n", msg.c_str());
+    return 2;
+}
+
+/** Archetype per registered workload key. */
+std::map<std::string, std::string>
+archetypeMap()
+{
+    std::map<std::string, std::string> out;
+    for (const wl::WorkloadInfo &info : wl::listWorkloads())
+        out[info.key] = info.archetype;
+    return out;
+}
+
+/**
+ * Time one workload's cycle loop: live (emulator-fed, teeing the
+ * stream) and replay (fed back the recorded stream from memory, so
+ * no emulation and no file I/O is on the clock).
+ */
+WorkloadPerf
+timeWorkload(const sim::SimConfig &cfg, const std::string &name,
+             u64 warmup, u64 measure)
+{
+    WorkloadPerf perf;
+    perf.workload = name;
+
+    wl::Workload w = wl::makeWorkload(name);
+    wl::Emulator emu(w.program);
+    emu.resetArchState();
+    w.init(emu, 0);
+
+    wl::RecordingTraceSource rec(emu);
+    {
+        core::Pipeline pipe(cfg.core, cfg.mech, rec, cfg.seed ^ 0x9e37);
+        pipe.run(warmup);
+        pipe.resetStats();
+        auto t0 = Clock::now();
+        pipe.run(measure);
+        auto t1 = Clock::now();
+        perf.liveMips =
+            static_cast<double>(pipe.stats().committedInsts.value()) /
+            1e6 / secsBetween(t0, t1);
+    }
+    // Slack so the replay's fetch lookahead cannot exhaust the stream.
+    rec.recordSlack(8192);
+
+    wl::TraceParse parse;
+    parse.header.workload = name;
+    parse.header.programLength = w.program.size();
+    parse.header.records = rec.records().size();
+    parse.records = rec.records();
+    wl::ReplayTraceSource src(std::move(parse), w.program, "<memory>");
+    {
+        core::Pipeline pipe(cfg.core, cfg.mech, src, cfg.seed ^ 0x9e37);
+        pipe.run(warmup);
+        pipe.resetStats();
+        auto t0 = Clock::now();
+        pipe.run(measure);
+        auto t1 = Clock::now();
+        perf.replayMips =
+            static_cast<double>(pipe.stats().committedInsts.value()) /
+            1e6 / secsBetween(t0, t1);
+    }
+    return perf;
+}
+
+/** One timed runMatrix sweep (suite x 1 scenario, quiet). */
+double
+timeMatrix(const sim::SimConfig &cfg,
+           const std::vector<std::string> &benchmarks, unsigned jobs,
+           sim::StealMode steal)
+{
+    sim::MatrixOptions opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    opts.steal = steal;
+    std::vector<sim::SimConfig> configs{cfg};
+    auto t0 = Clock::now();
+    sim::runMatrix(configs, benchmarks, opts);
+    return secsBetween(t0, Clock::now());
+}
+
+bool
+readBaseline(const std::string &path,
+             std::map<std::string, std::pair<double, double>> &out,
+             std::string &err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        err = path + ": cannot open baseline file";
+        return false;
+    }
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string name;
+        double live = 0.0, replay = 0.0;
+        if (!(ls >> name >> live >> replay)) {
+            err = path + ": malformed line '" + line + "'";
+            return false;
+        }
+        out[name] = {live, replay};
+    }
+    return true;
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+}
+
+double
+gmeanOf(const std::vector<double> &v)
+{
+    return geometricMean(v);
+}
+
+int
+runBench(const Options &opt)
+{
+    std::optional<sim::Scenario> sc = sim::findScenario(opt.scenario);
+    if (!sc)
+        return usageError("unknown scenario '" + opt.scenario + "'");
+    sim::SimConfig cfg = sc->config;
+
+    std::map<std::string, std::pair<double, double>> baseline;
+    if (!opt.baselinePath.empty()) {
+        std::string err;
+        if (!readBaseline(opt.baselinePath, baseline, err))
+            return usageError(err);
+    }
+
+    std::vector<std::string> names =
+        opt.workloads.empty() ? wl::suiteNames() : opt.workloads;
+    std::map<std::string, std::string> archetypes = archetypeMap();
+
+    // ---- single-thread per-workload timing ----
+    std::vector<WorkloadPerf> perfs;
+    for (const std::string &name : names) {
+        WorkloadPerf perf =
+            timeWorkload(cfg, name, opt.warmup, opt.measure);
+        auto at = archetypes.find(name);
+        perf.archetype = at != archetypes.end() ? at->second : "?";
+        auto bl = baseline.find(name);
+        if (bl != baseline.end())
+            perf.baselineReplayMips = bl->second.second;
+        std::printf("%-12s %-14s live %7.3f Minst/s  replay %7.3f "
+                    "Minst/s (%.2fx)%s\n",
+                    perf.workload.c_str(), perf.archetype.c_str(),
+                    perf.liveMips, perf.replayMips,
+                    perf.liveMips > 0.0 ? perf.replayMips / perf.liveMips
+                                        : 0.0,
+                    perf.baselineReplayMips > 0.0
+                        ? ("  [" +
+                           jsonNum(perf.replayMips /
+                                   perf.baselineReplayMips) +
+                           "x vs baseline]")
+                              .c_str()
+                        : "");
+        std::fflush(stdout);
+        perfs.push_back(perf);
+    }
+
+    std::vector<double> live, replay, vs_baseline;
+    for (const WorkloadPerf &p : perfs) {
+        live.push_back(p.liveMips);
+        replay.push_back(p.replayMips);
+        if (p.baselineReplayMips > 0.0)
+            vs_baseline.push_back(p.replayMips / p.baselineReplayMips);
+    }
+    double gm_live = gmeanOf(live);
+    double gm_replay = gmeanOf(replay);
+    double gm_speedup = gmeanOf(vs_baseline);
+    std::printf("gmean        live %7.3f Minst/s  replay %7.3f Minst/s "
+                "(%.2fx)%s\n",
+                gm_live, gm_replay,
+                gm_live > 0.0 ? gm_replay / gm_live : 0.0,
+                vs_baseline.empty()
+                    ? ""
+                    : ("  [" + jsonNum(gm_speedup) + "x vs baseline]")
+                          .c_str());
+
+    // ---- thread-scaling study ----
+    std::vector<ScalingPoint> scaling;
+    if (opt.scaling) {
+        sim::SimConfig scfg = cfg;
+        scfg.warmupInsts = opt.scalingMeasure / 4;
+        scfg.measureInsts = opt.scalingMeasure;
+        scfg.checkpoints = 4; // several cells per run window.
+        for (sim::StealMode steal :
+             {sim::StealMode::Cell, sim::StealMode::Window}) {
+            const char *steal_name =
+                steal == sim::StealMode::Cell ? "cell" : "window";
+            for (unsigned jobs : opt.threads) {
+                double wall = timeMatrix(scfg, names, jobs, steal);
+                scaling.push_back({steal_name, jobs, wall});
+                std::printf("scaling steal=%-6s jobs=%-3u wall %.3f s\n",
+                            steal_name, jobs, wall);
+                std::fflush(stdout);
+            }
+        }
+    }
+
+    // ---- reports ----
+    if (!opt.writeBaselinePath.empty()) {
+        std::ofstream os(opt.writeBaselinePath);
+        os << "# rsep_bench baseline: workload live-Minst/s "
+              "replay-Minst/s\n";
+        for (const WorkloadPerf &p : perfs)
+            os << p.workload << " " << jsonNum(p.liveMips) << " "
+               << jsonNum(p.replayMips) << "\n";
+        if (!os)
+            return usageError("cannot write " + opt.writeBaselinePath);
+        std::fprintf(stderr, "[rsep_bench] wrote %s\n",
+                     opt.writeBaselinePath.c_str());
+    }
+
+    if (!opt.perfJsonPath.empty()) {
+        std::ostringstream os;
+        os << "{\n";
+        os << "  \"suite\": \"rsep cycle-loop throughput\",\n";
+        os << "  \"scenario\": \"" << opt.scenario << "\",\n";
+        os << "  \"warmup_insts\": " << opt.warmup << ",\n";
+        os << "  \"measure_insts\": " << opt.measure << ",\n";
+        os << "  \"host_threads\": "
+           << std::thread::hardware_concurrency() << ",\n";
+        os << "  \"single_thread\": [\n";
+        for (size_t i = 0; i < perfs.size(); ++i) {
+            const WorkloadPerf &p = perfs[i];
+            os << "    {\"workload\": \"" << p.workload
+               << "\", \"archetype\": \"" << p.archetype
+               << "\", \"live_minst_per_s\": " << jsonNum(p.liveMips)
+               << ", \"replay_minst_per_s\": " << jsonNum(p.replayMips)
+               << ", \"replay_vs_live\": "
+               << jsonNum(p.liveMips > 0.0 ? p.replayMips / p.liveMips
+                                           : 0.0);
+            if (p.baselineReplayMips > 0.0)
+                os << ", \"baseline_replay_minst_per_s\": "
+                   << jsonNum(p.baselineReplayMips)
+                   << ", \"speedup_vs_baseline\": "
+                   << jsonNum(p.replayMips / p.baselineReplayMips);
+            os << "}" << (i + 1 < perfs.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n";
+
+        // Per-archetype gmeans.
+        std::map<std::string, std::vector<const WorkloadPerf *>> groups;
+        for (const WorkloadPerf &p : perfs)
+            groups[p.archetype].push_back(&p);
+        os << "  \"archetypes\": [\n";
+        size_t gi = 0;
+        for (const auto &[arch, members] : groups) {
+            std::vector<double> l, r, s;
+            for (const WorkloadPerf *p : members) {
+                l.push_back(p->liveMips);
+                r.push_back(p->replayMips);
+                if (p->baselineReplayMips > 0.0)
+                    s.push_back(p->replayMips / p->baselineReplayMips);
+            }
+            os << "    {\"archetype\": \"" << arch
+               << "\", \"workloads\": " << members.size()
+               << ", \"gmean_live_minst_per_s\": " << jsonNum(gmeanOf(l))
+               << ", \"gmean_replay_minst_per_s\": "
+               << jsonNum(gmeanOf(r));
+            if (!s.empty())
+                os << ", \"gmean_speedup_vs_baseline\": "
+                   << jsonNum(gmeanOf(s));
+            os << "}" << (++gi < groups.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n";
+
+        os << "  \"gmean\": {\"live_minst_per_s\": " << jsonNum(gm_live)
+           << ", \"replay_minst_per_s\": " << jsonNum(gm_replay)
+           << ", \"replay_vs_live\": "
+           << jsonNum(gm_live > 0.0 ? gm_replay / gm_live : 0.0);
+        if (!vs_baseline.empty())
+            os << ", \"speedup_vs_baseline\": " << jsonNum(gm_speedup);
+        os << "},\n";
+
+        os << "  \"scaling\": [\n";
+        double base_cell = 0.0, base_window = 0.0;
+        for (const ScalingPoint &pt : scaling)
+            if (pt.jobs == 1) {
+                (std::strcmp(pt.steal, "cell") == 0 ? base_cell
+                                                    : base_window) =
+                    pt.wallSecs;
+            }
+        for (size_t i = 0; i < scaling.size(); ++i) {
+            const ScalingPoint &pt = scaling[i];
+            double base = std::strcmp(pt.steal, "cell") == 0
+                ? base_cell
+                : base_window;
+            os << "    {\"steal\": \"" << pt.steal
+               << "\", \"jobs\": " << pt.jobs
+               << ", \"wall_s\": " << jsonNum(pt.wallSecs);
+            if (base > 0.0)
+                os << ", \"speedup_vs_1_thread\": "
+                   << jsonNum(base / pt.wallSecs);
+            os << "}" << (i + 1 < scaling.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n";
+        os << "}\n";
+
+        std::ofstream f(opt.perfJsonPath);
+        f << os.str();
+        if (!f)
+            return usageError("cannot write " + opt.perfJsonPath);
+        std::fprintf(stderr, "[rsep_bench] wrote %s\n",
+                     opt.perfJsonPath.c_str());
+    }
+    return 0;
+}
+
+/** Split a NAME[,NAME...] list. */
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto value = [&](const char *flag, std::string &v) -> int {
+            size_t n = std::strlen(flag);
+            if (a.compare(0, n, flag) != 0)
+                return 0;
+            if (a.size() == n) {
+                if (i + 1 >= argc)
+                    return -1;
+                v = argv[++i];
+                return 1;
+            }
+            if (a[n] != '=')
+                return 0;
+            v = a.substr(n + 1);
+            return 1;
+        };
+        auto number = [&](const std::string &v, u64 &out) {
+            char *end = nullptr;
+            out = std::strtoull(v.c_str(), &end, 10);
+            return end && *end == '\0' && !v.empty();
+        };
+
+        if (a == "--help" || a == "-h") {
+            printHelp();
+            return 0;
+        }
+        if (a == "--no-scaling") {
+            opt.scaling = false;
+            continue;
+        }
+        std::string v;
+        int hit;
+        u64 n = 0;
+        if ((hit = value("--perf-json", v)) != 0) {
+            if (hit < 0)
+                return usageError("--perf-json requires a path");
+            opt.perfJsonPath = v;
+        } else if ((hit = value("--baseline", v)) != 0) {
+            if (hit < 0)
+                return usageError("--baseline requires a path");
+            opt.baselinePath = v;
+        } else if ((hit = value("--write-baseline", v)) != 0) {
+            if (hit < 0)
+                return usageError("--write-baseline requires a path");
+            opt.writeBaselinePath = v;
+        } else if ((hit = value("--scenario", v)) != 0) {
+            if (hit < 0)
+                return usageError("--scenario requires a name");
+            opt.scenario = v;
+        } else if ((hit = value("--workload", v)) != 0) {
+            if (hit < 0)
+                return usageError("--workload requires a name");
+            for (const std::string &name : splitCommas(v))
+                opt.workloads.push_back(name);
+        } else if ((hit = value("--warmup", v)) != 0) {
+            if (hit < 0 || !number(v, opt.warmup))
+                return usageError("--warmup requires a count");
+        } else if ((hit = value("--measure", v)) != 0) {
+            if (hit < 0 || !number(v, opt.measure))
+                return usageError("--measure requires a count");
+        } else if ((hit = value("--scaling-measure", v)) != 0) {
+            if (hit < 0 || !number(v, opt.scalingMeasure))
+                return usageError("--scaling-measure requires a count");
+        } else if ((hit = value("--threads", v)) != 0) {
+            if (hit < 0)
+                return usageError("--threads requires a list");
+            opt.threads.clear();
+            for (const std::string &t : splitCommas(v)) {
+                if (!number(t, n) || n == 0 || n > sim::maxJobs)
+                    return usageError("bad thread count '" + t + "'");
+                opt.threads.push_back(static_cast<unsigned>(n));
+            }
+            if (opt.threads.empty())
+                return usageError("--threads list is empty");
+        } else if (!a.empty() && a[0] == '-') {
+            return usageError("unknown option '" + a + "'");
+        } else {
+            return usageError("unexpected argument '" + a + "'");
+        }
+    }
+    return runBench(opt);
+}

@@ -83,6 +83,10 @@ cmdInfo(const std::vector<std::string> &files)
             continue;
         }
         std::printf("%s:\n", path.c_str());
+        std::printf("  version        %u%s\n", t.header.version,
+                    t.header.version == wl::traceFormatVersion
+                        ? ""
+                        : "  (older encoding; still replayable)");
         std::printf("  workload       %s\n", t.header.workload.c_str());
         std::printf("  workload_hash  %s%s\n",
                     t.header.workloadHash.c_str(),
