@@ -139,6 +139,28 @@ BM_TagePredict(benchmark::State &state)
 }
 BENCHMARK(BM_TagePredict);
 
+void
+BM_TagePredictFolded(benchmark::State &state)
+{
+    pred::Tage tage;
+    pred::GeoFoldSpec spec;
+    tage.registerFolds(spec);
+    pred::GeoFolds folds;
+    folds.bind(&spec);
+    pred::GlobalHist h;
+    Rng rng(8);
+    for (auto _ : state) {
+        Addr pc = 0x400000 + (rng.below(1024) << 2);
+        pred::TageLookup lk = tage.predict(pc, h, folds);
+        benchmark::DoNotOptimize(lk);
+        bool taken = rng.chance(1, 2);
+        tage.update(lk, pc, taken);
+        folds.insertDir(taken, h.dir);
+        h.insert(taken, pc);
+    }
+}
+BENCHMARK(BM_TagePredictFolded);
+
 } // namespace
 
 // Google Benchmark owns the flag grammar here; the shared harness

@@ -71,6 +71,8 @@ constexpr u64
 xorFold(u64 val, unsigned nbits)
 {
     assert(nbits > 0 && nbits <= 64);
+    if (nbits >= 64)
+        return val; // single chunk (val >> 64 would be UB).
     u64 out = 0;
     while (val != 0) {
         out ^= val & mask(nbits);

@@ -17,6 +17,7 @@
 #define RSEP_COMMON_RING_BUFFER_HH
 
 #include <cstddef>
+#include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -70,6 +71,22 @@ class RingBuffer
             regrow(count ? count * 2 : 16);
         buf[(head + count) & mask] = std::move(v);
         ++count;
+    }
+
+    /** Append a default-constructed element in place and return it —
+     *  the caller fills it in the ring slot, avoiding a large-object
+     *  copy. The recycled slot is reset by constructing directly into
+     *  it (no temporary + assignment round trip). */
+    T &
+    emplace_back()
+    {
+        if (count == buf.size())
+            regrow(count ? count * 2 : 16);
+        T &slot = buf[(head + count) & mask];
+        slot.~T();
+        new (&slot) T{};
+        ++count;
+        return slot;
     }
 
     void

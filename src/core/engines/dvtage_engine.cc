@@ -1,5 +1,7 @@
 #include "core/engines/dvtage_engine.hh"
 
+#include <cassert>
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -17,11 +19,14 @@ DvtageEngine::DvtageEngine(const pred::DvtageParams &params, u64 seed)
 }
 
 bool
-DvtageEngine::atRename(InflightInst &di, bool handled, EngineContext &)
+DvtageEngine::atRename(InflightInst &di, bool handled, EngineContext &ctx)
 {
     if (!di.producesReg || di.si->isZeroIdiom())
         return false;
-    di.vpLk = vp.lookup(di.pc, di.histFetch);
+    // Folded-history fast path (see Pipeline::renameHist()).
+    assert(ctx.pipe.renameHist().dir == di.histFetch.dir &&
+           ctx.pipe.renameHist().path == di.histFetch.path);
+    di.vpLk = vp.lookup(di.pc, di.histFetch, ctx.pipe.renameFolds());
     if (handled || !di.vpLk.confident)
         return false;
     di.action = RenameAction::ValuePredicted;

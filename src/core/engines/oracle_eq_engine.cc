@@ -1,5 +1,7 @@
 #include "core/engines/oracle_eq_engine.hh"
 
+#include <cassert>
+
 #include "core/pipeline.hh"
 
 namespace rsep::core
@@ -24,10 +26,54 @@ OracleEqEngine::atRename(InflightInst &di, bool handled, EngineContext &ctx)
         (ctx.mech.moveElim && di.si->isEliminableMove()))
         return false;
 
-    // Scan the in-flight window youngest-first: the nearest equal
-    // producer is the one the paper's distance predictor would learn.
-    // The lookback is counted in *producers*, matching the unit of the
-    // FIFO history it stands in for (historyDepth committed producers).
+    // Find the youngest in-window equal-valued producer — the one the
+    // paper's distance predictor would learn. The lookback is counted
+    // in *producers*, matching the unit of the FIFO history it stands
+    // in for (historyDepth committed producers).
+    //
+    // The pipeline maintains a value -> in-ROB-producer index
+    // (value_index.hh) so this is a hash probe over the handful of
+    // equal-valued producers instead of a youngest-first walk of the
+    // whole ROB. Producer ordinals are dense, so "at most `window`
+    // producers scanned before giving up" is the ordinal floor below.
+    if (const ValueEqIndex *vidx = ctx.pipe.valueEqIndex()) {
+        const u64 next_ord = ctx.pipe.valueEqNextOrd();
+        const u64 floor_ord =
+            (window && next_ord > window) ? next_ord - window : 0;
+        if (const auto *prods = vidx->find(di.rec.result)) {
+            for (size_t i = prods->size(); i-- > 0;) {
+                const ValueEqIndex::Prod &pe = (*prods)[i];
+                if (pe.ord < floor_ord)
+                    break; // older than the producer-count window.
+                InflightInst *prod = ctx.pipe.findBySeq(pe.seq);
+                assert(prod); // indexed producers are in the ROB.
+                PhysReg preg = prod->destPreg;
+                if (preg != zeroPreg && !ctx.pipe.isrb().share(preg)) {
+                    // The substrate, not the oracle, is the limit
+                    // here; keep scanning for an older copy of the
+                    // value whose ISRB entry still has room.
+                    ++shareFailIsrb;
+                    ++ctx.st.shareFailIsrb;
+                    continue;
+                }
+                di.action = RenameAction::OracleShared;
+                di.destPreg = preg;
+                di.shareProducerSeq = prod->traceIdx;
+                di.shareProducerValue = prod->rec.result;
+                // Perfect knowledge: no validation micro-op, no
+                // misprediction path. The instruction still executes
+                // (the oracle removes the *check*, not the data-path
+                // work — matching the ideal-validation RSEP arms).
+                di.needsValidation = false;
+                return true;
+            }
+        }
+        ++noPartner;
+        ++ctx.st.shareFailNoProducer;
+        return false;
+    }
+
+    // Reference walk (no index maintained in this configuration).
     u64 producers_seen = 0;
     for (u64 s = di.traceIdx; s-- > 0;) {
         InflightInst *prod = ctx.pipe.findBySeq(s);
@@ -42,9 +88,6 @@ OracleEqEngine::atRename(InflightInst &di, bool handled, EngineContext &ctx)
 
         PhysReg preg = prod->destPreg;
         if (preg != zeroPreg && !ctx.pipe.isrb().share(preg)) {
-            // The substrate, not the oracle, is the limit here; keep
-            // scanning for an older copy of the value whose ISRB entry
-            // still has room.
             ++shareFailIsrb;
             ++ctx.st.shareFailIsrb;
             continue;
@@ -53,10 +96,6 @@ OracleEqEngine::atRename(InflightInst &di, bool handled, EngineContext &ctx)
         di.destPreg = preg;
         di.shareProducerSeq = prod->traceIdx;
         di.shareProducerValue = prod->rec.result;
-        // Perfect knowledge: no validation micro-op, no misprediction
-        // path. The instruction still executes (the oracle removes the
-        // *check*, not the data-path work — matching the ideal-
-        // validation RSEP arms).
         di.needsValidation = false;
         return true;
     }

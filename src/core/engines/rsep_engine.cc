@@ -1,5 +1,7 @@
 #include "core/engines/rsep_engine.hh"
 
+#include <cassert>
+
 #include "core/pipeline.hh"
 
 namespace rsep::core
@@ -90,7 +92,13 @@ RsepEngine::atRename(InflightInst &di, bool handled, EngineContext &ctx)
     if (!di.producesReg ||
         (ctx.mech.moveElim && si.isEliminableMove()) || si.isZeroIdiom())
         return false;
-    di.distLk = distPred.lookup(di.pc, di.histFetch);
+    // The pipeline's rename-side history replica equals di.histFetch
+    // for every renaming instruction; its incrementally folded
+    // registers make this lookup O(components) instead of O(history).
+    assert(ctx.pipe.renameHist().dir == di.histFetch.dir &&
+           ctx.pipe.renameHist().path == di.histFetch.path);
+    di.distLk =
+        distPred.lookup(di.pc, di.histFetch, ctx.pipe.renameFolds());
     if (handled)
         return false;
     return tryEqualityPredict(di, ctx);
@@ -225,6 +233,16 @@ RsepEngine::atCommitGroupEnd(unsigned producers_this_cycle,
         }
     }
     samplePool.clear();
+}
+
+void
+RsepEngine::atIdleCycles(u64 n, EngineContext &ctx)
+{
+    // An idle cycle is an empty commit group: zero producers sampled,
+    // and the probe pool is necessarily empty (nothing committed since
+    // atCommitGroupEnd last drained it), so no rng draw either. This is
+    // bit-identical to n empty-group atCommitGroupEnd calls.
+    ctx.st.commitGroupProducers.sample(0, n);
 }
 
 // ---------------------------------------------------------------- squash

@@ -42,6 +42,7 @@ class RsepEngine : public SpeculationEngine
     void atCommit(InflightInst &di, EngineContext &ctx) override;
     void atCommitGroupEnd(unsigned producers_this_cycle,
                           EngineContext &ctx) override;
+    void atIdleCycles(u64 n, EngineContext &ctx) override;
     void atSquashInst(InflightInst &di, EngineContext &ctx) override;
 
     equality::DistancePredictor &distancePredictor() { return distPred; }

@@ -26,11 +26,12 @@ Pipeline::Pipeline(const CoreParams &core_params, const MechConfig &mech_cfg,
       memIdx(4 * (core_params.lqSize + core_params.sqSize)),
       rng(seed ^ 0x4444)
 {
-    // Fixed-capacity rings: reserve the structural bounds once so the
-    // steady-state cycle loop never allocates.
-    rob.reserve(cp.robSize + 1);
-    frontendQ.reserve(cp.frontendDepth * cp.fetchWidth + 16 +
-                      cp.fetchWidth);
+    // Fixed-capacity ring: reserve the structural bound (ROB plus the
+    // frontend queue plus one fetch group) once so the steady-state
+    // cycle loop never allocates — and in-place references into the
+    // window are never invalidated by growth.
+    window.reserve(cp.robSize + 1 + cp.frontendDepth * cp.fetchWidth +
+                   16 + cp.fetchWidth);
     pregWaiterHead.assign(pregReady.size(), invalidWaiter);
     idealVal = mech.rsep.validation == equality::ValidationPolicy::Ideal;
     // Engines are constructed in every configuration (their structures
@@ -68,6 +69,21 @@ Pipeline::Pipeline(const CoreParams &core_params, const MechConfig &mech_cfg,
     for (auto *e : active)
         if (e->wantsIssueHook())
             issueSubscribers.push_back(e);
+
+    // Rename-side folded history: the engines doing history-indexed
+    // lookups at rename register their fold geometry here; one replica
+    // serves all of them (slots dedup across predictors).
+    if (mech.equalityPred)
+        rsepEngine->distancePredictor().registerFolds(renameFoldSpec);
+    if (mech.valuePred)
+        dvtageEngine->predictor().registerFolds(renameFoldSpec);
+    renameHistActive = mech.equalityPred || mech.valuePred;
+    renameFolds_.bind(&renameFoldSpec);
+
+    // Oracle equality: value -> in-window-producer index replacing the
+    // per-rename ROB walk.
+    if (mech.oracleEq)
+        valIdx = std::make_unique<ValueEqIndex>(2 * cp.robSize);
 
     // The hardwired zero register and all initial architectural
     // mappings hold value 0 and are ready from cycle 0.
@@ -158,12 +174,12 @@ Pipeline::resetStats()
 InflightInst *
 Pipeline::findBySeq(u64 seq)
 {
-    if (rob.empty() || seq < rob.front().traceIdx)
+    if (nRenamed == 0 || seq < window.front().traceIdx)
         return nullptr;
-    u64 pos = seq - rob.front().traceIdx;
-    if (pos >= rob.size())
+    u64 pos = seq - window.front().traceIdx;
+    if (pos >= nRenamed)
         return nullptr;
-    return &rob[static_cast<size_t>(pos)];
+    return &window[static_cast<size_t>(pos)];
 }
 
 // ---------------------------------------------------------------- fetch
@@ -174,7 +190,7 @@ Pipeline::doFetch()
     if (cycle < fetchResumeCycle || fetchWaitingExec)
         return;
     // Front-end backpressure.
-    if (frontendQ.size() >= cp.frontendDepth * cp.fetchWidth + 16)
+    if (window.size() - nRenamed >= cp.frontendDepth * cp.fetchWidth + 16)
         return;
 
     unsigned taken_seen = 0;
@@ -194,7 +210,7 @@ Pipeline::doFetch()
             }
         }
 
-        InflightInst di;
+        InflightInst &di = window.emplace_back();
         di.traceIdx = fetchIdx;
         di.si = &si;
         di.pc = pc;
@@ -206,7 +222,7 @@ Pipeline::doFetch()
         bool stop_after = false;
         if (si.isBranch()) {
             Addr target = isa::Program::pcOf(rec.nextIdx);
-            di.bp = bru.onFetchBranch(pc, si, rec.taken, target);
+            bru.onFetchBranch(pc, si, rec.taken, target, di.bp);
             if (di.bp.redirect == pred::Redirect::Execute) {
                 fetchWaitingExec = true;
                 stop_after = true;
@@ -220,7 +236,6 @@ Pipeline::doFetch()
             }
         }
 
-        frontendQ.push_back(std::move(di));
         ++fetchIdx;
         if (stop_after)
             break;
@@ -307,6 +322,22 @@ Pipeline::renameOne(InflightInst &di)
         memIdx.addStore(di.rec.effAddr & ~Addr{7}, di.traceIdx);
     }
 
+    // Rename-side history replica: advance *after* this instruction's
+    // engine hooks (which must see the history preceding it).
+    if (renameHistActive && si.isBranch()) {
+        if (si.isCondBranch()) {
+            renameFolds_.insertDir(di.rec.taken, renameHist_.dir);
+            renameHist_.insert(di.rec.taken, di.pc);
+        } else {
+            renameHist_.insertPath(isa::Program::pcOf(di.rec.nextIdx));
+        }
+    }
+
+    // Oracle equality index: this instruction becomes discoverable as a
+    // producer for younger renames.
+    if (valIdx && di.producesReg && di.destPreg != invalidPhysReg)
+        valIdx->add(di.rec.result, di.traceIdx, valOrdNext++);
+
     // Hand the instruction to the issue scheduler. Rename order is
     // seq order, so both lists stay age-sorted by construction.
     if (di.needsValidation)
@@ -318,21 +349,31 @@ Pipeline::renameOne(InflightInst &di)
 bool
 Pipeline::mayElideExecution(const isa::StaticInst &si) const
 {
+    ElideCacheEntry &slot =
+        elideCache[(reinterpret_cast<uintptr_t>(&si) >> 4) &
+                   (elideCache.size() - 1)];
+    if (slot.si == &si)
+        return slot.elide;
+    bool elide = false;
     for (auto *e : active)
-        if (e->mayElideExecution(si))
-            return true;
-    return false;
+        if (e->mayElideExecution(si)) {
+            elide = true;
+            break;
+        }
+    slot = {&si, elide};
+    return elide;
 }
 
 void
 Pipeline::doRename()
 {
-    for (unsigned n = 0; n < cp.renameWidth && !frontendQ.empty(); ++n) {
-        InflightInst &head = frontendQ.front();
+    for (unsigned n = 0; n < cp.renameWidth && nRenamed < window.size();
+         ++n) {
+        InflightInst &head = window[nRenamed];
         if (head.fetchCycle + cp.frontendDepth > cycle)
             break;
         const isa::StaticInst &si = *head.si;
-        if (rob.size() >= cp.robSize) {
+        if (nRenamed >= cp.robSize) {
             ++st.renameStallRob;
             break;
         }
@@ -354,9 +395,10 @@ Pipeline::doRename()
             ++st.renameStallRegs;
             break;
         }
-        rob.push_back(std::move(frontendQ.front()));
-        frontendQ.pop_front();
-        renameOne(rob.back());
+        // Rename in place: the instruction just moves across the
+        // ROB/frontend boundary.
+        ++nRenamed;
+        renameOne(head);
     }
 }
 
@@ -760,7 +802,7 @@ Pipeline::processReadyEntry(ReadyEntry e, size_t &squash_pos)
             storeSets.reportViolation(yng->pc, di.pc);
             ++st.memOrderSquashes;
             squash_pos =
-                static_cast<size_t>(*viol - rob.front().traceIdx);
+                static_cast<size_t>(*viol - window.front().traceIdx);
             return IssueStep::EndStage;
         }
     } else if (di.isLoad()) {
@@ -815,20 +857,38 @@ Pipeline::squashFrom(size_t rob_pos, bool refetch_penalty)
     // Restore front-end state to the first squashed instruction. When
     // the squash removes only fetched-not-renamed instructions, the
     // snapshot lives at the front of the frontend queue instead.
-    if (rob_pos < rob.size()) {
-        const InflightInst &first = rob[rob_pos];
+    if (rob_pos < nRenamed) {
+        const InflightInst &first = window[rob_pos];
         bru.restore(first.histFetch, first.rasSnap);
         fetchIdx = first.traceIdx;
-    } else if (!frontendQ.empty()) {
-        const InflightInst &first = frontendQ.front();
+        // Every squashed instruction will be re-renamed, so the rename
+        // replica rewinds to the first squashed instruction's
+        // fetch-time history.
+        if (renameHistActive) {
+            renameHist_ = first.histFetch;
+            renameFolds_.recompute(renameHist_.dir);
+        }
+    } else if (window.size() > nRenamed) {
+        const InflightInst &first = window[nRenamed];
         bru.restore(first.histFetch, first.rasSnap);
         fetchIdx = first.traceIdx;
     }
 
-    const bool any_rob = rob_pos < rob.size();
-    const u64 first_seq = any_rob ? rob[rob_pos].traceIdx : 0;
-    for (size_t i = rob.size(); i-- > rob_pos;) {
-        InflightInst &di = rob[i];
+    // Drop the never-renamed tail first (nothing to undo), then unwind
+    // the renamed suffix young to old.
+    while (window.size() > nRenamed)
+        window.pop_back();
+    const bool any_rob = rob_pos < nRenamed;
+    const u64 first_seq = any_rob ? window[rob_pos].traceIdx : 0;
+    for (size_t i = nRenamed; i-- > rob_pos;) {
+        InflightInst &di = window[i];
+        // Producer-index removal (young to old: the loop's final
+        // rollback of the ordinal counter is the oldest squashed
+        // producer's ordinal, keeping live ordinals dense).
+        if (valIdx && di.producesReg && di.destPreg != invalidPhysReg) {
+            if (auto ord = valIdx->remove(di.rec.result, di.traceIdx))
+                valOrdNext = *ord;
+        }
         undoRename(di);
         // Dependants parked on this instruction are younger: squashed
         // with it. Drop the chain without waking anyone.
@@ -841,9 +901,9 @@ Pipeline::squashFrom(size_t rob_pos, bool refetch_penalty)
             --lqUsed;
         if (di.isStore())
             --sqUsed;
-        rob.pop_back();
+        window.pop_back();
     }
-    frontendQ.clear();
+    nRenamed = rob_pos;
     if (any_rob)
         squashSchedCleanup(first_seq);
     {
@@ -913,6 +973,9 @@ Pipeline::commitOne(InflightInst &di, bool squash_follows)
     if (si.isLoad())
         --lqUsed;
     memIndexRemove(di);
+    // The oldest producer leaves the equality-index window.
+    if (valIdx && di.producesReg && di.destPreg != invalidPhysReg)
+        valIdx->remove(di.rec.result, di.traceIdx);
 
     // Release the previous mapping of the destination register.
     if (di.producesReg && di.oldPreg != invalidPhysReg &&
@@ -942,8 +1005,8 @@ Pipeline::doCommit()
     unsigned producers_this_cycle = 0;
 
     unsigned n = 0;
-    while (n < cp.commitWidth && !rob.empty()) {
-        InflightInst &di = rob.front();
+    while (n < cp.commitWidth && nRenamed > 0) {
+        InflightInst &di = window.front();
         if (commitBlocked(di))
             break;
 
@@ -970,7 +1033,8 @@ Pipeline::doCommit()
             // drop the chain unwoken.
             waiters.freeChain(di.waiterHead);
             di.waiterHead = invalidWaiter;
-            rob.pop_front();
+            window.pop_front();
+            --nRenamed;
             squashFrom(0, true);
             fetchIdx = next_idx;
             trace.trimBelow(next_idx);
@@ -987,17 +1051,17 @@ Pipeline::doCommit()
         // it gone — the same cycle the old scan saw findBySeq fail.
         u32 chain = di.waiterHead;
         di.waiterHead = invalidWaiter;
-        rob.pop_front();
+        window.pop_front();
+        --nRenamed;
         wakeChain(chain, SchedState::WaitSeq);
-        if (!rob.empty()) {
-            trace.trimBelow(rob.front().traceIdx);
+        if (!window.empty()) {
+            // The window front — renamed or not — bounds every record
+            // still reachable (fetched-but-unrenamed instructions may
+            // be squashed and re-fetched).
+            trace.trimBelow(
+                std::min(fetchIdx, window.front().traceIdx));
         } else {
-            // Careful: fetched-but-unrenamed instructions may still be
-            // squashed and re-fetched; keep their records reachable.
-            u64 low = fetchIdx;
-            if (!frontendQ.empty())
-                low = std::min(low, frontendQ.front().traceIdx);
-            trace.trimBelow(low);
+            trace.trimBelow(fetchIdx);
         }
         ++n;
     }
@@ -1025,8 +1089,8 @@ Pipeline::checkRegisterConservation() const
         if (p_ != invalidPhysReg && p_ != zeroPreg)
             live[p_] = 1;
     }
-    for (size_t i = 0; i < rob.size(); ++i) {
-        const InflightInst &di = rob[i];
+    for (size_t i = 0; i < nRenamed; ++i) {
+        const InflightInst &di = window[i];
         if (di.producesReg && di.oldPreg != invalidPhysReg &&
             di.oldPreg != zeroPreg)
             live[di.oldPreg] = 1;
@@ -1046,6 +1110,63 @@ Pipeline::checkRegisterConservation() const
     return true;
 }
 
+Cycle
+Pipeline::nextEventCycle() const
+{
+    // Any queued issue or validation work is retried every cycle (port
+    // arbitration); those cycles must run.
+    if (!readyList.empty() || !pendingValidation.empty())
+        return invalidCycle;
+
+    Cycle next = invalidCycle;
+    auto consider = [&next](Cycle c) { next = std::min(next, c); };
+
+    // Rename: an eligible frontend head renames (or ticks a stall
+    // counter) every cycle — never skip over it. An ineligible head
+    // becomes eligible at a known decode-ready cycle.
+    if (window.size() > nRenamed) {
+        Cycle ready = window[nRenamed].fetchCycle + cp.frontendDepth;
+        if (ready <= cycle + 1)
+            return invalidCycle;
+        consider(ready);
+    }
+
+    // Fetch: runs next cycle unless stalled. An exec-redirect stall or
+    // backpressure clears only via issue/rename events (covered below
+    // and above); an I-cache stall clears at a known cycle.
+    if (!fetchWaitingExec &&
+        window.size() - nRenamed < cp.frontendDepth * cp.fetchWidth + 16) {
+        if (cycle + 1 >= fetchResumeCycle)
+            return invalidCycle;
+        consider(fetchResumeCycle);
+    }
+
+    // Commit: a head blocked purely on time unblocks at a known cycle.
+    // An unissued head has no time bound of its own — it is woken
+    // through the scheduler events considered below.
+    if (nRenamed > 0) {
+        const InflightInst &h = window.front();
+        bool unissued_exec = h.needsExec && !h.issued;
+        if (!unissued_exec) {
+            Cycle unblock = h.completeCycle + 1;
+            // needsValidation && !validationIssued implies a pending-
+            // validation entry, which already returned above.
+            if (h.needsValidation)
+                unblock = std::max(unblock, h.validationCycle + 1);
+            if (unblock <= cycle + 1)
+                return invalidCycle;
+            consider(unblock);
+        }
+    }
+
+    // Scheduler: the earliest pending wake (stale tokens only make
+    // this conservative — they end the skip early, never late).
+    if (!wakeHeap.empty())
+        consider(wakeHeap.nextDue());
+
+    return next;
+}
+
 void
 Pipeline::run(u64 ninsts)
 {
@@ -1057,9 +1178,21 @@ Pipeline::run(u64 ninsts)
         doIssueAndValidate();
         doRename();
         doFetch();
+        // Fast-forward stretches where provably nothing can happen
+        // (mispredict stalls, cache misses): jump to one cycle before
+        // the next event so the normal loop executes the event cycle.
+        Cycle next = nextEventCycle();
+        if (next != invalidCycle && next > cycle + 1) {
+            u64 skipped = next - cycle - 1;
+            st.cycles += skipped;
+            cycle += skipped;
+            EngineContext ctx = makeContext();
+            for (auto *e : active)
+                e->atIdleCycles(skipped, ctx);
+        }
         if (cycle > (target + 1) * 1000) {
-            if (!rob.empty()) {
-                const InflightInst &h = rob.front();
+            if (nRenamed > 0) {
+                const InflightInst &h = window.front();
                 rsep_panic("pipeline livelock: cycle %llu committed %llu "
                            "head seq %llu pc %llx action %d needsExec %d "
                            "issued %d complete %llu srcs %u "
@@ -1081,11 +1214,11 @@ Pipeline::run(u64 ninsts)
                            static_cast<unsigned long long>(h.storeDepSeq));
             }
             rsep_panic("pipeline livelock: cycle %llu committed %llu "
-                       "(empty rob, frontendQ %zu, fetchIdx %llu, "
+                       "(empty rob, frontend %zu, fetchIdx %llu, "
                        "resume %llu, waitingExec %d)",
                        static_cast<unsigned long long>(cycle),
                        static_cast<unsigned long long>(committed),
-                       frontendQ.size(),
+                       window.size() - nRenamed,
                        static_cast<unsigned long long>(fetchIdx),
                        static_cast<unsigned long long>(fetchResumeCycle),
                        fetchWaitingExec);

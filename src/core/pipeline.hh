@@ -20,6 +20,7 @@
 #ifndef RSEP_CORE_PIPELINE_HH
 #define RSEP_CORE_PIPELINE_HH
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -32,6 +33,7 @@
 #include "core/rename.hh"
 #include "core/spec_engine.hh"
 #include "core/trace_buffer.hh"
+#include "core/value_index.hh"
 #include "core/wakeup.hh"
 #include "mem/hierarchy.hh"
 #include "pred/branch_unit.hh"
@@ -244,6 +246,24 @@ class Pipeline
     /** Architectural commit count (CSN source). */
     u64 committedCount() const { return committed; }
 
+    /**
+     * Rename-side global-history replica and its folded registers:
+     * advanced as branches *rename*, so during any instruction's rename
+     * hooks it equals that instruction's fetch-time history (commit
+     * order == fetch order on the trace-driven path; squashes restore
+     * it from the refetch point). Engines performing history-indexed
+     * lookups at rename use these instead of folding di.histFetch from
+     * scratch. Only bound when a registered engine needs it.
+     */
+    const pred::GlobalHist &renameHist() const { return renameHist_; }
+    const pred::GeoFolds &renameFolds() const { return renameFolds_; }
+
+    /** Value -> in-window producer index for the oracle equality arm;
+     *  nullptr unless mech.oracleEq. */
+    const ValueEqIndex *valueEqIndex() const { return valIdx.get(); }
+    /** Ordinal the *next* renamed producer will receive. */
+    u64 valueEqNextOrd() const { return valOrdNext; }
+
     // ------------------------------------------------------- engine API
     /** In-flight instruction by sequence number; nullptr if retired or
      *  not yet renamed. */
@@ -277,6 +297,32 @@ class Pipeline
     void commitOne(InflightInst &di, bool squash_follows = false);
     bool commitBlocked(const InflightInst &di) const;
     bool mayElideExecution(const isa::StaticInst &si) const;
+
+    /**
+     * Memo for mayElideExecution: the verdict is a pure function of
+     * the static instruction and the (fixed) engine roster, but the
+     * generic query is a virtual call per active engine per renamed
+     * instruction. Static instructions are stable for the program's
+     * lifetime, so a small direct-mapped pointer-keyed cache turns the
+     * steady state into one compare.
+     */
+    struct ElideCacheEntry
+    {
+        const isa::StaticInst *si = nullptr;
+        bool elide = false;
+    };
+    mutable std::array<ElideCacheEntry, 256> elideCache{};
+
+    /**
+     * Earliest future cycle at which any stage could make progress, or
+     * invalidCycle when the next cycle must run normally (work is
+     * queued, or no time-driven event is known). run() uses this to
+     * fast-forward provably idle stretches — branch-mispredict and
+     * cache-miss stalls — in one step; skipped cycles are observable
+     * only through st.cycles and the engines' atIdleCycles hook, so
+     * every stat dump stays byte-identical to single-stepping.
+     */
+    Cycle nextEventCycle() const;
 
     Cycle
     opLatency(isa::OpClass c) const;
@@ -319,6 +365,12 @@ class Pipeline
     TraceBuffer trace;
     mem::MemoryHierarchy hier;
     pred::BranchUnit bru;
+    /** Rename-side history replica (see renameHist()); maintained only
+     *  when an active engine registered fold geometry. */
+    pred::GeoFoldSpec renameFoldSpec;
+    pred::GlobalHist renameHist_;
+    pred::GeoFolds renameFolds_;
+    bool renameHistActive = false;
     pred::StoreSets storeSets;
     equality::Isrb isrbUnit; ///< register-sharing substrate (shared by
                              ///< the move-elim and RSEP engines).
@@ -336,10 +388,17 @@ class Pipeline
     // --- core state ---
     RenameState rename;
     FuPool fuPool;
-    /** Fixed-capacity rings (reserved to the structure bounds in the
-     *  constructor): zero steady-state allocation, contiguous seqs. */
-    RingBuffer<InflightInst> rob;
-    RingBuffer<InflightInst> frontendQ; ///< fetched, waiting for rename.
+    /**
+     * The fetch-to-commit instruction window, one fixed-capacity ring
+     * (reserved to the structural bounds in the constructor — zero
+     * steady-state allocation, contiguous seqs): [0, nRenamed) is the
+     * ROB, [nRenamed, size) the frontend queue. Fetch constructs each
+     * instruction in place at the back, rename advances the boundary
+     * and renames in place, commit pops the front — an InflightInst
+     * (~0.5 KB) is never copied between stages.
+     */
+    RingBuffer<InflightInst> window;
+    size_t nRenamed = 0; ///< ROB/frontend boundary within @c window.
     std::vector<Cycle> pregReady;
 
     // --- issue scheduler state ---
@@ -351,6 +410,9 @@ class Pipeline
      *  validation pass scans only these, not the whole ROB). */
     std::vector<u64> pendingValidation;
     MemDwordIndex memIdx;
+    /** Oracle equality producer index (mech.oracleEq only). */
+    std::unique_ptr<ValueEqIndex> valIdx;
+    u64 valOrdNext = 0;
     /** Same-cycle wakes raised while the issue scan is running (only
      *  possible with zero-latency configs): they must join *this*
      *  cycle's ascending pass — as the old full-ROB walk would have

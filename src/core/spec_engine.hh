@@ -164,6 +164,19 @@ class SpeculationEngine
         (void)producers_this_cycle, (void)ctx;
     }
 
+    /**
+     * The pipeline fast-forwarded @p n provably idle cycles (no fetch,
+     * rename, issue, validation or commit activity was possible in any
+     * of them). An engine whose atCommitGroupEnd has per-cycle effects
+     * even on empty groups must replay them here, bit-identically to
+     * n empty-group calls; engines without such effects ignore it.
+     */
+    virtual void
+    atIdleCycles(u64 n, EngineContext &ctx)
+    {
+        (void)n, (void)ctx;
+    }
+
     // ------------------------------------------------------- squash hooks
     /** Undo the rename-time side effects of one squashed instruction. */
     virtual void

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * In-window value -> producer index for the oracle equality engine.
+ *
+ * The oracle arm used to discover an equal-valued older producer by
+ * walking the ROB backwards from every renaming instruction — O(ROB)
+ * per rename, and the dominant cost of the rsep-oracle arm. This index
+ * keeps, per 64-bit result value, the seq-sorted list of in-window
+ * producers (instructions with producesReg and a valid destPreg),
+ * maintained at rename (insert), commit (remove oldest) and squash
+ * (remove youngest), exactly like MemDwordIndex in wakeup.hh.
+ *
+ * Each producer also carries a dense *producer ordinal*: the n-th
+ * producer renamed is ordinal n, commit removes the oldest prefix and
+ * squash rolls the counter back to the oldest squashed producer's
+ * ordinal. Ordinals of live producers therefore always form a dense
+ * range, which turns the walk's "give up after `window` producers
+ * scanned" bound into an O(1) comparison: a producer is within the
+ * window of a rename at counter C iff ord >= C - window. Equivalence
+ * with the reference walk is pinned by tests/test_pred_fold.cc.
+ */
+
+#ifndef RSEP_CORE_VALUE_INDEX_HH
+#define RSEP_CORE_VALUE_INDEX_HH
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rsep::core
+{
+
+/** Open-addressing map: result value -> in-window producers. */
+class ValueEqIndex
+{
+  public:
+    struct Prod
+    {
+        u64 seq; ///< trace sequence number.
+        u64 ord; ///< dense producer ordinal.
+    };
+
+    explicit ValueEqIndex(size_t capacity_hint = 512)
+    {
+        size_t cap = 16;
+        while (cap < capacity_hint)
+            cap *= 2;
+        slots.resize(cap);
+    }
+
+    /** Producers join at rename (ascending seq and ord). */
+    void
+    add(u64 value, u64 seq, u64 ord)
+    {
+        std::vector<Prod> &v = findOrCreate(value).prods;
+        // Rename inserts in ascending seq order; squash removals only
+        // trim the tail, so push_back keeps the vector sorted. The
+        // assert-free fallback below covers out-of-order use in tests.
+        if (v.empty() || v.back().seq < seq) {
+            v.push_back(Prod{seq, ord});
+        } else {
+            auto it = std::lower_bound(
+                v.begin(), v.end(), seq,
+                [](const Prod &p, u64 s) { return p.seq < s; });
+            v.insert(it, Prod{seq, ord});
+        }
+    }
+
+    /** Remove a producer (commit or squash); returns its ordinal. */
+    std::optional<u64>
+    remove(u64 value, u64 seq)
+    {
+        size_t mask = slots.size() - 1;
+        for (size_t i = hashOf(value) & mask;; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (s.state == Empty)
+                return std::nullopt;
+            if (s.state != Used || s.key != value)
+                continue;
+            auto it = std::lower_bound(
+                s.prods.begin(), s.prods.end(), seq,
+                [](const Prod &p, u64 q) { return p.seq < q; });
+            if (it == s.prods.end() || it->seq != seq)
+                return std::nullopt;
+            u64 ord = it->ord;
+            s.prods.erase(it);
+            if (s.prods.empty()) {
+                s.state = Tomb;
+                --used;
+                ++tombs;
+            }
+            return ord;
+        }
+    }
+
+    /** Seq-ascending producers of @p value; nullptr if none. */
+    const std::vector<Prod> *
+    find(u64 value) const
+    {
+        size_t mask = slots.size() - 1;
+        for (size_t i = hashOf(value) & mask;; i = (i + 1) & mask) {
+            const Slot &s = slots[i];
+            if (s.state == Empty)
+                return nullptr;
+            if (s.state == Used && s.key == value)
+                return &s.prods;
+        }
+    }
+
+    size_t slotCapacity() const { return slots.size(); }
+    size_t entriesUsed() const { return used; }
+
+  private:
+    enum : u8 { Empty = 0, Used = 1, Tomb = 2 };
+
+    struct Slot
+    {
+        u64 key = 0;
+        u8 state = Empty;
+        std::vector<Prod> prods;
+    };
+
+    static size_t
+    hashOf(u64 value)
+    {
+        u64 x = value;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        return static_cast<size_t>(x);
+    }
+
+    Slot &
+    findOrCreate(u64 value)
+    {
+        if ((used + tombs + 1) * 4 > slots.size() * 3)
+            rehash(slots.size() * 2);
+        size_t mask = slots.size() - 1;
+        size_t first_tomb = slots.size();
+        for (size_t i = hashOf(value) & mask;; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (s.state == Used && s.key == value)
+                return s;
+            if (s.state == Tomb && first_tomb == slots.size())
+                first_tomb = i;
+            if (s.state == Empty) {
+                Slot &dst =
+                    first_tomb != slots.size() ? slots[first_tomb] : s;
+                if (dst.state == Tomb)
+                    --tombs;
+                dst.key = value;
+                dst.state = Used;
+                ++used;
+                return dst;
+            }
+        }
+    }
+
+    void
+    rehash(size_t cap)
+    {
+        std::vector<Slot> old = std::move(slots);
+        slots.clear();
+        slots.resize(cap);
+        used = 0;
+        tombs = 0;
+        for (Slot &s : old) {
+            if (s.state != Used)
+                continue;
+            findOrCreate(s.key).prods = std::move(s.prods);
+        }
+    }
+
+    std::vector<Slot> slots;
+    size_t used = 0;
+    size_t tombs = 0;
+};
+
+} // namespace rsep::core
+
+#endif // RSEP_CORE_VALUE_INDEX_HH

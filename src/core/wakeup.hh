@@ -130,6 +130,12 @@ class WakeupHeap
         std::push_heap(heap.begin(), heap.end(), later);
     }
 
+    /** Earliest scheduled wake cycle; precondition !empty(). Stale
+     *  (token-mismatched) entries may make this conservative — their
+     *  wake is a no-op, so a fast-forward bound derived from it only
+     *  ever ends a skip early, never late. */
+    Cycle nextDue() const { return heap.front().wake; }
+
     bool
     popDue(Cycle now, WakeEntry &out)
     {

@@ -1,52 +1,7 @@
 #include "isa/opcode.hh"
 
-#include "common/logging.hh"
-
 namespace rsep::isa
 {
-
-OpClass
-opClassOf(Opcode op)
-{
-    switch (op) {
-      case Opcode::Add: case Opcode::Sub: case Opcode::And:
-      case Opcode::Orr: case Opcode::Eor: case Opcode::Lsl:
-      case Opcode::Lsr: case Opcode::Asr:
-      case Opcode::AddI: case Opcode::SubI: case Opcode::AndI:
-      case Opcode::OrrI: case Opcode::EorI: case Opcode::LslI:
-      case Opcode::LsrI: case Opcode::AsrI:
-      case Opcode::CmpLt: case Opcode::CmpLtU: case Opcode::CmpEq:
-      case Opcode::Mov: case Opcode::MovI:
-        return OpClass::IntAlu;
-      case Opcode::Mul:
-        return OpClass::IntMul;
-      case Opcode::Div:
-        return OpClass::IntDiv;
-      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMov:
-      case Opcode::FCvtI: case Opcode::FCvtF: case Opcode::FAbs:
-      case Opcode::FNeg: case Opcode::FMin: case Opcode::FMax:
-        return OpClass::FpAlu;
-      case Opcode::FMul:
-        return OpClass::FpMul;
-      case Opcode::FDiv:
-        return OpClass::FpDiv;
-      case Opcode::Ldr: case Opcode::LdrX:
-      case Opcode::FLdr: case Opcode::FLdrX:
-        return OpClass::Load;
-      case Opcode::Str: case Opcode::StrX:
-      case Opcode::FStr: case Opcode::FStrX:
-        return OpClass::Store;
-      case Opcode::B: case Opcode::Beq: case Opcode::Bne:
-      case Opcode::Blt: case Opcode::Bge: case Opcode::Bltu:
-      case Opcode::Bgeu: case Opcode::Cbz: case Opcode::Cbnz:
-      case Opcode::Bl: case Opcode::Ret: case Opcode::BrInd:
-        return OpClass::Branch;
-      case Opcode::Nop: case Opcode::Halt:
-        return OpClass::Nop;
-      default:
-        rsep_panic("opClassOf: bad opcode %d", static_cast<int>(op));
-    }
-}
 
 std::string_view
 mnemonic(Opcode op)
@@ -109,63 +64,6 @@ mnemonic(Opcode op)
       case Opcode::Nop: return "nop";
       case Opcode::Halt: return "halt";
       default: return "<bad>";
-    }
-}
-
-bool
-isLoadOp(Opcode op)
-{
-    return opClassOf(op) == OpClass::Load;
-}
-
-bool
-isStoreOp(Opcode op)
-{
-    return opClassOf(op) == OpClass::Store;
-}
-
-bool
-isBranchOp(Opcode op)
-{
-    return opClassOf(op) == OpClass::Branch;
-}
-
-bool
-isCondBranchOp(Opcode op)
-{
-    switch (op) {
-      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
-      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
-      case Opcode::Cbz: case Opcode::Cbnz:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isIndirectOp(Opcode op)
-{
-    return op == Opcode::Ret || op == Opcode::BrInd;
-}
-
-bool
-isCallOp(Opcode op)
-{
-    return op == Opcode::Bl;
-}
-
-bool
-writesFpDest(Opcode op)
-{
-    switch (op) {
-      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
-      case Opcode::FDiv: case Opcode::FMov: case Opcode::FCvtI:
-      case Opcode::FAbs: case Opcode::FNeg: case Opcode::FMin:
-      case Opcode::FMax: case Opcode::FLdr: case Opcode::FLdrX:
-        return true;
-      default:
-        return false;
     }
 }
 

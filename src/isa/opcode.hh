@@ -15,6 +15,7 @@
 
 #include <string_view>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace rsep::isa
@@ -68,6 +69,8 @@ enum class Opcode : u8 {
     FStr,  ///< store from an FP register, base + imm.
     FStrX, ///< store from an FP register, base + index*8.
     // Control flow (compare-and-branch style; no flags register).
+    // isBranchOp/isCondBranchOp test these as contiguous ranges —
+    // keep B..BrInd together and Beq..Cbnz the conditional subset.
     B,     ///< unconditional direct branch.
     Beq, Bne, Blt, Bge, Bltu, Bgeu, ///< two-register compare and branch.
     Cbz, Cbnz,                      ///< single-register compare and branch.
@@ -97,26 +100,116 @@ enum class OpClass : u8 {
     NumClasses
 };
 
-/** Map an opcode to its FU class. */
-OpClass opClassOf(Opcode op);
+/**
+ * Map an opcode to its FU class. Inline (with the predicates below):
+ * these run several times per simulated instruction on the fetch,
+ * rename and commit paths, and an out-of-line call per query shows up
+ * in profiles.
+ */
+inline OpClass
+opClassOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Orr: case Opcode::Eor: case Opcode::Lsl:
+      case Opcode::Lsr: case Opcode::Asr:
+      case Opcode::AddI: case Opcode::SubI: case Opcode::AndI:
+      case Opcode::OrrI: case Opcode::EorI: case Opcode::LslI:
+      case Opcode::LsrI: case Opcode::AsrI:
+      case Opcode::CmpLt: case Opcode::CmpLtU: case Opcode::CmpEq:
+      case Opcode::Mov: case Opcode::MovI:
+        return OpClass::IntAlu;
+      case Opcode::Mul:
+        return OpClass::IntMul;
+      case Opcode::Div:
+        return OpClass::IntDiv;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMov:
+      case Opcode::FCvtI: case Opcode::FCvtF: case Opcode::FAbs:
+      case Opcode::FNeg: case Opcode::FMin: case Opcode::FMax:
+        return OpClass::FpAlu;
+      case Opcode::FMul:
+        return OpClass::FpMul;
+      case Opcode::FDiv:
+        return OpClass::FpDiv;
+      case Opcode::Ldr: case Opcode::LdrX:
+      case Opcode::FLdr: case Opcode::FLdrX:
+        return OpClass::Load;
+      case Opcode::Str: case Opcode::StrX:
+      case Opcode::FStr: case Opcode::FStrX:
+        return OpClass::Store;
+      case Opcode::B: case Opcode::Beq: case Opcode::Bne:
+      case Opcode::Blt: case Opcode::Bge: case Opcode::Bltu:
+      case Opcode::Bgeu: case Opcode::Cbz: case Opcode::Cbnz:
+      case Opcode::Bl: case Opcode::Ret: case Opcode::BrInd:
+        return OpClass::Branch;
+      case Opcode::Nop: case Opcode::Halt:
+        return OpClass::Nop;
+      default:
+        rsep_panic("opClassOf: bad opcode %d", static_cast<int>(op));
+    }
+}
 
 /** Mnemonic for disassembly. */
 std::string_view mnemonic(Opcode op);
 
 /** True for any load opcode. */
-bool isLoadOp(Opcode op);
+inline bool
+isLoadOp(Opcode op)
+{
+    return op == Opcode::Ldr || op == Opcode::LdrX ||
+           op == Opcode::FLdr || op == Opcode::FLdrX;
+}
+
 /** True for any store opcode. */
-bool isStoreOp(Opcode op);
+inline bool
+isStoreOp(Opcode op)
+{
+    return op == Opcode::Str || op == Opcode::StrX ||
+           op == Opcode::FStr || op == Opcode::FStrX;
+}
+
 /** True for any control-transfer opcode. */
-bool isBranchOp(Opcode op);
+inline bool
+isBranchOp(Opcode op)
+{
+    return op >= Opcode::B && op <= Opcode::BrInd;
+}
+
 /** True for conditional (direction-predicted) branches. */
-bool isCondBranchOp(Opcode op);
+inline bool
+isCondBranchOp(Opcode op)
+{
+    return op >= Opcode::Beq && op <= Opcode::Cbnz;
+}
+
 /** True for indirect-target transfers (Ret / BrInd). */
-bool isIndirectOp(Opcode op);
+inline bool
+isIndirectOp(Opcode op)
+{
+    return op == Opcode::Ret || op == Opcode::BrInd;
+}
+
 /** True for the call opcode. */
-bool isCallOp(Opcode op);
+inline bool
+isCallOp(Opcode op)
+{
+    return op == Opcode::Bl;
+}
+
 /** True if the op writes a floating-point destination. */
-bool writesFpDest(Opcode op);
+inline bool
+writesFpDest(Opcode op)
+{
+    switch (op) {
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv: case Opcode::FMov: case Opcode::FCvtI:
+      case Opcode::FAbs: case Opcode::FNeg: case Opcode::FMin:
+      case Opcode::FMax: case Opcode::FLdr: case Opcode::FLdrX:
+        return true;
+      default:
+        return false;
+    }
+}
 
 } // namespace rsep::isa
 

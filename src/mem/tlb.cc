@@ -13,11 +13,23 @@ Tlb::access(Addr vaddr)
 {
     ++useClock;
     Addr vpn = vaddr >> pageShift;
+    // MRU shortcut: page locality makes most accesses hit the entry
+    // the previous one did. Replicates the scan's hit-path side
+    // effects exactly (lastUse refresh + hit count), so eviction order
+    // and stats are unchanged. The pointer survives evictions (the
+    // entry vector never reallocates); a recycled entry simply fails
+    // the vpn compare.
+    if (mru && mru->valid && mru->vpn == vpn) {
+        mru->lastUse = useClock;
+        ++hits;
+        return 0;
+    }
     Entry *lru = &entries[0];
     for (auto &e : entries) {
         if (e.valid && e.vpn == vpn) {
             e.lastUse = useClock;
             ++hits;
+            mru = &e;
             return 0;
         }
         if (!e.valid) {
@@ -28,6 +40,7 @@ Tlb::access(Addr vaddr)
     }
     ++misses;
     *lru = {true, vpn, useClock};
+    mru = lru;
     return walkLatency;
 }
 

@@ -37,6 +37,7 @@ class Tlb
     };
 
     std::vector<Entry> entries;
+    Entry *mru = nullptr; ///< last entry hit (scan shortcut).
     Cycle walkLatency;
     unsigned pageShift;
     u64 useClock = 0;

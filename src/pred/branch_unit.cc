@@ -9,20 +9,21 @@ using isa::Opcode;
 
 BranchUnit::BranchUnit(const TageParams &tp, u64 seed) : tage(tp, seed)
 {
+    tage.registerFolds(foldSpec);
+    fetchFolds.bind(&foldSpec);
 }
 
-BranchPrediction
+void
 BranchUnit::onFetchBranch(Addr pc, const isa::StaticInst &si,
-                          bool actual_taken, Addr actual_target)
+                          bool actual_taken, Addr actual_target,
+                          BranchPrediction &bp)
 {
-    BranchPrediction bp;
-    bp.histBefore = hist;
     bp.rasSnap = ras.snapshot();
     bp.actualTaken = actual_taken;
 
     if (si.isCondBranch()) {
         ++condBranches;
-        bp.tageLk = tage.predict(pc, hist);
+        tage.predict(pc, hist, fetchFolds, bp.tageLk);
         bp.predTaken = bp.tageLk.pred;
         if (bp.predTaken != actual_taken) {
             ++condMispredicts;
@@ -63,18 +64,20 @@ BranchUnit::onFetchBranch(Addr pc, const isa::StaticInst &si,
     // Speculative history insert: trace-driven fetch records the actual
     // outcome (wrong paths are never fetched). Unconditional and
     // indirect transfers advance the path history with their target.
-    if (si.isCondBranch())
+    if (si.isCondBranch()) {
+        fetchFolds.insertDir(actual_taken, hist.dir);
         hist.insert(actual_taken, pc);
-    else
+    } else {
         hist.insertPath(actual_target);
-
-    return bp;
+    }
 }
 
 void
 BranchUnit::onCommitBranch(const BranchPrediction &bp, Addr pc,
                            const isa::StaticInst &si, Addr actual_target)
 {
+    // The lookup carried its component indices/tags from fetch, so
+    // training needs no commit-side history replica.
     if (si.isCondBranch())
         tage.update(bp.tageLk, pc, bp.actualTaken);
     if (bp.actualTaken && si.op != Opcode::Ret)

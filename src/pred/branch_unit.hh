@@ -8,6 +8,13 @@
  * decides is *when* fetch may proceed: a mispredicted branch redirects
  * at execute (full penalty), a BTB-missing taken branch redirects at
  * decode (short bubble).
+ *
+ * One incremental folded-history register set (ghist.hh) shadows the
+ * speculative fetch-side history; every TAGE lookup reads it in O(1)
+ * per component instead of re-folding up to 64 history bits. The
+ * lookup result carries its component indices/tags (packed u16, see
+ * TageLookup) through the ROB, so commit-time training is a pure
+ * table write with no history replica and no re-hashing.
  */
 
 #ifndef RSEP_PRED_BRANCH_UNIT_HH
@@ -37,7 +44,6 @@ struct BranchPrediction
     bool actualTaken = false;
     TageLookup tageLk;
     ReturnAddressStack::Snapshot rasSnap{0, 0};
-    GlobalHist histBefore; ///< history the branch was fetched under.
 };
 
 /** Aggregated front-end predictor. */
@@ -48,11 +54,23 @@ class BranchUnit
 
     /**
      * Process a fetched branch. @p actual_taken / @p actual_target come
-     * from the trace. Updates speculative history/RAS.
+     * from the trace. Updates speculative history/RAS. Fills @p bp in
+     * place — the caller passes a default-initialized prediction (the
+     * pipeline's ROB slot arrives freshly value-initialized), avoiding
+     * a by-value round trip of the lookup payload per branch.
      */
+    void onFetchBranch(Addr pc, const isa::StaticInst &si, bool actual_taken,
+                       Addr actual_target, BranchPrediction &bp);
+
+    /** Convenience by-value wrapper (tests / offline tools). */
     BranchPrediction
     onFetchBranch(Addr pc, const isa::StaticInst &si, bool actual_taken,
-                  Addr actual_target);
+                  Addr actual_target)
+    {
+        BranchPrediction bp;
+        onFetchBranch(pc, si, actual_taken, actual_target, bp);
+        return bp;
+    }
 
     /** Commit-time predictor training. */
     void onCommitBranch(const BranchPrediction &bp, Addr pc,
@@ -63,6 +81,7 @@ class BranchUnit
     restore(const GlobalHist &h, const ReturnAddressStack::Snapshot &rs)
     {
         hist = h;
+        fetchFolds.recompute(h.dir);
         ras.restore(rs);
     }
 
@@ -83,7 +102,9 @@ class BranchUnit
     Tage tage;
     Btb btb;
     ReturnAddressStack ras;
-    GlobalHist hist;
+    GeoFoldSpec foldSpec;
+    GlobalHist hist;     ///< speculative fetch-side history.
+    GeoFolds fetchFolds; ///< folds shadowing @c hist.
 };
 
 } // namespace rsep::pred

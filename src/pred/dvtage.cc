@@ -11,12 +11,26 @@ Dvtage::Dvtage(const DvtageParams &params, u64 seed)
 VpLookup
 Dvtage::lookup(Addr pc, const GlobalHist &h)
 {
-    ++lookups;
     VpLookup lk;
+    lk.itageLk = deltas.lookup(pc, h);
+    return finishLookup(pc, std::move(lk));
+}
+
+VpLookup
+Dvtage::lookup(Addr pc, const GlobalHist &h, const GeoFolds &folds)
+{
+    VpLookup lk;
+    lk.itageLk = deltas.lookup(pc, h, folds);
+    return finishLookup(pc, std::move(lk));
+}
+
+VpLookup
+Dvtage::finishLookup(Addr pc, VpLookup lk)
+{
+    ++lookups;
     lk.valid = true;
     lk.lvtIdx = static_cast<u32>(((pc >> 2) ^ (pc >> (2 + p.lvtBits)))
                                  & mask(p.lvtBits));
-    lk.itageLk = deltas.lookup(pc, h);
 
     u64 last = lvt[lk.lvtIdx];
     auto it = spec.find(lk.lvtIdx);

@@ -55,11 +55,11 @@ visitFields(DvtageParams &p, V &&v)
 /** Per-instruction lookup state carried until commit. */
 struct VpLookup
 {
-    bool valid = false;        ///< a lookup was performed.
-    bool confident = false;    ///< prediction usable.
+    ItageLookup itageLk;
     u64 predicted = 0;         ///< predicted result value.
     u32 lvtIdx = 0;
-    ItageLookup itageLk;
+    bool valid = false;        ///< a lookup was performed.
+    bool confident = false;    ///< prediction usable.
     bool speculated = false;   ///< prediction was consumed by the core.
 };
 
@@ -70,12 +70,18 @@ class Dvtage
     explicit Dvtage(const DvtageParams &params = DvtageParams{},
                     u64 seed = 11);
 
+    /** Register the delta table's fold geometry. */
+    void registerFolds(GeoFoldSpec &spec) { deltas.registerFolds(spec); }
+
     /**
      * Rename-time lookup for the instruction at @p pc fetched under
      * history @p h. The caller decides whether to speculate (and then
      * calls notifySpeculated so back-to-back instances chain).
      */
     VpLookup lookup(Addr pc, const GlobalHist &h);
+
+    /** Folded-history fast path; @p folds must shadow @p h. */
+    VpLookup lookup(Addr pc, const GlobalHist &h, const GeoFolds &folds);
 
     /** The core consumed this prediction: advance the spec window. */
     void notifySpeculated(VpLookup &lk);
@@ -95,6 +101,8 @@ class Dvtage
     StatCounter mispredicts;
 
   private:
+    VpLookup finishLookup(Addr pc, VpLookup lk);
+
     /** Zigzag encode a signed delta into an unsigned payload. */
     static u64
     encodeDelta(s64 d)

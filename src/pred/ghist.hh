@@ -14,6 +14,7 @@
 #define RSEP_PRED_GHIST_HH
 
 #include <algorithm>
+#include <vector>
 
 #include "common/bitutils.hh"
 #include "common/types.hh"
@@ -74,6 +75,129 @@ geoTag(Addr pc, const GlobalHist &h, unsigned hist_len, unsigned tag_bits)
     u64 hash = (pc >> 2) * 0x9e3779b97f4a7c15ull;
     u64 hd = hist_len == 0 ? 0 : (h.dir & mask(hist_len));
     hash ^= xorFold(hd, tag_bits) << 1;
+    hash ^= hash >> 17;
+    return static_cast<u32>(hash & mask(tag_bits));
+}
+
+/**
+ * Registry of the distinct (history length, fold width) pairs a set of
+ * geometric predictors needs. Predictors register their components
+ * once at construction; duplicate pairs collapse onto one slot, which
+ * is how the index-computation pass is shared across TAGE / ITTAGE /
+ * D-VTAGE / distance-predictor components with coinciding geometry.
+ */
+class GeoFoldSpec
+{
+  public:
+    struct Slot
+    {
+        unsigned len;  ///< direction-history bits folded (0..64).
+        unsigned bits; ///< fold width (the xorFold target width).
+    };
+
+    /** Register (len, bits), deduplicating; returns the slot index. */
+    unsigned
+    require(unsigned len, unsigned bits)
+    {
+        for (unsigned i = 0; i < sl.size(); ++i)
+            if (sl[i].len == len && sl[i].bits == bits)
+                return i;
+        sl.push_back(Slot{len, bits});
+        return static_cast<unsigned>(sl.size() - 1);
+    }
+
+    const std::vector<Slot> &slots() const { return sl; }
+    unsigned size() const { return static_cast<unsigned>(sl.size()); }
+
+  private:
+    std::vector<Slot> sl;
+};
+
+/**
+ * Incrementally maintained folded direction history: one register per
+ * GeoFoldSpec slot, each holding exactly
+ *
+ *     xorFold(dir & mask(len), bits)
+ *
+ * for the GlobalHist it shadows. Inserting a direction bit updates
+ * every register in O(1) instead of re-folding up to 64 bits per
+ * component per prediction; squash restores recompute from the (rare)
+ * restored dir value. The identity is pinned by tests/test_pred_fold.cc.
+ *
+ * Derivation: write fold(x) = XOR_i x_i << (i mod B) over the L-bit
+ * window x. Shifting in a new bit b moves every x_i to position i+1,
+ * so fold becomes rotl(fold, B, 1) with b entering at bit 0 and the
+ * evicted bit x_{L-1} — which the rotation carried to position L mod B
+ * — cancelled by XOR.
+ */
+class GeoFolds
+{
+  public:
+    /** Bind to a fully populated spec and zero the registers. */
+    void
+    bind(const GeoFoldSpec *spec)
+    {
+        sp = spec;
+        f.assign(sp->size(), 0);
+    }
+
+    bool bound() const { return sp != nullptr; }
+
+    /** A direction bit is inserted into the shadowed history; @p
+     *  dir_before is GlobalHist::dir *before* its insert(). */
+    void
+    insertDir(bool taken, u64 dir_before)
+    {
+        const auto &slots = sp->slots();
+        for (unsigned i = 0; i < slots.size(); ++i) {
+            const unsigned L = slots[i].len;
+            if (L == 0)
+                continue; // an empty window folds to 0 forever.
+            const unsigned B = slots[i].bits;
+            u64 v = rotateLeft(f[i], B, 1);
+            v ^= static_cast<u64>(taken);
+            v ^= ((dir_before >> (L - 1)) & 1) << (L % B);
+            f[i] = v;
+        }
+    }
+
+    /** Rebuild every register from scratch (squash restore). */
+    void
+    recompute(u64 dir)
+    {
+        const auto &slots = sp->slots();
+        for (unsigned i = 0; i < slots.size(); ++i)
+            f[i] = slots[i].len == 0
+                ? 0
+                : xorFold(dir & mask(slots[i].len), slots[i].bits);
+    }
+
+    u64 fold(unsigned slot) const { return f[slot]; }
+
+  private:
+    const GeoFoldSpec *sp = nullptr;
+    std::vector<u64> f;
+};
+
+/** geoIndex with the direction fold precomputed (identical hash). */
+inline u32
+geoIndexFolded(Addr pc, u64 dir_fold, u64 path, unsigned hist_len,
+               unsigned idx_bits)
+{
+    u64 hash = pc >> 2;
+    hash ^= hash >> idx_bits;
+    hash ^= dir_fold;
+    hash ^= xorFold(path & mask(std::min(16u, hist_len)), idx_bits)
+            << (idx_bits > 2 ? 1 : 0);
+    return static_cast<u32>(hash & mask(idx_bits));
+}
+
+/** geoTag with the direction fold precomputed (identical hash). */
+inline u32
+geoTagFolded(Addr pc, u64 dir_fold, unsigned tag_bits)
+{
+    u64 hash = (pc >> 2) * 0x9e3779b97f4a7c15ull;
+    hash ^= dir_fold << 1;
     hash ^= hash >> 17;
     return static_cast<u32>(hash & mask(tag_bits));
 }

@@ -10,46 +10,88 @@ ItageTable::ItageTable(const ItageParams &params, u64 seed)
 {
     if (p.numTagged > maxItageComps)
         rsep_fatal("ItageTable: too many components (%u)", p.numTagged);
-    base.resize(size_t{1} << p.baseBits);
-    for (auto &e : base)
-        e.conf = ConfidenceCounter(p.confKind);
-    tagged.resize(p.numTagged);
+    if (p.taggedBits > 16)
+        rsep_fatal("ItageTable: taggedBits %u > 16 (lookup indices are "
+                   "carried as u16)", p.taggedBits);
+    basePayload.assign(size_t{1} << p.baseBits, 0);
+    baseConf.assign(size_t{1} << p.baseBits, 0);
+    size_t tagged = size_t{p.numTagged} << p.taggedBits;
+    tTag.assign(tagged, 0);
+    tPayload.assign(tagged, 0);
+    tConf.assign(tagged, 0);
+    tU.assign(tagged, 0);
+}
+
+void
+ItageTable::registerFolds(GeoFoldSpec &spec)
+{
     for (unsigned c = 0; c < p.numTagged; ++c) {
-        tagged[c].assign(size_t{1} << p.taggedBits, TaggedEntry{});
-        for (auto &e : tagged[c])
-            e.conf = ConfidenceCounter(p.confKind);
+        idxSlot[c] =
+            static_cast<u16>(spec.require(p.histLens[c], p.taggedBits));
+        tagSlot[c] =
+            static_cast<u16>(spec.require(p.histLens[c], p.tagBits[c]));
     }
+    foldsRegistered = true;
+}
+
+ItageLookup
+ItageTable::lookupWith(Addr pc, ItageLookup lk) const
+{
+    lk.baseIdx = static_cast<u32>(((pc >> 2) ^ (pc >> (2 + p.baseBits)))
+                                  & mask(p.baseBits));
+    lk.provider = -1;
+    lk.payload = basePayload[lk.baseIdx];
+    lk.confidence = confEffective(baseConf[lk.baseIdx]);
+    lk.confident = confSaturated(baseConf[lk.baseIdx]);
+
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        const size_t at = (size_t{c} << p.taggedBits) | lk.idx[c];
+        if (tTag[at] == lk.tag[c] && tTag[at] != 0) {
+            lk.altProvider = lk.provider;
+            lk.altPayload = lk.payload;
+            lk.altValid = true;
+            lk.provider = static_cast<s8>(c);
+            lk.payload = tPayload[at];
+            lk.confidence = confEffective(tConf[at]);
+            lk.confident = confSaturated(tConf[at]);
+        }
+    }
+    return lk;
 }
 
 ItageLookup
 ItageTable::lookup(Addr pc, const GlobalHist &h) const
 {
     ItageLookup lk;
-    lk.baseIdx = static_cast<u32>(((pc >> 2) ^ (pc >> (2 + p.baseBits)))
-                                  & mask(p.baseBits));
-    const BaseEntry &be = base[lk.baseIdx];
-    lk.provider = -1;
-    lk.payload = be.payload;
-    lk.confidence = be.conf.effectiveValue();
-    lk.confident = be.conf.saturated();
-
     for (unsigned c = 0; c < p.numTagged; ++c) {
-        lk.idx[c] = geoIndex(pc, h, p.histLens[c], p.taggedBits);
+        lk.idx[c] =
+            static_cast<u16>(geoIndex(pc, h, p.histLens[c], p.taggedBits));
         lk.tag[c] = geoTag(pc, h, p.histLens[c], p.tagBits[c]);
     }
+    return lookupWith(pc, lk);
+}
+
+ItageLookup
+ItageTable::lookup(Addr pc, const GlobalHist &h, const GeoFolds &folds) const
+{
+    assert(foldsRegistered);
+    ItageLookup lk;
+    // One shared path fold per lookup: the path contribution saturates
+    // at 16 history bits, so every component with histLen >= 16 reuses
+    // pf16.
+    const unsigned ib = p.taggedBits;
+    const unsigned shift = ib > 2 ? 1 : 0;
+    const u64 pf16 = xorFold(h.path & mask(16), ib) << shift;
+    u64 hash0 = pc >> 2;
+    hash0 ^= hash0 >> ib;
     for (unsigned c = 0; c < p.numTagged; ++c) {
-        const TaggedEntry &e = tagged[c][lk.idx[c]];
-        if (e.tag == lk.tag[c] && e.tag != 0) {
-            lk.altProvider = lk.provider;
-            lk.altPayload = lk.payload;
-            lk.altValid = true;
-            lk.provider = static_cast<int>(c);
-            lk.payload = e.payload;
-            lk.confidence = e.conf.effectiveValue();
-            lk.confident = e.conf.saturated();
-        }
+        const unsigned hl = p.histLens[c];
+        u64 hash = hash0 ^ folds.fold(idxSlot[c]);
+        hash ^= hl >= 16 ? pf16 : xorFold(h.path & mask(hl), ib) << shift;
+        lk.idx[c] = static_cast<u16>(hash & mask(ib));
+        lk.tag[c] = geoTagFolded(pc, folds.fold(tagSlot[c]), p.tagBits[c]);
     }
-    return lk;
+    return lookupWith(pc, lk);
 }
 
 void
@@ -59,32 +101,34 @@ ItageTable::update(const ItageLookup &lk, u64 actual, bool allocate_on_wrong)
     bool provider_correct = lk.payload == actual;
 
     if (lk.provider >= 0) {
-        TaggedEntry &e = tagged[lk.provider][lk.idx[lk.provider]];
+        const size_t at =
+            (size_t{static_cast<unsigned>(lk.provider)} << p.taggedBits) |
+            lk.idx[lk.provider];
         if (provider_correct) {
-            e.conf.onCorrect(&rng);
-            if (lk.altValid && lk.altPayload != actual)
-                e.u.increment();
+            confOnCorrect(tConf[at]);
+            if (lk.altValid && lk.altPayload != actual && tU[at] < 1)
+                ++tU[at];
         } else {
-            if (e.conf.effectiveValue() == 0) {
+            if (confEffective(tConf[at]) == 0) {
                 if (representable(actual))
-                    e.payload = actual;
-                e.conf.reset();
+                    tPayload[at] = actual;
+                tConf[at] = 0;
             } else {
-                e.conf.onIncorrect();
+                tConf[at] = 0; // onIncorrect: confidence collapses.
             }
-            if (lk.altValid && lk.altPayload == actual)
-                e.u.decrement();
+            if (lk.altValid && lk.altPayload == actual && tU[at] > 0)
+                --tU[at];
         }
     } else {
-        BaseEntry &be = base[lk.baseIdx];
+        u8 &bc = baseConf[lk.baseIdx];
         if (provider_correct) {
-            be.conf.onCorrect(&rng);
-        } else if (be.conf.effectiveValue() == 0) {
+            confOnCorrect(bc);
+        } else if (confEffective(bc) == 0) {
             if (representable(actual))
-                be.payload = actual;
-            be.conf.reset();
+                basePayload[lk.baseIdx] = actual;
+            bc = 0;
         } else {
-            be.conf.onIncorrect();
+            bc = 0;
         }
     }
 
@@ -94,30 +138,35 @@ ItageTable::update(const ItageLookup &lk, u64 actual, bool allocate_on_wrong)
         unsigned start = static_cast<unsigned>(lk.provider + 1);
         int victim = -1;
         for (unsigned c = start; c < p.numTagged; ++c) {
-            if (tagged[c][lk.idx[c]].u.zero()) {
+            if (tU[(size_t{c} << p.taggedBits) | lk.idx[c]] == 0) {
                 victim = static_cast<int>(c);
                 if (c + 1 < p.numTagged && rng.chance(1, 2) &&
-                    tagged[c + 1][lk.idx[c + 1]].u.zero())
+                    tU[(size_t{c + 1} << p.taggedBits) | lk.idx[c + 1]] == 0)
                     victim = static_cast<int>(c + 1);
                 break;
             }
         }
         if (victim >= 0) {
-            TaggedEntry &e = tagged[victim][lk.idx[victim]];
-            e.tag = lk.tag[victim];
-            e.payload = actual;
-            e.conf.reset();
-            e.u.reset(0);
+            const size_t at =
+                (size_t{static_cast<unsigned>(victim)} << p.taggedBits) |
+                lk.idx[victim];
+            tTag[at] = lk.tag[victim];
+            tPayload[at] = actual;
+            tConf[at] = 0;
+            tU[at] = 0;
         } else {
-            for (unsigned c = start; c < p.numTagged; ++c)
-                tagged[c][lk.idx[c]].u.decrement();
+            for (unsigned c = start; c < p.numTagged; ++c) {
+                u8 &u = tU[(size_t{c} << p.taggedBits) | lk.idx[c]];
+                if (u > 0)
+                    --u;
+            }
         }
     }
 
     if (updates % p.usefulResetPeriod == 0) {
-        for (auto &comp : tagged)
-            for (auto &e : comp)
-                e.u.decrement();
+        for (u8 &u : tU)
+            if (u > 0)
+                --u;
     }
 }
 
@@ -125,16 +174,16 @@ void
 ItageTable::updateIncorrect(const ItageLookup &lk)
 {
     if (lk.provider >= 0)
-        tagged[lk.provider][lk.idx[lk.provider]].conf.onIncorrect();
+        tConf[(size_t{static_cast<unsigned>(lk.provider)} << p.taggedBits) |
+              lk.idx[lk.provider]] = 0;
     else
-        base[lk.baseIdx].conf.onIncorrect();
+        baseConf[lk.baseIdx] = 0;
 }
 
 u64
 ItageTable::storageBits() const
 {
-    // Base: payload + confidence.
-    u64 conf_bits = base.empty() ? 8 : base[0].conf.storageBits();
+    u64 conf_bits = p.confKind == ConfidenceKind::Deterministic8 ? 8 : 3;
     u64 bits = (u64{1} << p.baseBits) * (p.payloadBits + conf_bits);
     for (unsigned c = 0; c < p.numTagged; ++c) {
         bits += (u64{1} << p.taggedBits) *

@@ -22,7 +22,6 @@
 
 #include "common/prob_counter.hh"
 #include "common/rng.hh"
-#include "common/sat_counter.hh"
 #include "pred/ghist.hh"
 
 namespace rsep::pred
@@ -67,19 +66,25 @@ visitFields(ItageParams &p, V &&v)
     v("useful_reset_period", p.usefulResetPeriod);
 }
 
-/** Result of a lookup; carried with the instruction until commit. */
+/**
+ * Result of a lookup; carried with the instruction until commit. Two
+ * copies ride in every InflightInst (D-VTAGE and the distance
+ * predictor), so the layout is packed: indices fit u16 (taggedBits is
+ * checked <= 16 at construction), providers fit s8, confidence is the
+ * effective 0..255 scale.
+ */
 struct ItageLookup
 {
-    int provider = -1;             ///< tagged comp index, -1 = base.
     u64 payload = 0;
-    u32 confidence = 0;            ///< effective 0..255 scale.
-    bool confident = false;        ///< confidence saturated.
-    int altProvider = -1;
     u64 altPayload = 0;
-    bool altValid = false;
-    std::array<u32, maxItageComps> idx{};
+    std::array<u16, maxItageComps> idx{};
     std::array<u32, maxItageComps> tag{};
     u32 baseIdx = 0;
+    u8 confidence = 0;             ///< effective 0..255 scale.
+    s8 provider = -1;              ///< tagged comp index, -1 = base.
+    s8 altProvider = -1;
+    bool confident = false;        ///< confidence saturated.
+    bool altValid = false;
 };
 
 /** The predictor. Payloads are opaque u64 values. */
@@ -88,8 +93,18 @@ class ItageTable
   public:
     explicit ItageTable(const ItageParams &params, u64 seed = 3);
 
+    /** Register this table's (hist len, fold width) pairs; enables the
+     *  folded lookup overload. */
+    void registerFolds(GeoFoldSpec &spec);
+
     /** Look up under the history the instruction was fetched with. */
     ItageLookup lookup(Addr pc, const GlobalHist &h) const;
+
+    /** Folded-history fast path: @p folds must shadow @p h. The lookup
+     *  result (including the carried idx/tag arrays) is identical to
+     *  the from-scratch overload. */
+    ItageLookup lookup(Addr pc, const GlobalHist &h,
+                       const GeoFolds &folds) const;
 
     /**
      * Commit-time training with the observed payload.
@@ -117,22 +132,53 @@ class ItageTable
     const ItageParams &params() const { return p; }
 
   private:
-    struct TaggedEntry
+    void indicesInto(Addr pc, const GlobalHist &h, ItageLookup &lk) const;
+    ItageLookup lookupWith(Addr pc, ItageLookup lk) const;
+
+    // Confidence counters stored as raw levels with a table-wide kind;
+    // the helpers replicate ConfidenceCounter exactly (including the
+    // FPC rng-call sequence, which is shared with allocation rolls).
+    void
+    confOnCorrect(u8 &lvl) const
     {
-        u32 tag = 0;
-        u64 payload = 0;
-        ConfidenceCounter conf;
-        SatCounter u{1, 0};
-    };
-    struct BaseEntry
+        if (p.confKind == ConfidenceKind::Deterministic8) {
+            if (lvl < 255)
+                ++lvl;
+        } else {
+            if (lvl >= 7)
+                return;
+            u32 den = fpc3Denominators[lvl];
+            if (den == 1 || rng.chance(1, den))
+                ++lvl;
+        }
+    }
+    u32
+    confEffective(u8 lvl) const
     {
-        u64 payload = 0;
-        ConfidenceCounter conf;
-    };
+        if (p.confKind == ConfidenceKind::Deterministic8)
+            return lvl;
+        constexpr auto eff = fpc3EffectiveLevels();
+        return eff[lvl];
+    }
+    bool
+    confSaturated(u8 lvl) const
+    {
+        return p.confKind == ConfidenceKind::Deterministic8 ? lvl == 255
+                                                            : lvl == 7;
+    }
 
     ItageParams p;
-    std::vector<BaseEntry> base;
-    std::vector<std::vector<TaggedEntry>> tagged;
+    /** Banked SoA storage: tagged entry (c, i) lives at flat position
+     *  (c << taggedBits) | i in each array. */
+    std::vector<u64> basePayload;
+    std::vector<u8> baseConf;
+    std::vector<u32> tTag;
+    std::vector<u64> tPayload;
+    std::vector<u8> tConf;
+    std::vector<u8> tU; ///< 1-bit useful counters.
+    std::array<u16, maxItageComps> idxSlot{};
+    std::array<u16, maxItageComps> tagSlot{};
+    bool foldsRegistered = false;
     mutable Rng rng;
     u64 updates = 0;
 };

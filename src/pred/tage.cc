@@ -1,73 +1,182 @@
 #include "pred/tage.hh"
 
+#include <cassert>
+
 namespace rsep::pred
 {
 
-Tage::Tage(const TageParams &params, u64 seed)
-    : p(params), base(size_t{1} << p.baseBits, SatCounter(2, 1)),
-      rng(seed)
+Tage::Tage(const TageParams &params, u64 seed) : p(params), rng(seed)
 {
-    tagged.resize(p.numTagged);
-    for (unsigned c = 0; c < p.numTagged; ++c)
-        tagged[c].assign(size_t{1} << p.taggedBits, TaggedEntry{});
+    base.assign(size_t{1} << p.baseBits, 1); // weakly not-taken.
+    size_t tagged = size_t{p.numTagged} << p.taggedBits;
+    tTag.assign(tagged, 0);
+    tCtr.assign(tagged, 3); // weakly not-taken (3-bit midpoint 4).
+    tU.assign(tagged, 0);
+}
+
+void
+Tage::registerFolds(GeoFoldSpec &spec)
+{
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        idxSlot[c] =
+            static_cast<u16>(spec.require(p.histLens[c], p.taggedBits));
+        tagSlot[c] =
+            static_cast<u16>(spec.require(p.histLens[c], p.tagBits[c]));
+    }
+    foldsRegistered = true;
+}
+
+void
+Tage::indicesFolded(Addr pc, const GlobalHist &h, const GeoFolds &folds,
+                    u16 *idx, u16 *tag) const
+{
+    assert(foldsRegistered);
+    // The path fold saturates at 16 history bits: every component with
+    // histLen >= 16 shares one fold, computed once per prediction.
+    const unsigned ib = p.taggedBits;
+    const unsigned shift = ib > 2 ? 1 : 0;
+    const u64 pf16 = xorFold(h.path & mask(16), ib) << shift;
+    u64 hash0 = pc >> 2;
+    hash0 ^= hash0 >> ib;
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        const unsigned hl = p.histLens[c];
+        u64 hash = hash0 ^ folds.fold(idxSlot[c]);
+        hash ^= hl >= 16 ? pf16
+                         : xorFold(h.path & mask(hl), ib) << shift;
+        idx[c] = static_cast<u16>(hash & mask(ib));
+        tag[c] = static_cast<u16>(
+            geoTagFolded(pc, folds.fold(tagSlot[c]), p.tagBits[c]));
+    }
+}
+
+void
+Tage::indicesScratch(Addr pc, const GlobalHist &h, u16 *idx, u16 *tag) const
+{
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        idx[c] = static_cast<u16>(geoIndex(pc, h, p.histLens[c],
+                                           p.taggedBits));
+        tag[c] = static_cast<u16>(geoTag(pc, h, p.histLens[c],
+                                         p.tagBits[c]));
+    }
+}
+
+void
+Tage::predictWith(Addr pc, TageLookup &lk) const
+{
+    const u32 base_idx = static_cast<u32>((pc >> 2) & mask(p.baseBits));
+    const bool base_pred = base[base_idx] >= 2;
+    lk.pred = base_pred;
+    lk.altPred = base_pred;
+
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        const size_t at = (size_t{c} << p.taggedBits) | lk.idx[c];
+        if (tTag[at] == lk.tag[c]) {
+            lk.altProvider = lk.provider;
+            lk.altPred = lk.pred;
+            lk.provider = static_cast<s8>(c);
+            const u8 ctr = tCtr[at];
+            lk.pred = ctr >= 4;
+            lk.providerWeak = ctr == 3 || ctr == 4;
+        }
+    }
+    // The conventional alt computation keeps the prediction of the
+    // second-longest match; the loop above maintains exactly that.
+}
+
+void
+Tage::predict(Addr pc, const GlobalHist &h, const GeoFolds &folds,
+              TageLookup &lk) const
+{
+    indicesFolded(pc, h, folds, lk.idx, lk.tag);
+    predictWith(pc, lk);
+}
+
+TageLookup
+Tage::predict(Addr pc, const GlobalHist &h, const GeoFolds &folds) const
+{
+    TageLookup lk;
+    predict(pc, h, folds, lk);
+    return lk;
 }
 
 TageLookup
 Tage::predict(Addr pc, const GlobalHist &h) const
 {
     TageLookup lk;
-    lk.baseIdx = static_cast<u32>((pc >> 2) & mask(p.baseBits));
-    bool base_pred = base[lk.baseIdx].value() >= 2;
-
-    lk.pred = base_pred;
-    lk.altPred = base_pred;
-
-    for (unsigned c = 0; c < p.numTagged; ++c) {
-        lk.idx[c] = geoIndex(pc, h, p.histLens[c], p.taggedBits);
-        lk.tag[c] = geoTag(pc, h, p.histLens[c], p.tagBits[c]);
-    }
-    for (unsigned c = 0; c < p.numTagged; ++c) {
-        const TaggedEntry &e = tagged[c][lk.idx[c]];
-        if (e.tag == lk.tag[c]) {
-            lk.altProvider = lk.provider;
-            lk.altPred = lk.pred;
-            lk.provider = static_cast<int>(c);
-            lk.pred = e.ctr.value() >= 4;
-            lk.providerWeak = e.ctr.value() == 3 || e.ctr.value() == 4;
-        }
-    }
-    // The conventional alt computation keeps the prediction of the
-    // second-longest match; the loop above maintains exactly that.
+    indicesScratch(pc, h, lk.idx, lk.tag);
+    predictWith(pc, lk);
     return lk;
+}
+
+void
+Tage::prefetch(Addr pc, const GlobalHist &h, const GeoFolds &folds) const
+{
+    assert(foldsRegistered);
+    const unsigned ib = p.taggedBits;
+    const unsigned shift = ib > 2 ? 1 : 0;
+    const u64 pf16 = xorFold(h.path & mask(16), ib) << shift;
+    u64 hash0 = pc >> 2;
+    hash0 ^= hash0 >> ib;
+    __builtin_prefetch(&base[(pc >> 2) & mask(p.baseBits)], 0, 1);
+    for (unsigned c = 0; c < p.numTagged; ++c) {
+        const unsigned hl = p.histLens[c];
+        u64 hash = hash0 ^ folds.fold(idxSlot[c]);
+        hash ^= hl >= 16 ? pf16
+                         : xorFold(h.path & mask(hl), ib) << shift;
+        const size_t at =
+            (size_t{c} << ib) | static_cast<u32>(hash & mask(ib));
+        __builtin_prefetch(&tTag[at], 0, 1);
+        __builtin_prefetch(&tCtr[at], 0, 1);
+    }
 }
 
 void
 Tage::update(const TageLookup &lk, Addr pc, bool taken)
 {
+    const u16 *idx = lk.idx;
+    const u16 *tag = lk.tag;
     ++updates;
 
-    auto update_ctr = [taken](SatCounter &c) {
-        if (taken)
-            c.increment();
-        else
-            c.decrement();
+    auto bump3 = [taken](u8 &c) {
+        if (taken) {
+            if (c < 7)
+                ++c;
+        } else if (c > 0) {
+            --c;
+        }
+    };
+
+    const u32 base_idx = static_cast<u32>((pc >> 2) & mask(p.baseBits));
+    auto bump_base = [&] {
+        u8 &c = base[base_idx];
+        if (taken) {
+            if (c < 3)
+                ++c;
+        } else if (c > 0) {
+            --c;
+        }
     };
 
     if (lk.provider >= 0) {
-        TaggedEntry &e = tagged[lk.provider][lk.idx[lk.provider]];
+        const size_t at =
+            (size_t{static_cast<unsigned>(lk.provider)} << p.taggedBits) |
+            idx[static_cast<unsigned>(lk.provider)];
         // Useful bit: provider differed from alt and was right/wrong.
         if (lk.pred != lk.altPred) {
-            if (lk.pred == taken)
-                e.u.increment();
-            else
-                e.u.decrement();
+            u8 &u = tU[at];
+            if (lk.pred == taken) {
+                if (u < 3)
+                    ++u;
+            } else if (u > 0) {
+                --u;
+            }
         }
-        update_ctr(e.ctr);
+        bump3(tCtr[at]);
         // Weak providers also train the alternate (base) prediction.
         if (lk.providerWeak && lk.altProvider < 0)
-            update_ctr(base[lk.baseIdx]);
+            bump_base();
     } else {
-        update_ctr(base[lk.baseIdx]);
+        bump_base();
     }
 
     // Allocate on a misprediction if a longer component is available.
@@ -78,30 +187,35 @@ Tage::update(const TageLookup &lk, Addr pc, bool taken)
         // 1/2 chance of skipping one to decorrelate allocations.
         int victim = -1;
         for (unsigned c = start; c < p.numTagged; ++c) {
-            if (tagged[c][lk.idx[c]].u.zero()) {
+            if (tU[(size_t{c} << p.taggedBits) | idx[c]] == 0) {
                 victim = static_cast<int>(c);
                 if (c + 1 < p.numTagged && rng.chance(1, 2) &&
-                    tagged[c + 1][lk.idx[c + 1]].u.zero())
+                    tU[(size_t{c + 1} << p.taggedBits) | idx[c + 1]] == 0)
                     victim = static_cast<int>(c + 1);
                 break;
             }
         }
         if (victim >= 0) {
-            TaggedEntry &e = tagged[victim][lk.idx[victim]];
-            e.tag = lk.tag[victim];
-            e.ctr.reset(taken ? 4 : 3);
-            e.u.reset(0);
+            const size_t at =
+                (size_t{static_cast<unsigned>(victim)} << p.taggedBits) |
+                idx[victim];
+            tTag[at] = tag[victim];
+            tCtr[at] = taken ? 4 : 3;
+            tU[at] = 0;
         } else {
-            for (unsigned c = start; c < p.numTagged; ++c)
-                tagged[c][lk.idx[c]].u.decrement();
+            for (unsigned c = start; c < p.numTagged; ++c) {
+                u8 &u = tU[(size_t{c} << p.taggedBits) | idx[c]];
+                if (u > 0)
+                    --u;
+            }
         }
     }
 
     // Periodic useful-bit aging.
     if (updates % p.usefulResetPeriod == 0) {
-        for (auto &comp : tagged)
-            for (auto &e : comp)
-                e.u.decrement();
+        for (u8 &u : tU)
+            if (u > 0)
+                --u;
     }
 }
 

@@ -3,6 +3,14 @@
  * TAGE conditional branch predictor (Seznec & Michaud), Table I front
  * end: 1 base + 12 partially tagged geometric-history components,
  * ~15K entries total.
+ *
+ * Storage is banked struct-of-arrays: tags, prediction counters and
+ * useful bits live in separate contiguous arrays indexed by
+ * (component << taggedBits) | index, so the 12 tagged probes of a
+ * prediction are a tight gather over prefetchable memory instead of 12
+ * scattered vector-of-vector dereferences. Lookups take an incremental
+ * GeoFolds register set (see ghist.hh) and are hash-identical to the
+ * from-scratch geoIndex/geoTag path, which is kept for tests.
  */
 
 #ifndef RSEP_PRED_TAGE_HH
@@ -12,7 +20,6 @@
 #include <vector>
 
 #include "common/rng.hh"
-#include "common/sat_counter.hh"
 #include "pred/ghist.hh"
 
 namespace rsep::pred
@@ -31,17 +38,25 @@ struct TageParams
     u64 usefulResetPeriod = 1 << 18;  ///< epoch for u-bit aging.
 };
 
-/** Per-prediction bookkeeping carried from fetch to commit. */
+/**
+ * Per-prediction bookkeeping carried from fetch to commit. Indices and
+ * tags are carried packed to 16 bits each (table indices are 9 bits,
+ * partial tags at most 13), halving the old two-u32-array payload; the
+ * commit-side update consumes them directly instead of re-hashing the
+ * branch's fetch-time history. (A rematerialize-at-update variant that
+ * carried only the folded snapshot was measured slower: it re-ran the
+ * 12-component index hash per retiring branch and forced a second
+ * folded-history replica to be maintained at commit.)
+ */
 struct TageLookup
 {
+    u16 idx[12] = {};      ///< per-component table indices.
+    u16 tag[12] = {};      ///< per-component partial tags.
     bool pred = false;
     bool altPred = false;
-    int provider = -1;     ///< tagged component index, -1 = base.
-    int altProvider = -1;
+    s8 provider = -1;      ///< tagged component index, -1 = base.
+    s8 altProvider = -1;
     bool providerWeak = false;
-    std::array<u32, 12> idx{};
-    std::array<u32, 12> tag{};
-    u32 baseIdx = 0;
 };
 
 /** The TAGE predictor proper. */
@@ -50,26 +65,52 @@ class Tage
   public:
     explicit Tage(const TageParams &params = TageParams{}, u64 seed = 1);
 
-    /** Predict the direction of the branch at @p pc under history @p h. */
+    /** Register this predictor's (hist len, fold width) pairs; must be
+     *  called before the folded predict/update entry points. */
+    void registerFolds(GeoFoldSpec &spec);
+
+    /** Predict the branch at @p pc under history @p h with the folds
+     *  shadowing @p h (the hot path). Fills @p lk in place; the caller
+     *  passes a default-initialized lookup. */
+    void predict(Addr pc, const GlobalHist &h, const GeoFolds &folds,
+                 TageLookup &lk) const;
+
+    /** By-value variant of the folded predict. */
+    TageLookup predict(Addr pc, const GlobalHist &h,
+                       const GeoFolds &folds) const;
+
+    /** From-scratch variant (tests / unfolded callers). */
     TageLookup predict(Addr pc, const GlobalHist &h) const;
 
-    /** Commit-time update with the actual direction. */
+    /** Commit-time update; consumes the indices/tags @p lk carried
+     *  from its predict() — no history needed at commit. */
     void update(const TageLookup &lk, Addr pc, bool taken);
+
+    /** Prefetch the tagged-table lines a later predict(pc) under the
+     *  same history will touch (fetch-group batching). */
+    void prefetch(Addr pc, const GlobalHist &h,
+                  const GeoFolds &folds) const;
 
     /** Total storage in bits (for the cost model). */
     u64 storageBits() const;
 
   private:
-    struct TaggedEntry
-    {
-        u32 tag = 0;
-        SatCounter ctr{3, 3};  ///< 3-bit, midpoint 4 = weakly taken.
-        SatCounter u{2, 0};
-    };
+    void indicesFolded(Addr pc, const GlobalHist &h, const GeoFolds &folds,
+                       u16 *idx, u16 *tag) const;
+    void indicesScratch(Addr pc, const GlobalHist &h, u16 *idx,
+                        u16 *tag) const;
+    void predictWith(Addr pc, TageLookup &lk) const;
 
     TageParams p;
-    std::vector<SatCounter> base; ///< 2-bit bimodal.
-    std::vector<std::vector<TaggedEntry>> tagged;
+    /** Banked SoA storage: entry (c, i) of a tagged component lives at
+     *  flat position (c << taggedBits) | i in each array. */
+    std::vector<u8> base;  ///< 2-bit bimodal counters.
+    std::vector<u16> tTag; ///< partial tags (<= 13 bits).
+    std::vector<u8> tCtr;  ///< 3-bit prediction counters.
+    std::vector<u8> tU;    ///< 2-bit useful counters.
+    std::array<u16, 12> idxSlot{};
+    std::array<u16, 12> tagSlot{};
+    bool foldsRegistered = false;
     Rng rng;
     u64 updates = 0;
 };

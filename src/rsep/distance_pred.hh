@@ -57,14 +57,15 @@ struct DistancePredictorParams
     }
 };
 
-/** Lookup result carried with the instruction. */
+/** Lookup result carried with the instruction (largest member first —
+ *  this rides in every InflightInst, so padding matters). */
 struct DistLookup
 {
-    bool valid = false;
-    u32 distance = 0;        ///< predicted IDist.
-    u32 confidence = 0;      ///< effective 0..255.
-    bool usePred = false;    ///< confidence saturated (use_pred = 255).
     pred::ItageLookup itageLk;
+    u32 distance = 0;        ///< predicted IDist.
+    u8 confidence = 0;       ///< effective 0..255.
+    bool valid = false;
+    bool usePred = false;    ///< confidence saturated (use_pred = 255).
 };
 
 /** The predictor. */
@@ -78,6 +79,9 @@ class DistancePredictor
     {
     }
 
+    /** Register the table's fold geometry (enables the folded lookup). */
+    void registerFolds(pred::GeoFoldSpec &spec) { table.registerFolds(spec); }
+
     /** Rename-time lookup under the fetch-time history. */
     DistLookup
     lookup(Addr pc, const pred::GlobalHist &h) const
@@ -86,6 +90,21 @@ class DistancePredictor
         DistLookup lk;
         lk.valid = true;
         lk.itageLk = table.lookup(pc, h);
+        lk.distance = static_cast<u32>(lk.itageLk.payload);
+        lk.confidence = lk.itageLk.confidence;
+        lk.usePred = lk.itageLk.confident && lk.distance != 0;
+        return lk;
+    }
+
+    /** Folded-history fast path; @p folds must shadow @p h. */
+    DistLookup
+    lookup(Addr pc, const pred::GlobalHist &h,
+           const pred::GeoFolds &folds) const
+    {
+        ++lookups;
+        DistLookup lk;
+        lk.valid = true;
+        lk.itageLk = table.lookup(pc, h, folds);
         lk.distance = static_cast<u32>(lk.itageLk.payload);
         lk.confidence = lk.itageLk.confidence;
         lk.usePred = lk.itageLk.confident && lk.distance != 0;

@@ -77,6 +77,7 @@ struct Options
     std::string baselinePath;
     std::string writeBaselinePath;
     std::string scenario = "baseline";
+    std::string workloadSet;            ///< named set (see --workload-set).
     std::vector<std::string> workloads; ///< empty = full suite.
     u64 warmup = 20000;
     u64 measure = 200000;
@@ -104,6 +105,9 @@ printHelp()
         "                         baseline)\n"
         "  --workload A[,B...]    subset of workloads (default: the\n"
         "                         full suite; repeatable)\n"
+        "  --workload-set NAME    named subset: 'branchy' (the\n"
+        "                         branch-bound predictor set), 'all',\n"
+        "                         or any kernel archetype name\n"
         "  --warmup N             warmup instructions per workload\n"
         "                         (default 20000)\n"
         "  --measure N            timed instructions per workload\n"
@@ -131,6 +135,39 @@ archetypeMap()
     for (const wl::WorkloadInfo &info : wl::listWorkloads())
         out[info.key] = info.archetype;
     return out;
+}
+
+/**
+ * Resolve a --workload-set name to suite workloads. 'branchy' is the
+ * branch-bound set the predictor-hot-path PRs are gated on; 'all' is
+ * the full suite; any kernel archetype name selects its suite members.
+ */
+bool
+resolveWorkloadSet(const std::string &set,
+                   const std::map<std::string, std::string> &archetypes,
+                   std::vector<std::string> &out, std::string &err)
+{
+    if (set == "all") {
+        out = wl::suiteNames();
+        return true;
+    }
+    if (set == "branchy") {
+        // High branch-event density: every TAGE/ITTAGE lookup is on
+        // the critical path, so these gate predictor-path perf work.
+        for (const char *name : {"gobmk", "sjeng", "astar", "perlbench"})
+            out.push_back(name);
+        return true;
+    }
+    for (const std::string &name : wl::suiteNames())
+        if (auto at = archetypes.find(name);
+            at != archetypes.end() && at->second == set)
+            out.push_back(name);
+    if (out.empty()) {
+        err = "unknown workload set '" + set +
+              "' (want branchy, all, or an archetype name)";
+        return false;
+    }
+    return true;
 }
 
 /**
@@ -256,9 +293,18 @@ runBench(const Options &opt)
             return usageError(err);
     }
 
-    std::vector<std::string> names =
-        opt.workloads.empty() ? wl::suiteNames() : opt.workloads;
     std::map<std::string, std::string> archetypes = archetypeMap();
+    std::vector<std::string> names = opt.workloads;
+    if (!opt.workloadSet.empty()) {
+        if (!names.empty())
+            return usageError(
+                "--workload and --workload-set are exclusive");
+        std::string err;
+        if (!resolveWorkloadSet(opt.workloadSet, archetypes, names, err))
+            return usageError(err);
+    }
+    if (names.empty())
+        names = wl::suiteNames();
 
     // ---- single-thread per-workload timing ----
     std::vector<WorkloadPerf> perfs;
@@ -346,10 +392,15 @@ runBench(const Options &opt)
         os << "{\n";
         os << "  \"suite\": \"rsep cycle-loop throughput\",\n";
         os << "  \"scenario\": \"" << opt.scenario << "\",\n";
+        if (!opt.workloadSet.empty())
+            os << "  \"workload_set\": \"" << opt.workloadSet << "\",\n";
         os << "  \"warmup_insts\": " << opt.warmup << ",\n";
         os << "  \"measure_insts\": " << opt.measure << ",\n";
         os << "  \"host_threads\": "
            << std::thread::hardware_concurrency() << ",\n";
+        os << "  \"host_threads_note\": \"runMatrix scaling speedups "
+              "are bounded by host_threads; on a 1-core host the "
+              "thread-scaling curve is expected flat\",\n";
         os << "  \"single_thread\": [\n";
         for (size_t i = 0; i < perfs.size(); ++i) {
             const WorkloadPerf &p = perfs[i];
@@ -506,6 +557,10 @@ main(int argc, char **argv)
             if (hit < 0)
                 return usageError("--scenario requires a name");
             opt.scenario = v;
+        } else if ((hit = value("--workload-set", v)) != 0) {
+            if (hit < 0)
+                return usageError("--workload-set requires a name");
+            opt.workloadSet = v;
         } else if ((hit = value("--workload", v)) != 0) {
             if (hit < 0)
                 return usageError("--workload requires a name");
