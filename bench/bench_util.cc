@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/env.hh"
+#include "wl/trace_cache.hh"
 #include "wl/workload_spec.hh"
 
 namespace rsep::bench
@@ -131,7 +132,14 @@ printHelp(const HarnessSpec &spec)
         "                             timing.cache_misses (cell counts\n"
         "                             by provenance), timing.steal_window\n"
         "                             (1 when --steal window produced the\n"
-        "                             numbers) and per-checkpoint\n"
+        "                             numbers),\n"
+        "                             timing.trace_load_micros (the trace\n"
+        "                             data-path slice of the wall time),\n"
+        "                             timing.trace_decode_hits /\n"
+        "                             timing.trace_decode_misses (replayed\n"
+        "                             cells served by / decoding into the\n"
+        "                             shared trace cache) and\n"
+        "                             per-checkpoint\n"
         "                             timing.phaseN_wall_micros\n"
         "  --steal cell|window        work-stealing granularity of the\n"
         "                             parallel matrix: per-checkpoint\n"
@@ -156,6 +164,9 @@ printHelp(const HarnessSpec &spec)
         "  --replay-trace DIR         feed the pipeline from recorded\n"
         "                             .rtr traces instead of functional\n"
         "                             emulation (byte-identical dumps)\n"
+        "  --trace-cache-mb N         bound the in-process decoded-trace\n"
+        "                             cache (LRU) shared by replayed\n"
+        "                             cells; 0 = unlimited (default 1024)\n"
         "  --help, -h                 show this help\n");
     if (!spec.defaultScenarios.empty()) {
         std::printf("\ndefault scenarios:");
@@ -393,6 +404,19 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
             if (value.empty())
                 return usageError(spec, "--replay-trace path is empty");
             ctx.matrix.traceIo.replayDir = value;
+            continue;
+        }
+        if ((hit = valueOf("--trace-cache-mb", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--trace-cache-mb requires a "
+                                        "value (MB; 0 = unlimited)");
+            u64 mb = 0;
+            if (!parseU64(value, mb) || mb > (1ull << 40))
+                return usageError(spec, "invalid --trace-cache-mb '" +
+                                            value + "'");
+            // Applied immediately: the cache is a process-wide
+            // singleton, not a per-matrix object.
+            wl::traceCache().setCapacityBytes(mb << 20);
             continue;
         }
         if ((hit = valueOf("--seed", value)) != 0) {

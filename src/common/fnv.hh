@@ -11,15 +11,17 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "common/types.hh"
 
 namespace rsep
 {
 
-/** FNV-1a 64 of a byte string. */
+/** FNV-1a 64 of a byte string (string_view: hashes in place, so an
+ *  mmap'd payload is checksummed without a userspace copy). */
 inline u64
-fnv1a64(const std::string &s)
+fnv1a64(std::string_view s)
 {
     u64 h = 0xcbf29ce484222325ull;
     for (unsigned char c : s) {

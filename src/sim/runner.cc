@@ -13,6 +13,7 @@
 #include "common/stats.hh"
 #include "sim/result_cache.hh"
 #include "sim/thread_pool.hh"
+#include "wl/trace_cache.hh"
 
 namespace rsep::sim
 {
@@ -265,6 +266,19 @@ runMatrix(const std::vector<SimConfig> &configs,
                      cc.misses == 1 ? "" : "es",
                      static_cast<unsigned long long>(cc.stores),
                      static_cast<unsigned long long>(cc.quarantined));
+    }
+    if (opts.progress && !opts.traceIo.replayDir.empty()) {
+        wl::DecodedTraceCache::Stats ts = wl::traceCache().stats();
+        std::fprintf(stderr,
+                     "[trace-cache] %llu hit%s, %llu miss%s, %llu "
+                     "evicted, %.1f MB resident, %.3f s decoding\n",
+                     static_cast<unsigned long long>(ts.hits),
+                     ts.hits == 1 ? "" : "s",
+                     static_cast<unsigned long long>(ts.misses),
+                     ts.misses == 1 ? "" : "es",
+                     static_cast<unsigned long long>(ts.evictions),
+                     static_cast<double>(ts.residentBytes) / (1 << 20),
+                     static_cast<double>(ts.decodeMicros) / 1e6);
     }
     return rows;
 }

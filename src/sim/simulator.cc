@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "core/spec_engine.hh"
+#include "wl/trace_cache.hh"
 #include "wl/trace_io.hh"
 #include "wl/workload_spec.hh"
 
@@ -97,25 +98,35 @@ runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase,
                            path.c_str(), bench_name.c_str(), phase);
             // Fall through: live-emulate (and record) the missing cell.
         } else {
-            wl::TraceParse parse = wl::readTraceFile(path);
-            if (!parse.ok())
+            // One decode per (path, checksum) process-wide: every arm
+            // of a sweep replaying this cell shares the same immutable
+            // DecodedTrace snapshot out of the cache.
+            auto tload = std::chrono::steady_clock::now();
+            wl::DecodedTraceCache::Result cached =
+                wl::traceCache().get(path);
+            u64 load_micros = static_cast<u64>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - tload)
+                    .count());
+            if (!cached.ok())
                 rsep_fatal("replay: %s (re-record the trace)",
-                           parse.error.c_str());
-            if (parse.header.workload != bench_name ||
-                parse.header.phase != phase ||
-                parse.header.workloadHash != wl::workloadHash(*spec))
+                           cached.error.c_str());
+            const wl::TraceHeader &header = cached.trace->header;
+            if (header.workload != bench_name || header.phase != phase ||
+                header.workloadHash != wl::workloadHash(*spec))
                 rsep_fatal("replay: %s: trace identity (%s, phase %u, "
                            "hash %s) does not match the requested cell "
                            "(%s, phase %u, hash %s)",
-                           path.c_str(), parse.header.workload.c_str(),
-                           parse.header.phase,
-                           parse.header.workloadHash.c_str(),
+                           path.c_str(), header.workload.c_str(),
+                           header.phase, header.workloadHash.c_str(),
                            bench_name.c_str(), phase,
                            wl::workloadHash(*spec).c_str());
             wl::Workload w = wl::buildWorkload(*spec);
-            wl::ReplayTraceSource src(std::move(parse), w.program, path);
+            wl::ReplayTraceSource src(cached.trace, w.program, path);
             PhaseResult pr = runTimedPhase(cfg, src, phase);
             pr.replayed = true;
+            pr.traceLoadMicros = load_micros;
+            pr.traceDecodeHit = cached.hit;
             return finish(std::move(pr));
         }
     }
@@ -156,6 +167,13 @@ accountPhaseTiming(RunTiming &timing, const PhaseResult &pr)
         ++timing.cacheHits;
     else
         ++timing.cellsRun;
+    timing.traceLoadMicros += pr.traceLoadMicros;
+    if (pr.replayed) {
+        if (pr.traceDecodeHit)
+            ++timing.traceDecodeHits;
+        else
+            ++timing.traceDecodeMisses;
+    }
 }
 
 RunResult

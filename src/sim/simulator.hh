@@ -37,6 +37,14 @@ struct PhaseResult
      *  emulation (transient, not part of the cached record — the
      *  replay invariant is that the results are identical). */
     bool replayed = false;
+    /** Wall-clock spent getting the trace into replayable form (cache
+     *  lookup + decode on a miss) — a component of wallMicros, split
+     *  out so `--timings` shows data-path cost next to simulation
+     *  cost. Transient, like replayed. */
+    u64 traceLoadMicros = 0;
+    /** The replayed trace came out of the shared DecodedTraceCache
+     *  already decoded (transient; meaningful only when replayed). */
+    bool traceDecodeHit = false;
 };
 
 /**
@@ -80,6 +88,15 @@ struct RunTiming
      *  `--timings` summaries stay self-describing about how their
      *  wall-clock numbers were produced. */
     StatCounter stealWindow;
+    /** Trace data-path cost: wall-clock spent loading traces for
+     *  replayed cells (decode on a miss, lookup on a hit) — the slice
+     *  of wallMicros the decoded-trace cache exists to shrink. */
+    StatCounter traceLoadMicros;
+    /** Replayed cells whose trace was already decoded in the shared
+     *  DecodedTraceCache / had to be decoded fresh. hits > 0 across a
+     *  multi-arm sweep is the decode-once-replay-many evidence. */
+    StatCounter traceDecodeHits;
+    StatCounter traceDecodeMisses;
 };
 
 /** Stat-introspection hook (mirrors visitStats on PipelineStats). */
@@ -92,6 +109,9 @@ visitStats(RunTiming &t, V &&v)
     v("timing.cache_hits", t.cacheHits);
     v("timing.cache_misses", t.cacheMisses);
     v("timing.steal_window", t.stealWindow);
+    v("timing.trace_load_micros", t.traceLoadMicros);
+    v("timing.trace_decode_hits", t.traceDecodeHits);
+    v("timing.trace_decode_misses", t.traceDecodeMisses);
 }
 
 /** Result of one (workload, config) run across checkpoints. */

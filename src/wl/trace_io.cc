@@ -12,6 +12,7 @@
 #include "common/env.hh"
 #include "common/fnv.hh"
 #include "common/logging.hh"
+#include "common/mmap_file.hh"
 
 namespace fs = std::filesystem;
 
@@ -175,12 +176,16 @@ encodePayloadV2(const std::vector<DynRecord> &records)
     return payload;
 }
 
+/**
+ * Decode a v2 payload, emitting each record to @p emit — the ONE
+ * decoder behind both the AoS and the SoA form, so the two can never
+ * diverge. The payload view is read in place (zero-copy off an mmap).
+ */
+template <class Emit>
 bool
-decodePayloadV2(const std::string &payload, u64 count,
-                std::vector<DynRecord> &out, std::string &msg)
+decodePayloadV2(std::string_view payload, u64 count, Emit &&emit,
+                std::string &msg)
 {
-    out.clear();
-    out.reserve(count);
     const char *p = payload.data();
     const char *end = p + payload.size();
     u32 prev_next = 0;
@@ -242,7 +247,7 @@ decodePayloadV2(const std::string &payload, u64 count,
         r.taken = (flags & f2Taken) != 0;
         prev_next = r.nextIdx;
         prev_result = r.result;
-        out.push_back(r);
+        emit(r);
     }
     if (p != end) {
         msg = "payload has " + std::to_string(end - p) +
@@ -252,74 +257,75 @@ decodePayloadV2(const std::string &payload, u64 count,
     return true;
 }
 
-} // namespace
-
-std::string
-tracePath(const std::string &dir, const std::string &workload, u32 phase)
+/** v1 fixed-width decode with the same emit shape (sizes are already
+ *  validated against the record count by the envelope parse). */
+template <class Emit>
+void
+decodePayloadV1(std::string_view payload, u64 count, Emit &&emit)
 {
-    return dir + "/" + sanitized(workload) + "-p" + std::to_string(phase) +
-           traceFileExtension;
+    const char *p = payload.data();
+    for (u64 i = 0; i < count; ++i, p += recordBytes) {
+        DynRecord r;
+        r.staticIdx = getU32(p);
+        r.nextIdx = getU32(p + 4);
+        r.result = getU64(p + 8);
+        r.effAddr = getU64(p + 16);
+        r.taken = p[24] != 0;
+        emit(r);
+    }
 }
 
-std::string
-serializeTrace(const TraceHeader &header,
-               const std::vector<DynRecord> &records)
+/**
+ * The validated envelope of a trace image: parsed header plus a view
+ * of the (checksummed, size-checked) payload bytes. The payload view
+ * aliases the input and is only valid while the input lives.
+ */
+struct Envelope
 {
-    if (header.version < traceFormatVersionMin ||
-        header.version > traceFormatVersion)
-        rsep_fatal("serializeTrace: unsupported trace version %u",
-                   header.version);
-    std::string payload = header.version >= 2 ? encodePayloadV2(records)
-                                              : encodePayload(records);
-    std::ostringstream os;
-    os << "rsep-trace " << header.version << "\n";
-    os << "workload = " << header.workload << "\n";
-    os << "workload_hash = " << header.workloadHash << "\n";
-    os << "phase = " << header.phase << "\n";
-    os << "program_length = " << header.programLength << "\n";
-    os << "records = " << records.size() << "\n";
-    os << "payload\n";
-    os << payload;
-    os << "\nchecksum = " << hex64(fnv1a64(payload)) << "\n";
-    return os.str();
-}
+    TraceHeader header;
+    std::string_view payload;
+    u64 checksum = 0;
+    std::string error; ///< "origin: message"; empty on success.
 
-TraceParse
-parseTrace(const std::string &text, const std::string &origin,
-           bool header_only)
+    bool ok() const { return error.empty(); }
+};
+
+Envelope
+parseEnvelope(std::string_view text, const std::string &origin)
 {
-    TraceParse out;
+    Envelope out;
     auto fail = [&](const std::string &msg) {
         out.error = origin + ": " + msg;
-        out.records.clear();
+        out.payload = {};
         return out;
     };
 
     // ---- text header (line oriented, fixed order) ----
     size_t pos = 0;
-    auto nextLine = [&](std::string &line) {
+    auto nextLine = [&](std::string_view &line) {
         size_t nl = text.find('\n', pos);
-        if (nl == std::string::npos)
+        if (nl == std::string_view::npos)
             return false;
         line = text.substr(pos, nl - pos);
         pos = nl + 1;
         return true;
     };
-    auto valueOf = [](const std::string &l, const char *k,
+    auto valueOf = [](std::string_view l, const char *k,
                       std::string &v) {
         std::string prefix = std::string(k) + " = ";
-        if (l.rfind(prefix, 0) != 0)
+        if (l.substr(0, prefix.size()) != prefix)
             return false;
-        v = l.substr(prefix.size());
+        v = std::string(l.substr(prefix.size()));
         return true;
     };
 
-    std::string line, v;
-    if (!nextLine(line) || line.rfind("rsep-trace ", 0) != 0)
+    std::string_view line;
+    std::string v;
+    if (!nextLine(line) || line.substr(0, 11) != "rsep-trace ")
         return fail("not a trace file");
     {
         u64 ver = 0;
-        if (!parseU64(line.substr(11), ver) ||
+        if (!parseU64(std::string(line.substr(11)), ver) ||
             ver < traceFormatVersionMin || ver > traceFormatVersion)
             return fail("bad or unsupported trace version");
         out.header.version = static_cast<unsigned>(ver);
@@ -356,8 +362,8 @@ parseTrace(const std::string &text, const std::string &origin,
         // v1 is fixed-width: the payload size is implied by the record
         // count. Guard the multiply: a corrupt header could name a
         // count whose byte size wraps 64 bits and slips past the
-        // length check, turning reserve() below into an abort instead
-        // of a diagnostic.
+        // length check, turning reserve() downstream into an abort
+        // instead of a diagnostic.
         if (out.header.records > (text.size() - pos) / recordBytes)
             return fail("truncated payload: record count " +
                         std::to_string(out.header.records) +
@@ -366,58 +372,154 @@ parseTrace(const std::string &text, const std::string &origin,
             return fail("truncated or oversized payload (" +
                         std::to_string(payload_bytes) + " bytes for " +
                         std::to_string(out.header.records) + " records)");
-    }
-    std::string payload = text.substr(pos, payload_bytes);
-    std::string trailer = text.substr(pos + payload_bytes);
-    u64 want = 0;
-    if (trailer.rfind("\nchecksum = ", 0) != 0 || trailer.back() != '\n' ||
-        !parseHex64(trailer.substr(12, 16), want))
-        return fail("truncated trace or missing checksum trailer");
-    if (fnv1a64(payload) != want)
-        return fail("checksum mismatch");
-
-    if (header_only)
-        return out;
-
-    if (out.header.version >= 2) {
+    } else {
         // Every v2 record takes at least its flag byte; reject absurd
         // record counts before reserve() can abort on a corrupt header.
-        if (out.header.records > payload.size())
+        if (out.header.records > payload_bytes)
             return fail("truncated payload: record count " +
                         std::to_string(out.header.records) +
                         " exceeds the available bytes");
-        std::string msg;
-        if (!decodePayloadV2(payload, out.header.records, out.records,
-                             msg))
-            return fail(msg);
+    }
+    std::string_view payload = text.substr(pos, payload_bytes);
+    std::string_view trailer = text.substr(pos + payload_bytes);
+    u64 want = 0;
+    if (trailer.substr(0, 12) != "\nchecksum = " ||
+        trailer.back() != '\n' ||
+        !parseHex64(std::string(trailer.substr(12, 16)), want))
+        return fail("truncated trace or missing checksum trailer");
+    if (fnv1a64(payload) != want)
+        return fail("checksum mismatch");
+    out.payload = payload;
+    out.checksum = want;
+    return out;
+}
+
+} // namespace
+
+std::string
+tracePath(const std::string &dir, const std::string &workload, u32 phase)
+{
+    return dir + "/" + sanitized(workload) + "-p" + std::to_string(phase) +
+           traceFileExtension;
+}
+
+std::string
+serializeTrace(const TraceHeader &header,
+               const std::vector<DynRecord> &records)
+{
+    if (header.version < traceFormatVersionMin ||
+        header.version > traceFormatVersion)
+        rsep_fatal("serializeTrace: unsupported trace version %u",
+                   header.version);
+    std::string payload = header.version >= 2 ? encodePayloadV2(records)
+                                              : encodePayload(records);
+    std::ostringstream os;
+    os << "rsep-trace " << header.version << "\n";
+    os << "workload = " << header.workload << "\n";
+    os << "workload_hash = " << header.workloadHash << "\n";
+    os << "phase = " << header.phase << "\n";
+    os << "program_length = " << header.programLength << "\n";
+    os << "records = " << records.size() << "\n";
+    os << "payload\n";
+    os << payload;
+    os << "\nchecksum = " << hex64(fnv1a64(payload)) << "\n";
+    return os.str();
+}
+
+TraceParse
+parseTrace(std::string_view text, const std::string &origin,
+           bool header_only)
+{
+    TraceParse out;
+    Envelope env = parseEnvelope(text, origin);
+    if (!env.ok()) {
+        out.error = std::move(env.error);
         return out;
     }
-    out.records.reserve(out.header.records);
-    const char *p = payload.data();
-    for (u64 i = 0; i < out.header.records; ++i, p += recordBytes) {
-        DynRecord r;
-        r.staticIdx = getU32(p);
-        r.nextIdx = getU32(p + 4);
-        r.result = getU64(p + 8);
-        r.effAddr = getU64(p + 16);
-        r.taken = p[24] != 0;
-        out.records.push_back(r);
+    out.header = env.header;
+    out.payloadChecksum = env.checksum;
+    if (header_only)
+        return out;
+
+    out.records.reserve(env.header.records);
+    auto emit = [&](const DynRecord &r) { out.records.push_back(r); };
+    if (env.header.version >= 2) {
+        std::string msg;
+        if (!decodePayloadV2(env.payload, env.header.records, emit, msg)) {
+            out.error = origin + ": " + msg;
+            out.records.clear();
+            return out;
+        }
+        return out;
     }
+    decodePayloadV1(env.payload, env.header.records, emit);
+    return out;
+}
+
+DecodedTraceParse
+decodeTraceImage(std::string_view text, const std::string &origin)
+{
+    DecodedTraceParse out;
+    Envelope env = parseEnvelope(text, origin);
+    if (!env.ok()) {
+        out.error = std::move(env.error);
+        return out;
+    }
+    auto decoded = std::make_shared<DecodedTrace>();
+    decoded->header = env.header;
+    decoded->payloadChecksum = env.checksum;
+    decoded->reserveRecords(env.header.records);
+    auto emit = [&](const DynRecord &r) { decoded->appendRecord(r); };
+    if (env.header.version >= 2) {
+        std::string msg;
+        if (!decodePayloadV2(env.payload, env.header.records, emit, msg)) {
+            out.error = origin + ": " + msg;
+            return out;
+        }
+    } else {
+        decodePayloadV1(env.payload, env.header.records, emit);
+    }
+    out.trace = std::move(decoded);
     return out;
 }
 
 TraceParse
 readTraceFile(const std::string &path, bool header_only)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
+    MmapFile file;
+    std::string err;
+    if (!file.open(path, &err)) {
         TraceParse out;
-        out.error = path + ": cannot open trace file";
+        out.error = err;
         return out;
     }
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    return parseTrace(buf.str(), path, header_only);
+    return parseTrace(file.view(), path, header_only);
+}
+
+DecodedTraceParse
+loadDecodedTrace(const std::string &path)
+{
+    MmapFile file;
+    std::string err;
+    if (!file.open(path, &err)) {
+        DecodedTraceParse out;
+        out.error = err;
+        return out;
+    }
+    return decodeTraceImage(file.view(), path);
+}
+
+std::shared_ptr<const DecodedTrace>
+DecodedTrace::fromRecords(TraceHeader header,
+                          const std::vector<DynRecord> &records)
+{
+    auto out = std::make_shared<DecodedTrace>();
+    header.records = records.size();
+    out->header = std::move(header);
+    out->reserveRecords(records.size());
+    for (const DynRecord &r : records)
+        out->appendRecord(r);
+    return out;
 }
 
 bool
@@ -474,40 +576,68 @@ RecordingTraceSource::write(const std::string &path, TraceHeader header,
     return writeTraceFile(path, header, buffer, err);
 }
 
-ReplayTraceSource::ReplayTraceSource(TraceParse parse,
-                                     const isa::Program &program,
-                                     std::string origin_label)
-    : trace(std::move(parse)), prog(program),
+ReplayTraceSource::ReplayTraceSource(
+    std::shared_ptr<const DecodedTrace> decoded, const isa::Program &program,
+    std::string origin_label)
+    : trace(std::move(decoded)), prog(program),
       origin(std::move(origin_label))
 {
-    if (!trace.ok())
-        rsep_fatal("replay: %s", trace.error.c_str());
-    if (trace.header.programLength != prog.size())
+    if (!trace)
+        rsep_fatal("replay: %s: null decoded trace", origin.c_str());
+    if (trace->header.programLength != prog.size())
         rsep_fatal("replay: %s: program length %llu does not match the "
                    "registry workload's %zu instructions",
                    origin.c_str(),
                    static_cast<unsigned long long>(
-                       trace.header.programLength),
+                       trace->header.programLength),
                    prog.size());
+}
+
+namespace
+{
+
+/** Decode-or-die bridge for the AoS convenience constructor. */
+std::shared_ptr<const DecodedTrace>
+decodedFromParse(TraceParse &parse)
+{
+    if (!parse.ok())
+        rsep_fatal("replay: %s", parse.error.c_str());
+    TraceHeader header = parse.header;
+    auto out = DecodedTrace::fromRecords(std::move(header), parse.records);
+    return out;
+}
+
+} // namespace
+
+ReplayTraceSource::ReplayTraceSource(TraceParse parse,
+                                     const isa::Program &program,
+                                     std::string origin_label)
+    : ReplayTraceSource(decodedFromParse(parse), program,
+                        std::move(origin_label))
+{
 }
 
 const DynRecord &
 ReplayTraceSource::step()
 {
-    if (next >= trace.records.size())
+    if (next >= trace->size())
         rsep_fatal("replay: %s: trace exhausted after %zu records — the "
                    "trace was recorded under a smaller run sizing than "
                    "this replay needs; re-record with at least this "
                    "run's warmup+measure window",
-                   origin.c_str(), trace.records.size());
-    const DynRecord &r = trace.records[next++];
-    if (r.staticIdx >= prog.size() || r.nextIdx >= prog.size())
+                   origin.c_str(), trace->size());
+    const size_t i = next++;
+    cur.staticIdx = trace->staticIdx[i];
+    cur.nextIdx = trace->nextIdx[i];
+    cur.result = trace->result[i];
+    cur.effAddr = trace->effAddr[i];
+    cur.taken = trace->taken[i] != 0;
+    if (cur.staticIdx >= prog.size() || cur.nextIdx >= prog.size())
         rsep_fatal("replay: %s: record %llu indexes outside the program "
                    "(staticIdx %u, nextIdx %u, program %zu)",
-                   origin.c_str(),
-                   static_cast<unsigned long long>(next - 1), r.staticIdx,
-                   r.nextIdx, prog.size());
-    return r;
+                   origin.c_str(), static_cast<unsigned long long>(i),
+                   cur.staticIdx, cur.nextIdx, prog.size());
+    return cur;
 }
 
 } // namespace rsep::wl

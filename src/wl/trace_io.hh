@@ -36,6 +36,12 @@
  *    each, else a zigzag delta against the previous result), and
  *    effective addresses delta against the previous memory access.
  *
+ * The read data path is zero-copy (DESIGN.md §11): files come in
+ * through MmapFile (page-cache view, read() fallback) and both
+ * decoders — the AoS TraceParse used by tooling and the SoA
+ * DecodedTrace used by replay — run the *same* record decoder
+ * straight off the view, so the two forms cannot diverge.
+ *
  * Files are written atomically (temp + rename). A reader rejects —
  * with a diagnostic, never a partial result — version or checksum
  * mismatches, truncation, and malformed headers; replay additionally
@@ -46,7 +52,9 @@
 #ifndef RSEP_WL_TRACE_IO_HH
 #define RSEP_WL_TRACE_IO_HH
 
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "wl/trace_source.hh"
@@ -90,18 +98,106 @@ struct TraceParse
 {
     TraceHeader header;
     std::vector<DynRecord> records;
+    u64 payloadChecksum = 0; ///< FNV-1a of the on-disk payload.
     std::string error; ///< "path: message"; empty on success.
 
     bool ok() const { return error.empty(); }
 };
 
 /** Parse a trace image. @p origin labels diagnostics. When
- *  @p header_only is set the payload is checksummed but not decoded. */
-TraceParse parseTrace(const std::string &text, const std::string &origin,
+ *  @p header_only is set the payload is checksummed but not decoded.
+ *  The view is only read during the call (nothing aliases it after). */
+TraceParse parseTrace(std::string_view text, const std::string &origin,
                       bool header_only = false);
 
-/** Load and parse a trace file from disk. */
+/** Load and parse a trace file from disk (MmapFile reader). */
 TraceParse readTraceFile(const std::string &path, bool header_only = false);
+
+/**
+ * A fully decoded trace in struct-of-arrays form: the replay window's
+ * storage format. The pipeline's fetch path touches staticIdx/nextIdx/
+ * taken on every record; result and effAddr matter only to the value-
+ * speculation engines and the memory system, so the hot lanes stream
+ * contiguously instead of dragging 16 cold bytes per record through
+ * the cache. Immutable after decode — DecodedTraceCache shares one
+ * instance across every matrix cell replaying the same file.
+ */
+struct DecodedTrace
+{
+    TraceHeader header;
+    u64 payloadChecksum = 0; ///< cache-key component (trace_cache.hh).
+
+    // Hot lanes (fetch path), index-parallel.
+    std::vector<u32> staticIdx;
+    std::vector<u32> nextIdx;
+    std::vector<u8> taken;
+    // Cold lanes.
+    std::vector<u64> result;
+    std::vector<Addr> effAddr;
+
+    size_t size() const { return staticIdx.size(); }
+
+    /** Decoded footprint of one record across the five lanes. */
+    static constexpr u64 bytesPerRecord =
+        sizeof(u32) * 2 + sizeof(u8) + sizeof(u64) + sizeof(Addr);
+
+    /** In-memory footprint of the record lanes (LRU accounting). */
+    u64 decodedBytes() const { return size() * bytesPerRecord; }
+
+    /** Materialize record @p i (tooling/tests; replay fills in place). */
+    DynRecord
+    recordAt(size_t i) const
+    {
+        DynRecord r;
+        r.staticIdx = staticIdx[i];
+        r.nextIdx = nextIdx[i];
+        r.result = result[i];
+        r.effAddr = effAddr[i];
+        r.taken = taken[i] != 0;
+        return r;
+    }
+
+    void
+    appendRecord(const DynRecord &r)
+    {
+        staticIdx.push_back(r.staticIdx);
+        nextIdx.push_back(r.nextIdx);
+        taken.push_back(r.taken ? 1 : 0);
+        result.push_back(r.result);
+        effAddr.push_back(r.effAddr);
+    }
+
+    void
+    reserveRecords(size_t n)
+    {
+        staticIdx.reserve(n);
+        nextIdx.reserve(n);
+        taken.reserve(n);
+        result.reserve(n);
+        effAddr.reserve(n);
+    }
+
+    /** Build from an in-memory AoS stream (rsep_bench, tests). */
+    static std::shared_ptr<const DecodedTrace>
+    fromRecords(TraceHeader header, const std::vector<DynRecord> &records);
+};
+
+/** Outcome of decoding a trace straight to SoA form. */
+struct DecodedTraceParse
+{
+    std::shared_ptr<const DecodedTrace> trace; ///< null on error.
+    std::string error; ///< "origin: message"; empty on success.
+
+    bool ok() const { return trace != nullptr; }
+};
+
+/** Decode a trace image directly into SoA form — one pass over the
+ *  (typically mmap'd) bytes, no intermediate record vector. */
+DecodedTraceParse decodeTraceImage(std::string_view text,
+                                   const std::string &origin);
+
+/** Map (or read-fallback) and decode a trace file to SoA form. */
+DecodedTraceParse loadDecodedTrace(const std::string &path);
 
 /** Atomically write a trace file (temp + rename, directories created).
  *  False + @p err on I/O failure. */
@@ -155,30 +251,38 @@ class RecordingTraceSource : public TraceSource
 };
 
 /**
- * TraceSource replaying a parsed `.rtr` stream against the workload's
- * registry-built Program. Exhausting the stream is fatal (the trace
- * was recorded under a smaller run sizing than the replay asks for);
- * so is a record indexing outside the program.
+ * TraceSource replaying a decoded `.rtr` stream against the workload's
+ * registry-built Program. The decoded trace is shared and immutable
+ * (many concurrent sources can replay one DecodedTrace); each source
+ * keeps only a cursor and materializes the current record from the
+ * SoA lanes. Exhausting the stream is fatal (the trace was recorded
+ * under a smaller run sizing than the replay asks for); so is a
+ * record indexing outside the program.
  */
 class ReplayTraceSource : public TraceSource
 {
   public:
     /** @p prog must outlive the source (the caller owns the built
      *  workload). @p origin labels diagnostics (e.g. the file path). */
+    ReplayTraceSource(std::shared_ptr<const DecodedTrace> decoded,
+                      const isa::Program &prog, std::string origin);
+
+    /** Convenience: decode an AoS parse (in-memory benches, tests). */
     ReplayTraceSource(TraceParse parse, const isa::Program &prog,
                       std::string origin);
 
     const DynRecord &step() override;
     const isa::Program &program() const override { return prog; }
 
-    const TraceHeader &header() const { return trace.header; }
+    const TraceHeader &header() const { return trace->header; }
     u64 consumed() const { return next; }
 
   private:
-    TraceParse trace;
+    std::shared_ptr<const DecodedTrace> trace;
     const isa::Program &prog;
     std::string origin;
     u64 next = 0;
+    DynRecord cur;
 };
 
 } // namespace rsep::wl

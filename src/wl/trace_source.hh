@@ -8,6 +8,12 @@
  * either by **live functional emulation** (wl::Emulator) or by the
  * **replay of a recorded `.rtr` trace** (trace_io.hh) — record once,
  * replay many: warm sweeps skip emulation entirely.
+ *
+ * The replay side of the interface is deliberately thin: a replay
+ * source is a cursor over an immutable, shared, SoA-decoded trace
+ * (DecodedTrace, handed out by the process-wide DecodedTraceCache), so
+ * any number of matrix cells can stream the same decoded bytes
+ * concurrently without copies. See DESIGN.md §11 for the data path.
  */
 
 #ifndef RSEP_WL_TRACE_SOURCE_HH

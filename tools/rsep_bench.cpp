@@ -40,6 +40,7 @@
 #include "sim/scenario.hh"
 #include "wl/emulator.hh"
 #include "wl/suite.hh"
+#include "wl/trace_cache.hh"
 #include "wl/trace_io.hh"
 #include "wl/workload_spec.hh"
 
@@ -84,6 +85,26 @@ struct Options
     u64 scalingMeasure = 8000;
     std::vector<unsigned> threads = {1, 2, 4};
     bool scaling = true;
+
+    // ---- replay-sweep mode (--sweep): the trace data-path benchmark.
+    bool sweep = false;
+    /** Arms of the sweep; every arm replays the SAME traces, so S arms
+     *  pay one decode through the shared trace cache. */
+    std::vector<std::string> sweepScenarios = {"baseline", "rsep", "vpred",
+                                               "rsep+vpred"};
+    std::string sweepTraceDir = "bench_sweep_traces";
+    /** Replay sizing: short windows out of long recordings, the
+     *  record-once-replay-many shape (replay_sweep.scn). */
+    u64 sweepWarmup = 1000;
+    u64 sweepMeasure = 4000;
+    u32 sweepCheckpoints = 4;
+    /** Record sizing: full-length traces each cell replays a window
+     *  of (replay_sweep_record.scn). */
+    u64 sweepRecordWarmup = 75000;
+    u64 sweepRecordMeasure = 225000;
+    unsigned sweepRounds = 3;
+    unsigned sweepJobs = 1; ///< single worker: paired-protocol timing.
+    double sweepBaselineWall = 0.0; ///< externally timed older build.
 };
 
 void
@@ -117,6 +138,28 @@ printHelp()
         "  --scaling-measure N    timed instructions per cell in the\n"
         "                         scaling study (default 8000)\n"
         "  --no-scaling           skip the scaling study\n"
+        "  --sweep                run the replay-sweep benchmark instead:\n"
+        "                         record full-sizing traces once, then\n"
+        "                         time a multi-arm replay matrix of short\n"
+        "                         windows (every cell shares one decode\n"
+        "                         through the trace cache); reports wall\n"
+        "                         time and the timing.trace_* counters\n"
+        "                         per round\n"
+        "  --sweep-scenarios A[,B...]\n"
+        "                         arms of the sweep (default baseline,\n"
+        "                         rsep,vpred,rsep+vpred; record/replay\n"
+        "                         sizing is pinned to the checked-in\n"
+        "                         examples/scenarios/replay_sweep*.scn)\n"
+        "  --sweep-trace-dir DIR  where the sweep records/replays traces\n"
+        "                         (default bench_sweep_traces)\n"
+        "  --sweep-rounds N       timed replay rounds (default 3; round\n"
+        "                         1 is decode-cold, later rounds replay\n"
+        "                         fully cache-warm)\n"
+        "  --sweep-baseline-wall S\n"
+        "                         wall seconds of the same sweep on an\n"
+        "                         older build (externally timed, paired\n"
+        "                         rounds); the report then carries\n"
+        "                         speedup_vs_baseline\n"
         "  --help, -h             show this help\n");
 }
 
@@ -278,6 +321,145 @@ gmeanOf(const std::vector<double> &v)
     return geometricMean(v);
 }
 
+/**
+ * The replay-sweep benchmark: record the workload set's traces once,
+ * then time a multi-arm replay matrix. Every arm replays the same
+ * (workload, phase) traces, so the decoded-trace cache turns S arms x
+ * one decode-per-cell into one decode total per trace — the
+ * timing.trace_decode_hits counter in the report is the evidence.
+ */
+int
+runSweep(const Options &opt, const std::vector<std::string> &names)
+{
+    std::vector<sim::SimConfig> configs;
+    for (const std::string &name : opt.sweepScenarios) {
+        std::optional<sim::Scenario> sc = sim::findScenario(name);
+        if (!sc)
+            return usageError("unknown sweep scenario '" + name + "'");
+        sim::SimConfig cfg = sc->config;
+        cfg.warmupInsts = opt.sweepWarmup;
+        cfg.measureInsts = opt.sweepMeasure;
+        cfg.checkpoints = opt.sweepCheckpoints;
+        configs.push_back(std::move(cfg));
+    }
+    if (configs.empty())
+        return usageError("--sweep-scenarios list is empty");
+
+    // Record pass (not timed): traces are architectural, so one
+    // full-sizing baseline-core pass records for every arm; each sweep
+    // cell then replays a short window out of its long trace
+    // (record once, replay many).
+    std::printf("sweep: recording %zu workload(s) x %u checkpoint(s) "
+                "at %llu insts into %s\n",
+                names.size(), opt.sweepCheckpoints,
+                static_cast<unsigned long long>(opt.sweepRecordWarmup +
+                                                opt.sweepRecordMeasure),
+                opt.sweepTraceDir.c_str());
+    std::fflush(stdout);
+    sim::SimConfig reccfg = configs[0];
+    reccfg.warmupInsts = opt.sweepRecordWarmup;
+    reccfg.measureInsts = opt.sweepRecordMeasure;
+    sim::MatrixOptions rec;
+    rec.jobs = 0; // recording is off the clock: use every core.
+    rec.progress = false;
+    rec.traceIo.recordDir = opt.sweepTraceDir;
+    sim::runMatrix({reccfg}, names, rec);
+
+    // Timed replay rounds. Round 1 starts decode-cold (the cache is
+    // cleared), later rounds replay fully warm — both temperatures
+    // matter: cold is what a fresh sweep process pays, warm is the
+    // steady state of a long-lived fleet worker.
+    struct Round
+    {
+        double wallSecs = 0.0;
+        u64 traceLoadMicros = 0;
+        u64 decodeHits = 0;
+        u64 decodeMisses = 0;
+    };
+    std::vector<Round> rounds;
+    wl::traceCache().clear();
+    for (unsigned r = 0; r < opt.sweepRounds; ++r) {
+        wl::traceCache().resetStats();
+        sim::MatrixOptions mo;
+        mo.jobs = opt.sweepJobs;
+        mo.progress = false;
+        mo.traceIo.replayDir = opt.sweepTraceDir;
+        auto t0 = Clock::now();
+        auto rows = sim::runMatrix(configs, names, mo);
+        Round round;
+        round.wallSecs = secsBetween(t0, Clock::now());
+        for (const auto &row : rows)
+            for (const sim::RunResult &rr : row.byConfig) {
+                round.traceLoadMicros += rr.timing.traceLoadMicros.value();
+                round.decodeHits += rr.timing.traceDecodeHits.value();
+                round.decodeMisses += rr.timing.traceDecodeMisses.value();
+            }
+        std::printf("sweep round %u (%s): wall %.3f s, trace load "
+                    "%.3f s, decode %llu hit%s / %llu miss%s\n",
+                    r + 1, r == 0 ? "cold" : "warm", round.wallSecs,
+                    static_cast<double>(round.traceLoadMicros) / 1e6,
+                    static_cast<unsigned long long>(round.decodeHits),
+                    round.decodeHits == 1 ? "" : "s",
+                    static_cast<unsigned long long>(round.decodeMisses),
+                    round.decodeMisses == 1 ? "" : "es");
+        std::fflush(stdout);
+        rounds.push_back(round);
+    }
+    double best = rounds[0].wallSecs;
+    for (const Round &r : rounds)
+        best = std::min(best, r.wallSecs);
+    if (opt.sweepBaselineWall > 0.0)
+        std::printf("sweep best %.3f s vs baseline %.3f s: %.2fx\n", best,
+                    opt.sweepBaselineWall, opt.sweepBaselineWall / best);
+
+    if (!opt.perfJsonPath.empty()) {
+        std::ostringstream os;
+        os << "{\n";
+        os << "  \"suite\": \"rsep replay-sweep trace data path\",\n";
+        os << "  \"scenarios\": [";
+        for (size_t i = 0; i < opt.sweepScenarios.size(); ++i)
+            os << (i ? ", " : "") << "\"" << opt.sweepScenarios[i] << "\"";
+        os << "],\n";
+        os << "  \"workloads\": [";
+        for (size_t i = 0; i < names.size(); ++i)
+            os << (i ? ", " : "") << "\"" << names[i] << "\"";
+        os << "],\n";
+        os << "  \"warmup_insts\": " << opt.sweepWarmup << ",\n";
+        os << "  \"measure_insts\": " << opt.sweepMeasure << ",\n";
+        os << "  \"checkpoints\": " << opt.sweepCheckpoints << ",\n";
+        os << "  \"jobs\": " << opt.sweepJobs << ",\n";
+        os << "  \"rounds\": [\n";
+        for (size_t i = 0; i < rounds.size(); ++i) {
+            const Round &r = rounds[i];
+            os << "    {\"round\": " << i + 1 << ", \"temperature\": \""
+               << (i == 0 ? "cold" : "warm")
+               << "\", \"wall_s\": " << jsonNum(r.wallSecs)
+               << ", \"trace_load_s\": "
+               << jsonNum(static_cast<double>(r.traceLoadMicros) / 1e6)
+               << ", \"trace_decode_hits\": " << r.decodeHits
+               << ", \"trace_decode_misses\": " << r.decodeMisses << "}"
+               << (i + 1 < rounds.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n";
+        os << "  \"best_wall_s\": " << jsonNum(best);
+        if (opt.sweepBaselineWall > 0.0)
+            os << ",\n  \"baseline_wall_s\": "
+               << jsonNum(opt.sweepBaselineWall)
+               << ",\n  \"baseline_note\": \"same sweep, paired "
+                  "alternating rounds, older build's driver binary on "
+                  "this host\",\n  \"speedup_vs_baseline\": "
+               << jsonNum(opt.sweepBaselineWall / best);
+        os << "\n}\n";
+        std::ofstream f(opt.perfJsonPath);
+        f << os.str();
+        if (!f)
+            return usageError("cannot write " + opt.perfJsonPath);
+        std::fprintf(stderr, "[rsep_bench] wrote %s\n",
+                     opt.perfJsonPath.c_str());
+    }
+    return 0;
+}
+
 int
 runBench(const Options &opt)
 {
@@ -302,6 +484,16 @@ runBench(const Options &opt)
         std::string err;
         if (!resolveWorkloadSet(opt.workloadSet, archetypes, names, err))
             return usageError(err);
+    }
+    if (opt.sweep) {
+        if (names.empty()) {
+            // The branchy set is the sweep default: per-cell trace
+            // volume is highest where branch events are densest.
+            std::string err;
+            if (!resolveWorkloadSet("branchy", archetypes, names, err))
+                return usageError(err);
+        }
+        return runSweep(opt, names);
     }
     if (names.empty())
         names = wl::suiteNames();
@@ -538,6 +730,10 @@ main(int argc, char **argv)
             opt.scaling = false;
             continue;
         }
+        if (a == "--sweep") {
+            opt.sweep = true;
+            continue;
+        }
         std::string v;
         int hit;
         u64 n = 0;
@@ -575,6 +771,29 @@ main(int argc, char **argv)
         } else if ((hit = value("--scaling-measure", v)) != 0) {
             if (hit < 0 || !number(v, opt.scalingMeasure))
                 return usageError("--scaling-measure requires a count");
+        } else if ((hit = value("--sweep-scenarios", v)) != 0) {
+            if (hit < 0)
+                return usageError("--sweep-scenarios requires a list");
+            opt.sweepScenarios = splitCommas(v);
+        } else if ((hit = value("--sweep-trace-dir", v)) != 0) {
+            if (hit < 0 || v.empty())
+                return usageError("--sweep-trace-dir requires a path");
+            opt.sweepTraceDir = v;
+        } else if ((hit = value("--sweep-rounds", v)) != 0) {
+            if (hit < 0 || !number(v, n) || n == 0 || n > 100)
+                return usageError("--sweep-rounds requires a count "
+                                  "(1..100)");
+            opt.sweepRounds = static_cast<unsigned>(n);
+        } else if ((hit = value("--sweep-baseline-wall", v)) != 0) {
+            if (hit < 0)
+                return usageError("--sweep-baseline-wall requires "
+                                  "seconds");
+            char *end = nullptr;
+            opt.sweepBaselineWall = std::strtod(v.c_str(), &end);
+            if (!end || *end != '\0' || v.empty() ||
+                opt.sweepBaselineWall <= 0.0)
+                return usageError("invalid --sweep-baseline-wall '" + v +
+                                  "'");
         } else if ((hit = value("--threads", v)) != 0) {
             if (hit < 0)
                 return usageError("--threads requires a list");

@@ -17,11 +17,13 @@
  * match it bit for bit.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/mmap_file.hh"
 #include "sim/scenario.hh"
 #include "wl/emulator.hh"
 #include "wl/trace_io.hh"
@@ -48,6 +50,11 @@ printHelp()
         "\noptions:\n"
         "  --limit N        dump: stop after N records (default 32,\n"
         "                   0 = all)\n"
+        "  --bench-decode N info: time N full decode passes over each\n"
+        "                   trace (straight off the mmap'd bytes) and\n"
+        "                   report per-pass wall time and throughput —\n"
+        "                   the microbench behind the decoded-trace\n"
+        "                   cache's savings\n"
         "  --deep           validate: re-run the functional emulator and\n"
         "                   require a bit-exact record match\n"
         "  --workload-file PATH\n"
@@ -72,7 +79,7 @@ specFor(const wl::TraceHeader &header)
 }
 
 int
-cmdInfo(const std::vector<std::string> &files)
+cmdInfo(const std::vector<std::string> &files, u64 bench_decode)
 {
     bool ok = true;
     for (const std::string &path : files) {
@@ -82,6 +89,10 @@ cmdInfo(const std::vector<std::string> &files)
             ok = false;
             continue;
         }
+        // Decoded SoA footprint: what one DecodedTraceCache entry for
+        // this trace costs (see DecodedTrace::decodedBytes).
+        const u64 decoded_bytes =
+            t.header.records * wl::DecodedTrace::bytesPerRecord;
         std::printf("%s:\n", path.c_str());
         std::printf("  version        %u%s\n", t.header.version,
                     t.header.version == wl::traceFormatVersion
@@ -94,9 +105,52 @@ cmdInfo(const std::vector<std::string> &files)
         std::printf("  phase          %u\n", t.header.phase);
         std::printf("  records        %llu\n",
                     static_cast<unsigned long long>(t.header.records));
+        std::printf("  decoded_bytes  %llu\n",
+                    static_cast<unsigned long long>(decoded_bytes));
         std::printf("  program_length %llu\n",
                     static_cast<unsigned long long>(
                         t.header.programLength));
+        if (bench_decode == 0)
+            continue;
+        MmapFile file;
+        std::string err;
+        if (!file.open(path, &err)) {
+            std::fprintf(stderr, "rsep_trace: %s\n", err.c_str());
+            ok = false;
+            continue;
+        }
+        u64 best = ~0ull, total = 0;
+        for (u64 pass = 0; pass < bench_decode; ++pass) {
+            auto t0 = std::chrono::steady_clock::now();
+            wl::DecodedTraceParse d =
+                wl::decodeTraceImage(file.view(), path);
+            auto micros = static_cast<u64>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            if (!d.ok()) {
+                std::fprintf(stderr, "rsep_trace: %s\n", d.error.c_str());
+                ok = false;
+                break;
+            }
+            best = std::min(best, micros);
+            total += micros;
+        }
+        if (best == ~0ull)
+            continue;
+        double best_s = static_cast<double>(best) / 1e6;
+        std::printf("  decode x%llu    best %llu us, mean %.0f us "
+                    "(%.0f Mrec/s, %.0f MB/s decoded)\n",
+                    static_cast<unsigned long long>(bench_decode),
+                    static_cast<unsigned long long>(best),
+                    static_cast<double>(total) /
+                        static_cast<double>(bench_decode),
+                    best_s > 0.0 ? static_cast<double>(t.header.records) /
+                                       best_s / 1e6
+                                 : 0.0,
+                    best_s > 0.0 ? static_cast<double>(decoded_bytes) /
+                                       best_s / (1 << 20)
+                                 : 0.0);
     }
     return ok ? 0 : 1;
 }
@@ -228,6 +282,7 @@ main(int argc, char **argv)
     std::string command;
     std::vector<std::string> files;
     u64 limit = 32;
+    u64 bench_decode = 0;
     bool deep = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -275,6 +330,22 @@ main(int argc, char **argv)
                 return usageError("invalid --limit '" + value + "'");
             continue;
         }
+        if (a == "--bench-decode" || a.rfind("--bench-decode=", 0) == 0) {
+            std::string value;
+            if (a == "--bench-decode") {
+                if (i + 1 >= argc)
+                    return usageError("--bench-decode requires a value");
+                value = argv[++i];
+            } else {
+                value = a.substr(15);
+            }
+            char *end = nullptr;
+            bench_decode = std::strtoull(value.c_str(), &end, 10);
+            if (!end || *end != '\0' || value.empty() || bench_decode == 0)
+                return usageError("invalid --bench-decode '" + value +
+                                  "' (expected a pass count >= 1)");
+            continue;
+        }
         if (!a.empty() && a[0] == '-')
             return usageError("unknown option '" + a + "'");
         if (command.empty())
@@ -289,7 +360,7 @@ main(int argc, char **argv)
         return usageError("no trace files given");
 
     if (command == "info")
-        return cmdInfo(files);
+        return cmdInfo(files, bench_decode);
     if (command == "dump")
         return cmdDump(files, limit);
     if (command == "validate")
