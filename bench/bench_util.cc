@@ -72,11 +72,11 @@ warnUnusedMatrixFlags(const char *driver, const DriverContext &ctx,
                      "--csv/--json/--stats/--timings are ignored\n",
                      driver);
     if (ctx.matrix.shard.active() || !ctx.matrix.cacheDir.empty() ||
-        ctx.matrix.traceIo.active())
+        ctx.matrix.traceIo.active() || ctx.matrix.sampling.active())
         std::fprintf(stderr,
                      "%s: warning: no experiment matrix is run here; "
-                     "--shard/--cache-dir/--record-trace/--replay-trace "
-                     "are ignored\n",
+                     "--shard/--cache-dir/--record-trace/--replay-trace/"
+                     "--sample-every are ignored\n",
                      driver);
     if (ctx.scenarios.size() > scenarios_used)
         std::fprintf(stderr,
@@ -123,24 +123,10 @@ printHelp(const HarnessSpec &spec)
         "  --timings                  add the host-dependent timing.*\n"
         "                             counters to the dumps (off by\n"
         "                             default so dumps stay\n"
-        "                             bit-reproducible): per run,\n"
-        "                             timing.wall_micros (summed\n"
-        "                             simulation cost; cached cells keep\n"
-        "                             their original cost),\n"
-        "                             timing.cells_run /\n"
-        "                             timing.cache_hits /\n"
-        "                             timing.cache_misses (cell counts\n"
-        "                             by provenance), timing.steal_window\n"
-        "                             (1 when --steal window produced the\n"
-        "                             numbers),\n"
-        "                             timing.trace_load_micros (the trace\n"
-        "                             data-path slice of the wall time),\n"
-        "                             timing.trace_decode_hits /\n"
-        "                             timing.trace_decode_misses (replayed\n"
-        "                             cells served by / decoding into the\n"
-        "                             shared trace cache) and\n"
-        "                             per-checkpoint\n"
-        "                             timing.phaseN_wall_micros\n"
+        "                             bit-reproducible); the counter\n"
+        "                             list is printed below, generated\n"
+        "                             from the RunTiming schema so it\n"
+        "                             cannot drift from the code\n"
         "  --steal cell|window        work-stealing granularity of the\n"
         "                             parallel matrix: per-checkpoint\n"
         "                             cells (default) or whole\n"
@@ -167,7 +153,24 @@ printHelp(const HarnessSpec &spec)
         "  --trace-cache-mb N         bound the in-process decoded-trace\n"
         "                             cache (LRU) shared by replayed\n"
         "                             cells; 0 = unlimited (default 1024)\n"
+        "  --sample-every N           time-series sampling: snapshot the\n"
+        "                             live counters every N cycles of\n"
+        "                             each cell's measurement run into\n"
+        "                             per-cell .rts/.csv series (k/M/G\n"
+        "                             suffixes accepted; bypasses the\n"
+        "                             result cache; inspect with\n"
+        "                             rsep_samples)\n"
+        "  --sample-dir PATH          sample-series output directory\n"
+        "                             (default: samples)\n"
         "  --help, -h                 show this help\n");
+    // The timing.* counter list is generated from the one visitStats
+    // enumeration the export layer itself walks — it cannot go stale.
+    std::printf("\n--timings counters (per run):\n");
+    sim::RunTiming timing;
+    visitStats(timing, [](const char *name, StatCounter &) {
+        std::printf("  %s\n", name);
+    });
+    std::printf("  timing.phaseN_wall_micros   (one per checkpoint N)\n");
     if (!spec.defaultScenarios.empty()) {
         std::printf("\ndefault scenarios:");
         for (const std::string &s : spec.defaultScenarios)
@@ -417,6 +420,28 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
             // Applied immediately: the cache is a process-wide
             // singleton, not a per-matrix object.
             wl::traceCache().setCapacityBytes(mb << 20);
+            continue;
+        }
+        if ((hit = valueOf("--sample-every", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--sample-every requires a cycle "
+                                        "count (k/M/G suffixes allowed)");
+            u64 every = 0;
+            if (!parseScaledU64(value, every) || every == 0)
+                return usageError(spec, "invalid --sample-every '" +
+                                            value +
+                                            "' (expected a positive "
+                                            "cycle count, e.g. 5000 or "
+                                            "10k)");
+            ctx.matrix.sampling.every = every;
+            continue;
+        }
+        if ((hit = valueOf("--sample-dir", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--sample-dir requires a path");
+            if (value.empty())
+                return usageError(spec, "--sample-dir path is empty");
+            ctx.matrix.sampling.dir = value;
             continue;
         }
         if ((hit = valueOf("--seed", value)) != 0) {

@@ -7,7 +7,8 @@
  * same flags: --scenario, --scenario-file, --list-scenarios,
  * --workload, --workload-file, --list-workloads, --csv, --json,
  * --stats, --timings, --seed, --jobs, --steal, --shard, --cache-dir,
- * --record-trace, --replay-trace and --help.
+ * --record-trace, --replay-trace, --sample-every, --sample-dir and
+ * --help.
  */
 
 #ifndef RSEP_BENCH_BENCH_UTIL_HH

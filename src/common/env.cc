@@ -58,6 +58,40 @@ parseS64(const std::string &s, s64 &out)
 }
 
 bool
+parseScaledU64(const std::string &s, u64 &out)
+{
+    std::string t = trimmed(s);
+    u64 scale = 1;
+    if (!t.empty()) {
+        switch (t.back()) {
+          case 'k':
+          case 'K':
+            scale = 1000;
+            break;
+          case 'm':
+          case 'M':
+            scale = 1000 * 1000;
+            break;
+          case 'g':
+          case 'G':
+            scale = 1000ull * 1000 * 1000;
+            break;
+          default:
+            break;
+        }
+        if (scale != 1)
+            t.pop_back();
+    }
+    u64 mag = 0;
+    if (!parseU64(t, mag))
+        return false;
+    if (scale != 1 && mag > std::numeric_limits<u64>::max() / scale)
+        return false; // overflow.
+    out = mag * scale;
+    return true;
+}
+
+bool
 parseDouble(const std::string &s, double &out)
 {
     std::string t = trimmed(s);

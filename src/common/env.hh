@@ -26,6 +26,9 @@ std::string trimmed(const std::string &s);
 bool parseU64(const std::string &s, u64 &out);
 /** Signed variant: an optional leading '-' then the parseU64 grammar. */
 bool parseS64(const std::string &s, s64 &out);
+/** parseU64 plus an optional k/M/G suffix (decimal powers of 1000:
+ *  "10k" = 10000) for cycle-count flags like `--sample-every`. */
+bool parseScaledU64(const std::string &s, u64 &out);
 bool parseDouble(const std::string &s, double &out);
 /** Accepts true/false, yes/no, on/off, 1/0 (case-insensitive). */
 bool parseBool(const std::string &s, bool &out);

@@ -30,6 +30,12 @@ class DvtageEngine : public SpeculationEngine
 
     pred::Dvtage &predictor() { return vp; }
 
+    EngineSample
+    sampleStats() const override
+    {
+        return {predicted.value(), correct.value(), mispredicts.value()};
+    }
+
     StatCounter predicted;   ///< rename-time confident predictions.
     StatCounter correct;     ///< committed value-predicted instructions.
     StatCounter mispredicts; ///< commit-time value mispredictions.

@@ -26,6 +26,12 @@ class MoveElimEngine : public SpeculationEngine
     void atCommit(InflightInst &di, EngineContext &ctx) override;
     void atSquashInst(InflightInst &di, EngineContext &ctx) override;
 
+    EngineSample
+    sampleStats() const override
+    {
+        return {eliminated.value(), 0, 0};
+    }
+
     StatCounter eliminated;    ///< committed move eliminations.
     StatCounter shareFailures; ///< moves kept because the ISRB refused.
 };

@@ -37,6 +37,13 @@ class OracleEqEngine : public SpeculationEngine
     void atCommit(InflightInst &di, EngineContext &ctx) override;
     void atSquashInst(InflightInst &di, EngineContext &ctx) override;
 
+    /** The oracle never speculates wrong: every sharing is correct. */
+    EngineSample
+    sampleStats() const override
+    {
+        return {shared.value(), shared.value(), 0};
+    }
+
     StatCounter shared;          ///< committed oracle sharings.
     StatCounter sharedWithZero;  ///< ... of which via the zero register.
     StatCounter shareFailIsrb;   ///< partner found, ISRB refused.

@@ -50,6 +50,13 @@ class RsepEngine : public SpeculationEngine
     equality::Ddt &ddt() { return ddtUnit; }
     equality::HashRegisterFile &hrf() { return hrfUnit; }
 
+    EngineSample
+    sampleStats() const override
+    {
+        return {shared.value() + mispredicts.value(), shared.value(),
+                mispredicts.value()};
+    }
+
     StatCounter shared;      ///< committed correct register sharings.
     StatCounter mispredicts; ///< commit-time equality mispredictions.
     StatCounter likelyCandidates;

@@ -24,6 +24,12 @@ class ZeroIdiomEngine : public SpeculationEngine
     bool mayElideExecution(const isa::StaticInst &si) const override;
     void atCommit(InflightInst &di, EngineContext &ctx) override;
 
+    EngineSample
+    sampleStats() const override
+    {
+        return {eliminated.value(), 0, 0};
+    }
+
     StatCounter eliminated; ///< committed zero-idiom eliminations.
 };
 

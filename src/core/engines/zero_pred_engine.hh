@@ -29,6 +29,12 @@ class ZeroPredEngine : public SpeculationEngine
 
     equality::ZeroPredictor &predictor() { return zp; }
 
+    EngineSample
+    sampleStats() const override
+    {
+        return {predictions.value(), correct.value(), mispredicts.value()};
+    }
+
     StatCounter predictions; ///< rename-time zero predictions made.
     StatCounter correct;     ///< committed correct zero predictions.
     StatCounter mispredicts; ///< commit-time zero mispredictions.

@@ -171,6 +171,73 @@ Pipeline::resetStats()
         e->resetStats();
 }
 
+void
+Pipeline::attachSampler(StatSampler *s)
+{
+    sampler = s;
+    if (sampler) {
+        // Baseline snapshot: counters resetStats() does not zero (the
+        // branch unit's) delta correctly from their current values.
+        StatSample cum;
+        captureSample(cum);
+        sampler->start(cum);
+    }
+}
+
+void
+Pipeline::finishSampling()
+{
+    if (!sampler)
+        return;
+    StatSample cum;
+    captureSample(cum);
+    sampler->finish(cum, st.cycles.value());
+    sampler = nullptr;
+}
+
+void
+Pipeline::captureSample(StatSample &cum) const
+{
+    cum.committedInsts = st.committedInsts.value();
+    cum.committedBranches = st.committedBranches.value();
+    cum.committedLoads = st.committedLoads.value();
+    cum.committedStores = st.committedStores.value();
+    cum.branchMispredicts = bru.condMispredicts.value() +
+                            bru.indirectMispredicts.value() +
+                            bru.returnMispredicts.value();
+    cum.commitSquashes = st.commitSquashes.value();
+    cum.memOrderSquashes = st.memOrderSquashes.value();
+    cum.robOcc = nRenamed;
+    cum.frontendOcc = window.size() - nRenamed;
+    // Engines fill their fixed schema slot whether registered or not
+    // (unregistered ones receive no hooks, so their counters — and
+    // hence the slot's deltas — stay zero).
+    const SpeculationEngine *slots[numSampleEngineSlots] = {
+        zeroIdiomEngine.get(), moveElimEngine.get(), zeroPredEngine.get(),
+        oracleEqEngine.get(),  rsepEngine.get(),     dvtageEngine.get(),
+    };
+    for (size_t e = 0; e < numSampleEngineSlots; ++e) {
+        EngineSample es = slots[e]->sampleStats();
+        cum.engCoverage[e] = es.coverage;
+        cum.engCorrect[e] = es.correct;
+        cum.engMispredict[e] = es.mispredict;
+    }
+}
+
+void
+Pipeline::sampleTick()
+{
+    // One snapshot serves every boundary st.cycles crossed this
+    // iteration: boundaries inside an idle fast-forward see the same
+    // counter values single-stepping would have seen (nothing commits,
+    // renames or squashes in a provably idle cycle), so the extra rows
+    // carry zero deltas and only advance the time axis.
+    StatSample cum;
+    captureSample(cum);
+    while (st.cycles.value() >= sampler->nextDue())
+        sampler->record(cum);
+}
+
 InflightInst *
 Pipeline::findBySeq(u64 seq)
 {
@@ -1190,6 +1257,10 @@ Pipeline::run(u64 ninsts)
             for (auto *e : active)
                 e->atIdleCycles(skipped, ctx);
         }
+        // Time-series sampling: one null-check when off (fig1Probe
+        // discipline); the tick itself is rare (every N-cycle period).
+        if (sampler && st.cycles.value() >= sampler->nextDue())
+            sampleTick();
         if (cycle > (target + 1) * 1000) {
             if (nRenamed > 0) {
                 const InflightInst &h = window.front();

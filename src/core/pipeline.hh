@@ -28,6 +28,7 @@
 
 #include "common/ring_buffer.hh"
 #include "core/dyninst.hh"
+#include "core/sampler.hh"
 #include "core/fu_pool.hh"
 #include "core/params.hh"
 #include "core/rename.hh"
@@ -215,6 +216,20 @@ class Pipeline
 
     /** Zero all statistics (end of warmup), engine-local ones included. */
     void resetStats();
+
+    // ------------------------------------------------ time-series sampling
+    /**
+     * Attach a StatSampler for the following run() — typically right
+     * after resetStats(), so samples cover exactly the measurement
+     * window. Costs one pointer null-check per cycle-loop iteration
+     * when detached (the fig1Probe discipline: opt-in observability
+     * must be free when off). nullptr detaches without flushing.
+     */
+    void attachSampler(StatSampler *s);
+
+    /** Emit the final partial sample row (delta columns then sum to
+     *  the end-of-run totals) and detach the sampler. */
+    void finishSampling();
 
     PipelineStats &stats() { return st; }
     const CoreParams &coreParams() const { return cp; }
@@ -426,6 +441,14 @@ class Pipeline
     std::vector<ReadyEntry> retainedScratch; ///< scan survivors (reused).
     u32 schedCounter = 0; ///< token source (monotone, never reused).
     bool idealVal = false; ///< validation == Ideal (config constant).
+
+    // --- time-series sampling (sampler.hh) ---
+    /** Fill @p cum with the cumulative counter snapshot the sampler
+     *  deltas against. */
+    void captureSample(StatSample &cum) const;
+    /** Emit every sample boundary st.cycles has crossed. */
+    void sampleTick();
+    StatSampler *sampler = nullptr; ///< null = sampling off.
 
     /** Fig. 1 probe state, allocated only when the probe runs so the
      *  liveValues bookkeeping costs nothing on every other arm. */

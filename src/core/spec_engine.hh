@@ -75,6 +75,19 @@ struct EngineContext
     bool squashFollowsCommit = false;
 };
 
+/**
+ * One engine's contribution to a time-series StatSample (sampler.hh):
+ * cumulative counts since the engine's last resetStats(). The sampler
+ * keeps the previous snapshot per engine and emits deltas, so an
+ * engine only has to report totals — no per-engine sampling state.
+ */
+struct EngineSample
+{
+    u64 coverage = 0;   ///< instructions the mechanism acted on.
+    u64 correct = 0;    ///< ... of which verified correct at commit.
+    u64 mispredict = 0; ///< ... of which squashed at commit.
+};
+
 /** Base class of all speculation engines. */
 class SpeculationEngine
 {
@@ -191,6 +204,15 @@ class SpeculationEngine
     {
         (void)ctx;
     }
+
+    /**
+     * Cumulative coverage/correct/mispredict totals for the time-series
+     * sampler, mapped from the engine's own counters (the mapping — not
+     * the raw counter list — is what keeps the sample schema fixed
+     * across mechanisms). Non-speculative engines leave correct and
+     * mispredict at zero.
+     */
+    virtual EngineSample sampleStats() const { return {}; }
 
     // --------------------------------------------------- per-engine stats
     struct StatEntry

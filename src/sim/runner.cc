@@ -12,6 +12,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "sim/result_cache.hh"
+#include "sim/stat_export.hh"
 #include "sim/thread_pool.hh"
 #include "wl/trace_cache.hh"
 
@@ -162,6 +163,14 @@ runMatrix(const std::vector<SimConfig> &configs,
     }
 
     ResultCache cache(opts.cacheDir);
+    // Sampling bypasses the result cache: a cached cell has only
+    // end-of-run totals, no timeline, and silently sample-less cells
+    // would poison merged series. Warn once instead of per cell.
+    bool use_cache = cache.enabled() && !opts.sampling.active();
+    if (cache.enabled() && opts.sampling.active())
+        rsep_warn("sampling: --sample-every bypasses the result cache "
+                  "(cached cells cannot produce timelines); cells will "
+                  "be re-simulated");
 
     unsigned jobs = resolveJobs(opts.jobs);
     if (opts.progress) {
@@ -176,8 +185,13 @@ runMatrix(const std::vector<SimConfig> &configs,
                          plan.selectedRuns, plan.totalRuns);
         if (opts.steal == StealMode::Window)
             std::fprintf(stderr, " [steal window]");
-        if (cache.enabled())
+        if (use_cache)
             std::fprintf(stderr, " [cache %s]", cache.dir().c_str());
+        if (opts.sampling.active())
+            std::fprintf(stderr, " [sample every %llu -> %s]",
+                         static_cast<unsigned long long>(
+                             opts.sampling.every),
+                         opts.sampling.dir.c_str());
         if (!opts.traceIo.replayDir.empty())
             std::fprintf(stderr, " [replay %s]",
                          opts.traceIo.replayDir.c_str());
@@ -196,11 +210,12 @@ runMatrix(const std::vector<SimConfig> &configs,
     auto run_cell = [&](size_t b, size_t c, u32 p) {
         CacheKey key{benchmarks[b], hashes[c], p, configs[c].seed};
         std::optional<PhaseResult> pr;
-        if (cache.enabled())
+        if (use_cache)
             pr = cache.load(key);
         if (!pr) {
-            pr = runPhase(configs[c], benchmarks[b], p, opts.traceIo);
-            if (cache.enabled())
+            pr = runPhase(configs[c], benchmarks[b], p, opts.traceIo,
+                          opts.sampling.every);
+            if (use_cache)
                 cache.store(key, *pr);
         }
         rows[b].byConfig[c].phases[p] = std::move(*pr);
@@ -249,13 +264,46 @@ runMatrix(const std::vector<SimConfig> &configs,
                 ++rr.timing.stealWindow;
             for (const PhaseResult &ph : rr.phases) {
                 accountPhaseTiming(rr.timing, ph);
-                if (cache.enabled() && !ph.fromCache)
+                if (use_cache && !ph.fromCache)
                     ++rr.timing.cacheMisses;
             }
         }
     }
 
-    if (opts.progress && cache.enabled()) {
+    // Flush sample series post-barrier (single-threaded; the rows are
+    // deterministic so flush order never affects file bytes). The
+    // timeline rows are transient — moved out of the results here, not
+    // carried into stat export.
+    if (opts.sampling.active()) {
+        TimeSeriesSink sink(opts.sampling.dir);
+        for (size_t b = 0; b < benchmarks.size(); ++b) {
+            for (size_t c = 0; c < configs.size(); ++c) {
+                RunResult &rr = rows[b].byConfig[c];
+                if (!rr.inShard)
+                    continue;
+                for (u32 p = 0; p < rr.phases.size(); ++p) {
+                    SampleSeriesHeader h;
+                    h.workload = benchmarks[b];
+                    h.scenario = configs[c].label;
+                    h.configHash = hashes[c];
+                    h.phase = p;
+                    h.period = opts.sampling.every;
+                    sink.add(std::move(h),
+                             std::move(rr.phases[p].samples));
+                    rr.phases[p].samples.clear();
+                }
+            }
+        }
+        size_t n = sink.queued();
+        std::string err;
+        if (!sink.flush(&err))
+            rsep_warn("sampling: %s", err.c_str());
+        else if (opts.progress)
+            std::fprintf(stderr, "[samples] wrote %zu series to %s\n", n,
+                         opts.sampling.dir.c_str());
+    }
+
+    if (opts.progress && use_cache) {
         ResultCache::Counters cc = cache.counters();
         std::fprintf(stderr,
                      "[cache] %llu hit%s, %llu miss%s, %llu stored, "

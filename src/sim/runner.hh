@@ -43,6 +43,27 @@ enum class StealMode : u8 { Cell, Window };
 bool parseStealValue(const std::string &s, StealMode &mode,
                      std::string &err);
 
+/**
+ * Time-series sampling options of a run (`--sample-every` /
+ * `--sample-dir` on every driver; see core/sampler.hh for the row
+ * schema and sim/sample_io.hh for the `.rts` files).
+ *
+ * Run-level by design, like TraceIoOptions: sampling must not change
+ * config hashes, cached results or the default stat dump — with
+ * sampling off, every byte of output is identical to a build without
+ * the feature. With sampling on, the matrix runner bypasses the
+ * result cache (a cached cell cannot replay its timeline) and flushes
+ * one `.rts` + `.csv` pair per (benchmark, config, phase) cell after
+ * the barrier.
+ */
+struct SampleOptions
+{
+    u64 every = 0;                ///< sample period in cycles; 0 = off.
+    std::string dir = "samples";  ///< output directory for `.rts` files.
+
+    bool active() const { return every > 0; }
+};
+
 /** Knobs of the parallel matrix runner. */
 struct MatrixOptions
 {
@@ -62,6 +83,8 @@ struct MatrixOptions
     TraceIoOptions traceIo;
     /** Steal granularity (`--steal cell|window`). */
     StealMode steal = StealMode::Cell;
+    /** Time-series sampling (`--sample-every`, `--sample-dir`). */
+    SampleOptions sampling;
 };
 
 /** Hard ceiling on explicit worker-thread requests. */

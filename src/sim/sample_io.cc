@@ -1,0 +1,296 @@
+#include "sim/sample_io.hh"
+
+#include <atomic>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/fnv.hh"
+
+namespace fs = std::filesystem;
+
+namespace rsep::sim
+{
+
+namespace
+{
+
+/** Path-component sanitizer (cf. trace_io.cc): never trust a name. */
+std::string
+sanitized(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        out += (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                c == '-' || c == '+' || c == '_' || c == '@')
+                   ? c
+                   : '_';
+    return out.empty() ? std::string("_") : out;
+}
+
+void
+putVarint(std::string &s, u64 v)
+{
+    while (v >= 0x80) {
+        s.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    s.push_back(static_cast<char>(v));
+}
+
+bool
+getVarint(const char *&p, const char *end, u64 &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (p == end)
+            return false;
+        u8 byte = static_cast<u8>(*p++);
+        v |= static_cast<u64>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+    }
+    return false; // over-long varint.
+}
+
+std::string
+encodeRows(const std::vector<core::StatSample> &rows)
+{
+    std::string payload;
+    payload.reserve(rows.size() * core::sampleFieldCount());
+    for (core::StatSample row : rows)
+        core::visitSampleFields(
+            row, [&](const char *, u64 &f, core::SampleFieldKind) {
+                putVarint(payload, f);
+            });
+    return payload;
+}
+
+} // namespace
+
+std::string
+samplePath(const std::string &dir, const std::string &workload,
+           const std::string &config_hash, u32 phase)
+{
+    return dir + "/" + sanitized(workload) + "-" + sanitized(config_hash) +
+           "-p" + std::to_string(phase) + sampleFileExtension;
+}
+
+std::string
+serializeSamples(const SampleSeriesHeader &header,
+                 const std::vector<core::StatSample> &rows)
+{
+    std::string payload = encodeRows(rows);
+    std::ostringstream os;
+    os << "rsep-samples " << header.version << "\n";
+    os << "workload = " << header.workload << "\n";
+    os << "scenario = " << header.scenario << "\n";
+    os << "config_hash = " << header.configHash << "\n";
+    os << "phase = " << header.phase << "\n";
+    os << "period = " << header.period << "\n";
+    os << "fields = " << core::sampleFieldNames() << "\n";
+    os << "rows = " << rows.size() << "\n";
+    os << "payload\n";
+    os << payload;
+    os << "\nchecksum = " << hex64(fnv1a64(payload)) << "\n";
+    return os.str();
+}
+
+SamplesParse
+parseSamplesText(std::string_view text, const std::string &origin,
+                 bool header_only)
+{
+    SamplesParse out;
+    auto fail = [&](const std::string &msg) {
+        out.error = origin + ": " + msg;
+        out.rows.clear();
+        return out;
+    };
+
+    // ---- text header (line oriented, fixed order) ----
+    size_t pos = 0;
+    auto nextLine = [&](std::string_view &line) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string_view::npos)
+            return false;
+        line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        return true;
+    };
+    auto valueOf = [](std::string_view l, const char *k, std::string &v) {
+        std::string prefix = std::string(k) + " = ";
+        if (l.substr(0, prefix.size()) != prefix)
+            return false;
+        v = std::string(l.substr(prefix.size()));
+        return true;
+    };
+
+    std::string_view line;
+    std::string v;
+    if (!nextLine(line) || line.substr(0, 13) != "rsep-samples ")
+        return fail("not a sample file");
+    {
+        u64 ver = 0;
+        if (!parseU64(std::string(line.substr(13)), ver) ||
+            ver != core::sampleSchemaVersion)
+            return fail("unsupported sample schema version");
+        out.header.version = static_cast<unsigned>(ver);
+    }
+    if (!nextLine(line) || !valueOf(line, "workload", v) || v.empty())
+        return fail("bad workload header");
+    out.header.workload = v;
+    if (!nextLine(line) || !valueOf(line, "scenario", v))
+        return fail("bad scenario header");
+    out.header.scenario = v;
+    u64 dummy = 0;
+    if (!nextLine(line) || !valueOf(line, "config_hash", v) ||
+        v.size() != 16 || !parseHex64(v, dummy))
+        return fail("bad config_hash header");
+    out.header.configHash = v;
+    u64 wide = 0;
+    if (!nextLine(line) || !valueOf(line, "phase", v) ||
+        !parseU64(v, wide) || wide > 0xffffffffull)
+        return fail("bad phase header");
+    out.header.phase = static_cast<u32>(wide);
+    if (!nextLine(line) || !valueOf(line, "period", v) ||
+        !parseU64(v, out.header.period) || out.header.period == 0)
+        return fail("bad period header");
+    // The field list pins what the payload columns mean: a reader
+    // compiled with a different schema must not guess.
+    if (!nextLine(line) || !valueOf(line, "fields", v) ||
+        v != core::sampleFieldNames())
+        return fail("field list does not match this build's sample "
+                    "schema");
+    if (!nextLine(line) || !valueOf(line, "rows", v) ||
+        !parseU64(v, out.header.rows))
+        return fail("bad rows header");
+    if (!nextLine(line) || line != "payload")
+        return fail("missing payload marker");
+    if (header_only)
+        return out;
+
+    // ---- binary payload + trailing checksum ----
+    // "\nchecksum = " + 16 hex + "\n"
+    constexpr size_t trailerBytes = 12 + 16 + 1;
+    if (text.size() < pos || text.size() - pos < trailerBytes)
+        return fail("truncated trailer");
+    u64 payload_bytes = text.size() - pos - trailerBytes;
+    // Every field takes at least one varint byte; reject absurd row
+    // counts before reserve() can abort on a corrupt header.
+    size_t fields = core::sampleFieldCount();
+    if (out.header.rows > payload_bytes / (fields ? fields : 1) + 1)
+        return fail("truncated payload: row count " +
+                    std::to_string(out.header.rows) +
+                    " exceeds the available bytes");
+    std::string_view payload = text.substr(pos, payload_bytes);
+    std::string_view trailer = text.substr(pos + payload_bytes);
+    u64 want = 0;
+    if (trailer.substr(0, 12) != "\nchecksum = " || trailer.back() != '\n' ||
+        !parseHex64(std::string(trailer.substr(12, 16)), want))
+        return fail("truncated samples or missing checksum trailer");
+    if (fnv1a64(payload) != want)
+        return fail("checksum mismatch");
+
+    const char *p = payload.data();
+    const char *end = p + payload.size();
+    out.rows.reserve(out.header.rows);
+    for (u64 r = 0; r < out.header.rows; ++r) {
+        core::StatSample row;
+        bool ok = true;
+        core::visitSampleFields(
+            row, [&](const char *, u64 &f, core::SampleFieldKind) {
+                ok = ok && getVarint(p, end, f);
+            });
+        if (!ok)
+            return fail("truncated payload at row " + std::to_string(r));
+        out.rows.push_back(row);
+    }
+    if (p != end)
+        return fail("payload has " + std::to_string(end - p) +
+                    " trailing bytes");
+    return out;
+}
+
+SamplesParse
+parseSamplesFile(const std::string &path, bool header_only)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        SamplesParse out;
+        out.error = path + ": cannot open";
+        return out;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string text = buf.str();
+    return parseSamplesText(text, path, header_only);
+}
+
+bool
+writeSamplesFile(const std::string &path, const SampleSeriesHeader &header,
+                 const std::vector<core::StatSample> &rows, std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = path + ": " + msg;
+        return false;
+    };
+    std::error_code ec;
+    fs::path parent = fs::path(path).parent_path();
+    if (!parent.empty()) {
+        fs::create_directories(parent, ec);
+        if (ec)
+            return fail(ec.message());
+    }
+    SampleSeriesHeader h = header;
+    h.rows = rows.size();
+    std::string text = serializeSamples(h, rows);
+    // Atomic publish (cf. writeTraceFile): pid + process-wide sequence
+    // number in the temp name — a matrix run flushes many cells'
+    // series from one process.
+    static std::atomic<u64> writerSeq{0};
+    std::string tmp = path + ".tmp." +
+                      std::to_string(static_cast<unsigned long>(::getpid())) +
+                      "." + std::to_string(++writerSeq);
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return fail("cannot open temp file for writing");
+        os << text;
+        os.flush();
+        if (!os) {
+            fs::remove(tmp, ec);
+            return fail("write failed");
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return fail("rename failed");
+    }
+    return true;
+}
+
+void
+writeSamplesCsv(std::ostream &os, const SampleSeriesHeader &header,
+                const std::vector<core::StatSample> &rows, bool with_header)
+{
+    if (with_header)
+        os << sampleCsvIdColumns << "," << core::sampleFieldNames() << "\n";
+    for (core::StatSample row : rows) {
+        os << header.workload << "," << header.scenario << ","
+           << header.configHash << "," << header.phase;
+        core::visitSampleFields(
+            row, [&](const char *, u64 &f, core::SampleFieldKind) {
+                os << "," << f;
+            });
+        os << "\n";
+    }
+}
+
+} // namespace rsep::sim

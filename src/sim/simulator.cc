@@ -46,15 +46,25 @@ constexpr u64 traceRecordSlack = 8192;
 
 /** The timing run itself, identical for every source kind. */
 PhaseResult
-runTimedPhase(const SimConfig &cfg, wl::TraceSource &src, u32 phase)
+runTimedPhase(const SimConfig &cfg, wl::TraceSource &src, u32 phase,
+              u64 sample_every)
 {
     core::Pipeline pipe(cfg.core, cfg.mech, src,
                         cfg.seed ^ (0x9e37 * (phase + 1)));
     pipe.run(cfg.warmupInsts);
     pipe.resetStats();
+    // Sampling covers exactly the measurement run: attach after the
+    // stats reset so cycle 0 of the series is cycle 0 of measurement.
+    core::StatSampler sampler(sample_every ? sample_every : 1);
+    if (sample_every)
+        pipe.attachSampler(&sampler);
     pipe.run(cfg.measureInsts);
+    if (sample_every)
+        pipe.finishSampling();
 
     PhaseResult pr;
+    if (sample_every)
+        pr.samples = sampler.rows();
     pr.stats = pipe.stats();
     pr.ipc = pr.stats.ipc();
     for (const core::SpeculationEngine *eng : pipe.engines())
@@ -69,7 +79,7 @@ runTimedPhase(const SimConfig &cfg, wl::TraceSource &src, u32 phase)
 
 PhaseResult
 runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase,
-         const TraceIoOptions &trace_io)
+         const TraceIoOptions &trace_io, u64 sample_every)
 {
     auto t0 = std::chrono::steady_clock::now();
     auto finish = [&](PhaseResult pr) {
@@ -123,7 +133,7 @@ runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase,
                            wl::workloadHash(*spec).c_str());
             wl::Workload w = wl::buildWorkload(*spec);
             wl::ReplayTraceSource src(cached.trace, w.program, path);
-            PhaseResult pr = runTimedPhase(cfg, src, phase);
+            PhaseResult pr = runTimedPhase(cfg, src, phase, sample_every);
             pr.replayed = true;
             pr.traceLoadMicros = load_micros;
             pr.traceDecodeHit = cached.hit;
@@ -139,7 +149,7 @@ runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase,
 
     if (!trace_io.recordDir.empty()) {
         wl::RecordingTraceSource rec(emu);
-        PhaseResult pr = runTimedPhase(cfg, rec, phase);
+        PhaseResult pr = runTimedPhase(cfg, rec, phase, sample_every);
         rec.recordSlack(traceRecordSlack);
         wl::TraceHeader header;
         header.workload = bench_name;
@@ -156,7 +166,7 @@ runPhase(const SimConfig &cfg, const std::string &bench_name, u32 phase,
         return finish(std::move(pr));
     }
 
-    return finish(runTimedPhase(cfg, emu, phase));
+    return finish(runTimedPhase(cfg, emu, phase, sample_every));
 }
 
 void

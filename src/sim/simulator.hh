@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/sampler.hh"
 #include "sim/sim_config.hh"
 #include "wl/suite.hh"
 
@@ -45,6 +46,11 @@ struct PhaseResult
     /** The replayed trace came out of the shared DecodedTraceCache
      *  already decoded (transient; meaningful only when replayed). */
     bool traceDecodeHit = false;
+    /** Time-series rows of the measurement run (`--sample-every`);
+     *  empty when sampling is off. Transient, never part of the cached
+     *  record: a cached cell cannot produce samples, which is why the
+     *  matrix runner bypasses the result cache in sampling mode. */
+    std::vector<core::StatSample> samples;
 };
 
 /**
@@ -148,9 +154,18 @@ struct RunResult
  * (benchmark, config, checkpoint) cell can run on any thread and
  * produce the same PhaseResult — the unit of work of the parallel
  * matrix runner.
+ *
+ * @p sample_every > 0 attaches a StatSampler to the measurement run
+ * and fills PhaseResult::samples with one row per @p sample_every
+ * cycles (plus the final partial row). Sampling reads only
+ * deterministic architectural counters, so the rows — like the stats —
+ * are bit-identical at any thread count or steal mode. It is a
+ * run-level knob, NOT part of SimConfig: it must not perturb config
+ * hashes, cached results or golden dumps.
  */
 PhaseResult runPhase(const SimConfig &cfg, const std::string &bench_name,
-                     u32 phase, const TraceIoOptions &trace_io = {});
+                     u32 phase, const TraceIoOptions &trace_io = {},
+                     u64 sample_every = 0);
 
 /** Run @p bench_name under @p cfg (all checkpoints, serially). */
 RunResult runWorkload(const SimConfig &cfg, const std::string &bench_name);

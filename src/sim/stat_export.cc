@@ -242,6 +242,43 @@ JsonStatSink::write(std::ostream &os,
     os << "]\n";
 }
 
+void
+TimeSeriesSink::add(SampleSeriesHeader header,
+                    std::vector<core::StatSample> rows)
+{
+    if (rows.empty())
+        return;
+    header.rows = rows.size();
+    series.emplace_back(std::move(header), std::move(rows));
+}
+
+bool
+TimeSeriesSink::flush(std::string *err)
+{
+    for (const auto &[header, rows] : series) {
+        std::string path = samplePath(outDir, header.workload,
+                                      header.configHash, header.phase);
+        if (!writeSamplesFile(path, header, rows, err))
+            return false;
+        std::string csv_path =
+            path.substr(0, path.size() - 4) + ".csv";
+        std::ofstream os(csv_path, std::ios::trunc);
+        if (!os) {
+            if (err)
+                *err = csv_path + ": cannot open for writing";
+            return false;
+        }
+        writeSamplesCsv(os, header, rows);
+        os.flush();
+        if (!os) {
+            if (err)
+                *err = csv_path + ": write failed";
+            return false;
+        }
+    }
+    return true;
+}
+
 bool
 writeStatsFile(const std::string &path, const StatSink &sink,
                const std::vector<StatRow> &rows, std::string *err)

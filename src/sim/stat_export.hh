@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/runner.hh"
+#include "sim/sample_io.hh"
 
 namespace rsep::sim
 {
@@ -102,6 +103,44 @@ class JsonStatSink : public StatSink
 bool writeStatsFile(const std::string &path, const StatSink &sink,
                     const std::vector<StatRow> &rows,
                     std::string *err = nullptr);
+
+/**
+ * Export sink of the time-series sampling mode (`--sample-every`):
+ * collects per-cell StatSample series during a matrix run and flushes
+ * each to `<dir>/<bench>-<confighash>-p<phase>.rts` (atomic, see
+ * sample_io.hh) plus a sibling `.csv` for direct plotting. One cell =
+ * one file, so sharded runs compose by directory union exactly like
+ * recorded traces, and `rsep_samples merge` pools shards' series the
+ * way rsep_merge pools stat dumps.
+ *
+ * Not thread-safe: the matrix runner queues cells post-barrier on the
+ * coordinating thread (sample rows are deterministic, so the flush
+ * order never affects file contents).
+ */
+class TimeSeriesSink
+{
+  public:
+    explicit TimeSeriesSink(std::string dir) : outDir(std::move(dir)) {}
+
+    const std::string &dir() const { return outDir; }
+    size_t queued() const { return series.size(); }
+
+    /** Queue one cell's series (empty series are dropped — a cell
+     *  below one sample period still flushes its final partial row,
+     *  so empty means sampling was off for the cell). */
+    void add(SampleSeriesHeader header,
+             std::vector<core::StatSample> rows);
+
+    /** Write every queued series; returns the number of files written
+     *  (`.rts` count) or fails fast with @p err. */
+    bool flush(std::string *err = nullptr);
+
+  private:
+    std::string outDir;
+    std::vector<std::pair<SampleSeriesHeader,
+                          std::vector<core::StatSample>>>
+        series;
+};
 
 } // namespace rsep::sim
 

@@ -509,6 +509,53 @@ checkCompleteness(const std::vector<StatRow> &rows,
 }
 
 bool
+knownTimingCounter(const std::string &name)
+{
+    if (name.rfind("timing.", 0) != 0)
+        return false;
+    // The RunTiming schema names, via the one visitStats enumeration.
+    static const std::vector<std::string> known = [] {
+        std::vector<std::string> names;
+        RunTiming t;
+        visitStats(t, [&](const char *n, StatCounter &) {
+            names.emplace_back(n);
+        });
+        return names;
+    }();
+    for (const std::string &k : known)
+        if (name == k)
+            return true;
+    // Per-checkpoint pattern: timing.phase<digits>_wall_micros.
+    constexpr const char *pre = "timing.phase";
+    constexpr const char *suf = "_wall_micros";
+    if (name.rfind(pre, 0) != 0)
+        return false;
+    size_t digits_begin = std::string(pre).size();
+    size_t suf_len = std::string(suf).size();
+    if (name.size() <= digits_begin + suf_len ||
+        name.compare(name.size() - suf_len, suf_len, suf) != 0)
+        return false;
+    for (size_t i = digits_begin; i < name.size() - suf_len; ++i)
+        if (name[i] < '0' || name[i] > '9')
+            return false;
+    return true;
+}
+
+std::vector<std::string>
+unknownTimingCounters(const std::vector<StatRow> &rows)
+{
+    std::set<std::string> unknown;
+    for (const StatRow &row : rows)
+        for (const auto &[name, value] : row.counters) {
+            (void)value;
+            if (name.rfind("timing.", 0) == 0 &&
+                !knownTimingCounter(name))
+                unknown.insert(name);
+        }
+    return {unknown.begin(), unknown.end()};
+}
+
+bool
 writeFigureSummary(std::ostream &os, const std::vector<StatRow> &rows,
                    const std::string &baseline_scenario, std::string *err)
 {

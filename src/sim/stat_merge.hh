@@ -75,6 +75,24 @@ checkCompleteness(const std::vector<StatRow> &rows,
                   const std::vector<std::string> &expected_benchmarks = {});
 
 /**
+ * True when @p name is a timing.* counter this build's RunTiming
+ * schema (or the per-checkpoint timing.phaseN_wall_micros pattern)
+ * defines. Non-timing counters are none of this function's business
+ * (always false).
+ */
+bool knownTimingCounter(const std::string &name);
+
+/**
+ * The timing.* counter names in @p rows this build does not know —
+ * evidence a dump came from a newer/older build whose timing schema
+ * drifted. rsep_merge warns on these instead of passing them through
+ * silently: the keys still merge (counters are opaque to the merge),
+ * but the user is told the summary may be missing context.
+ */
+std::vector<std::string>
+unknownTimingCounters(const std::vector<StatRow> &rows);
+
+/**
  * The paper's figure summaries from a merged table: one CSV-style row
  * per (benchmark, non-baseline arm) with its IPC and speedup over the
  * baseline arm, then one gmean row per arm (Fig. 4/6/7 bars data).

@@ -21,8 +21,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "common/fnv.hh"
 #include "sim/runner.hh"
@@ -74,13 +77,16 @@ goldenBenchmarks()
     return {"mcf", "hmmer"};
 }
 
-/** Run one scenario's golden matrix and return the CSV dump text. */
+/** Run one scenario's golden matrix and return the CSV dump text.
+ *  @p sampling optionally enables time-series sampling for the run —
+ *  the dump must come out identical either way. */
 std::string
-dumpFor(const SimConfig &config)
+dumpFor(const SimConfig &config, const SampleOptions &sampling = {})
 {
     MatrixOptions opts;
     opts.jobs = 1;
     opts.progress = false;
+    opts.sampling = sampling;
     std::vector<SimConfig> configs{config};
     std::vector<MatrixRow> rows =
         runMatrix(configs, goldenBenchmarks(), opts);
@@ -139,6 +145,32 @@ TEST(GoldenDumps, EveryScenarioByteIdenticalToPr4)
     }
     if (regen)
         std::printf("golden table:\n%s", table.str().c_str());
+}
+
+TEST(GoldenDumps, SamplingDoesNotPerturbTheDump)
+{
+    // --sample-every is observation, not intervention: with sampling
+    // attached, the rsep arm's stat dump must still hash to its golden
+    // value (the sampler only reads counters on the deterministic
+    // cycle axis).
+    std::optional<Scenario> sc = findScenario("rsep");
+    ASSERT_TRUE(sc.has_value());
+    sc->config.warmupInsts = goldenWarmup;
+    sc->config.measureInsts = goldenMeasure;
+    sc->config.checkpoints = 1;
+    sc->config.seed = 0x5eed;
+
+    SampleOptions sampling;
+    sampling.every = 1000;
+    sampling.dir = (std::filesystem::temp_directory_path() /
+                    ("rsep-golden-samples-" + std::to_string(::getpid())))
+                       .string();
+    std::string csv = dumpFor(sc->config, sampling);
+    std::error_code ec;
+    std::filesystem::remove_all(sampling.dir, ec);
+
+    EXPECT_EQ(hex64(fnv1a64(csv)), goldenHashes.at("rsep"))
+        << "sampling perturbed the rsep stat dump";
 }
 
 } // namespace

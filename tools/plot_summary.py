@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Render rsep benchmark outputs as figure images.
 
-Two input formats are auto-detected:
+Three input formats are auto-detected:
 
 1. `rsep_merge --summary` CSV (stat_merge.cc, writeFigureSummary):
 
@@ -20,13 +20,22 @@ Two input formats are auto-detected:
    run was given a --baseline — a second panel of replay speedup vs
    that baseline with the gmean annotated.
 
-Both modes need matplotlib, which is deliberately NOT a build
+3. Time-series sample CSV (`rsep_samples dump`/`merge`, or the `.csv`
+   sibling a `--sample-every` run writes next to each `.rts` file;
+   detected by the `benchmark,scenario,config_hash,phase,cycle,...`
+   header): per-window IPC timelines, one panel per (benchmark, phase)
+   cell with one line per scenario arm — the phase-behaviour view of
+   the paper's speedup bars.
+
+All modes need matplotlib, which is deliberately NOT a build
 dependency: when matplotlib is missing the script exits with status 2
 and a clear message, so CI can treat the image as an optional artifact.
 
     rsep_merge --summary bars.csv shard*.csv
     tools/plot_summary.py bars.csv -o bars.png
     tools/plot_summary.py BENCH_PR6.json -o bench.png
+    rsep_samples merge --csv timeline.csv samples/*.rts
+    tools/plot_summary.py timeline.csv -o timeline.png
 """
 
 import argparse
@@ -135,6 +144,79 @@ def plot_perf_json(path, args):
           f"({len(names)} workloads, {npanels} panel(s))")
 
 
+# The identity-column prefix of a sample CSV (sim/sample_io.hh,
+# sampleCsvIdColumns + the leading sample field).
+SAMPLE_CSV_PREFIX = "benchmark,scenario,config_hash,phase,cycle"
+
+
+def parse_samples(path):
+    """Return {(benchmark, phase): {scenario: [(cycle, window_ipc)]}}.
+
+    Window IPC is the committed-inst delta of each row (the columns are
+    already deltas) over the row's cycle-axis width; the final row is
+    usually a partial window and is plotted as-is at its true width.
+    """
+    cells = {}
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        need = {"benchmark", "scenario", "phase", "cycle",
+                "committed_insts"}
+        missing = need - set(reader.fieldnames or [])
+        if missing:
+            sys.exit(f"{path}: not a sample CSV (missing columns "
+                     f"{sorted(missing)!r})")
+        prev_cycle = {}  # (benchmark, scenario, phase) -> last cycle.
+        for rec in reader:
+            try:
+                cycle = int(rec["cycle"])
+                insts = int(rec["committed_insts"])
+                phase = int(rec["phase"])
+            except ValueError:
+                sys.exit(f"{path}: malformed sample row {rec!r}")
+            key = (rec["benchmark"], rec["scenario"], phase)
+            width = cycle - prev_cycle.get(key, 0)
+            prev_cycle[key] = cycle
+            ipc = insts / width if width > 0 else 0.0
+            panel = cells.setdefault((rec["benchmark"], phase), {})
+            panel.setdefault(rec["scenario"], []).append((cycle, ipc))
+    if not cells:
+        sys.exit(f"{path}: no sample rows found")
+    return cells
+
+
+def plot_samples(path, args):
+    """Render a sample CSV as per-cell window-IPC timelines."""
+    cells = parse_samples(path)
+    plt = load_matplotlib()
+
+    panels = sorted(cells)  # (benchmark, phase), canonical order.
+    fig, axes = plt.subplots(len(panels), 1,
+                             figsize=(8.0, 2.2 * len(panels) + 1.0),
+                             sharex=False, squeeze=False)
+    total_series = 0
+    for ax, key in zip((a[0] for a in axes), panels):
+        bench, phase = key
+        for scenario in sorted(cells[key]):
+            points = cells[key][scenario]
+            ax.plot([c for c, _ in points], [i for _, i in points],
+                    linewidth=1.0, label=scenario)
+            total_series += 1
+        ax.set_title(f"{bench} (phase {phase})", fontsize=9, loc="left")
+        ax.set_ylabel("window IPC", fontsize=8)
+        ax.tick_params(labelsize=7)
+        ax.legend(fontsize=7, ncol=2)
+        ax.margins(x=0.01)
+    axes[-1][0].set_xlabel("measurement cycle", fontsize=8)
+    title = args.title
+    if title == DEFAULT_TITLE:
+        title = "Per-window IPC timelines (--sample-every)"
+    fig.suptitle(title, fontsize=10)
+    fig.tight_layout(rect=(0, 0, 1, 0.97))
+    fig.savefig(args.output, dpi=args.dpi)
+    print(f"plot_summary: wrote {args.output} "
+          f"({len(panels)} panel(s), {total_series} series)")
+
+
 DEFAULT_TITLE = "Speedup over baseline (percent)"
 
 
@@ -143,7 +225,9 @@ def main():
         description="Turn rsep_merge --summary CSV or rsep_bench "
                     "--perf-json output into figure images.")
     ap.add_argument("summary", help="summary CSV from rsep_merge --summary, "
-                                    "or a perf JSON from rsep_bench")
+                                    "a perf JSON from rsep_bench, or a "
+                                    "sample CSV from rsep_samples "
+                                    "dump/merge")
     ap.add_argument("-o", "--output", default="summary.png",
                     help="output image path (default: %(default)s; the "
                          "extension picks the format)")
@@ -151,11 +235,15 @@ def main():
     ap.add_argument("--dpi", type=int, default=150)
     args = ap.parse_args()
 
-    # A perf JSON starts with '{'; the merge summary is CSV.
+    # A perf JSON starts with '{'; a sample CSV declares itself by its
+    # identity-column header; everything else is the merge summary.
     with open(args.summary) as fh:
-        first = fh.read(64).lstrip()
+        first = fh.read(128).lstrip()
     if first.startswith("{"):
         plot_perf_json(args.summary, args)
+        return
+    if first.startswith(SAMPLE_CSV_PREFIX):
+        plot_samples(args.summary, args)
         return
 
     rows, gmeans = parse_summary(args.summary)

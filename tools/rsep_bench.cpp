@@ -72,6 +72,25 @@ struct ScalingPoint
     double wallSecs;
 };
 
+/** Cost of `--sample-every` on the pure cycle loop (one replay cell,
+ *  paired off/on rounds). */
+struct SamplingOverhead
+{
+    std::string workload;
+    u64 period = 0;        ///< sample period in cycles.
+    double offSecs = 0.0;  ///< best sampling-off wall seconds.
+    double onSecs = 0.0;   ///< best sampling-on wall seconds.
+    u64 rows = 0;          ///< sample rows per measured run.
+    double overheadPct() const
+    {
+        return offSecs > 0.0 ? (onSecs / offSecs - 1.0) * 100.0 : 0.0;
+    }
+    double samplesPerSec() const
+    {
+        return onSecs > 0.0 ? static_cast<double>(rows) / onSecs : 0.0;
+    }
+};
+
 struct Options
 {
     std::string perfJsonPath;
@@ -85,6 +104,9 @@ struct Options
     u64 scalingMeasure = 8000;
     std::vector<unsigned> threads = {1, 2, 4};
     bool scaling = true;
+    /** Sampling-overhead study: cycle period of the sampled run
+     *  (0 skips the study; default mirrors a typical --sample-every). */
+    u64 sampleEvery = 10000;
 
     // ---- replay-sweep mode (--sweep): the trace data-path benchmark.
     bool sweep = false;
@@ -138,6 +160,11 @@ printHelp()
         "  --scaling-measure N    timed instructions per cell in the\n"
         "                         scaling study (default 8000)\n"
         "  --no-scaling           skip the scaling study\n"
+        "  --sample-every N       sampling-overhead study period in\n"
+        "                         cycles (default 10000; 0 skips it):\n"
+        "                         times one branchy replay cell with the\n"
+        "                         stat sampler off vs on and reports the\n"
+        "                         overhead ratio and samples/s\n"
         "  --sweep                run the replay-sweep benchmark instead:\n"
         "                         record full-sizing traces once, then\n"
         "                         time a multi-arm replay matrix of short\n"
@@ -263,6 +290,66 @@ timeWorkload(const sim::SimConfig &cfg, const std::string &name,
             1e6 / secsBetween(t0, t1);
     }
     return perf;
+}
+
+/**
+ * Time the sampling hook on one branchy replay cell: record the trace
+ * once, then alternate sampling-off / sampling-on replay rounds (best
+ * of 3 pairs, paired so host noise hits both arms alike). The off arm
+ * exercises the detached-sampler path — one null-check per loop
+ * iteration — and the on arm the full snapshot + delta row cost at the
+ * given period. Acceptance (CI perf smoke): overhead under ~3%.
+ */
+SamplingOverhead
+timeSamplingOverhead(const sim::SimConfig &cfg, const std::string &name,
+                     u64 warmup, u64 measure, u64 period)
+{
+    SamplingOverhead so;
+    so.workload = name;
+    so.period = period;
+
+    wl::Workload w = wl::makeWorkload(name);
+    wl::Emulator emu(w.program);
+    emu.resetArchState();
+    w.init(emu, 0);
+    wl::RecordingTraceSource rec(emu);
+    {
+        core::Pipeline pipe(cfg.core, cfg.mech, rec, cfg.seed ^ 0x9e37);
+        pipe.run(warmup + measure);
+    }
+    rec.recordSlack(8192);
+
+    wl::TraceParse parse;
+    parse.header.workload = name;
+    parse.header.programLength = w.program.size();
+    parse.header.records = rec.records().size();
+    parse.records = rec.records();
+
+    auto timed_run = [&](bool sampling) {
+        wl::TraceParse copy = parse;
+        wl::ReplayTraceSource src(std::move(copy), w.program, "<memory>");
+        core::Pipeline pipe(cfg.core, cfg.mech, src, cfg.seed ^ 0x9e37);
+        pipe.run(warmup);
+        pipe.resetStats();
+        core::StatSampler sampler(period);
+        if (sampling)
+            pipe.attachSampler(&sampler);
+        auto t0 = Clock::now();
+        pipe.run(measure);
+        if (sampling)
+            pipe.finishSampling();
+        double secs = secsBetween(t0, Clock::now());
+        if (sampling)
+            so.rows = sampler.rows().size();
+        return secs;
+    };
+
+    so.offSecs = so.onSecs = 1e30;
+    for (int round = 0; round < 3; ++round) {
+        so.offSecs = std::min(so.offSecs, timed_run(false));
+        so.onSecs = std::min(so.onSecs, timed_run(true));
+    }
+    return so;
 }
 
 /** One timed runMatrix sweep (suite x 1 scenario, quiet). */
@@ -544,6 +631,23 @@ runBench(const Options &opt)
                     : ("  [" + jsonNum(gm_speedup) + "x vs baseline]")
                           .c_str());
 
+    // ---- sampling-overhead study ----
+    SamplingOverhead so;
+    if (opt.sampleEvery > 0) {
+        // One branchy cell: densest per-cycle event rate, so the
+        // per-iteration sampler null-check is least hidden by stalls.
+        so = timeSamplingOverhead(cfg, "gobmk", opt.warmup, opt.measure,
+                                  opt.sampleEvery);
+        std::printf("sampling     %-12s every %llu cycles: off %.3f s, "
+                    "on %.3f s, overhead %.2f%% (%zu rows, %.0f "
+                    "samples/s)\n",
+                    so.workload.c_str(),
+                    static_cast<unsigned long long>(so.period), so.offSecs,
+                    so.onSecs, so.overheadPct(),
+                    static_cast<size_t>(so.rows), so.samplesPerSec());
+        std::fflush(stdout);
+    }
+
     // ---- thread-scaling study ----
     std::vector<ScalingPoint> scaling;
     if (opt.scaling) {
@@ -645,6 +749,16 @@ runBench(const Options &opt)
         if (!vs_baseline.empty())
             os << ", \"speedup_vs_baseline\": " << jsonNum(gm_speedup);
         os << "},\n";
+
+        if (opt.sampleEvery > 0)
+            os << "  \"sampling\": {\"workload\": \"" << so.workload
+               << "\", \"sample_every_cycles\": " << so.period
+               << ", \"off_wall_s\": " << jsonNum(so.offSecs)
+               << ", \"on_wall_s\": " << jsonNum(so.onSecs)
+               << ", \"overhead_pct\": " << jsonNum(so.overheadPct())
+               << ", \"rows\": " << so.rows
+               << ", \"samples_per_sec\": " << jsonNum(so.samplesPerSec())
+               << ", \"acceptance\": \"overhead_pct < 3\"},\n";
 
         os << "  \"scaling\": [\n";
         double base_cell = 0.0, base_window = 0.0;
@@ -771,6 +885,10 @@ main(int argc, char **argv)
         } else if ((hit = value("--scaling-measure", v)) != 0) {
             if (hit < 0 || !number(v, opt.scalingMeasure))
                 return usageError("--scaling-measure requires a count");
+        } else if ((hit = value("--sample-every", v)) != 0) {
+            if (hit < 0 || !number(v, opt.sampleEvery))
+                return usageError("--sample-every requires a cycle count "
+                                  "(0 skips the sampling study)");
         } else if ((hit = value("--sweep-scenarios", v)) != 0) {
             if (hit < 0)
                 return usageError("--sweep-scenarios requires a list");

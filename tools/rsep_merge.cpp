@@ -348,6 +348,16 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Unknown timing.* keys merge fine (counters are opaque here) but
+    // mean the dump came from a build with a different timing schema —
+    // say so instead of passing them through silently.
+    for (const std::string &name : unknownTimingCounters(merged))
+        std::fprintf(stderr,
+                     "rsep_merge: warning: unknown timing counter '%s' "
+                     "(produced by a build with a different RunTiming "
+                     "schema; merged as-is)\n",
+                     name.c_str());
+
     std::string holes = checkCompleteness(merged, expect_benchmarks);
     if (!holes.empty()) {
         std::fprintf(stderr, "rsep_merge: %s%s\n",

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * rsep_samples — inspect, dump, merge and summarize `.rts` time-series
+ * sample files (the per-cell phase-behaviour timelines the drivers
+ * write with `--sample-every`; see sim/sample_io.hh).
+ *
+ *     rsep_samples info samples/*.rts
+ *     rsep_samples dump --limit 40 samples/mcf-*.rts
+ *     rsep_samples merge --csv all.csv shard0/*.rts shard1/*.rts
+ *     rsep_samples summarize samples/*.rts
+ *
+ * `merge` pools many cells' series into one canonically-sorted CSV
+ * (same row grammar as the per-cell `.csv` siblings), erroring on a
+ * duplicate cell identity — the sample-side analogue of rsep_merge
+ * over sharded stat dumps. `summarize` reduces each timeline to its
+ * phase-behaviour headline: mean vs peak window IPC and the number of
+ * abrupt phase changes, plus per-scenario geometric means.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/sample_io.hh"
+
+namespace
+{
+
+using namespace rsep;
+
+void
+printHelp()
+{
+    std::printf(
+        "usage: rsep_samples COMMAND [options] FILE [FILE ...]\n"
+        "Inspect, dump, merge and summarize .rts time-series sample\n"
+        "files (--sample-every on the bench drivers).\n"
+        "\ncommands:\n"
+        "  info             print each series' header summary (verifies\n"
+        "                   the payload checksum)\n"
+        "  dump             print rows as CSV (identity columns + one\n"
+        "                   column per sample field)\n"
+        "  merge            pool many cells' series into one\n"
+        "                   canonically-sorted CSV (--csv, required);\n"
+        "                   duplicate cell identities are an error\n"
+        "  summarize        per-cell phase-behaviour headline (mean/peak\n"
+        "                   window IPC, phase changes) and per-scenario\n"
+        "                   gmean rows\n"
+        "\noptions:\n"
+        "  --limit N        dump: stop after N rows per file (0 = all,\n"
+        "                   the default)\n"
+        "  --csv PATH       merge: output path for the pooled CSV\n"
+        "  --help, -h       show this help\n");
+}
+
+int
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "rsep_samples: %s (try --help)\n", msg.c_str());
+    return 2;
+}
+
+/** Per-window IPC series of one cell: committed-inst delta over cycle
+ *  delta per sample row (the final row is usually a partial window). */
+std::vector<double>
+windowIpcs(const std::vector<core::StatSample> &rows)
+{
+    std::vector<double> out;
+    out.reserve(rows.size());
+    u64 prev_cycle = 0;
+    for (const core::StatSample &r : rows) {
+        u64 cycles = r.cycle - prev_cycle;
+        out.push_back(cycles ? static_cast<double>(r.committedInsts) /
+                                   static_cast<double>(cycles)
+                             : 0.0);
+        prev_cycle = r.cycle;
+    }
+    return out;
+}
+
+/** Abrupt phase changes: adjacent full windows whose IPC moved by more
+ *  than 25% of the earlier window's level. */
+size_t
+phaseChanges(const std::vector<double> &ipcs)
+{
+    constexpr double threshold = 0.25;
+    size_t changes = 0;
+    for (size_t i = 1; i < ipcs.size(); ++i) {
+        double base = ipcs[i - 1];
+        double rel = base > 0.0 ? std::fabs(ipcs[i] - base) / base
+                    : ipcs[i] > 0.0 ? 1.0
+                                    : 0.0;
+        if (rel > threshold)
+            ++changes;
+    }
+    return changes;
+}
+
+int
+cmdInfo(const std::vector<std::string> &files)
+{
+    bool ok = true;
+    for (const std::string &path : files) {
+        sim::SamplesParse p = sim::parseSamplesFile(path);
+        if (!p.ok()) {
+            std::fprintf(stderr, "rsep_samples: %s\n", p.error.c_str());
+            ok = false;
+            continue;
+        }
+        std::printf("%s:\n", path.c_str());
+        std::printf("  version      %u\n", p.header.version);
+        std::printf("  workload     %s\n", p.header.workload.c_str());
+        std::printf("  scenario     %s\n", p.header.scenario.c_str());
+        std::printf("  config_hash  %s\n", p.header.configHash.c_str());
+        std::printf("  phase        %u\n", p.header.phase);
+        std::printf("  period       %llu\n",
+                    static_cast<unsigned long long>(p.header.period));
+        std::printf("  rows         %zu\n", p.rows.size());
+        std::printf("  fields       %zu\n", core::sampleFieldCount());
+        if (!p.rows.empty())
+            std::printf("  last_cycle   %llu\n",
+                        static_cast<unsigned long long>(
+                            p.rows.back().cycle));
+    }
+    return ok ? 0 : 1;
+}
+
+int
+cmdDump(const std::vector<std::string> &files, u64 limit)
+{
+    bool ok = true;
+    bool header_done = false;
+    for (const std::string &path : files) {
+        sim::SamplesParse p = sim::parseSamplesFile(path);
+        if (!p.ok()) {
+            std::fprintf(stderr, "rsep_samples: %s\n", p.error.c_str());
+            ok = false;
+            continue;
+        }
+        std::vector<core::StatSample> rows = std::move(p.rows);
+        if (limit && rows.size() > limit)
+            rows.resize(limit);
+        sim::writeSamplesCsv(std::cout, p.header, rows, !header_done);
+        header_done = true;
+    }
+    return ok ? 0 : 1;
+}
+
+int
+cmdMerge(const std::vector<std::string> &files, const std::string &csv_path)
+{
+    // Load everything first: duplicate-cell validation needs the full
+    // set, and the canonical sort ignores argv order.
+    std::vector<std::pair<sim::SampleSeriesHeader,
+                          std::vector<core::StatSample>>>
+        series;
+    std::map<std::string, std::string> seen; // cell key -> origin path.
+    for (const std::string &path : files) {
+        sim::SamplesParse p = sim::parseSamplesFile(path);
+        if (!p.ok()) {
+            std::fprintf(stderr, "rsep_samples: %s\n", p.error.c_str());
+            return 1;
+        }
+        std::string key = p.header.workload + "\x1f" +
+                          p.header.configHash + "\x1f" +
+                          std::to_string(p.header.phase);
+        auto [it, inserted] = seen.emplace(key, path);
+        if (!inserted) {
+            std::fprintf(stderr,
+                         "rsep_samples: duplicate cell (%s, %s, phase "
+                         "%u) in %s and %s — shard outputs must be "
+                         "disjoint\n",
+                         p.header.workload.c_str(),
+                         p.header.configHash.c_str(), p.header.phase,
+                         it->second.c_str(), path.c_str());
+            return 1;
+        }
+        series.emplace_back(std::move(p.header), std::move(p.rows));
+    }
+    // Canonical order, mirroring canonicalizeStatRows: a sharded
+    // record-then-merge produces the same CSV as one unsharded run.
+    std::sort(series.begin(), series.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first.workload != b.first.workload)
+                      return a.first.workload < b.first.workload;
+                  if (a.first.scenario != b.first.scenario)
+                      return a.first.scenario < b.first.scenario;
+                  if (a.first.configHash != b.first.configHash)
+                      return a.first.configHash < b.first.configHash;
+                  return a.first.phase < b.first.phase;
+              });
+    std::ofstream os(csv_path, std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "rsep_samples: %s: cannot open for writing\n",
+                     csv_path.c_str());
+        return 1;
+    }
+    bool header_done = false;
+    size_t total_rows = 0;
+    for (const auto &[header, rows] : series) {
+        sim::writeSamplesCsv(os, header, rows, !header_done);
+        header_done = true;
+        total_rows += rows.size();
+    }
+    os.flush();
+    if (!os) {
+        std::fprintf(stderr, "rsep_samples: %s: write failed\n",
+                     csv_path.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "[merge] wrote %s (%zu series, %zu rows)\n",
+                 csv_path.c_str(), series.size(), total_rows);
+    return 0;
+}
+
+int
+cmdSummarize(const std::vector<std::string> &files)
+{
+    bool ok = true;
+    // Scenario -> per-cell mean IPCs, for the gmean rows.
+    std::map<std::string, std::vector<double>> by_scenario;
+    std::printf("%-14s %-20s %-7s %6s %9s %9s %10s %8s\n", "benchmark",
+                "scenario", "phase", "rows", "mean_ipc", "peak_ipc",
+                "peak/mean", "changes");
+    for (const std::string &path : files) {
+        sim::SamplesParse p = sim::parseSamplesFile(path);
+        if (!p.ok()) {
+            std::fprintf(stderr, "rsep_samples: %s\n", p.error.c_str());
+            ok = false;
+            continue;
+        }
+        if (p.rows.empty())
+            continue;
+        std::vector<double> ipcs = windowIpcs(p.rows);
+        u64 total_insts = 0;
+        for (const core::StatSample &r : p.rows)
+            total_insts += r.committedInsts;
+        u64 total_cycles = p.rows.back().cycle;
+        double mean = total_cycles
+                          ? static_cast<double>(total_insts) /
+                                static_cast<double>(total_cycles)
+                          : 0.0;
+        double peak = *std::max_element(ipcs.begin(), ipcs.end());
+        std::printf("%-14s %-20s p%-6u %6zu %9.3f %9.3f %10.2f %8zu\n",
+                    p.header.workload.c_str(), p.header.scenario.c_str(),
+                    p.header.phase, p.rows.size(), mean, peak,
+                    mean > 0.0 ? peak / mean : 0.0, phaseChanges(ipcs));
+        if (mean > 0.0)
+            by_scenario[p.header.scenario].push_back(mean);
+    }
+    if (!by_scenario.empty()) {
+        std::printf("\nper-scenario gmean of cell mean IPCs:\n");
+        for (const auto &[scenario, means] : by_scenario)
+            std::printf("  %-20s cells=%-4zu gmean_ipc=%.3f\n",
+                        scenario.c_str(), means.size(),
+                        geometricMean(means));
+    }
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string command;
+    std::vector<std::string> files;
+    std::string csv_path;
+    u64 limit = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            printHelp();
+            return 0;
+        }
+        if (a == "--limit" || a.rfind("--limit=", 0) == 0) {
+            std::string value;
+            if (a == "--limit") {
+                if (i + 1 >= argc)
+                    return usageError("--limit requires a value");
+                value = argv[++i];
+            } else {
+                value = a.substr(8);
+            }
+            char *end = nullptr;
+            limit = std::strtoull(value.c_str(), &end, 10);
+            if (!end || *end != '\0' || value.empty())
+                return usageError("invalid --limit '" + value + "'");
+            continue;
+        }
+        if (a == "--csv" || a.rfind("--csv=", 0) == 0) {
+            if (a == "--csv") {
+                if (i + 1 >= argc)
+                    return usageError("--csv requires a path");
+                csv_path = argv[++i];
+            } else {
+                csv_path = a.substr(6);
+            }
+            continue;
+        }
+        if (!a.empty() && a[0] == '-')
+            return usageError("unknown option '" + a + "'");
+        if (command.empty())
+            command = a;
+        else
+            files.push_back(a);
+    }
+
+    if (command.empty())
+        return usageError("no command given (info, dump, merge or "
+                          "summarize)");
+    if (files.empty())
+        return usageError("no sample files given");
+
+    if (command == "info")
+        return cmdInfo(files);
+    if (command == "dump")
+        return cmdDump(files, limit);
+    if (command == "merge") {
+        if (csv_path.empty())
+            return usageError("merge requires --csv OUT");
+        return cmdMerge(files, csv_path);
+    }
+    if (command == "summarize")
+        return cmdSummarize(files);
+    return usageError("unknown command '" + command +
+                      "' (expected info, dump, merge or summarize)");
+}
