@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/env.hh"
+#include "serve/client.hh"
 #include "wl/trace_cache.hh"
 #include "wl/workload_spec.hh"
 
@@ -89,6 +90,11 @@ warnUnusedMatrixFlags(const char *driver, const DriverContext &ctx,
                      "%s: warning: this driver picks its own benchmarks; "
                      "--workload/--workload-file selections are ignored\n",
                      driver);
+    if (!ctx.connectSocket.empty())
+        std::fprintf(stderr,
+                     "%s: warning: no experiment matrix is run here; "
+                     "--connect is ignored\n",
+                     driver);
 }
 
 namespace
@@ -162,6 +168,16 @@ printHelp(const HarnessSpec &spec)
         "                             rsep_samples)\n"
         "  --sample-dir PATH          sample-series output directory\n"
         "                             (default: samples)\n"
+        "  --connect SOCK             run the matrix on a warm rsep_serve\n"
+        "                             daemon at this Unix socket instead\n"
+        "                             of in-process (byte-identical\n"
+        "                             output; amortizes startup, trace\n"
+        "                             decode and caches across runs).\n"
+        "                             Server-side knobs (--jobs,\n"
+        "                             --cache-dir, --shard, --steal,\n"
+        "                             --record-trace, --trace-cache-mb)\n"
+        "                             are rejected here: set them on the\n"
+        "                             rsep_serve command line\n"
         "  --help, -h                 show this help\n");
     // The timing.* counter list is generated from the one visitStats
     // enumeration the export layer itself walks — it cannot go stale.
@@ -253,6 +269,10 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
     // --scenario-file has registered its definitions, so selections are
     // collected raw (resolved == false) and resolved after the loop.
     std::vector<std::pair<std::string, bool>> workload_sel;
+    // Flags that conflict with --connect but leave no trace in ctx
+    // (default values / applied immediately), tracked for the combo
+    // check after the loop — --connect may come later in argv.
+    bool saw_steal = false, saw_trace_cache = false, saw_jobs = false;
     auto addWorkloadFile = [&](const std::string &path, std::string &err) {
         sim::ScenarioParse parsed = sim::parseScenarioFile(path);
         if (!parsed.ok()) {
@@ -355,6 +375,7 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
                                         "'window'");
             if (!sim::parseStealValue(value, ctx.matrix.steal, err))
                 return usageError(spec, err);
+            saw_steal = true;
             continue;
         }
         if ((hit = valueOf("--cache-dir", value)) != 0) {
@@ -420,6 +441,7 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
             // Applied immediately: the cache is a process-wide
             // singleton, not a per-matrix object.
             wl::traceCache().setCapacityBytes(mb << 20);
+            saw_trace_cache = true;
             continue;
         }
         if ((hit = valueOf("--sample-every", value)) != 0) {
@@ -481,13 +503,48 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
             if (!sim::parseJobsArg(slice_argc, slice, jobs, err))
                 return usageError(spec, err);
             ctx.matrix.jobs = jobs;
+            saw_jobs = true;
             if (slice_argc == 3)
                 ++i;
+            continue;
+        }
+        if ((hit = valueOf("--connect", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--connect requires a socket "
+                                        "path");
+            if (value.empty())
+                return usageError(spec, "--connect socket path is empty");
+            ctx.connectSocket = value;
             continue;
         }
         if (!a.empty() && a[0] == '-')
             return usageError(spec, "unknown option '" + a + "'");
         ctx.positional.push_back(a);
+    }
+
+    // --connect hands execution to the daemon; flags steering resources
+    // the server owns are errors, not silent no-ops (the run would
+    // otherwise look tuned while the server ignored the knob).
+    if (!ctx.connectSocket.empty()) {
+        const char *clash = nullptr;
+        if (saw_jobs)
+            clash = "--jobs";
+        else if (saw_steal)
+            clash = "--steal";
+        else if (saw_trace_cache)
+            clash = "--trace-cache-mb";
+        else if (ctx.matrix.shard.active())
+            clash = "--shard";
+        else if (!ctx.matrix.cacheDir.empty())
+            clash = "--cache-dir";
+        else if (!ctx.matrix.traceIo.recordDir.empty())
+            clash = "--record-trace";
+        if (clash)
+            return usageError(spec,
+                              std::string(clash) +
+                                  " is not supported with --connect: "
+                                  "the server owns that resource (set "
+                                  "it on the rsep_serve command line)");
     }
 
     // Resolve --workload names now that every file is loaded.
@@ -558,6 +615,34 @@ printShardNotice(const DriverContext &ctx)
                      "results are not\nexported anywhere)\n";
 }
 
+/**
+ * Run a scenario matrix in-process or, with --connect, on the daemon.
+ * The remote path is a drop-in: runMatrixRemote reconstructs the same
+ * rows runMatrix would produce (and verifies its reconstruction
+ * against the server's canonical dump), so the report/export code
+ * below never knows where the cells ran.
+ */
+std::vector<sim::MatrixRow>
+runDriverMatrix(const DriverContext &ctx,
+                const std::vector<sim::Scenario> &scenarios,
+                const std::vector<std::string> &benchmarks)
+{
+    if (ctx.connectSocket.empty()) {
+        std::vector<sim::SimConfig> configs;
+        configs.reserve(scenarios.size());
+        for (const sim::Scenario &sc : scenarios)
+            configs.push_back(sc.config);
+        return sim::runMatrix(configs, benchmarks, ctx.matrix);
+    }
+    serve::ClientOptions copts;
+    copts.socketPath = ctx.connectSocket;
+    copts.sampleEvery = ctx.matrix.sampling.every;
+    copts.sampleDir = ctx.matrix.sampling.dir;
+    copts.replayDir = ctx.matrix.traceIo.replayDir;
+    copts.progress = ctx.matrix.progress;
+    return serve::runMatrixRemote(scenarios, benchmarks, copts);
+}
+
 } // namespace
 
 bool
@@ -609,8 +694,7 @@ runScenarioMatrix(const HarnessSpec &spec, const DriverContext &ctx,
     for (const sim::Scenario &sc : scenarios)
         configs.push_back(sc.config);
 
-    auto rows =
-        sim::runMatrix(configs, benchmarksFor(spec, ctx), ctx.matrix);
+    auto rows = runDriverMatrix(ctx, scenarios, benchmarksFor(spec, ctx));
 
     std::cout << "=== scenario matrix: " << configs.size()
               << " scenario(s) ===\n";
@@ -646,6 +730,7 @@ runHarness(int argc, char **argv, const HarnessSpec &spec)
         return runScenarioMatrix(spec, ctx, ctx.scenarios);
 
     HarnessResult result;
+    std::vector<sim::Scenario> default_scenarios;
     for (const std::string &name : spec.defaultScenarios) {
         auto sc = sim::findScenario(name);
         if (!sc)
@@ -656,11 +741,12 @@ runHarness(int argc, char **argv, const HarnessSpec &spec)
             applyBenchDefaults(sc->config);
         if (ctx.seedOverridden)
             sc->config.seed = ctx.seedValue;
-        result.configs.push_back(std::move(sc->config));
+        result.configs.push_back(sc->config);
+        default_scenarios.push_back(std::move(*sc));
     }
 
-    result.rows = sim::runMatrix(result.configs, benchmarksFor(spec, ctx),
-                                 ctx.matrix);
+    result.rows =
+        runDriverMatrix(ctx, default_scenarios, benchmarksFor(spec, ctx));
     if (ctx.matrix.shard.active())
         printShardNotice(ctx); // bespoke reports need the full matrix.
     else if (spec.report)

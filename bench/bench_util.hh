@@ -63,6 +63,12 @@ struct DriverContext
      *  config hash, hence shard assignment and cache identity). */
     bool seedOverridden = false;
     u64 seedValue = 0;
+    /** --connect SOCK: run the matrix on a warm rsep_serve daemon
+     *  instead of in-process. Output is byte-identical to a direct
+     *  run; server-side resources (--jobs, --cache-dir, --shard,
+     *  --record-trace, --steal, --trace-cache-mb) are rejected with a
+     *  clear error — they belong on the rsep_serve command line. */
+    std::string connectSocket;
     std::vector<std::string> positional;
 };
 

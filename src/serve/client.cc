@@ -1,0 +1,303 @@
+/**
+ * @file
+ * rsep_serve client implementation. See client.hh.
+ */
+
+#include "serve/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "serve/protocol.hh"
+#include "sim/result_cache.hh"
+#include "sim/sample_io.hh"
+#include "sim/stat_export.hh"
+#include "wl/workload_spec.hh"
+
+namespace rsep::serve
+{
+
+namespace
+{
+
+int
+connectSocket(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        rsep_fatal("--connect: socket path '%s' is empty or exceeds "
+                   "the %zu-byte AF_UNIX limit",
+                   path.c_str(), sizeof(addr.sun_path) - 1);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        rsep_fatal("--connect: socket: %s", std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        rsep_fatal("--connect %s: %s (is rsep_serve running there?)",
+                   path.c_str(), std::strerror(errno));
+    return fd;
+}
+
+/** The request's `.scn` text: [workload] blocks for every qualified
+ *  benchmark key, then the scenario arms — exactly what the server's
+ *  parseScenarioText expects. */
+std::string
+buildScnText(const std::vector<sim::Scenario> &scenarios,
+             const std::vector<std::string> &benchmarks)
+{
+    std::string text;
+    for (const std::string &b : benchmarks) {
+        if (b.find('@') == std::string::npos)
+            continue; // pristine suite benchmark, known to the server.
+        std::optional<wl::WorkloadSpec> spec = wl::findWorkloadSpec(b);
+        if (!spec)
+            rsep_fatal("--connect: benchmark '%s' is not in the local "
+                       "workload registry; load its definition "
+                       "(--workload-file) before connecting",
+                       b.c_str());
+        text += wl::serializeWorkload(*spec);
+    }
+    text += sim::serializeScenarios(scenarios);
+    return text;
+}
+
+} // namespace
+
+std::vector<sim::MatrixRow>
+runMatrixRemote(const std::vector<sim::Scenario> &scenarios,
+                const std::vector<std::string> &benchmarks,
+                const ClientOptions &opts)
+{
+    if (scenarios.empty() || benchmarks.empty())
+        rsep_fatal("--connect: nothing to run (%zu scenarios, %zu "
+                   "benchmarks)",
+                   scenarios.size(), benchmarks.size());
+
+    std::vector<sim::SimConfig> configs;
+    std::vector<std::string> hashes;
+    for (const sim::Scenario &s : scenarios) {
+        configs.push_back(s.config);
+        hashes.push_back(sim::configHash(s.config));
+    }
+    std::map<std::string, size_t> bench_index;
+    for (size_t b = 0; b < benchmarks.size(); ++b)
+        bench_index[benchmarks[b]] = b;
+
+    // Preallocate the result matrix exactly like runMatrix (the slot
+    // layout — and therefore the dump — depends only on the request).
+    std::vector<sim::MatrixRow> rows(benchmarks.size());
+    size_t total_cells = 0;
+    for (size_t b = 0; b < benchmarks.size(); ++b) {
+        rows[b].benchmark = benchmarks[b];
+        rows[b].byConfig.resize(configs.size());
+        for (size_t c = 0; c < configs.size(); ++c) {
+            sim::RunResult &rr = rows[b].byConfig[c];
+            rr.benchmark = benchmarks[b];
+            rr.configLabel = configs[c].label;
+            rr.phases.resize(configs[c].checkpoints);
+            total_cells += configs[c].checkpoints;
+        }
+    }
+    std::vector<std::vector<std::vector<bool>>> filled(
+        benchmarks.size(),
+        std::vector<std::vector<bool>>(configs.size()));
+    for (size_t b = 0; b < benchmarks.size(); ++b)
+        for (size_t c = 0; c < configs.size(); ++c)
+            filled[b][c].assign(configs[c].checkpoints, false);
+
+    int fd = connectSocket(opts.socketPath);
+    std::string err;
+    if (!writeFrame(fd, FrameType::Hello, helloPayload(), &err))
+        rsep_fatal("--connect: hello: %s", err.c_str());
+    Frame f;
+    if (!readFrame(fd, f, &err))
+        rsep_fatal("--connect: hello reply: %s", err.c_str());
+    if (f.type == FrameType::Error)
+        rsep_fatal("rsep_serve: %s", f.payload.c_str());
+    if (f.type != FrameType::Hello || !parseHello(f.payload, &err))
+        rsep_fatal("--connect: bad hello reply: %s", err.c_str());
+
+    SubmitRequest sub;
+    sub.benchmarks = benchmarks;
+    sub.sampleEvery = opts.sampleEvery;
+    sub.replayDir = opts.replayDir;
+    sub.scnText = buildScnText(scenarios, benchmarks);
+    if (!writeFrame(fd, FrameType::Submit, serializeSubmit(sub), &err))
+        rsep_fatal("--connect: submit: %s", err.c_str());
+
+    if (opts.progress)
+        std::fprintf(stderr,
+                     "[connect] %zu benchmarks x %zu configs = %zu "
+                     "cells on %s\n",
+                     benchmarks.size(), configs.size(), total_cells,
+                     opts.socketPath.c_str());
+
+    // Streamed sample series, flushed post-Done in runMatrix's
+    // deterministic (benchmark, config, phase) order.
+    std::map<std::tuple<size_t, size_t, u32>,
+             std::pair<sim::SampleSeriesHeader,
+                       std::vector<core::StatSample>>>
+        sample_series;
+
+    DoneSummary done;
+    size_t received = 0;
+    for (;;) {
+        if (!readFrame(fd, f, &err))
+            rsep_fatal("--connect: %s", err.c_str());
+        if (f.type == FrameType::Error)
+            rsep_fatal("rsep_serve: %s", f.payload.c_str());
+        if (f.type == FrameType::Done) {
+            if (!parseDone(f.payload, done, &err))
+                rsep_fatal("--connect: done frame: %s", err.c_str());
+            break;
+        }
+        if (f.type == FrameType::Cell) {
+            CellResult cell;
+            if (!parseCell(f.payload, cell, &err))
+                rsep_fatal("--connect: cell frame: %s", err.c_str());
+            auto it = bench_index.find(cell.benchmark);
+            if (it == bench_index.end() ||
+                cell.config >= configs.size() ||
+                cell.phase >= configs[cell.config].checkpoints)
+                rsep_fatal("--connect: cell frame names an unknown "
+                           "cell (%s, config %u, phase %u)",
+                           cell.benchmark.c_str(), cell.config,
+                           cell.phase);
+            size_t b = it->second, c = cell.config;
+            sim::CacheKey key{cell.benchmark, hashes[c], cell.phase,
+                              configs[c].seed};
+            sim::PhaseResult pr;
+            std::string perr =
+                sim::ResultCache::parseRecord(cell.record, key, pr);
+            if (!perr.empty())
+                rsep_fatal("--connect: cell record: %s", perr.c_str());
+            // The record round-trips the durable result; the transient
+            // provenance flags travel in the frame headers instead
+            // (parseRecord marks everything fromCache).
+            pr.fromCache = cell.fromCache;
+            pr.replayed = cell.replayed;
+            pr.traceDecodeHit = cell.decodeHit;
+            pr.traceLoadMicros = cell.traceLoadMicros;
+            if (filled[b][c][cell.phase])
+                rsep_fatal("--connect: duplicate cell (%s, config %u, "
+                           "phase %u)",
+                           cell.benchmark.c_str(), cell.config,
+                           cell.phase);
+            filled[b][c][cell.phase] = true;
+            rows[b].byConfig[c].phases[cell.phase] = std::move(pr);
+            ++received;
+            if (opts.progress) {
+                const sim::PhaseResult &ph =
+                    rows[b].byConfig[c].phases[cell.phase];
+                std::fprintf(
+                    stderr,
+                    "[%s] %-12s %-20s ckpt %u ipc=%.3f (%zu/%zu)\n",
+                    ph.fromCache    ? "hit"
+                    : ph.replayed   ? "rpl"
+                                    : "run",
+                    cell.benchmark.c_str(), configs[c].label.c_str(),
+                    cell.phase, ph.ipc, received, total_cells);
+            }
+            continue;
+        }
+        if (f.type == FrameType::Samples) {
+            SamplesFrame sf;
+            if (!parseSamplesFrame(f.payload, sf, &err))
+                rsep_fatal("--connect: samples frame: %s", err.c_str());
+            auto it = bench_index.find(sf.benchmark);
+            if (it == bench_index.end() || sf.config >= configs.size())
+                rsep_fatal("--connect: samples frame names an unknown "
+                           "cell (%s, config %u)",
+                           sf.benchmark.c_str(), sf.config);
+            sim::SamplesParse sp =
+                sim::parseSamplesText(sf.rts, "<samples frame>");
+            if (!sp.ok())
+                rsep_fatal("--connect: %s", sp.error.c_str());
+            sample_series[{it->second, sf.config, sf.phase}] = {
+                sp.header, std::move(sp.rows)};
+            continue;
+        }
+        rsep_fatal("--connect: unexpected frame type %u mid-stream",
+                   unsigned(f.type));
+    }
+    ::close(fd);
+
+    if (received != total_cells)
+        rsep_fatal("--connect: server completed with %zu of %zu cells "
+                   "delivered",
+                   received, total_cells);
+
+    // Mirror runMatrix's post-barrier accounting so --timings dumps
+    // match a direct run against the server's cache configuration.
+    for (auto &row : rows) {
+        for (sim::RunResult &rr : row.byConfig) {
+            for (const sim::PhaseResult &ph : rr.phases) {
+                sim::accountPhaseTiming(rr.timing, ph);
+                if (done.cacheEnabled && !ph.fromCache)
+                    ++rr.timing.cacheMisses;
+            }
+        }
+    }
+
+    // Flush streamed series exactly like the local sampling path.
+    if (opts.sampleEvery > 0) {
+        sim::TimeSeriesSink sink(opts.sampleDir);
+        for (size_t b = 0; b < benchmarks.size(); ++b)
+            for (size_t c = 0; c < configs.size(); ++c)
+                for (u32 p = 0; p < configs[c].checkpoints; ++p) {
+                    auto it = sample_series.find({b, c, p});
+                    if (it == sample_series.end())
+                        continue;
+                    sink.add(it->second.first,
+                             std::move(it->second.second));
+                }
+        size_t n = sink.queued();
+        std::string serr;
+        if (!sink.flush(&serr))
+            rsep_warn("sampling: %s", serr.c_str());
+        else if (opts.progress)
+            std::fprintf(stderr, "[samples] wrote %zu series to %s\n",
+                         n, opts.sampleDir.c_str());
+    }
+
+    // Cross-check: our reconstruction must reproduce the server's
+    // canonical dump byte for byte — the wire-level guarantee every
+    // downstream export inherits.
+    std::vector<sim::StatRow> stat_rows =
+        sim::collectStatRows(configs, rows, false);
+    std::ostringstream os;
+    sim::CsvStatSink{}.write(os, stat_rows);
+    if (os.str() != done.dump)
+        rsep_fatal("--connect: reconstructed dump diverges from the "
+                   "server's reference (%zu vs %zu bytes) — "
+                   "client/server build mismatch?",
+                   os.str().size(), done.dump.size());
+
+    if (opts.progress)
+        std::fprintf(stderr,
+                     "[connect] done: %llu run, %llu cached, %llu "
+                     "batched; queue %.1f ms, wall %.1f ms "
+                     "(server request #%llu)\n",
+                     static_cast<unsigned long long>(done.cellsRun),
+                     static_cast<unsigned long long>(done.cacheHits),
+                     static_cast<unsigned long long>(done.batchedCells),
+                     double(done.queueWaitMicros) / 1000.0,
+                     double(done.wallMicros) / 1000.0,
+                     static_cast<unsigned long long>(done.requests));
+
+    return rows;
+}
+
+} // namespace rsep::serve

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Client side of the rsep_serve protocol: run an experiment matrix on
+ * a warm daemon instead of in-process (`--connect <socket>` on every
+ * driver).
+ *
+ * runMatrixRemote is a drop-in stand-in for sim::runMatrix over the
+ * same (scenarios, benchmarks) request: it reconstructs the identical
+ * vector<MatrixRow> from the streamed Cell frames (the result-cache
+ * record format round-trips a PhaseResult bit-exactly), mirrors the
+ * runMatrix post-barrier accounting, flushes streamed Samples frames
+ * through the same TimeSeriesSink, and finally checks its own
+ * recomputed canonical CSV dump against the server's Done reference —
+ * so every downstream report/export path produces byte-identical
+ * output whether the cells ran locally or on the daemon.
+ *
+ * Error discipline: connection, protocol and server-reported errors
+ * are fatal (rsep_fatal), matching how drivers treat local setup
+ * failures — the daemon itself never dies on a bad request.
+ */
+
+#ifndef RSEP_SERVE_CLIENT_HH
+#define RSEP_SERVE_CLIENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
+
+namespace rsep::serve
+{
+
+/** Remote-run knobs (the subset of MatrixOptions the wire carries). */
+struct ClientOptions
+{
+    std::string socketPath;      ///< daemon socket (`--connect`).
+    u64 sampleEvery = 0;         ///< `--sample-every`; 0 = off.
+    std::string sampleDir = "samples"; ///< local `.rts` output dir.
+    std::string replayDir;       ///< `--replay-trace`, server-side path.
+    bool progress = true;        ///< per-cell lines on stderr.
+};
+
+/**
+ * Run (scenarios x benchmarks) on the daemon at opts.socketPath and
+ * return rows equivalent to sim::runMatrix of the same request.
+ * Benchmarks with qualified `name@hash` keys must be resolvable in the
+ * local workload registry (their specs ship in the request).
+ */
+std::vector<sim::MatrixRow>
+runMatrixRemote(const std::vector<sim::Scenario> &scenarios,
+                const std::vector<std::string> &benchmarks,
+                const ClientOptions &opts);
+
+} // namespace rsep::serve
+
+#endif // RSEP_SERVE_CLIENT_HH

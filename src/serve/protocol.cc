@@ -1,0 +1,546 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/env.hh"
+
+namespace rsep::serve
+{
+
+namespace
+{
+
+bool
+writeAll(int fd, const void *data, size_t n, std::string *err)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        // send + MSG_NOSIGNAL: a peer that hung up must surface as an
+        // error return, not a process-killing SIGPIPE in the daemon.
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = std::string("write: ") + std::strerror(errno);
+            return false;
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+/** Read exactly @p n bytes. Returns 1 on success, 0 on clean EOF
+ *  before any byte, -1 on error/short read. */
+int
+readAll(int fd, void *data, size_t n, std::string *err)
+{
+    char *p = static_cast<char *>(data);
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, p + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = std::string("read: ") + std::strerror(errno);
+            return -1;
+        }
+        if (r == 0) {
+            if (got == 0)
+                return 0;
+            if (err)
+                *err = "connection closed mid-frame (truncated frame)";
+            return -1;
+        }
+        got += static_cast<size_t>(r);
+    }
+    return 1;
+}
+
+bool
+knownFrameType(u8 t)
+{
+    return t >= static_cast<u8>(FrameType::Hello) &&
+           t <= static_cast<u8>(FrameType::Error);
+}
+
+// ---------------------------------------------- payload text helpers
+
+/** Cursor over a line-oriented payload with a trailing raw blob. */
+struct PayloadReader
+{
+    std::string_view text;
+    size_t pos = 0;
+
+    /** Next header line (without '\n'); false at end or blank line
+     *  (the blob separator, which is consumed). */
+    bool
+    nextLine(std::string_view &line)
+    {
+        if (pos >= text.size())
+            return false;
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string_view::npos)
+            nl = text.size();
+        line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        return !line.empty();
+    }
+
+    /** The raw blob after the blank separator line. */
+    std::string_view
+    rest() const
+    {
+        return pos >= text.size() ? std::string_view{}
+                                  : text.substr(pos);
+    }
+};
+
+bool
+splitKeyValue(std::string_view line, std::string_view &key,
+              std::string_view &value)
+{
+    size_t eq = line.find(" = ");
+    if (eq == std::string_view::npos)
+        return false;
+    key = line.substr(0, eq);
+    value = line.substr(eq + 3);
+    return true;
+}
+
+bool
+parseBool01(std::string_view v, bool &out)
+{
+    if (v == "0")
+        return out = false, true;
+    if (v == "1")
+        return out = true, true;
+    return false;
+}
+
+void
+appendKv(std::string &out, const char *key, const std::string &value)
+{
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+}
+
+void
+appendKvU64(std::string &out, const char *key, u64 value)
+{
+    appendKv(out, key, std::to_string(value));
+}
+
+std::vector<std::string>
+splitCommaList(std::string_view v)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= v.size()) {
+        size_t comma = v.find(',', start);
+        if (comma == std::string_view::npos)
+            comma = v.size();
+        if (comma > start)
+            out.emplace_back(v.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::string
+joinCommaList(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const std::string &s : items) {
+        if (!out.empty())
+            out += ',';
+        out += s;
+    }
+    return out;
+}
+
+/** Validate a `<name>_bytes` announcement against what follows. */
+bool
+checkBlobSize(const PayloadReader &r, u64 announced, const char *what,
+              std::string *err)
+{
+    if (r.rest().size() != announced) {
+        if (err)
+            *err = std::string(what) + "_bytes announces " +
+                   std::to_string(announced) + " but " +
+                   std::to_string(r.rest().size()) + " bytes follow";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, FrameType type, std::string_view payload,
+           std::string *err)
+{
+    if (payload.size() > maxFramePayload) {
+        if (err)
+            *err = "frame payload of " +
+                   std::to_string(payload.size()) +
+                   " bytes exceeds the protocol ceiling";
+        return false;
+    }
+    u8 head[5];
+    u32 len = static_cast<u32>(payload.size());
+    head[0] = static_cast<u8>(len);
+    head[1] = static_cast<u8>(len >> 8);
+    head[2] = static_cast<u8>(len >> 16);
+    head[3] = static_cast<u8>(len >> 24);
+    head[4] = static_cast<u8>(type);
+    if (!writeAll(fd, head, sizeof(head), err))
+        return false;
+    return payload.empty() ||
+           writeAll(fd, payload.data(), payload.size(), err);
+}
+
+bool
+readFrame(int fd, Frame &out, std::string *err, bool *clean_eof)
+{
+    if (clean_eof)
+        *clean_eof = false;
+    u8 head[5];
+    int r = readAll(fd, head, sizeof(head), err);
+    if (r == 0) {
+        if (clean_eof)
+            *clean_eof = true;
+        if (err)
+            err->clear();
+        return false;
+    }
+    if (r < 0)
+        return false;
+    u64 len = static_cast<u64>(head[0]) | (static_cast<u64>(head[1]) << 8) |
+              (static_cast<u64>(head[2]) << 16) |
+              (static_cast<u64>(head[3]) << 24);
+    if (len > maxFramePayload) {
+        if (err)
+            *err = "oversized frame (" + std::to_string(len) +
+                   " byte payload > " + std::to_string(maxFramePayload) +
+                   " ceiling)";
+        return false;
+    }
+    if (!knownFrameType(head[4])) {
+        if (err)
+            *err = "unknown frame type " + std::to_string(head[4]);
+        return false;
+    }
+    out.type = static_cast<FrameType>(head[4]);
+    out.payload.resize(len);
+    if (len > 0 && readAll(fd, out.payload.data(), len, err) != 1)
+        return false;
+    return true;
+}
+
+std::string
+helloPayload()
+{
+    return "rsep-serve " + std::to_string(protocolVersion) + "\n";
+}
+
+bool
+parseHello(std::string_view payload, std::string *err)
+{
+    if (payload != helloPayload()) {
+        if (err)
+            *err = "hello mismatch: expected protocol 'rsep-serve " +
+                   std::to_string(protocolVersion) +
+                   "' (peer built from a different tree?)";
+        return false;
+    }
+    return true;
+}
+
+std::string
+serializeSubmit(const SubmitRequest &req)
+{
+    std::string out = "rsep-submit 1\n";
+    appendKv(out, "benchmarks", joinCommaList(req.benchmarks));
+    appendKvU64(out, "sample_every", req.sampleEvery);
+    appendKv(out, "replay_dir", req.replayDir);
+    appendKvU64(out, "scn_bytes", req.scnText.size());
+    out += '\n';
+    out += req.scnText;
+    return out;
+}
+
+bool
+parseSubmit(std::string_view payload, SubmitRequest &out, std::string *err)
+{
+    PayloadReader r{payload};
+    std::string_view line;
+    if (!r.nextLine(line) || line != "rsep-submit 1") {
+        if (err)
+            *err = "bad submit magic/version";
+        return false;
+    }
+    u64 scn_bytes = 0;
+    bool have_bench = false, have_bytes = false;
+    while (r.nextLine(line)) {
+        std::string_view k, v;
+        if (!splitKeyValue(line, k, v)) {
+            if (err)
+                *err = "malformed submit header line '" +
+                       std::string(line) + "'";
+            return false;
+        }
+        if (k == "benchmarks") {
+            out.benchmarks = splitCommaList(v);
+            have_bench = true;
+        } else if (k == "sample_every") {
+            if (!parseU64(std::string(v), out.sampleEvery)) {
+                if (err)
+                    *err = "bad sample_every '" + std::string(v) + "'";
+                return false;
+            }
+        } else if (k == "replay_dir") {
+            out.replayDir = std::string(v);
+        } else if (k == "scn_bytes") {
+            if (!parseU64(std::string(v), scn_bytes)) {
+                if (err)
+                    *err = "bad scn_bytes '" + std::string(v) + "'";
+                return false;
+            }
+            have_bytes = true;
+        } else {
+            if (err)
+                *err = "unknown submit header key '" + std::string(k) +
+                       "'";
+            return false;
+        }
+    }
+    if (!have_bench || out.benchmarks.empty()) {
+        if (err)
+            *err = "submit names no benchmarks";
+        return false;
+    }
+    if (!have_bytes || !checkBlobSize(r, scn_bytes, "scn", err)) {
+        if (err && err->empty())
+            *err = "submit missing scn_bytes";
+        return false;
+    }
+    out.scnText = std::string(r.rest());
+    return true;
+}
+
+std::string
+serializeCell(const CellResult &cell)
+{
+    std::string out;
+    appendKv(out, "bench", cell.benchmark);
+    appendKvU64(out, "config", cell.config);
+    appendKvU64(out, "phase", cell.phase);
+    appendKvU64(out, "from_cache", cell.fromCache ? 1 : 0);
+    appendKvU64(out, "replayed", cell.replayed ? 1 : 0);
+    appendKvU64(out, "decode_hit", cell.decodeHit ? 1 : 0);
+    appendKvU64(out, "trace_load_micros", cell.traceLoadMicros);
+    appendKvU64(out, "record_bytes", cell.record.size());
+    out += '\n';
+    out += cell.record;
+    return out;
+}
+
+bool
+parseCell(std::string_view payload, CellResult &out, std::string *err)
+{
+    PayloadReader r{payload};
+    std::string_view line;
+    u64 record_bytes = 0;
+    bool have_bytes = false;
+    while (r.nextLine(line)) {
+        std::string_view k, v;
+        if (!splitKeyValue(line, k, v)) {
+            if (err)
+                *err = "malformed cell header line '" + std::string(line) +
+                       "'";
+            return false;
+        }
+        std::string vs(v);
+        u64 u = 0;
+        bool b = false;
+        if (k == "bench") {
+            out.benchmark = vs;
+        } else if (k == "config" && parseU64(vs, u)) {
+            out.config = static_cast<u32>(u);
+        } else if (k == "phase" && parseU64(vs, u)) {
+            out.phase = static_cast<u32>(u);
+        } else if (k == "from_cache" && parseBool01(v, b)) {
+            out.fromCache = b;
+        } else if (k == "replayed" && parseBool01(v, b)) {
+            out.replayed = b;
+        } else if (k == "decode_hit" && parseBool01(v, b)) {
+            out.decodeHit = b;
+        } else if (k == "trace_load_micros" && parseU64(vs, u)) {
+            out.traceLoadMicros = u;
+        } else if (k == "record_bytes" && parseU64(vs, u)) {
+            record_bytes = u;
+            have_bytes = true;
+        } else {
+            if (err)
+                *err = "bad cell header line '" + std::string(line) + "'";
+            return false;
+        }
+    }
+    if (out.benchmark.empty() || !have_bytes) {
+        if (err)
+            *err = "cell frame missing bench/record_bytes";
+        return false;
+    }
+    if (!checkBlobSize(r, record_bytes, "record", err))
+        return false;
+    out.record = std::string(r.rest());
+    return true;
+}
+
+std::string
+serializeSamplesFrame(const SamplesFrame &sf)
+{
+    std::string out;
+    appendKv(out, "bench", sf.benchmark);
+    appendKvU64(out, "config", sf.config);
+    appendKvU64(out, "phase", sf.phase);
+    appendKvU64(out, "rts_bytes", sf.rts.size());
+    out += '\n';
+    out += sf.rts;
+    return out;
+}
+
+bool
+parseSamplesFrame(std::string_view payload, SamplesFrame &out,
+                  std::string *err)
+{
+    PayloadReader r{payload};
+    std::string_view line;
+    u64 rts_bytes = 0;
+    bool have_bytes = false;
+    while (r.nextLine(line)) {
+        std::string_view k, v;
+        if (!splitKeyValue(line, k, v)) {
+            if (err)
+                *err = "malformed samples header line '" +
+                       std::string(line) + "'";
+            return false;
+        }
+        std::string vs(v);
+        u64 u = 0;
+        if (k == "bench") {
+            out.benchmark = vs;
+        } else if (k == "config" && parseU64(vs, u)) {
+            out.config = static_cast<u32>(u);
+        } else if (k == "phase" && parseU64(vs, u)) {
+            out.phase = static_cast<u32>(u);
+        } else if (k == "rts_bytes" && parseU64(vs, u)) {
+            rts_bytes = u;
+            have_bytes = true;
+        } else {
+            if (err)
+                *err = "bad samples header line '" + std::string(line) +
+                       "'";
+            return false;
+        }
+    }
+    if (out.benchmark.empty() || !have_bytes) {
+        if (err)
+            *err = "samples frame missing bench/rts_bytes";
+        return false;
+    }
+    if (!checkBlobSize(r, rts_bytes, "rts", err))
+        return false;
+    out.rts = std::string(r.rest());
+    return true;
+}
+
+std::string
+serializeDone(const DoneSummary &done)
+{
+    std::string out = "status = ok\n";
+    appendKvU64(out, "serve.requests", done.requests);
+    appendKvU64(out, "serve.batched_cells", done.batchedCells);
+    appendKvU64(out, "serve.queue_wait_micros", done.queueWaitMicros);
+    appendKvU64(out, "serve.wall_micros", done.wallMicros);
+    appendKvU64(out, "serve.cells_run", done.cellsRun);
+    appendKvU64(out, "serve.cache_hits", done.cacheHits);
+    appendKvU64(out, "serve.trace_decode_hits", done.traceDecodeHits);
+    appendKvU64(out, "serve.trace_decode_misses", done.traceDecodeMisses);
+    appendKvU64(out, "serve.cache_enabled", done.cacheEnabled ? 1 : 0);
+    appendKvU64(out, "dump_bytes", done.dump.size());
+    out += '\n';
+    out += done.dump;
+    return out;
+}
+
+bool
+parseDone(std::string_view payload, DoneSummary &out, std::string *err)
+{
+    PayloadReader r{payload};
+    std::string_view line;
+    if (!r.nextLine(line) || line != "status = ok") {
+        if (err)
+            *err = "done frame without ok status";
+        return false;
+    }
+    u64 dump_bytes = 0;
+    bool have_bytes = false;
+    while (r.nextLine(line)) {
+        std::string_view k, v;
+        if (!splitKeyValue(line, k, v)) {
+            if (err)
+                *err = "malformed done header line '" + std::string(line) +
+                       "'";
+            return false;
+        }
+        std::string vs(v);
+        u64 u = 0;
+        bool b = false;
+        if (k == "serve.requests" && parseU64(vs, u)) {
+            out.requests = u;
+        } else if (k == "serve.batched_cells" && parseU64(vs, u)) {
+            out.batchedCells = u;
+        } else if (k == "serve.queue_wait_micros" && parseU64(vs, u)) {
+            out.queueWaitMicros = u;
+        } else if (k == "serve.wall_micros" && parseU64(vs, u)) {
+            out.wallMicros = u;
+        } else if (k == "serve.cells_run" && parseU64(vs, u)) {
+            out.cellsRun = u;
+        } else if (k == "serve.cache_hits" && parseU64(vs, u)) {
+            out.cacheHits = u;
+        } else if (k == "serve.trace_decode_hits" && parseU64(vs, u)) {
+            out.traceDecodeHits = u;
+        } else if (k == "serve.trace_decode_misses" && parseU64(vs, u)) {
+            out.traceDecodeMisses = u;
+        } else if (k == "serve.cache_enabled" && parseBool01(v, b)) {
+            out.cacheEnabled = b;
+        } else if (k == "dump_bytes" && parseU64(vs, u)) {
+            dump_bytes = u;
+            have_bytes = true;
+        } else {
+            if (err)
+                *err = "bad done header line '" + std::string(line) + "'";
+            return false;
+        }
+    }
+    if (!have_bytes || !checkBlobSize(r, dump_bytes, "dump", err)) {
+        if (err && err->empty())
+            *err = "done frame missing dump_bytes";
+        return false;
+    }
+    out.dump = std::string(r.rest());
+    return true;
+}
+
+} // namespace rsep::serve

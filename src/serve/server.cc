@@ -1,0 +1,593 @@
+/**
+ * @file
+ * rsep_serve daemon implementation. See server.hh for the architecture
+ * and protocol.hh for the wire format.
+ */
+
+#include "serve/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "serve/protocol.hh"
+#include "sim/result_cache.hh"
+#include "sim/runner.hh"
+#include "sim/sample_io.hh"
+#include "sim/scenario.hh"
+#include "sim/stat_export.hh"
+#include "sim/thread_pool.hh"
+#include "wl/trace_io.hh"
+#include "wl/workload_spec.hh"
+
+namespace rsep::serve
+{
+
+namespace
+{
+
+u64
+microsSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+/** Suite benchmark names (the bare keys a [workload] block may not
+ *  shadow over the wire; see the header's determinism contract). */
+bool
+isSuiteName(const std::string &name)
+{
+    static const std::set<std::string> names = [] {
+        std::set<std::string> s;
+        for (const wl::WorkloadSpec &w : wl::suiteSpecs())
+            s.insert(w.name);
+        return s;
+    }();
+    return names.count(name) > 0;
+}
+
+/** Probe a Unix socket path: true when a live server answers. */
+bool
+socketAlive(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    bool alive = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr)) == 0;
+    ::close(fd);
+    return alive;
+}
+
+/** Ceiling on one request's cell count — a submit asking for more is
+ *  malformed or hostile, not a workload this daemon should absorb. */
+constexpr size_t maxRequestCells = 1u << 20;
+
+} // namespace
+
+/** One in-flight Submit: the request's matrix plus the bookkeeping its
+ *  pool tasks share. Held by shared_ptr so cells streaming after a
+ *  client vanished still have their slots. */
+struct Server::PendingRequest
+{
+    std::vector<sim::SimConfig> configs;
+    std::vector<std::string> hashes;
+    std::vector<std::string> benchmarks;
+    std::vector<sim::MatrixRow> rows;
+    sim::TraceIoOptions traceIo;
+    u64 sampleEvery = 0;
+    bool useCache = false;
+
+    int fd = -1;
+    std::mutex *writeMtx = nullptr;
+    std::atomic<bool> writeFailed{false};
+
+    std::chrono::steady_clock::time_point t0;
+    std::atomic<bool> sawFirstCell{false};
+    std::atomic<u64> queueWaitMicros{0};
+    std::atomic<u64> batchedCells{0};
+
+    std::mutex mtx;
+    std::condition_variable cv;
+    size_t pendingCells = 0;
+};
+
+Server::Server(ServeOptions o) : opts(std::move(o)) {}
+
+Server::~Server() { stop(); }
+
+bool
+Server::start(std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+        }
+        for (int i = 0; i < 2; ++i)
+            if (wakePipe[i] >= 0) {
+                ::close(wakePipe[i]);
+                wakePipe[i] = -1;
+            }
+        return false;
+    };
+
+    if (running)
+        return fail("server already started");
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socketPath.empty() ||
+        opts.socketPath.size() >= sizeof(addr.sun_path))
+        return fail("socket path '" + opts.socketPath +
+                    "' is empty or exceeds the " +
+                    std::to_string(sizeof(addr.sun_path) - 1) +
+                    "-byte AF_UNIX limit");
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    if (::pipe(wakePipe) != 0)
+        return fail(std::string("pipe: ") + std::strerror(errno));
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        return fail(std::string("socket: ") + std::strerror(errno));
+
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (errno != EADDRINUSE)
+            return fail(opts.socketPath + ": bind: " +
+                        std::strerror(errno));
+        // A socket file already exists. A live server owning it is an
+        // error; a stale file left by a dead one is replaced.
+        if (socketAlive(opts.socketPath))
+            return fail(opts.socketPath +
+                        ": a server is already listening here");
+        ::unlink(opts.socketPath.c_str());
+        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            return fail(opts.socketPath + ": bind: " +
+                        std::strerror(errno));
+    }
+    if (::listen(listenFd, 64) != 0)
+        return fail(opts.socketPath + ": listen: " +
+                    std::strerror(errno));
+
+    nJobs = sim::resolveJobs(opts.jobs);
+    pool = std::make_unique<sim::ThreadPool>(nJobs);
+    cache = std::make_unique<sim::ResultCache>(opts.cacheDir);
+    stopping = false;
+    running = true;
+    acceptThread = std::thread(&Server::acceptLoop, this);
+
+    if (opts.progress)
+        std::fprintf(stderr,
+                     "[serve] listening on %s (%u worker%s%s%s)\n",
+                     opts.socketPath.c_str(), nJobs,
+                     nJobs == 1 ? "" : "s",
+                     cache->enabled() ? ", cache " : "",
+                     cache->enabled() ? cache->dir().c_str() : "");
+    return true;
+}
+
+void
+Server::stop()
+{
+    if (!running)
+        return;
+    stopping = true;
+    char wake = 1;
+    (void)!::write(wakePipe[1], &wake, 1);
+    if (acceptThread.joinable())
+        acceptThread.join();
+
+    // Kick every connection off its blocking read/write; their handler
+    // threads then drain naturally (in-flight cells finish on the pool,
+    // the final writes fail fast).
+    {
+        std::lock_guard<std::mutex> lk(connMtx);
+        for (int fd : activeConnFds)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lk(connMtx);
+        threads.swap(connThreads);
+    }
+    for (std::thread &t : threads)
+        if (t.joinable())
+            t.join();
+
+    ::close(listenFd);
+    listenFd = -1;
+    ::unlink(opts.socketPath.c_str());
+    for (int i = 0; i < 2; ++i) {
+        ::close(wakePipe[i]);
+        wakePipe[i] = -1;
+    }
+    pool.reset();
+    cache.reset();
+    running = false;
+}
+
+Server::Counters
+Server::counters() const
+{
+    std::lock_guard<std::mutex> lk(countersMtx);
+    return stats;
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping.load()) {
+        pollfd fds[2] = {{listenFd, POLLIN, 0}, {wakePipe[0], POLLIN, 0}};
+        int r = ::poll(fds, 2, -1);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents != 0)
+            break; // stop() woke us.
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        int cfd = ::accept(listenFd, nullptr, nullptr);
+        if (cfd < 0)
+            continue;
+        std::lock_guard<std::mutex> lk(connMtx);
+        if (stopping.load()) {
+            ::close(cfd);
+            break;
+        }
+        activeConnFds.insert(cfd);
+        connThreads.emplace_back([this, cfd] { handleConnection(cfd); });
+    }
+}
+
+void
+Server::sendError(int fd, std::mutex &write_mtx, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lk(countersMtx);
+        ++stats.errors;
+    }
+    if (opts.progress)
+        std::fprintf(stderr, "[serve] error: %s\n", msg.c_str());
+    std::string err;
+    std::lock_guard<std::mutex> lk(write_mtx);
+    writeFrame(fd, FrameType::Error, msg, &err); // best effort.
+}
+
+void
+Server::handleConnection(int fd)
+{
+    std::mutex write_mtx;
+    std::string err;
+    Frame f;
+    bool clean = false;
+
+    // A connection opens with a Hello exchange; anything else is a
+    // protocol error and closes just this connection.
+    if (!readFrame(fd, f, &err, &clean)) {
+        if (!clean)
+            sendError(fd, write_mtx, "hello: " + err);
+    } else if (f.type != FrameType::Hello) {
+        sendError(fd, write_mtx, "expected a hello frame first");
+    } else if (!parseHello(f.payload, &err)) {
+        sendError(fd, write_mtx, err);
+    } else if (!writeFrame(fd, FrameType::Hello, helloPayload(), &err)) {
+        // Client vanished mid-handshake; nothing to answer.
+    } else {
+        for (;;) {
+            clean = false;
+            if (!readFrame(fd, f, &err, &clean)) {
+                if (!clean)
+                    sendError(fd, write_mtx, err);
+                break;
+            }
+            if (f.type != FrameType::Submit) {
+                sendError(fd, write_mtx,
+                          "expected a submit frame (type " +
+                              std::to_string(unsigned(FrameType::Submit)) +
+                              "), got type " +
+                              std::to_string(unsigned(f.type)));
+                break;
+            }
+            if (!handleSubmit(fd, write_mtx, f.payload))
+                break;
+        }
+    }
+
+    ::close(fd);
+    std::lock_guard<std::mutex> lk(connMtx);
+    activeConnFds.erase(fd);
+}
+
+std::string
+Server::preflight(const PendingRequest &req)
+{
+    // Everything runPhase would fatal on must be caught here: a daemon
+    // dying on one client's typo is a denial of service to the rest.
+    size_t total_cells = 0;
+    u32 max_ckpts = 0;
+    for (const sim::SimConfig &cfg : req.configs) {
+        total_cells += size_t(cfg.checkpoints) * req.benchmarks.size();
+        max_ckpts = std::max(max_ckpts, cfg.checkpoints);
+    }
+    if (total_cells > maxRequestCells)
+        return "request spans " + std::to_string(total_cells) +
+               " cells (limit " + std::to_string(maxRequestCells) + ")";
+
+    for (const std::string &b : req.benchmarks) {
+        std::optional<wl::WorkloadSpec> spec = wl::findWorkloadSpec(b);
+        if (!spec)
+            return "unknown benchmark '" + b +
+                   "' (a qualified name@hash key needs its [workload] "
+                   "block in the submitted scenario text)";
+        if (req.traceIo.replayDir.empty())
+            continue;
+        // Replay cells: the trace must exist, checksum clean (header-
+        // only read: checksummed, not decoded, so the preflight does
+        // not warm the decode cache and skew serve.trace_decode_hits)
+        // and match the cell identity. Hash equality implies program-
+        // length equality (the program is generated from the spec).
+        std::string whash = wl::workloadHash(*spec);
+        for (u32 p = 0; p < max_ckpts; ++p) {
+            std::string path =
+                wl::tracePath(req.traceIo.replayDir, b, p);
+            wl::TraceParse tp = wl::readTraceFile(path, true);
+            if (!tp.ok())
+                return "replay preflight: " + tp.error;
+            if (tp.header.workload != b || tp.header.phase != p)
+                return "replay preflight: " + path +
+                       ": trace identity mismatch (records " +
+                       tp.header.workload + " phase " +
+                       std::to_string(tp.header.phase) + ")";
+            if (tp.header.workloadHash != whash)
+                return "replay preflight: " + path +
+                       ": workload hash mismatch (trace " +
+                       tp.header.workloadHash + ", spec " + whash + ")";
+        }
+    }
+    return "";
+}
+
+bool
+Server::handleSubmit(int fd, std::mutex &write_mtx,
+                     const std::string &payload)
+{
+    // Semantic rejections answer with an Error frame but keep the
+    // connection: the frame itself was well-formed.
+    SubmitRequest sub;
+    std::string err;
+    if (!parseSubmit(payload, sub, &err)) {
+        sendError(fd, write_mtx, err);
+        return true;
+    }
+
+    auto req = std::make_shared<PendingRequest>();
+    req->fd = fd;
+    req->writeMtx = &write_mtx;
+    req->benchmarks = sub.benchmarks;
+    req->sampleEvery = sub.sampleEvery;
+    req->traceIo.replayDir = sub.replayDir;
+
+    sim::ScenarioParse parsed =
+        sim::parseScenarioText(sub.scnText, "<submit>");
+    if (!parsed.ok()) {
+        sendError(fd, write_mtx, "scenario parse: " + parsed.error);
+        return true;
+    }
+    for (const wl::WorkloadSpec &w : parsed.workloads) {
+        if (wl::workloadKey(w) != w.name && isSuiteName(w.name)) {
+            sendError(fd, write_mtx,
+                      "workload '" + w.name +
+                          "' overrides a suite benchmark name; "
+                          "rsep_serve rejects suite-name overrides "
+                          "(another client's bare-name request would "
+                          "silently resolve through it) — rename the "
+                          "workload instead");
+            return true;
+        }
+        wl::registerWorkload(w);
+    }
+    if (parsed.scenarios.empty()) {
+        sendError(fd, write_mtx, "submit carries no [scenario] blocks");
+        return true;
+    }
+    if (req->benchmarks.empty()) {
+        sendError(fd, write_mtx, "submit names no benchmarks");
+        return true;
+    }
+    for (const sim::Scenario &s : parsed.scenarios) {
+        req->configs.push_back(s.config);
+        req->hashes.push_back(sim::configHash(s.config));
+    }
+
+    std::string pre = preflight(*req);
+    if (!pre.empty()) {
+        sendError(fd, write_mtx, pre);
+        return true;
+    }
+
+    // Mirror runMatrix: sampling bypasses the result cache (a cached
+    // cell has no timeline), which keeps client-vs-direct byte-
+    // identity across cache temperatures.
+    req->useCache = cache->enabled() && req->sampleEvery == 0;
+
+    size_t total_cells = 0;
+    req->rows.resize(req->benchmarks.size());
+    for (size_t b = 0; b < req->benchmarks.size(); ++b) {
+        req->rows[b].benchmark = req->benchmarks[b];
+        req->rows[b].byConfig.resize(req->configs.size());
+        for (size_t c = 0; c < req->configs.size(); ++c) {
+            sim::RunResult &rr = req->rows[b].byConfig[c];
+            rr.benchmark = req->benchmarks[b];
+            rr.configLabel = req->configs[c].label;
+            rr.phases.resize(req->configs[c].checkpoints);
+            total_cells += req->configs[c].checkpoints;
+        }
+    }
+
+    req->pendingCells = total_cells;
+    req->t0 = std::chrono::steady_clock::now();
+    activeRequests.fetch_add(1);
+
+    for (size_t b = 0; b < req->benchmarks.size(); ++b) {
+        for (size_t c = 0; c < req->configs.size(); ++c) {
+            for (u32 p = 0; p < req->configs[c].checkpoints; ++p) {
+                pool->submit([this, req, b, c, p] {
+                    runRequestCell(*req, b, c, p);
+                    std::lock_guard<std::mutex> lk(req->mtx);
+                    if (--req->pendingCells == 0)
+                        req->cv.notify_all();
+                });
+            }
+        }
+    }
+
+    if (total_cells > 0) {
+        std::unique_lock<std::mutex> lk(req->mtx);
+        req->cv.wait(lk, [&] { return req->pendingCells == 0; });
+    }
+    activeRequests.fetch_sub(1);
+    u64 wall = microsSince(req->t0);
+
+    // Request accounting from the finished cells.
+    u64 cache_hits = 0, cells_run = 0, dec_hits = 0, dec_misses = 0;
+    for (const sim::MatrixRow &row : req->rows) {
+        for (const sim::RunResult &rr : row.byConfig) {
+            for (const sim::PhaseResult &ph : rr.phases) {
+                if (ph.fromCache)
+                    ++cache_hits;
+                else
+                    ++cells_run;
+                if (ph.replayed)
+                    ++(ph.traceDecodeHit ? dec_hits : dec_misses);
+            }
+        }
+    }
+
+    DoneSummary done;
+    done.batchedCells = req->batchedCells.load();
+    done.queueWaitMicros = req->queueWaitMicros.load();
+    done.wallMicros = wall;
+    done.cellsRun = cells_run;
+    done.cacheHits = cache_hits;
+    done.traceDecodeHits = dec_hits;
+    done.traceDecodeMisses = dec_misses;
+    done.cacheEnabled = req->useCache;
+    {
+        std::lock_guard<std::mutex> lk(countersMtx);
+        done.requests = ++stats.requests;
+        stats.cellsRun += cells_run;
+        stats.cacheHits += cache_hits;
+        stats.batchedCells += done.batchedCells;
+        stats.traceDecodeHits += dec_hits;
+        stats.traceDecodeMisses += dec_misses;
+        stats.queueWaitMicros += done.queueWaitMicros;
+    }
+
+    // The canonical reference dump the client checks its reconstruction
+    // against: same collector, same sink, no timings — byte-identical
+    // to what a direct run of this request would export.
+    std::vector<sim::StatRow> stat_rows =
+        sim::collectStatRows(req->configs, req->rows, false);
+    std::ostringstream os;
+    sim::CsvStatSink{}.write(os, stat_rows);
+    done.dump = os.str();
+
+    if (opts.progress)
+        std::fprintf(stderr,
+                     "[serve] request %llu: %zu cells (%llu run, %llu "
+                     "cached, %llu batched) in %.1f ms\n",
+                     static_cast<unsigned long long>(done.requests),
+                     total_cells,
+                     static_cast<unsigned long long>(cells_run),
+                     static_cast<unsigned long long>(cache_hits),
+                     static_cast<unsigned long long>(done.batchedCells),
+                     double(wall) / 1000.0);
+
+    if (req->writeFailed.load())
+        return false;
+    std::lock_guard<std::mutex> lk(write_mtx);
+    return writeFrame(fd, FrameType::Done, serializeDone(done), &err);
+}
+
+void
+Server::runRequestCell(PendingRequest &req, size_t b, size_t c, u32 p)
+{
+    if (!req.sawFirstCell.exchange(true))
+        req.queueWaitMicros.store(microsSince(req.t0));
+    if (activeRequests.load() > 1)
+        ++req.batchedCells;
+
+    sim::PhaseResult pr = sim::runCachedCell(
+        req.useCache ? cache.get() : nullptr, req.configs[c],
+        req.benchmarks[b], req.hashes[c], p, req.traceIo,
+        req.sampleEvery);
+
+    if (!req.writeFailed.load()) {
+        CellResult cell;
+        cell.benchmark = req.benchmarks[b];
+        cell.config = static_cast<u32>(c);
+        cell.phase = p;
+        cell.fromCache = pr.fromCache;
+        cell.replayed = pr.replayed;
+        cell.decodeHit = pr.traceDecodeHit;
+        cell.traceLoadMicros = pr.traceLoadMicros;
+        sim::CacheKey key{req.benchmarks[b], req.hashes[c], p,
+                          req.configs[c].seed};
+        cell.record = sim::ResultCache::serializeRecord(key, pr);
+
+        std::string sframe;
+        if (req.sampleEvery > 0 && !pr.samples.empty()) {
+            SamplesFrame sf;
+            sf.benchmark = req.benchmarks[b];
+            sf.config = static_cast<u32>(c);
+            sf.phase = p;
+            sim::SampleSeriesHeader h;
+            h.workload = req.benchmarks[b];
+            h.scenario = req.configs[c].label;
+            h.configHash = req.hashes[c];
+            h.phase = p;
+            h.period = req.sampleEvery;
+            sf.rts = sim::serializeSamples(h, pr.samples);
+            sframe = serializeSamplesFrame(sf);
+        }
+
+        // Cell then its Samples under one lock hold, so the pair stays
+        // adjacent in the stream even while other cells interleave.
+        std::string werr;
+        std::lock_guard<std::mutex> lk(*req.writeMtx);
+        if (!writeFrame(req.fd, FrameType::Cell, serializeCell(cell),
+                        &werr) ||
+            (!sframe.empty() && !writeFrame(req.fd, FrameType::Samples,
+                                            sframe, &werr)))
+            req.writeFailed.store(true);
+    }
+
+    req.rows[b].byConfig[c].phases[p] = std::move(pr);
+}
+
+} // namespace rsep::serve

@@ -130,6 +130,24 @@ parseStealValue(const std::string &s, StealMode &mode, std::string &err)
     return false;
 }
 
+PhaseResult
+runCachedCell(ResultCache *cache, const SimConfig &cfg,
+              const std::string &benchmark,
+              const std::string &config_hash, u32 phase,
+              const TraceIoOptions &trace_io, u64 sample_every)
+{
+    bool use_cache = cache && cache->enabled();
+    CacheKey key{benchmark, config_hash, phase, cfg.seed};
+    if (use_cache)
+        if (std::optional<PhaseResult> pr = cache->load(key))
+            return std::move(*pr);
+    PhaseResult pr = runPhase(cfg, benchmark, phase, trace_io,
+                              sample_every);
+    if (use_cache)
+        cache->store(key, pr);
+    return pr;
+}
+
 std::vector<MatrixRow>
 runMatrix(const std::vector<SimConfig> &configs,
           const std::vector<std::string> &benchmarks,
@@ -208,17 +226,9 @@ runMatrix(const std::vector<SimConfig> &configs,
     // cell computes from its own seed into its own slot, so the steal
     // mode only decides how cells are batched into pool tasks.
     auto run_cell = [&](size_t b, size_t c, u32 p) {
-        CacheKey key{benchmarks[b], hashes[c], p, configs[c].seed};
-        std::optional<PhaseResult> pr;
-        if (use_cache)
-            pr = cache.load(key);
-        if (!pr) {
-            pr = runPhase(configs[c], benchmarks[b], p, opts.traceIo,
-                          opts.sampling.every);
-            if (use_cache)
-                cache.store(key, *pr);
-        }
-        rows[b].byConfig[c].phases[p] = std::move(*pr);
+        rows[b].byConfig[c].phases[p] = runCachedCell(
+            use_cache ? &cache : nullptr, configs[c], benchmarks[b],
+            hashes[c], p, opts.traceIo, opts.sampling.every);
         size_t k = ++done;
         if (opts.progress) {
             const PhaseResult &ph = rows[b].byConfig[c].phases[p];

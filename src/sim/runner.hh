@@ -126,6 +126,24 @@ runMatrix(const std::vector<SimConfig> &configs,
           const std::vector<std::string> &benchmarks,
           const MatrixOptions &opts = {});
 
+class ResultCache;
+
+/**
+ * Run one (benchmark, config, checkpoint) cell against an optional
+ * shared result cache: look the cell up, simulate on a miss, store the
+ * fresh result. The unit both runMatrix and the rsep_serve batcher
+ * schedule — extracting it is what lets a long-running server share
+ * one ResultCache (and the process-wide DecodedTraceCache) across many
+ * clients' requests. @p cache may be null or disabled (plain
+ * simulate); @p config_hash is configHash(cfg), precomputed by the
+ * caller because batches hash each config exactly once.
+ */
+PhaseResult runCachedCell(ResultCache *cache, const SimConfig &cfg,
+                          const std::string &benchmark,
+                          const std::string &config_hash, u32 phase,
+                          const TraceIoOptions &trace_io = {},
+                          u64 sample_every = 0);
+
 /**
  * Print a speedup table: one row per benchmark, one column per non-
  * baseline configuration, in percent over configuration 0, plus a

@@ -187,13 +187,15 @@ accountPhaseTiming(RunTiming &timing, const PhaseResult &pr)
 }
 
 RunResult
-runWorkload(const SimConfig &cfg, const std::string &bench_name)
+runWorkload(const SimConfig &cfg, const std::string &bench_name,
+            const TraceIoOptions &trace_io, u64 sample_every)
 {
     RunResult out;
     out.benchmark = bench_name;
     out.configLabel = cfg.label;
     for (u32 phase = 0; phase < cfg.checkpoints; ++phase) {
-        out.phases.push_back(runPhase(cfg, bench_name, phase));
+        out.phases.push_back(
+            runPhase(cfg, bench_name, phase, trace_io, sample_every));
         accountPhaseTiming(out.timing, out.phases.back());
     }
     return out;

@@ -167,8 +167,17 @@ PhaseResult runPhase(const SimConfig &cfg, const std::string &bench_name,
                      u32 phase, const TraceIoOptions &trace_io = {},
                      u64 sample_every = 0);
 
-/** Run @p bench_name under @p cfg (all checkpoints, serially). */
-RunResult runWorkload(const SimConfig &cfg, const std::string &bench_name);
+/**
+ * Run @p bench_name under @p cfg (all checkpoints, serially). Routes
+ * the same per-run options as the matrix path through runPhase, so
+ * serial callers keep `--replay-trace`/`--record-trace` and
+ * `--sample-every` semantics instead of silently losing them
+ * (sampled rows land in PhaseResult::samples; flushing them is the
+ * caller's decision, as in runMatrix).
+ */
+RunResult runWorkload(const SimConfig &cfg, const std::string &bench_name,
+                      const TraceIoOptions &trace_io = {},
+                      u64 sample_every = 0);
 
 /** Fold one finished cell into a run's timing/cache accounting
  *  (cache misses are counted by the matrix runner, which knows

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * rsep_serve end-to-end tests: the daemon core and the --connect
+ * client, exercised in-process over real Unix-domain sockets.
+ *
+ * Pinned properties:
+ *  - a remote run's MatrixRow reconstruction and canonical CSV dump
+ *    are byte-identical to a direct runMatrix of the same request,
+ *    sampling mode included (the .rts files match byte for byte);
+ *  - malformed traffic — truncated frames, unknown frame types,
+ *    oversized length prefixes, out-of-order frames, bad requests —
+ *    is answered with an Error frame (or a clean close) and never
+ *    takes the daemon down: a well-formed client still gets served;
+ *  - concurrent clients batch into the shared pool and each get
+ *    exactly their own cells back;
+ *  - suite-name workload overrides are rejected over the wire (the
+ *    registry-determinism rule of DESIGN.md §13).
+ *
+ * Socket paths live directly under /tmp: sockaddr_un caps paths at
+ * ~107 bytes, so deep build-tree paths are not usable here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "sim/runner.hh"
+#include "sim/scenario.hh"
+#include "sim/stat_export.hh"
+
+namespace rsep::serve
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+shortSockPath()
+{
+    static int counter = 0;
+    return "/tmp/rsep_serve_t" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++) + ".sock";
+}
+
+sim::SimConfig
+shrunk(sim::SimConfig c)
+{
+    c.warmupInsts = 2'000;
+    c.measureInsts = 6'000;
+    c.checkpoints = 2;
+    c.seed = 0x5eed;
+    return c;
+}
+
+std::vector<sim::Scenario>
+smokeScenarios()
+{
+    sim::Scenario base{"t-base", shrunk(sim::SimConfig::baseline())};
+    base.config.label = "t-base";
+    sim::Scenario rsep{"t-rsep", shrunk(sim::SimConfig::rsepRealistic())};
+    rsep.config.label = "t-rsep";
+    return {base, rsep};
+}
+
+std::vector<sim::SimConfig>
+configsOf(const std::vector<sim::Scenario> &scenarios)
+{
+    std::vector<sim::SimConfig> configs;
+    for (const sim::Scenario &s : scenarios)
+        configs.push_back(s.config);
+    return configs;
+}
+
+std::string
+canonicalDump(const std::vector<sim::SimConfig> &configs,
+              const std::vector<sim::MatrixRow> &rows)
+{
+    std::ostringstream os;
+    sim::CsvStatSink{}.write(os, sim::collectStatRows(configs, rows));
+    return os.str();
+}
+
+/** Raw client socket for protocol-abuse tests. */
+int
+rawConnect(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(0, ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr)));
+    return fd;
+}
+
+/** A well-formed client run against @p sock must succeed — the "daemon
+ *  still alive" probe after each abuse case. */
+void
+expectServable(const std::string &sock)
+{
+    std::vector<sim::Scenario> scenarios = {
+        {"t-base", shrunk(sim::SimConfig::baseline())}};
+    scenarios[0].config.label = "t-base";
+    scenarios[0].config.checkpoints = 1;
+    ClientOptions copts;
+    copts.socketPath = sock;
+    copts.progress = false;
+    std::vector<sim::MatrixRow> rows =
+        runMatrixRemote(scenarios, {"mcf"}, copts);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_GT(rows[0].byConfig[0].phases[0].ipc, 0.0);
+}
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(ServeOptions opts = {})
+    {
+        opts.socketPath = sock = shortSockPath();
+        if (opts.jobs == 0)
+            opts.jobs = 2;
+        opts.progress = false;
+        server = std::make_unique<Server>(opts);
+        std::string err;
+        ASSERT_TRUE(server->start(&err)) << err;
+    }
+
+    void
+    TearDown() override
+    {
+        if (server)
+            server->stop();
+    }
+
+    std::string sock;
+    std::unique_ptr<Server> server;
+};
+
+TEST_F(ServeTest, ClientDumpMatchesDirectRun)
+{
+    startServer();
+    std::vector<sim::Scenario> scenarios = smokeScenarios();
+    std::vector<std::string> benchmarks = {"mcf", "hmmer"};
+
+    sim::MatrixOptions mopts;
+    mopts.jobs = 2;
+    mopts.progress = false;
+    std::vector<sim::MatrixRow> direct =
+        sim::runMatrix(configsOf(scenarios), benchmarks, mopts);
+
+    ClientOptions copts;
+    copts.socketPath = sock;
+    copts.progress = false;
+    std::vector<sim::MatrixRow> remote =
+        runMatrixRemote(scenarios, benchmarks, copts);
+
+    // The client additionally self-checks against the server's Done
+    // reference; this compares against an independent local run.
+    EXPECT_EQ(canonicalDump(configsOf(scenarios), direct),
+              canonicalDump(configsOf(scenarios), remote));
+
+    Server::Counters c = server->counters();
+    EXPECT_EQ(c.requests, 1u);
+    EXPECT_EQ(c.errors, 0u);
+    EXPECT_EQ(c.cellsRun, 2u * 2u * 2u); // benchs x configs x ckpts.
+}
+
+TEST_F(ServeTest, TruncatedFrameDoesNotKillDaemon)
+{
+    startServer();
+    // Half a length prefix, then hangup.
+    int fd = rawConnect(sock);
+    u8 half[2] = {0x10, 0x00};
+    ASSERT_EQ(2, ::send(fd, half, 2, MSG_NOSIGNAL));
+    ::close(fd);
+
+    // A full prefix announcing a payload that never arrives.
+    fd = rawConnect(sock);
+    u8 hdr[5] = {0x40, 0x00, 0x00, 0x00, 0x01};
+    ASSERT_EQ(5, ::send(fd, hdr, 5, MSG_NOSIGNAL));
+    ::close(fd);
+
+    expectServable(sock);
+}
+
+TEST_F(ServeTest, GarbageFrameTypeRejected)
+{
+    startServer();
+    int fd = rawConnect(sock);
+    // length = 4, type = 42 (unknown), payload "junk".
+    u8 frame[9] = {0x04, 0x00, 0x00, 0x00, 42, 'j', 'u', 'n', 'k'};
+    ASSERT_EQ(9, ::send(fd, frame, 9, MSG_NOSIGNAL));
+    Frame reply;
+    std::string err;
+    // The daemon answers Error (best effort) and closes; either way
+    // it must not crash.
+    if (readFrame(fd, reply, &err))
+        EXPECT_EQ(reply.type, FrameType::Error);
+    ::close(fd);
+
+    expectServable(sock);
+    EXPECT_GE(server->counters().errors, 1u);
+}
+
+TEST_F(ServeTest, OversizedFrameRejectedBeforeAllocation)
+{
+    startServer();
+    int fd = rawConnect(sock);
+    // Length prefix far above maxFramePayload; the daemon must reject
+    // on the prefix alone, never try to read (or allocate) the body.
+    u8 frame[5] = {0xff, 0xff, 0xff, 0x7f, 0x01};
+    ASSERT_EQ(5, ::send(fd, frame, 5, MSG_NOSIGNAL));
+    Frame reply;
+    std::string err;
+    if (readFrame(fd, reply, &err))
+        EXPECT_EQ(reply.type, FrameType::Error);
+    ::close(fd);
+
+    expectServable(sock);
+}
+
+TEST_F(ServeTest, SubmitBeforeHelloRejected)
+{
+    startServer();
+    int fd = rawConnect(sock);
+    std::string err;
+    SubmitRequest sub;
+    sub.benchmarks = {"mcf"};
+    sub.scnText = "[scenario]\nname = x\n";
+    ASSERT_TRUE(
+        writeFrame(fd, FrameType::Submit, serializeSubmit(sub), &err));
+    Frame reply;
+    ASSERT_TRUE(readFrame(fd, reply, &err)) << err;
+    EXPECT_EQ(reply.type, FrameType::Error);
+    ::close(fd);
+
+    expectServable(sock);
+}
+
+TEST_F(ServeTest, BadRequestKeepsConnectionUsable)
+{
+    startServer();
+    int fd = rawConnect(sock);
+    std::string err;
+    ASSERT_TRUE(writeFrame(fd, FrameType::Hello, helloPayload(), &err));
+    Frame reply;
+    ASSERT_TRUE(readFrame(fd, reply, &err)) << err;
+    ASSERT_EQ(reply.type, FrameType::Hello);
+
+    // An unknown benchmark is a request-level error: Error frame, but
+    // the connection survives for the next submit.
+    std::vector<sim::Scenario> scenarios = {
+        {"t-base", shrunk(sim::SimConfig::baseline())}};
+    scenarios[0].config.label = "t-base";
+    scenarios[0].config.checkpoints = 1;
+    SubmitRequest bad;
+    bad.benchmarks = {"no-such-benchmark"};
+    bad.scnText = sim::serializeScenarios(scenarios);
+    ASSERT_TRUE(
+        writeFrame(fd, FrameType::Submit, serializeSubmit(bad), &err));
+    ASSERT_TRUE(readFrame(fd, reply, &err)) << err;
+    ASSERT_EQ(reply.type, FrameType::Error);
+    EXPECT_NE(reply.payload.find("no-such-benchmark"), std::string::npos);
+
+    // Same connection, now a valid request: one cell + Done.
+    SubmitRequest good = bad;
+    good.benchmarks = {"mcf"};
+    ASSERT_TRUE(
+        writeFrame(fd, FrameType::Submit, serializeSubmit(good), &err));
+    ASSERT_TRUE(readFrame(fd, reply, &err)) << err;
+    ASSERT_EQ(reply.type, FrameType::Cell);
+    CellResult cell;
+    ASSERT_TRUE(parseCell(reply.payload, cell, &err)) << err;
+    EXPECT_EQ(cell.benchmark, "mcf");
+    ASSERT_TRUE(readFrame(fd, reply, &err)) << err;
+    ASSERT_EQ(reply.type, FrameType::Done);
+    DoneSummary done;
+    ASSERT_TRUE(parseDone(reply.payload, done, &err)) << err;
+    EXPECT_EQ(done.cellsRun + done.cacheHits, 1u);
+    ::close(fd);
+}
+
+TEST_F(ServeTest, SuiteNameOverrideRejected)
+{
+    startServer();
+    int fd = rawConnect(sock);
+    std::string err;
+    ASSERT_TRUE(writeFrame(fd, FrameType::Hello, helloPayload(), &err));
+    Frame reply;
+    ASSERT_TRUE(readFrame(fd, reply, &err)) << err;
+    ASSERT_EQ(reply.type, FrameType::Hello);
+
+    std::vector<sim::Scenario> scenarios = {
+        {"t-base", shrunk(sim::SimConfig::baseline())}};
+    scenarios[0].config.label = "t-base";
+    SubmitRequest sub;
+    sub.benchmarks = {"mcf"};
+    // A [workload] block redefining the suite name "mcf": accepted by
+    // local drivers, rejected over the wire (another client's bare
+    // "mcf" request would silently resolve through the override).
+    sub.scnText = "[workload]\n"
+                  "name = mcf\n"
+                  "archetype = pointer_chase\n"
+                  "nodes = 64\n\n" +
+                  sim::serializeScenarios(scenarios);
+    ASSERT_TRUE(
+        writeFrame(fd, FrameType::Submit, serializeSubmit(sub), &err));
+    ASSERT_TRUE(readFrame(fd, reply, &err)) << err;
+    ASSERT_EQ(reply.type, FrameType::Error);
+    EXPECT_NE(reply.payload.find("override"), std::string::npos);
+    ::close(fd);
+}
+
+TEST_F(ServeTest, ConcurrentClientsEachGetTheirCells)
+{
+    startServer();
+    std::vector<sim::Scenario> scenarios = smokeScenarios();
+    std::vector<sim::SimConfig> configs = configsOf(scenarios);
+
+    sim::MatrixOptions mopts;
+    mopts.jobs = 2;
+    mopts.progress = false;
+    std::string direct_mcf =
+        canonicalDump(configs, sim::runMatrix(configs, {"mcf"}, mopts));
+    std::string direct_hmmer = canonicalDump(
+        configs, sim::runMatrix(configs, {"hmmer"}, mopts));
+
+    std::string remote_mcf, remote_hmmer;
+    std::thread t1([&] {
+        ClientOptions copts;
+        copts.socketPath = sock;
+        copts.progress = false;
+        remote_mcf = canonicalDump(
+            configs, runMatrixRemote(scenarios, {"mcf"}, copts));
+    });
+    std::thread t2([&] {
+        ClientOptions copts;
+        copts.socketPath = sock;
+        copts.progress = false;
+        remote_hmmer = canonicalDump(
+            configs, runMatrixRemote(scenarios, {"hmmer"}, copts));
+    });
+    t1.join();
+    t2.join();
+
+    EXPECT_EQ(remote_mcf, direct_mcf);
+    EXPECT_EQ(remote_hmmer, direct_hmmer);
+    EXPECT_EQ(server->counters().requests, 2u);
+}
+
+TEST_F(ServeTest, SamplingStreamsByteIdenticalSeries)
+{
+    startServer();
+    std::vector<sim::Scenario> scenarios = smokeScenarios();
+    std::vector<std::string> benchmarks = {"mcf"};
+
+    fs::path base = fs::temp_directory_path() /
+                    ("rsep_serve_samples_" + std::to_string(::getpid()));
+    fs::remove_all(base);
+    std::string dir_direct = (base / "direct").string();
+    std::string dir_remote = (base / "remote").string();
+
+    sim::MatrixOptions mopts;
+    mopts.jobs = 2;
+    mopts.progress = false;
+    mopts.sampling.every = 1000;
+    mopts.sampling.dir = dir_direct;
+    std::vector<sim::MatrixRow> direct =
+        sim::runMatrix(configsOf(scenarios), benchmarks, mopts);
+
+    ClientOptions copts;
+    copts.socketPath = sock;
+    copts.progress = false;
+    copts.sampleEvery = 1000;
+    copts.sampleDir = dir_remote;
+    std::vector<sim::MatrixRow> remote =
+        runMatrixRemote(scenarios, benchmarks, copts);
+
+    EXPECT_EQ(canonicalDump(configsOf(scenarios), direct),
+              canonicalDump(configsOf(scenarios), remote));
+
+    // Every sample file the direct run wrote must exist remotely with
+    // identical bytes (and vice versa — same file count).
+    auto slurp = [](const fs::path &p) {
+        std::ifstream is(p, std::ios::binary);
+        std::ostringstream os;
+        os << is.rdbuf();
+        return os.str();
+    };
+    std::map<std::string, std::string> d_files, r_files;
+    for (const auto &e : fs::directory_iterator(dir_direct))
+        d_files[e.path().filename().string()] = slurp(e.path());
+    for (const auto &e : fs::directory_iterator(dir_remote))
+        r_files[e.path().filename().string()] = slurp(e.path());
+    ASSERT_FALSE(d_files.empty());
+    ASSERT_EQ(d_files.size(), r_files.size());
+    for (const auto &[name, bytes] : d_files) {
+        SCOPED_TRACE(name);
+        ASSERT_TRUE(r_files.count(name));
+        EXPECT_EQ(bytes, r_files[name]);
+    }
+    fs::remove_all(base);
+}
+
+TEST_F(ServeTest, StaleSocketFileIsReclaimed)
+{
+    // A dead server's socket file must not wedge the next start.
+    std::string path = shortSockPath();
+    {
+        ServeOptions opts;
+        opts.socketPath = path;
+        opts.jobs = 1;
+        opts.progress = false;
+        Server first(opts);
+        std::string err;
+        ASSERT_TRUE(first.start(&err)) << err;
+        // Simulate a crash: leak the socket file by never unlinking
+        // (stop() unlinks, so instead create the stale file after).
+        first.stop();
+    }
+    std::ofstream stale(path); // plain file at the socket path.
+    stale.close();
+    ASSERT_TRUE(fs::exists(path));
+
+    ServeOptions opts;
+    opts.socketPath = path;
+    opts.jobs = 1;
+    opts.progress = false;
+    Server second(opts);
+    std::string err;
+    EXPECT_TRUE(second.start(&err)) << err;
+    second.stop();
+}
+
+TEST_F(ServeTest, SecondServerOnLiveSocketRefused)
+{
+    startServer();
+    ServeOptions opts;
+    opts.socketPath = sock;
+    opts.jobs = 1;
+    opts.progress = false;
+    Server second(opts);
+    std::string err;
+    EXPECT_FALSE(second.start(&err));
+    EXPECT_NE(err.find("already"), std::string::npos);
+
+    expectServable(sock); // the first server is unharmed.
+}
+
+} // namespace
+} // namespace rsep::serve

@@ -8,13 +8,20 @@
  *     rsep_samples dump --limit 40 samples/mcf-*.rts
  *     rsep_samples merge --csv all.csv shard0/*.rts shard1/*.rts
  *     rsep_samples summarize samples/*.rts
+ *     rsep_samples diff samples/mcf-A-p0.rts samples/mcf-B-p0.rts
  *
  * `merge` pools many cells' series into one canonically-sorted CSV
  * (same row grammar as the per-cell `.csv` siblings), erroring on a
  * duplicate cell identity — the sample-side analogue of rsep_merge
  * over sharded stat dumps. `summarize` reduces each timeline to its
  * phase-behaviour headline: mean vs peak window IPC and the number of
- * abrupt phase changes, plus per-scenario geometric means.
+ * abrupt phase changes, plus per-scenario geometric means. `diff`
+ * aligns two cells' timelines on their shared cycle axis and reports
+ * where the runs diverge: the first divergence cycle, each contiguous
+ * divergence window, and the maximum per-field delta — the tool for
+ * "same benchmark, two arms: when does behaviour split?" and for
+ * pinning down exactly where a replayed or served run stopped matching
+ * its reference.
  */
 
 #include <algorithm>
@@ -53,9 +60,16 @@ printHelp()
         "  summarize        per-cell phase-behaviour headline (mean/peak\n"
         "                   window IPC, phase changes) and per-scenario\n"
         "                   gmean rows\n"
+        "  diff             align exactly two series on their shared\n"
+        "                   cycle axis and report where they diverge:\n"
+        "                   first divergence cycle, contiguous divergence\n"
+        "                   windows, max delta per field. The periods\n"
+        "                   must match (different periods cannot align).\n"
+        "                   Exit 0 = identical, 1 = divergent\n"
         "\noptions:\n"
         "  --limit N        dump: stop after N rows per file (0 = all,\n"
-        "                   the default)\n"
+        "                   the default); diff: print at most N\n"
+        "                   divergence windows\n"
         "  --csv PATH       merge: output path for the pooled CSV\n"
         "  --help, -h       show this help\n");
 }
@@ -265,6 +279,177 @@ cmdSummarize(const std::vector<std::string> &files)
     return ok ? 0 : 1;
 }
 
+/** Flatten one sample row into schema-order field values. */
+std::vector<u64>
+fieldValues(const core::StatSample &row)
+{
+    std::vector<u64> vals;
+    vals.reserve(core::sampleFieldCount());
+    core::StatSample copy = row;
+    core::visitSampleFields(
+        copy,
+        [&](const char *, u64 &f, core::SampleFieldKind) {
+            vals.push_back(f);
+        });
+    return vals;
+}
+
+/** Schema-order field names (mirrors fieldValues). */
+std::vector<std::string>
+fieldNames()
+{
+    std::vector<std::string> names;
+    core::StatSample s;
+    core::visitSampleFields(
+        s, [&](const char *name, u64 &, core::SampleFieldKind) {
+            names.emplace_back(name);
+        });
+    return names;
+}
+
+int
+cmdDiff(const std::vector<std::string> &files, u64 limit)
+{
+    if (files.size() != 2) {
+        std::fprintf(stderr,
+                     "rsep_samples: diff takes exactly two files (got "
+                     "%zu); try --help\n",
+                     files.size());
+        return 2;
+    }
+    sim::SamplesParse a = sim::parseSamplesFile(files[0]);
+    sim::SamplesParse b = sim::parseSamplesFile(files[1]);
+    for (const sim::SamplesParse *p : {&a, &b})
+        if (!p->ok()) {
+            std::fprintf(stderr, "rsep_samples: %s\n", p->error.c_str());
+            return 2;
+        }
+    if (a.header.period != b.header.period) {
+        std::fprintf(stderr,
+                     "rsep_samples: diff: sample periods differ (%llu "
+                     "vs %llu cycles) — timelines on different axes "
+                     "cannot be aligned; re-sample one side\n",
+                     static_cast<unsigned long long>(a.header.period),
+                     static_cast<unsigned long long>(b.header.period));
+        return 2;
+    }
+
+    auto cell_id = [](const sim::SamplesParse &p,
+                      const std::string &path) {
+        return p.header.workload + " / " + p.header.scenario +
+               " (hash " + p.header.configHash + ", phase " +
+               std::to_string(p.header.phase) + ")  [" + path + "]";
+    };
+    std::printf("A: %s\n", cell_id(a, files[0]).c_str());
+    std::printf("B: %s\n", cell_id(b, files[1]).c_str());
+    std::printf("period: %llu cycles; rows: %zu vs %zu\n",
+                static_cast<unsigned long long>(a.header.period),
+                a.rows.size(), b.rows.size());
+
+    // The shared axis: both series sample at cycle k*period (plus one
+    // final partial row), so row i of A and row i of B describe the
+    // same window as long as both exist.
+    size_t shared = std::min(a.rows.size(), b.rows.size());
+    const std::vector<std::string> names = fieldNames();
+    std::vector<u64> max_delta(names.size(), 0);
+    std::vector<u64> max_delta_cycle(names.size(), 0);
+    std::vector<bool> divergent(shared, false);
+    size_t divergent_rows = 0;
+    bool first_seen = false;
+    u64 first_cycle = 0;
+
+    for (size_t i = 0; i < shared; ++i) {
+        std::vector<u64> va = fieldValues(a.rows[i]);
+        std::vector<u64> vb = fieldValues(b.rows[i]);
+        bool row_diff = false;
+        for (size_t f = 0; f < names.size(); ++f) {
+            u64 delta = va[f] > vb[f] ? va[f] - vb[f] : vb[f] - va[f];
+            if (delta == 0)
+                continue;
+            row_diff = true;
+            if (delta > max_delta[f]) {
+                max_delta[f] = delta;
+                max_delta_cycle[f] = a.rows[i].cycle;
+            }
+        }
+        if (row_diff) {
+            divergent[i] = true;
+            ++divergent_rows;
+            if (!first_seen) {
+                first_seen = true;
+                first_cycle = a.rows[i].cycle;
+            }
+        }
+    }
+
+    bool tails_differ = a.rows.size() != b.rows.size();
+    if (!first_seen && !tails_differ) {
+        std::printf("identical: %zu rows match across the full shared "
+                    "axis\n",
+                    shared);
+        return 0;
+    }
+
+    if (first_seen) {
+        std::printf("\nfirst divergence: cycle %llu (row %zu of the "
+                    "shared axis)\n",
+                    static_cast<unsigned long long>(first_cycle),
+                    static_cast<size_t>(
+                        std::find(divergent.begin(), divergent.end(),
+                                  true) -
+                        divergent.begin()));
+        // Contiguous divergence windows over the shared axis.
+        std::printf("divergence windows (%zu of %zu shared rows "
+                    "diverge):\n",
+                    divergent_rows, shared);
+        size_t printed = 0;
+        for (size_t i = 0; i < shared;) {
+            if (!divergent[i]) {
+                ++i;
+                continue;
+            }
+            size_t j = i;
+            while (j + 1 < shared && divergent[j + 1])
+                ++j;
+            if (limit == 0 || printed < limit)
+                std::printf("  cycles %llu..%llu  (%zu row%s)\n",
+                            static_cast<unsigned long long>(
+                                a.rows[i].cycle),
+                            static_cast<unsigned long long>(
+                                a.rows[j].cycle),
+                            j - i + 1, j == i ? "" : "s");
+            ++printed;
+            i = j + 1;
+        }
+        if (limit != 0 && printed > limit)
+            std::printf("  ... %zu further window%s suppressed "
+                        "(--limit %llu)\n",
+                        printed - limit, printed - limit == 1 ? "" : "s",
+                        static_cast<unsigned long long>(limit));
+        std::printf("\nmax delta per field (differing fields only):\n");
+        std::printf("  %-28s %14s %14s\n", "field", "max_delta",
+                    "at_cycle");
+        for (size_t f = 0; f < names.size(); ++f)
+            if (max_delta[f] > 0)
+                std::printf("  %-28s %14llu %14llu\n", names[f].c_str(),
+                            static_cast<unsigned long long>(max_delta[f]),
+                            static_cast<unsigned long long>(
+                                max_delta_cycle[f]));
+    }
+    if (tails_differ) {
+        const char *longer = a.rows.size() > b.rows.size() ? "A" : "B";
+        size_t extra = std::max(a.rows.size(), b.rows.size()) - shared;
+        std::printf("\ntail: %s has %zu row%s past the shared axis "
+                    "(timelines end at cycle %llu vs %llu)\n",
+                    longer, extra, extra == 1 ? "" : "s",
+                    static_cast<unsigned long long>(
+                        a.rows.empty() ? 0 : a.rows.back().cycle),
+                    static_cast<unsigned long long>(
+                        b.rows.empty() ? 0 : b.rows.back().cycle));
+    }
+    return 1;
+}
+
 } // namespace
 
 int
@@ -331,6 +516,9 @@ main(int argc, char **argv)
     }
     if (command == "summarize")
         return cmdSummarize(files);
+    if (command == "diff")
+        return cmdDiff(files, limit);
     return usageError("unknown command '" + command +
-                      "' (expected info, dump, merge or summarize)");
+                      "' (expected info, dump, merge, summarize or "
+                      "diff)");
 }
