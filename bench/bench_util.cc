@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/env.hh"
+#include "common/fault.hh"
 #include "serve/client.hh"
 #include "wl/trace_cache.hh"
 #include "wl/workload_spec.hh"
@@ -178,6 +179,21 @@ printHelp(const HarnessSpec &spec)
         "                             --record-trace, --trace-cache-mb)\n"
         "                             are rejected here: set them on the\n"
         "                             rsep_serve command line\n"
+        "  --connect-timeout MS       keep re-trying the initial connect\n"
+        "                             this long (daemon still warming\n"
+        "                             up); 0 = one attempt (default)\n"
+        "  --deadline MS              hard wall-clock ceiling on the\n"
+        "                             whole remote request, retries\n"
+        "                             included; 0 = none (default)\n"
+        "  --retries N                reconnect+resubmit attempts after\n"
+        "                             a transient connection failure or\n"
+        "                             server-busy rejection (default 3;\n"
+        "                             results stay byte-identical —\n"
+        "                             Submit is idempotent)\n"
+        "  --fault SPEC               arm deterministic fault injection\n"
+        "                             (testing; same grammar as\n"
+        "                             RSEP_FAULT — DESIGN.md §14), e.g.\n"
+        "                             serve.send:after=3:fail=econnreset\n"
         "  --help, -h                 show this help\n");
     // The timing.* counter list is generated from the one visitStats
     // enumeration the export layer itself walks — it cannot go stale.
@@ -273,6 +289,8 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
     // (default values / applied immediately), tracked for the combo
     // check after the loop — --connect may come later in argv.
     bool saw_steal = false, saw_trace_cache = false, saw_jobs = false;
+    bool saw_connect_timeout = false, saw_deadline = false,
+         saw_retries = false;
     auto addWorkloadFile = [&](const std::string &path, std::string &err) {
         sim::ScenarioParse parsed = sim::parseScenarioFile(path);
         if (!parsed.ok()) {
@@ -508,6 +526,16 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
                 ++i;
             continue;
         }
+        if ((hit = valueOf("--connect-timeout", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--connect-timeout requires a "
+                                        "duration in ms");
+            if (!parseU64(value, ctx.connectTimeoutMs))
+                return usageError(spec, "bad --connect-timeout '" +
+                                            value + "'");
+            saw_connect_timeout = true;
+            continue;
+        }
         if ((hit = valueOf("--connect", value)) != 0) {
             if (hit < 0)
                 return usageError(spec, "--connect requires a socket "
@@ -515,6 +543,34 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
             if (value.empty())
                 return usageError(spec, "--connect socket path is empty");
             ctx.connectSocket = value;
+            continue;
+        }
+        if ((hit = valueOf("--deadline", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--deadline requires a duration "
+                                        "in ms");
+            if (!parseU64(value, ctx.deadlineMs))
+                return usageError(spec, "bad --deadline '" + value + "'");
+            saw_deadline = true;
+            continue;
+        }
+        if ((hit = valueOf("--retries", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--retries requires a count");
+            u64 n = 0;
+            if (!parseU64(value, n) || n > 100)
+                return usageError(spec, "bad --retries '" + value +
+                                            "' (0-100)");
+            ctx.retries = static_cast<unsigned>(n);
+            saw_retries = true;
+            continue;
+        }
+        if ((hit = valueOf("--fault", value)) != 0) {
+            if (hit < 0)
+                return usageError(spec, "--fault requires an injection "
+                                        "spec (see DESIGN.md §14)");
+            if (!fault::armFromSpec(value, &err))
+                return usageError(spec, err);
             continue;
         }
         if (!a.empty() && a[0] == '-')
@@ -545,6 +601,16 @@ parseDriverArgs(int argc, char **argv, const HarnessSpec &spec,
                                   " is not supported with --connect: "
                                   "the server owns that resource (set "
                                   "it on the rsep_serve command line)");
+    } else {
+        // The remote-recovery knobs steer the client conversation; on a
+        // local run they would be silent no-ops.
+        const char *orphan = saw_connect_timeout ? "--connect-timeout"
+                             : saw_deadline      ? "--deadline"
+                             : saw_retries       ? "--retries"
+                                                 : nullptr;
+        if (orphan)
+            return usageError(spec, std::string(orphan) +
+                                        " only applies with --connect");
     }
 
     // Resolve --workload names now that every file is loaded.
@@ -640,6 +706,9 @@ runDriverMatrix(const DriverContext &ctx,
     copts.sampleDir = ctx.matrix.sampling.dir;
     copts.replayDir = ctx.matrix.traceIo.replayDir;
     copts.progress = ctx.matrix.progress;
+    copts.connectTimeoutMs = ctx.connectTimeoutMs;
+    copts.deadlineMs = ctx.deadlineMs;
+    copts.maxRetries = ctx.retries;
     return serve::runMatrixRemote(scenarios, benchmarks, copts);
 }
 
@@ -718,6 +787,10 @@ runScenarioMatrix(const HarnessSpec &spec, const DriverContext &ctx,
 int
 runHarness(int argc, char **argv, const HarnessSpec &spec)
 {
+    // RSEP_FAULT arms deterministic fault injection in any driver
+    // (DESIGN.md §14); unarmed points are zero-cost no-ops.
+    fault::initFromEnv();
+
     DriverContext ctx;
     int rc = parseDriverArgs(argc, argv, spec, ctx);
     if (rc >= 0)

@@ -69,6 +69,15 @@ struct DriverContext
      *  --record-trace, --steal, --trace-cache-mb) are rejected with a
      *  clear error — they belong on the rsep_serve command line. */
     std::string connectSocket;
+    /** --connect-timeout MS: keep re-trying the initial connect this
+     *  long (daemon still warming up); 0 = one attempt. */
+    u64 connectTimeoutMs = 0;
+    /** --deadline MS: hard ceiling on the whole remote request
+     *  including retries; 0 = none. */
+    u64 deadlineMs = 0;
+    /** --retries N: reconnect+resubmit attempts after a transient
+     *  failure or Busy rejection (default 3; 0 = fail fast). */
+    unsigned retries = 3;
     std::vector<std::string> positional;
 };
 

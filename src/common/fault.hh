@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic fault injection for the I/O boundaries of the service
+ * and cache layers.
+ *
+ * Every hardened operation names an *injection point* — a stable string
+ * like "serve.send", "cache.rename" or "trace.decode" — and asks
+ * `fault::point(name)` whether a fault should fire here.  Points are
+ * armed from a spec string (the `RSEP_FAULT` environment variable or a
+ * driver's `--fault` flag); unarmed, `point()` is a single relaxed
+ * atomic load and returns "no fault", so golden dumps and hot-path
+ * timings are untouched.
+ *
+ * Spec grammar (comma- or semicolon-separated list of point specs):
+ *
+ *     point[:after=N][:rate=P][:seed=S][:fail=MODE][:count=K][:ms=D][:bytes=B]
+ *
+ *   after=N   skip the first N hits of the point, then start firing
+ *             (default 0: fire from the first hit).
+ *   rate=P    instead of firing unconditionally, fire each eligible hit
+ *             with probability P — decided by a deterministic hash of
+ *             (seed, hit index), so a given spec always faults the same
+ *             hits.  Requires 0 < P <= 1.
+ *   seed=S    seed for rate mode (default 1).
+ *   count=K   stop after K injections (default 1; 0 = unlimited).
+ *   fail=MODE what to inject (default eio):
+ *             econnreset | epipe | enospc | eio | eintr  — errno faults
+ *             short     — write `bytes` bytes, then fail with an errno
+ *             truncate  — cut the payload / stream at `bytes` bytes
+ *             delay     — sleep `ms` milliseconds, then proceed
+ *   ms=D      delay duration in milliseconds (default 50).
+ *   bytes=B   short/truncate length in bytes (default 1).
+ *
+ * Examples:
+ *
+ *     RSEP_FAULT=serve.send:after=3:fail=econnreset
+ *     RSEP_FAULT="cache.rename:rate=0.1:seed=42:fail=enospc:count=0"
+ *     --fault trace.decode:fail=truncate,rts.flush:fail=enospc
+ */
+
+#ifndef RSEP_COMMON_FAULT_HH
+#define RSEP_COMMON_FAULT_HH
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace rsep::fault
+{
+
+enum class Kind : u8 {
+    None = 0,   ///< no fault at this hit
+    Errno,      ///< fail the operation with `err`
+    ShortWrite, ///< perform `amount` bytes of the write, then fail with `err`
+    Truncate,   ///< cut the payload/stream at `amount` bytes
+    Delay,      ///< sleep `amount` microseconds, then proceed normally
+};
+
+/** What `point()` told the caller to do at this hit. */
+struct Injected {
+    Kind kind = Kind::None;
+    int err = 0;    ///< errno for Errno / ShortWrite
+    u64 amount = 0; ///< bytes (ShortWrite/Truncate) or microseconds (Delay)
+
+    explicit operator bool() const { return kind != Kind::None; }
+};
+
+namespace detail
+{
+extern std::atomic<bool> anyArmed;
+Injected pointSlow(std::string_view name);
+} // namespace detail
+
+/**
+ * Consult the registry at injection point @p name.  Counts a hit and
+ * returns the fault to inject, if any.  When nothing is armed this is
+ * one relaxed load and no registry access.
+ */
+inline Injected
+point(std::string_view name)
+{
+    if (!detail::anyArmed.load(std::memory_order_relaxed))
+        return {};
+    return detail::pointSlow(name);
+}
+
+/** True when at least one point spec is armed. */
+inline bool
+armed()
+{
+    return detail::anyArmed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Parse @p spec (the grammar above) and arm the points it names, on
+ * top of anything already armed.  On a malformed spec, leaves the
+ * registry unchanged, fills @p err and returns false.
+ */
+bool armFromSpec(const std::string &spec, std::string *err);
+
+/**
+ * Arm from the `RSEP_FAULT` environment variable if it is set
+ * (rsep_fatal on a malformed spec).  Idempotent; drivers call it once
+ * at startup so the variable works for every tool.
+ */
+void initFromEnv();
+
+/** Drop every armed spec and reset all counters (tests). */
+void disarmAll();
+
+/** Number of times @p name was consulted while armed. */
+u64 hitCount(std::string_view name);
+
+/** Number of times @p name actually injected a fault. */
+u64 firedCount(std::string_view name);
+
+/**
+ * Sleep helper for Kind::Delay so call sites don't each pull in
+ * <thread>: sleeps @p micros microseconds.
+ */
+void sleepMicros(u64 micros);
+
+} // namespace rsep::fault
+
+#endif // RSEP_COMMON_FAULT_HH

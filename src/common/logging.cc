@@ -5,6 +5,15 @@
 
 namespace rsep
 {
+
+namespace
+{
+thread_local unsigned fatalCaptureDepth = 0;
+} // namespace
+
+ScopedFatalCapture::ScopedFatalCapture() { ++fatalCaptureDepth; }
+ScopedFatalCapture::~ScopedFatalCapture() { --fatalCaptureDepth; }
+
 namespace detail
 {
 
@@ -42,6 +51,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (fatalCaptureDepth > 0)
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s [%s:%d]\n", msg.c_str(), file, line);
     std::exit(1);
 }

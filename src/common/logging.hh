@@ -12,6 +12,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace rsep
@@ -26,6 +27,30 @@ void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 } // namespace detail
+
+/** What rsep_fatal throws while a ScopedFatalCapture is alive on the
+ *  calling thread; what() is the formatted diagnostic. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII: while alive on this thread, rsep_fatal throws FatalError
+ * instead of exiting the process. The rsep_serve daemon wraps each
+ * request cell in one so a user error (or injected fault) that slips
+ * past preflight fails that one request instead of taking the daemon —
+ * and every other client — down with it. Nestable; fatal() reverts to
+ * exit(1) when the outermost capture on the thread is gone.
+ */
+class ScopedFatalCapture
+{
+  public:
+    ScopedFatalCapture();
+    ~ScopedFatalCapture();
+    ScopedFatalCapture(const ScopedFatalCapture &) = delete;
+    ScopedFatalCapture &operator=(const ScopedFatalCapture &) = delete;
+};
 
 /** Abort on an internal invariant violation (simulator bug). */
 #define rsep_panic(...) \

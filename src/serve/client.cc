@@ -6,15 +6,19 @@
 #include "serve/client.hh"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <tuple>
 
 #include "common/logging.hh"
@@ -30,8 +34,66 @@ namespace rsep::serve
 namespace
 {
 
+/** Distinct-exit-code sibling of rsep_fatal for the failure classes
+ *  fleet scripts dispatch on (client.hh exit* constants). */
+[[noreturn]] void
+clientExit(int code, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(code);
+}
+
+/** Wall-clock budget of one runMatrixRemote call (`--deadline`). */
+struct Deadline
+{
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    u64 limitMs = 0;
+
+    bool armed() const { return limitMs > 0; }
+
+    u64
+    elapsedMs() const
+    {
+        return static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+
+    bool expired() const { return armed() && elapsedMs() >= limitMs; }
+
+    u64
+    remainingMs() const
+    {
+        u64 e = elapsedMs();
+        return e >= limitMs ? 0 : limitMs - e;
+    }
+};
+
+/** Bound the next blocking read by the request deadline (SO_RCVTIMEO);
+ *  exits exitDeadline when the budget is already gone. */
+void
+applyReadBudget(int fd, const Deadline &dl, const char *while_doing)
+{
+    if (!dl.armed())
+        return;
+    u64 rem = dl.remainingMs();
+    if (rem == 0)
+        clientExit(exitDeadline,
+                   std::string("--connect: --deadline of ") +
+                       std::to_string(dl.limitMs) + " ms exceeded " +
+                       while_doing);
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(rem / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((rem % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/** One connect attempt: fd, or -1 with errno text in @p err. Only a
+ *  misconfigured path is immediately fatal. */
 int
-connectSocket(const std::string &path)
+connectOnce(const std::string &path, std::string *err)
 {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -44,9 +106,12 @@ connectSocket(const std::string &path)
     if (fd < 0)
         rsep_fatal("--connect: socket: %s", std::strerror(errno));
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0)
-        rsep_fatal("--connect %s: %s (is rsep_serve running there?)",
-                   path.c_str(), std::strerror(errno));
+                  sizeof(addr)) != 0) {
+        if (err)
+            *err = std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
     return fd;
 }
 
@@ -73,6 +138,19 @@ buildScnText(const std::vector<sim::Scenario> &scenarios,
     return text;
 }
 
+/** Why one conversation attempt ended without a verified Done. */
+struct Transient
+{
+    int code = exitTruncated;
+    std::string what;  ///< names the failed operation.
+    u64 waitHintMs = 0; ///< server Busy retry-after hint.
+};
+
+using SampleSeries =
+    std::map<std::tuple<size_t, size_t, u32>,
+             std::pair<sim::SampleSeriesHeader,
+                       std::vector<core::StatSample>>>;
+
 } // namespace
 
 std::vector<sim::MatrixRow>
@@ -95,149 +173,289 @@ runMatrixRemote(const std::vector<sim::Scenario> &scenarios,
     for (size_t b = 0; b < benchmarks.size(); ++b)
         bench_index[benchmarks[b]] = b;
 
-    // Preallocate the result matrix exactly like runMatrix (the slot
-    // layout — and therefore the dump — depends only on the request).
-    std::vector<sim::MatrixRow> rows(benchmarks.size());
     size_t total_cells = 0;
-    for (size_t b = 0; b < benchmarks.size(); ++b) {
-        rows[b].benchmark = benchmarks[b];
-        rows[b].byConfig.resize(configs.size());
-        for (size_t c = 0; c < configs.size(); ++c) {
-            sim::RunResult &rr = rows[b].byConfig[c];
-            rr.benchmark = benchmarks[b];
-            rr.configLabel = configs[c].label;
-            rr.phases.resize(configs[c].checkpoints);
-            total_cells += configs[c].checkpoints;
-        }
-    }
-    std::vector<std::vector<std::vector<bool>>> filled(
-        benchmarks.size(),
-        std::vector<std::vector<bool>>(configs.size()));
-    for (size_t b = 0; b < benchmarks.size(); ++b)
-        for (size_t c = 0; c < configs.size(); ++c)
-            filled[b][c].assign(configs[c].checkpoints, false);
+    for (size_t c = 0; c < configs.size(); ++c)
+        total_cells += size_t(configs[c].checkpoints) * benchmarks.size();
 
-    int fd = connectSocket(opts.socketPath);
-    std::string err;
-    if (!writeFrame(fd, FrameType::Hello, helloPayload(), &err))
-        rsep_fatal("--connect: hello: %s", err.c_str());
-    Frame f;
-    if (!readFrame(fd, f, &err))
-        rsep_fatal("--connect: hello reply: %s", err.c_str());
-    if (f.type == FrameType::Error)
-        rsep_fatal("rsep_serve: %s", f.payload.c_str());
-    if (f.type != FrameType::Hello || !parseHello(f.payload, &err))
-        rsep_fatal("--connect: bad hello reply: %s", err.c_str());
+    const std::string scn_text = buildScnText(scenarios, benchmarks);
+    Deadline dl;
+    dl.limitMs = opts.deadlineMs;
 
-    SubmitRequest sub;
-    sub.benchmarks = benchmarks;
-    sub.sampleEvery = opts.sampleEvery;
-    sub.replayDir = opts.replayDir;
-    sub.scnText = buildScnText(scenarios, benchmarks);
-    if (!writeFrame(fd, FrameType::Submit, serializeSubmit(sub), &err))
-        rsep_fatal("--connect: submit: %s", err.c_str());
-
-    if (opts.progress)
-        std::fprintf(stderr,
-                     "[connect] %zu benchmarks x %zu configs = %zu "
-                     "cells on %s\n",
-                     benchmarks.size(), configs.size(), total_cells,
-                     opts.socketPath.c_str());
-
-    // Streamed sample series, flushed post-Done in runMatrix's
-    // deterministic (benchmark, config, phase) order.
-    std::map<std::tuple<size_t, size_t, u32>,
-             std::pair<sim::SampleSeriesHeader,
-                       std::vector<core::StatSample>>>
-        sample_series;
-
-    DoneSummary done;
-    size_t received = 0;
-    for (;;) {
-        if (!readFrame(fd, f, &err))
-            rsep_fatal("--connect: %s", err.c_str());
-        if (f.type == FrameType::Error)
-            rsep_fatal("rsep_serve: %s", f.payload.c_str());
-        if (f.type == FrameType::Done) {
-            if (!parseDone(f.payload, done, &err))
-                rsep_fatal("--connect: done frame: %s", err.c_str());
-            break;
-        }
-        if (f.type == FrameType::Cell) {
-            CellResult cell;
-            if (!parseCell(f.payload, cell, &err))
-                rsep_fatal("--connect: cell frame: %s", err.c_str());
-            auto it = bench_index.find(cell.benchmark);
-            if (it == bench_index.end() ||
-                cell.config >= configs.size() ||
-                cell.phase >= configs[cell.config].checkpoints)
-                rsep_fatal("--connect: cell frame names an unknown "
-                           "cell (%s, config %u, phase %u)",
-                           cell.benchmark.c_str(), cell.config,
-                           cell.phase);
-            size_t b = it->second, c = cell.config;
-            sim::CacheKey key{cell.benchmark, hashes[c], cell.phase,
-                              configs[c].seed};
-            sim::PhaseResult pr;
-            std::string perr =
-                sim::ResultCache::parseRecord(cell.record, key, pr);
-            if (!perr.empty())
-                rsep_fatal("--connect: cell record: %s", perr.c_str());
-            // The record round-trips the durable result; the transient
-            // provenance flags travel in the frame headers instead
-            // (parseRecord marks everything fromCache).
-            pr.fromCache = cell.fromCache;
-            pr.replayed = cell.replayed;
-            pr.traceDecodeHit = cell.decodeHit;
-            pr.traceLoadMicros = cell.traceLoadMicros;
-            if (filled[b][c][cell.phase])
-                rsep_fatal("--connect: duplicate cell (%s, config %u, "
-                           "phase %u)",
-                           cell.benchmark.c_str(), cell.config,
-                           cell.phase);
-            filled[b][c][cell.phase] = true;
-            rows[b].byConfig[c].phases[cell.phase] = std::move(pr);
-            ++received;
-            if (opts.progress) {
-                const sim::PhaseResult &ph =
-                    rows[b].byConfig[c].phases[cell.phase];
-                std::fprintf(
-                    stderr,
-                    "[%s] %-12s %-20s ckpt %u ipc=%.3f (%zu/%zu)\n",
-                    ph.fromCache    ? "hit"
-                    : ph.replayed   ? "rpl"
-                                    : "run",
-                    cell.benchmark.c_str(), configs[c].label.c_str(),
-                    cell.phase, ph.ipc, received, total_cells);
+    // One full conversation: connect, hello, submit, drain, verify.
+    // Retried from scratch on a transient failure — Submit is
+    // idempotent (the result cache answers bit-exactly and the dump is
+    // hard-verified below), so every attempt that completes returns
+    // byte-identical rows.
+    auto attemptRequest = [&](unsigned attempt,
+                              std::vector<sim::MatrixRow> &rows,
+                              DoneSummary &done, SampleSeries &series,
+                              Transient &t) -> bool {
+        rows.assign(benchmarks.size(), sim::MatrixRow{});
+        for (size_t b = 0; b < benchmarks.size(); ++b) {
+            rows[b].benchmark = benchmarks[b];
+            rows[b].byConfig.resize(configs.size());
+            for (size_t c = 0; c < configs.size(); ++c) {
+                sim::RunResult &rr = rows[b].byConfig[c];
+                rr.benchmark = benchmarks[b];
+                rr.configLabel = configs[c].label;
+                rr.phases.resize(configs[c].checkpoints);
             }
-            continue;
         }
-        if (f.type == FrameType::Samples) {
-            SamplesFrame sf;
-            if (!parseSamplesFrame(f.payload, sf, &err))
-                rsep_fatal("--connect: samples frame: %s", err.c_str());
-            auto it = bench_index.find(sf.benchmark);
-            if (it == bench_index.end() || sf.config >= configs.size())
-                rsep_fatal("--connect: samples frame names an unknown "
-                           "cell (%s, config %u)",
-                           sf.benchmark.c_str(), sf.config);
-            sim::SamplesParse sp =
-                sim::parseSamplesText(sf.rts, "<samples frame>");
-            if (!sp.ok())
-                rsep_fatal("--connect: %s", sp.error.c_str());
-            sample_series[{it->second, sf.config, sf.phase}] = {
-                sp.header, std::move(sp.rows)};
-            continue;
-        }
-        rsep_fatal("--connect: unexpected frame type %u mid-stream",
-                   unsigned(f.type));
-    }
-    ::close(fd);
+        std::vector<std::vector<std::vector<bool>>> filled(
+            benchmarks.size(),
+            std::vector<std::vector<bool>>(configs.size()));
+        for (size_t b = 0; b < benchmarks.size(); ++b)
+            for (size_t c = 0; c < configs.size(); ++c)
+                filled[b][c].assign(configs[c].checkpoints, false);
+        series.clear();
 
-    if (received != total_cells)
-        rsep_fatal("--connect: server completed with %zu of %zu cells "
-                   "delivered",
-                   received, total_cells);
+        // Connect, re-trying refused connects while --connect-timeout
+        // budget remains (a daemon may still be warming up).
+        std::string cerr_msg;
+        int fd = connectOnce(opts.socketPath, &cerr_msg);
+        if (fd < 0 && opts.connectTimeoutMs > 0) {
+            auto c0 = std::chrono::steady_clock::now();
+            while (fd < 0) {
+                u64 waited = static_cast<u64>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - c0)
+                        .count());
+                if (waited >= opts.connectTimeoutMs || dl.expired())
+                    break;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+                fd = connectOnce(opts.socketPath, &cerr_msg);
+            }
+        }
+        if (fd < 0) {
+            t = {exitDaemonGone,
+                 "--connect " + opts.socketPath + ": " + cerr_msg +
+                     " (is rsep_serve running there?)",
+                 0};
+            return false;
+        }
+        struct FdCloser
+        {
+            int fd;
+            ~FdCloser() { ::close(fd); }
+        } closer{fd};
+
+        std::string err;
+        Frame f;
+        bool clean = false, timed_out = false;
+
+        if (!writeFrame(fd, FrameType::Hello, helloPayload(), &err,
+                        "client.send")) {
+            t = {exitTruncated, "--connect: hello: " + err, 0};
+            return false;
+        }
+        applyReadBudget(fd, dl, "waiting for the hello reply");
+        if (!readFrame(fd, f, &err, &clean, "client.recv", &timed_out)) {
+            if (timed_out)
+                clientExit(exitDeadline,
+                           "--connect: --deadline exceeded waiting for "
+                           "the hello reply");
+            t = {clean ? exitDaemonGone : exitTruncated,
+                 clean ? "--connect: daemon closed the connection "
+                         "before answering hello"
+                       : "--connect: hello reply: " + err,
+                 0};
+            return false;
+        }
+        if (f.type == FrameType::Error) {
+            u64 hint = 0;
+            std::string why;
+            if (parseBusy(f.payload, hint, &why)) {
+                t = {exitBusy, "rsep_serve busy: " + why, hint};
+                return false;
+            }
+            rsep_fatal("rsep_serve: %s", f.payload.c_str());
+        }
+        if (f.type != FrameType::Hello || !parseHello(f.payload, &err))
+            rsep_fatal("--connect: bad hello reply: %s", err.c_str());
+
+        SubmitRequest sub;
+        sub.benchmarks = benchmarks;
+        sub.sampleEvery = opts.sampleEvery;
+        sub.replayDir = opts.replayDir;
+        sub.scnText = scn_text;
+        sub.retry = attempt;
+        if (!writeFrame(fd, FrameType::Submit, serializeSubmit(sub),
+                        &err, "client.send")) {
+            t = {exitTruncated, "--connect: submit: " + err, 0};
+            return false;
+        }
+
+        if (opts.progress)
+            std::fprintf(stderr,
+                         "[connect] %zu benchmarks x %zu configs = %zu "
+                         "cells on %s%s\n",
+                         benchmarks.size(), configs.size(), total_cells,
+                         opts.socketPath.c_str(),
+                         attempt > 0 ? " (resubmit)" : "");
+
+        size_t received = 0;
+        for (;;) {
+            clean = false;
+            timed_out = false;
+            applyReadBudget(fd, dl, "draining the result stream");
+            if (!readFrame(fd, f, &err, &clean, "client.recv",
+                           &timed_out)) {
+                if (timed_out)
+                    clientExit(exitDeadline,
+                               "--connect: --deadline of " +
+                                   std::to_string(dl.limitMs) +
+                                   " ms exceeded draining the result "
+                                   "stream (" +
+                                   std::to_string(received) + " of " +
+                                   std::to_string(total_cells) +
+                                   " cells in)");
+                if (clean)
+                    t = {exitDaemonGone,
+                         "--connect: daemon shut down cleanly "
+                         "mid-drain (connection closed at a frame "
+                         "boundary, " +
+                             std::to_string(received) + " of " +
+                             std::to_string(total_cells) +
+                             " cells in)",
+                         0};
+                else
+                    t = {exitTruncated,
+                         "--connect: result stream: " + err + " (" +
+                             std::to_string(received) + " of " +
+                             std::to_string(total_cells) +
+                             " cells in)",
+                         0};
+                return false;
+            }
+            if (f.type == FrameType::Error) {
+                u64 hint = 0;
+                std::string why;
+                if (parseBusy(f.payload, hint, &why)) {
+                    t = {exitBusy, "rsep_serve busy: " + why, hint};
+                    return false;
+                }
+                rsep_fatal("rsep_serve: %s", f.payload.c_str());
+            }
+            if (f.type == FrameType::Done) {
+                if (!parseDone(f.payload, done, &err))
+                    rsep_fatal("--connect: done frame: %s", err.c_str());
+                break;
+            }
+            if (f.type == FrameType::Cell) {
+                CellResult cell;
+                if (!parseCell(f.payload, cell, &err))
+                    rsep_fatal("--connect: cell frame: %s", err.c_str());
+                auto it = bench_index.find(cell.benchmark);
+                if (it == bench_index.end() ||
+                    cell.config >= configs.size() ||
+                    cell.phase >= configs[cell.config].checkpoints)
+                    rsep_fatal("--connect: cell frame names an unknown "
+                               "cell (%s, config %u, phase %u)",
+                               cell.benchmark.c_str(), cell.config,
+                               cell.phase);
+                size_t b = it->second, c = cell.config;
+                sim::CacheKey key{cell.benchmark, hashes[c], cell.phase,
+                                  configs[c].seed};
+                sim::PhaseResult pr;
+                std::string perr =
+                    sim::ResultCache::parseRecord(cell.record, key, pr);
+                if (!perr.empty())
+                    rsep_fatal("--connect: cell record: %s",
+                               perr.c_str());
+                // The record round-trips the durable result; the
+                // transient provenance flags travel in the frame
+                // headers instead (parseRecord marks everything
+                // fromCache).
+                pr.fromCache = cell.fromCache;
+                pr.replayed = cell.replayed;
+                pr.traceDecodeHit = cell.decodeHit;
+                pr.traceLoadMicros = cell.traceLoadMicros;
+                if (filled[b][c][cell.phase])
+                    rsep_fatal("--connect: duplicate cell (%s, config "
+                               "%u, phase %u)",
+                               cell.benchmark.c_str(), cell.config,
+                               cell.phase);
+                filled[b][c][cell.phase] = true;
+                rows[b].byConfig[c].phases[cell.phase] = std::move(pr);
+                ++received;
+                if (opts.progress) {
+                    const sim::PhaseResult &ph =
+                        rows[b].byConfig[c].phases[cell.phase];
+                    std::fprintf(
+                        stderr,
+                        "[%s] %-12s %-20s ckpt %u ipc=%.3f (%zu/%zu)\n",
+                        ph.fromCache    ? "hit"
+                        : ph.replayed   ? "rpl"
+                                        : "run",
+                        cell.benchmark.c_str(), configs[c].label.c_str(),
+                        cell.phase, ph.ipc, received, total_cells);
+                }
+                continue;
+            }
+            if (f.type == FrameType::Samples) {
+                SamplesFrame sf;
+                if (!parseSamplesFrame(f.payload, sf, &err))
+                    rsep_fatal("--connect: samples frame: %s",
+                               err.c_str());
+                auto it = bench_index.find(sf.benchmark);
+                if (it == bench_index.end() ||
+                    sf.config >= configs.size())
+                    rsep_fatal("--connect: samples frame names an "
+                               "unknown cell (%s, config %u)",
+                               sf.benchmark.c_str(), sf.config);
+                sim::SamplesParse sp =
+                    sim::parseSamplesText(sf.rts, "<samples frame>");
+                if (!sp.ok())
+                    rsep_fatal("--connect: %s", sp.error.c_str());
+                series[{it->second, sf.config, sf.phase}] = {
+                    sp.header, std::move(sp.rows)};
+                continue;
+            }
+            rsep_fatal("--connect: unexpected frame type %u mid-stream",
+                       unsigned(f.type));
+        }
+
+        if (received != total_cells)
+            rsep_fatal("--connect: server completed with %zu of %zu "
+                       "cells delivered",
+                       received, total_cells);
+        return true;
+    };
+
+    std::vector<sim::MatrixRow> rows;
+    DoneSummary done;
+    SampleSeries sample_series;
+    for (unsigned attempt = 0;; ++attempt) {
+        Transient t;
+        if (attemptRequest(attempt, rows, done, sample_series, t))
+            break;
+        if (dl.expired())
+            clientExit(exitDeadline,
+                       t.what + " — and the --deadline of " +
+                           std::to_string(dl.limitMs) +
+                           " ms is exhausted");
+        if (attempt >= opts.maxRetries)
+            clientExit(t.code,
+                       t.what + " (after " +
+                           std::to_string(attempt + 1) + " attempt" +
+                           (attempt == 0 ? "" : "s") + ")");
+        u64 wait = std::min<u64>(opts.backoffBaseMs << attempt, 2000);
+        wait = std::max(wait, t.waitHintMs);
+        if (dl.armed() && wait >= dl.remainingMs())
+            clientExit(exitDeadline,
+                       t.what + " — retry backoff of " +
+                           std::to_string(wait) +
+                           " ms would exceed the --deadline");
+        if (opts.progress)
+            std::fprintf(stderr,
+                         "[connect] attempt %u/%u failed: %s — "
+                         "retrying in %llu ms\n",
+                         attempt + 1, opts.maxRetries + 1,
+                         t.what.c_str(),
+                         static_cast<unsigned long long>(wait));
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
 
     // Mirror runMatrix's post-barrier accounting so --timings dumps
     // match a direct run against the server's cache configuration.

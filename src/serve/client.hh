@@ -14,9 +14,17 @@
  * so every downstream report/export path produces byte-identical
  * output whether the cells ran locally or on the daemon.
  *
- * Error discipline: connection, protocol and server-reported errors
- * are fatal (rsep_fatal), matching how drivers treat local setup
- * failures — the daemon itself never dies on a bad request.
+ * Error discipline: *permanent* errors (a server-reported diagnostic,
+ * a protocol mismatch, a diverging dump) are fatal (rsep_fatal, exit
+ * 1), matching how drivers treat local setup failures. *Transient*
+ * connection failures — refused connects, a daemon restarting
+ * mid-drain, a dropped socket — are retried with bounded exponential
+ * backoff: Submit is idempotent (results come from the bit-exact
+ * result cache and the dump is hard-verified), so a resubmit returns
+ * byte-identical output. When retries are exhausted the client exits
+ * with a code that names the failure class (exitDaemonGone /
+ * exitTruncated / exitDeadline / exitBusy below) so fleet scripts can
+ * tell "daemon shut down cleanly" from "stream tore mid-frame".
  */
 
 #ifndef RSEP_SERVE_CLIENT_HH
@@ -31,6 +39,17 @@
 namespace rsep::serve
 {
 
+// Exit codes of the remote-run path, distinct per failure class.
+// 1 stays the generic rsep_fatal code for permanent errors.
+constexpr int exitDaemonGone = 3; ///< connection closed cleanly (daemon
+                                  ///< shut down / unreachable) after
+                                  ///< all retries.
+constexpr int exitTruncated = 4;  ///< stream tore mid-frame / socket
+                                  ///< error after all retries.
+constexpr int exitDeadline = 5;   ///< --deadline exceeded.
+constexpr int exitBusy = 6;       ///< server still Busy after all
+                                  ///< retries.
+
 /** Remote-run knobs (the subset of MatrixOptions the wire carries). */
 struct ClientOptions
 {
@@ -39,6 +58,19 @@ struct ClientOptions
     std::string sampleDir = "samples"; ///< local `.rts` output dir.
     std::string replayDir;       ///< `--replay-trace`, server-side path.
     bool progress = true;        ///< per-cell lines on stderr.
+    /** Keep re-trying the initial connect for this long before giving
+     *  up (`--connect-timeout`, ms; 0 = a single attempt). Lets a
+     *  client start before its daemon finishes warming up. */
+    u64 connectTimeoutMs = 0;
+    /** Hard wall-clock ceiling on the whole request including retries
+     *  (`--deadline`, ms; 0 = none). Expiry exits exitDeadline. */
+    u64 deadlineMs = 0;
+    /** Reconnect+resubmit attempts after a transient connection
+     *  failure or Busy rejection (`--retries`; 0 = fail fast). */
+    unsigned maxRetries = 3;
+    /** First retry backoff (doubles each retry, capped at 2 s); a
+     *  server Busy hint raises — never lowers — the wait. */
+    u64 backoffBaseMs = 100;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "serve/protocol.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -8,6 +9,7 @@
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/fault.hh"
 
 namespace rsep::serve
 {
@@ -15,11 +17,20 @@ namespace rsep::serve
 namespace
 {
 
+/** @p inj, when armed with EINTR, makes the first iteration behave as
+ *  an interrupted syscall so the retry branch is genuinely exercised
+ *  (then the fault is consumed and the transfer proceeds). */
 bool
-writeAll(int fd, const void *data, size_t n, std::string *err)
+writeAll(int fd, const void *data, size_t n, std::string *err,
+         fault::Injected *inj = nullptr)
 {
     const char *p = static_cast<const char *>(data);
     while (n > 0) {
+        if (inj && inj->kind == fault::Kind::Errno && inj->err == EINTR) {
+            inj->kind = fault::Kind::None;
+            errno = EINTR;
+            continue;
+        }
         // send + MSG_NOSIGNAL: a peer that hung up must surface as an
         // error return, not a process-killing SIGPIPE in the daemon.
         ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
@@ -37,17 +48,31 @@ writeAll(int fd, const void *data, size_t n, std::string *err)
 }
 
 /** Read exactly @p n bytes. Returns 1 on success, 0 on clean EOF
- *  before any byte, -1 on error/short read. */
+ *  before any byte, -1 on error/short read. Sets @p timed_out (when
+ *  non-null) if the fd's SO_RCVTIMEO expired before any progress. */
 int
-readAll(int fd, void *data, size_t n, std::string *err)
+readAll(int fd, void *data, size_t n, std::string *err,
+        fault::Injected *inj = nullptr, bool *timed_out = nullptr)
 {
     char *p = static_cast<char *>(data);
     size_t got = 0;
     while (got < n) {
+        if (inj && inj->kind == fault::Kind::Errno && inj->err == EINTR) {
+            inj->kind = fault::Kind::None;
+            errno = EINTR;
+            continue;
+        }
         ssize_t r = ::read(fd, p + got, n - got);
         if (r < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                if (timed_out)
+                    *timed_out = true;
+                if (err)
+                    *err = "receive timeout";
+                return -1;
+            }
             if (err)
                 *err = std::string("read: ") + std::strerror(errno);
             return -1;
@@ -187,7 +212,7 @@ checkBlobSize(const PayloadReader &r, u64 announced, const char *what,
 
 bool
 writeFrame(int fd, FrameType type, std::string_view payload,
-           std::string *err)
+           std::string *err, const char *fault_point)
 {
     if (payload.size() > maxFramePayload) {
         if (err)
@@ -203,19 +228,96 @@ writeFrame(int fd, FrameType type, std::string_view payload,
     head[2] = static_cast<u8>(len >> 16);
     head[3] = static_cast<u8>(len >> 24);
     head[4] = static_cast<u8>(type);
-    if (!writeAll(fd, head, sizeof(head), err))
+
+    fault::Injected inj;
+    if (fault_point)
+        inj = fault::point(fault_point);
+    switch (inj.kind) {
+    case fault::Kind::None:
+    case fault::Kind::Errno: // EINTR is absorbed inside writeAll.
+        if (inj.kind == fault::Kind::Errno && inj.err != EINTR) {
+            if (err)
+                *err = std::string("write (") + fault_point +
+                       "): injected " + std::strerror(inj.err);
+            return false;
+        }
+        break;
+    case fault::Kind::Delay:
+        fault::sleepMicros(inj.amount);
+        inj.kind = fault::Kind::None;
+        break;
+    case fault::Kind::ShortWrite:
+    case fault::Kind::Truncate: {
+        // Emit a torn frame: the first `amount` bytes of header +
+        // payload really reach the wire, then the operation fails so
+        // the caller tears down the connection and the peer observes a
+        // mid-frame EOF.
+        std::string wire(reinterpret_cast<const char *>(head),
+                         sizeof(head));
+        wire.append(payload);
+        size_t keep = static_cast<size_t>(
+            std::min<u64>(inj.amount, wire.size()));
+        std::string torn_err;
+        writeAll(fd, wire.data(), keep, &torn_err);
+        if (err)
+            *err = std::string("write (") + fault_point +
+                   "): injected torn frame after " +
+                   std::to_string(keep) + " of " +
+                   std::to_string(wire.size()) + " bytes";
+        return false;
+    }
+    }
+
+    if (!writeAll(fd, head, sizeof(head), err, &inj))
         return false;
     return payload.empty() ||
-           writeAll(fd, payload.data(), payload.size(), err);
+           writeAll(fd, payload.data(), payload.size(), err, &inj);
 }
 
 bool
-readFrame(int fd, Frame &out, std::string *err, bool *clean_eof)
+readFrame(int fd, Frame &out, std::string *err, bool *clean_eof,
+          const char *fault_point, bool *timed_out, bool *io_failed)
 {
     if (clean_eof)
         *clean_eof = false;
+    if (timed_out)
+        *timed_out = false;
+    if (io_failed)
+        *io_failed = false;
+
+    fault::Injected inj;
+    if (fault_point)
+        inj = fault::point(fault_point);
+    switch (inj.kind) {
+    case fault::Kind::None:
+    case fault::Kind::Errno: // EINTR is absorbed inside readAll.
+        if (inj.kind == fault::Kind::Errno && inj.err != EINTR) {
+            if (err)
+                *err = std::string("read (") + fault_point +
+                       "): injected " + std::strerror(inj.err);
+            if (io_failed)
+                *io_failed = true;
+            return false;
+        }
+        break;
+    case fault::Kind::Delay:
+        fault::sleepMicros(inj.amount);
+        inj.kind = fault::Kind::None;
+        break;
+    case fault::Kind::ShortWrite:
+    case fault::Kind::Truncate:
+        // Behave as if the peer vanished mid-frame.
+        if (err)
+            *err = std::string("read (") + fault_point +
+                   "): injected truncated frame (connection closed "
+                   "mid-frame)";
+        if (io_failed)
+            *io_failed = true;
+        return false;
+    }
+
     u8 head[5];
-    int r = readAll(fd, head, sizeof(head), err);
+    int r = readAll(fd, head, sizeof(head), err, &inj, timed_out);
     if (r == 0) {
         if (clean_eof)
             *clean_eof = true;
@@ -223,8 +325,11 @@ readFrame(int fd, Frame &out, std::string *err, bool *clean_eof)
             err->clear();
         return false;
     }
-    if (r < 0)
+    if (r < 0) {
+        if (io_failed)
+            *io_failed = true;
         return false;
+    }
     u64 len = static_cast<u64>(head[0]) | (static_cast<u64>(head[1]) << 8) |
               (static_cast<u64>(head[2]) << 16) |
               (static_cast<u64>(head[3]) << 24);
@@ -242,8 +347,12 @@ readFrame(int fd, Frame &out, std::string *err, bool *clean_eof)
     }
     out.type = static_cast<FrameType>(head[4]);
     out.payload.resize(len);
-    if (len > 0 && readAll(fd, out.payload.data(), len, err) != 1)
+    if (len > 0 &&
+        readAll(fd, out.payload.data(), len, err, &inj, timed_out) != 1) {
+        if (io_failed)
+            *io_failed = true;
         return false;
+    }
     return true;
 }
 
@@ -273,6 +382,8 @@ serializeSubmit(const SubmitRequest &req)
     appendKv(out, "benchmarks", joinCommaList(req.benchmarks));
     appendKvU64(out, "sample_every", req.sampleEvery);
     appendKv(out, "replay_dir", req.replayDir);
+    if (req.retry > 0)
+        appendKvU64(out, "retry", req.retry);
     appendKvU64(out, "scn_bytes", req.scnText.size());
     out += '\n';
     out += req.scnText;
@@ -310,6 +421,14 @@ parseSubmit(std::string_view payload, SubmitRequest &out, std::string *err)
             }
         } else if (k == "replay_dir") {
             out.replayDir = std::string(v);
+        } else if (k == "retry") {
+            u64 u = 0;
+            if (!parseU64(std::string(v), u)) {
+                if (err)
+                    *err = "bad retry '" + std::string(v) + "'";
+                return false;
+            }
+            out.retry = static_cast<u32>(u);
         } else if (k == "scn_bytes") {
             if (!parseU64(std::string(v), scn_bytes)) {
                 if (err)
@@ -541,6 +660,40 @@ parseDone(std::string_view payload, DoneSummary &out, std::string *err)
     }
     out.dump = std::string(r.rest());
     return true;
+}
+
+std::string
+serializeBusy(u64 retryAfterMs, const std::string &why)
+{
+    std::string out = "busy\n";
+    appendKvU64(out, "retry_after_ms", retryAfterMs);
+    appendKv(out, "reason", why);
+    return out;
+}
+
+bool
+parseBusy(std::string_view payload, u64 &retryAfterMs, std::string *why)
+{
+    PayloadReader r{payload};
+    std::string_view line;
+    if (!r.nextLine(line) || line != "busy")
+        return false;
+    bool have_hint = false;
+    while (r.nextLine(line)) {
+        std::string_view k, v;
+        if (!splitKeyValue(line, k, v))
+            return false;
+        if (k == "retry_after_ms") {
+            if (!parseU64(std::string(v), retryAfterMs))
+                return false;
+            have_hint = true;
+        } else if (k == "reason") {
+            if (why)
+                *why = std::string(v);
+        }
+        // Unknown busy keys are ignored: a newer server may add hints.
+    }
+    return have_hint;
 }
 
 } // namespace rsep::serve

@@ -46,8 +46,10 @@
 namespace rsep::serve
 {
 
-/** Protocol version, exchanged in Hello; bump on any wire change. */
-constexpr unsigned protocolVersion = 1;
+/** Protocol version, exchanged in Hello; bump on any wire change.
+ *  v2: Submit carries a `retry` header, Error frames may be structured
+ *  `busy` rejections with a retry-after hint. */
+constexpr unsigned protocolVersion = 2;
 
 /** Hard ceiling on one frame's payload. Generous for a full-suite
  *  dump, small enough that a garbage length prefix (random 4 bytes
@@ -76,11 +78,27 @@ struct Frame
  * never throws, never raises SIGPIPE (writes use MSG_NOSIGNAL).
  * readFrame distinguishes a clean EOF before any byte: @p clean_eof
  * (when non-null) is set and false is returned with an empty error.
+ * readFrame reports a receive-timeout (SO_RCVTIMEO expired) through
+ * @p timed_out when non-null, so callers can reap idle peers without
+ * string-matching errno text. @p io_failed (when non-null) is set when
+ * the failure was transport-level — a read error or a stream torn
+ * mid-frame — as opposed to protocol garbage (oversized prefix,
+ * unknown type) arriving over a healthy connection: answering an
+ * Error frame down a transport that just failed is incoherent, so the
+ * server closes silently instead.
+ *
+ * @p fault_point names the fault::point consulted before touching the
+ * socket (nullptr = no injection): the server passes "serve.send" /
+ * "serve.recv", the client "client.send" / "client.recv", so a test
+ * running both ends in one process can fault exactly one side.
  */
 bool writeFrame(int fd, FrameType type, std::string_view payload,
-                std::string *err);
+                std::string *err, const char *fault_point = nullptr);
 bool readFrame(int fd, Frame &out, std::string *err,
-               bool *clean_eof = nullptr);
+               bool *clean_eof = nullptr,
+               const char *fault_point = nullptr,
+               bool *timed_out = nullptr,
+               bool *io_failed = nullptr);
 
 /** The Hello payload both sides send. */
 std::string helloPayload();
@@ -105,6 +123,11 @@ struct SubmitRequest
      *  need, then one `[scenario]` block per experiment arm, in run
      *  order. */
     std::string scnText;
+    /** 0 on the first attempt; a resubmit after a connection failure
+     *  carries its attempt number so the server can count
+     *  serve.retries_served (results stay byte-identical either way —
+     *  the result cache answers the rerun bit-exactly). */
+    u32 retry = 0;
 };
 
 std::string serializeSubmit(const SubmitRequest &req);
@@ -166,6 +189,16 @@ struct DoneSummary
 std::string serializeDone(const DoneSummary &done);
 bool parseDone(std::string_view payload, DoneSummary &out,
                std::string *err);
+
+/**
+ * Structured admission-control rejection, carried in an Error frame.
+ * `serializeBusy` builds the payload; `parseBusy` recognises one and
+ * extracts the retry-after hint (false for ordinary Error text, which
+ * callers keep treating as a plain diagnostic).
+ */
+std::string serializeBusy(u64 retryAfterMs, const std::string &why);
+bool parseBusy(std::string_view payload, u64 &retryAfterMs,
+               std::string *why = nullptr);
 
 } // namespace rsep::serve
 

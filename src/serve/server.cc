@@ -8,6 +8,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -20,6 +21,7 @@
 #include <optional>
 #include <sstream>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "serve/protocol.hh"
 #include "sim/result_cache.hh"
@@ -107,6 +109,12 @@ struct Server::PendingRequest
     std::mutex mtx;
     std::condition_variable cv;
     size_t pendingCells = 0;
+
+    /** First cell failure (empty = none): a contained rsep_fatal from
+     *  a worker — the request answers Error instead of Done, the
+     *  daemon keeps serving. */
+    std::mutex failMtx;
+    std::string failMsg;
 };
 
 Server::Server(ServeOptions o) : opts(std::move(o)) {}
@@ -275,7 +283,30 @@ Server::sendError(int fd, std::mutex &write_mtx, const std::string &msg)
         std::fprintf(stderr, "[serve] error: %s\n", msg.c_str());
     std::string err;
     std::lock_guard<std::mutex> lk(write_mtx);
-    writeFrame(fd, FrameType::Error, msg, &err); // best effort.
+    // Best effort, and deliberately not routed through "serve.send":
+    // the error answer to an injected send fault must still reach the
+    // client instead of re-triggering the same injection.
+    writeFrame(fd, FrameType::Error, msg, &err);
+}
+
+void
+Server::sendBusy(int fd, std::mutex &write_mtx, const std::string &why)
+{
+    // Retry-after hint scales with load; the exact value is advisory
+    // (the client treats it as a backoff floor, not a promise).
+    u64 hint_ms = 100 + 50ull * activeRequests.load();
+    hint_ms = std::min<u64>(hint_ms, 2000);
+    {
+        std::lock_guard<std::mutex> lk(countersMtx);
+        ++stats.busyRejections;
+    }
+    if (opts.progress)
+        std::fprintf(stderr, "[serve] busy: %s (hint: retry in %llu ms)\n",
+                     why.c_str(),
+                     static_cast<unsigned long long>(hint_ms));
+    std::string err;
+    std::lock_guard<std::mutex> lk(write_mtx);
+    writeFrame(fd, FrameType::Error, serializeBusy(hint_ms, why), &err);
 }
 
 void
@@ -285,24 +316,56 @@ Server::handleConnection(int fd)
     std::string err;
     Frame f;
     bool clean = false;
+    bool timed_out = false;
+    bool io_failed = false;
+
+    // Idle-connection reaping: a receive timeout on the socket bounds
+    // how long a silent peer can pin a handler thread (and its fd)
+    // between requests. In-flight requests are unaffected — the server
+    // is writing, not reading, while a Submit runs.
+    if (opts.idleTimeoutSec > 0) {
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(opts.idleTimeoutSec);
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
 
     // A connection opens with a Hello exchange; anything else is a
     // protocol error and closes just this connection.
-    if (!readFrame(fd, f, &err, &clean)) {
-        if (!clean)
+    if (!readFrame(fd, f, &err, &clean, "serve.recv", &timed_out,
+                   &io_failed)) {
+        if (timed_out) {
+            if (opts.progress)
+                std::fprintf(stderr, "[serve] reaping idle connection "
+                                     "(no hello)\n");
+        } else if (!clean && !io_failed) {
+            // Protocol garbage over a healthy connection is answered;
+            // a transport-level read failure is not — the peer is gone
+            // (or the stream tore), and an Error frame down the same
+            // broken transport would race the client into treating a
+            // retryable drop as a server-side rejection.
             sendError(fd, write_mtx, "hello: " + err);
+        }
     } else if (f.type != FrameType::Hello) {
         sendError(fd, write_mtx, "expected a hello frame first");
     } else if (!parseHello(f.payload, &err)) {
         sendError(fd, write_mtx, err);
-    } else if (!writeFrame(fd, FrameType::Hello, helloPayload(), &err)) {
+    } else if (!writeFrame(fd, FrameType::Hello, helloPayload(), &err,
+                           "serve.send")) {
         // Client vanished mid-handshake; nothing to answer.
     } else {
         for (;;) {
             clean = false;
-            if (!readFrame(fd, f, &err, &clean)) {
-                if (!clean)
+            timed_out = false;
+            io_failed = false;
+            if (!readFrame(fd, f, &err, &clean, "serve.recv",
+                           &timed_out, &io_failed)) {
+                if (timed_out) {
+                    if (opts.progress)
+                        std::fprintf(stderr, "[serve] reaping idle "
+                                             "connection\n");
+                } else if (!clean && !io_failed) {
                     sendError(fd, write_mtx, err);
+                }
                 break;
             }
             if (f.type != FrameType::Submit) {
@@ -384,6 +447,22 @@ Server::handleSubmit(int fd, std::mutex &write_mtx,
         sendError(fd, write_mtx, err);
         return true;
     }
+    if (sub.retry > 0) {
+        std::lock_guard<std::mutex> lk(countersMtx);
+        ++stats.retriesServed;
+    }
+
+    // Admission control, cheapest gate first: a saturated queue answers
+    // Busy (with a retry-after hint) before any parsing or registry
+    // work is spent on the request.
+    if (opts.maxQueueDepth > 0 &&
+        activeRequests.load() >= opts.maxQueueDepth) {
+        sendBusy(fd, write_mtx,
+                 std::to_string(activeRequests.load()) +
+                     " requests already in flight (--max-queue-depth " +
+                     std::to_string(opts.maxQueueDepth) + ")");
+        return true;
+    }
 
     auto req = std::make_shared<PendingRequest>();
     req->fd = fd;
@@ -449,6 +528,31 @@ Server::handleSubmit(int fd, std::mutex &write_mtx,
         }
     }
 
+    // Cell-count admission: taking this request must not push the
+    // server-wide in-flight cell gauge past the ceiling. A request
+    // larger than the ceiling on its own is still admitted when the
+    // server is otherwise empty — rejecting it forever would just loop
+    // the client.
+    if (opts.maxInflightCells > 0) {
+        u64 cur = inflightCells.load();
+        for (;;) {
+            if (cur != 0 && cur + total_cells > opts.maxInflightCells) {
+                sendBusy(fd, write_mtx,
+                         std::to_string(cur) +
+                             " cells in flight; admitting " +
+                             std::to_string(total_cells) +
+                             " more would exceed --max-inflight-cells " +
+                             std::to_string(opts.maxInflightCells));
+                return true;
+            }
+            if (inflightCells.compare_exchange_weak(cur,
+                                                    cur + total_cells))
+                break;
+        }
+    } else {
+        inflightCells.fetch_add(total_cells);
+    }
+
     req->pendingCells = total_cells;
     req->t0 = std::chrono::steady_clock::now();
     activeRequests.fetch_add(1);
@@ -458,6 +562,7 @@ Server::handleSubmit(int fd, std::mutex &write_mtx,
             for (u32 p = 0; p < req->configs[c].checkpoints; ++p) {
                 pool->submit([this, req, b, c, p] {
                     runRequestCell(*req, b, c, p);
+                    inflightCells.fetch_sub(1);
                     std::lock_guard<std::mutex> lk(req->mtx);
                     if (--req->pendingCells == 0)
                         req->cv.notify_all();
@@ -472,6 +577,17 @@ Server::handleSubmit(int fd, std::mutex &write_mtx,
     }
     activeRequests.fetch_sub(1);
     u64 wall = microsSince(req->t0);
+
+    // A contained cell failure (rsep_fatal caught on a worker) fails
+    // this request with the first diagnostic; the daemon, the shared
+    // caches and every other connection are untouched.
+    {
+        std::lock_guard<std::mutex> flk(req->failMtx);
+        if (!req->failMsg.empty()) {
+            sendError(fd, write_mtx, req->failMsg);
+            return !req->writeFailed.load();
+        }
+    }
 
     // Request accounting from the finished cells.
     u64 cache_hits = 0, cells_run = 0, dec_hits = 0, dec_misses = 0;
@@ -531,7 +647,8 @@ Server::handleSubmit(int fd, std::mutex &write_mtx,
     if (req->writeFailed.load())
         return false;
     std::lock_guard<std::mutex> lk(write_mtx);
-    return writeFrame(fd, FrameType::Done, serializeDone(done), &err);
+    return writeFrame(fd, FrameType::Done, serializeDone(done), &err,
+                      "serve.send");
 }
 
 void
@@ -542,10 +659,40 @@ Server::runRequestCell(PendingRequest &req, size_t b, size_t c, u32 p)
     if (activeRequests.load() > 1)
         ++req.batchedCells;
 
-    sim::PhaseResult pr = sim::runCachedCell(
-        req.useCache ? cache.get() : nullptr, req.configs[c],
-        req.benchmarks[b], req.hashes[c], p, req.traceIo,
-        req.sampleEvery);
+    auto failCell = [&](const std::string &why) {
+        std::lock_guard<std::mutex> lk(req.failMtx);
+        if (req.failMsg.empty())
+            req.failMsg = "cell (" + req.benchmarks[b] + ", config " +
+                          std::to_string(c) + ", phase " +
+                          std::to_string(p) + "): " + why;
+    };
+
+    // "serve.cell": delay stalls this one cell (straggler simulation);
+    // an errno mode fails it outright, exercising the containment path
+    // without needing a real on-disk corruption.
+    if (fault::Injected inj = fault::point("serve.cell")) {
+        if (inj.kind == fault::Kind::Delay) {
+            fault::sleepMicros(inj.amount);
+        } else {
+            failCell(std::string("injected ") + std::strerror(inj.err));
+            return;
+        }
+    }
+
+    sim::PhaseResult pr;
+    try {
+        // Anything runPhase fatals on past preflight (a trace torn on
+        // disk after validation, an injected decode fault) must fail
+        // this request, not the daemon.
+        ScopedFatalCapture capture;
+        pr = sim::runCachedCell(req.useCache ? cache.get() : nullptr,
+                                req.configs[c], req.benchmarks[b],
+                                req.hashes[c], p, req.traceIo,
+                                req.sampleEvery);
+    } catch (const FatalError &e) {
+        failCell(e.what());
+        return;
+    }
 
     if (!req.writeFailed.load()) {
         CellResult cell;
@@ -581,9 +728,10 @@ Server::runRequestCell(PendingRequest &req, size_t b, size_t c, u32 p)
         std::string werr;
         std::lock_guard<std::mutex> lk(*req.writeMtx);
         if (!writeFrame(req.fd, FrameType::Cell, serializeCell(cell),
-                        &werr) ||
+                        &werr, "serve.send") ||
             (!sframe.empty() && !writeFrame(req.fd, FrameType::Samples,
-                                            sframe, &werr)))
+                                            sframe, &werr,
+                                            "serve.send")))
             req.writeFailed.store(true);
     }
 

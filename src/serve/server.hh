@@ -61,6 +61,17 @@ struct ServeOptions
     std::string cacheDir;
     /** Per-request summary lines on stderr. */
     bool progress = true;
+    /** Admission control: reject a Submit with a structured Busy error
+     *  (retry-after hint) instead of queueing it when accepting it
+     *  would push the server-wide in-flight cell count past this
+     *  ceiling (0 = unlimited). */
+    u64 maxInflightCells = 0;
+    /** Admission control: maximum concurrently-pending Submit requests
+     *  before new ones are answered Busy (0 = unlimited). */
+    u64 maxQueueDepth = 0;
+    /** Reap connections idle (no frame activity) longer than this many
+     *  seconds between requests (0 = never). */
+    u64 idleTimeoutSec = 0;
 };
 
 class Server
@@ -95,6 +106,8 @@ class Server
         u64 traceDecodeHits = 0; ///< warm decoded-trace lookups.
         u64 traceDecodeMisses = 0;
         u64 queueWaitMicros = 0; ///< summed submit-to-first-cell waits.
+        u64 retriesServed = 0;   ///< Submits that carried retry > 0.
+        u64 busyRejections = 0;  ///< Submits answered Busy (admission).
     };
     Counters counters() const;
 
@@ -111,6 +124,9 @@ class Server
      *  Samples) frame, slot the result. */
     void runRequestCell(PendingRequest &req, size_t b, size_t c, u32 p);
     void sendError(int fd, std::mutex &write_mtx, const std::string &msg);
+    /** Admission-control rejection: a structured Busy Error frame with
+     *  a retry-after hint; counted separately from protocol errors. */
+    void sendBusy(int fd, std::mutex &write_mtx, const std::string &why);
     /** Validate a request end to end (workloads resolvable, replay
      *  traces present, well-formed and matching their cells) so no
      *  in-flight cell can hit a fatal diagnostic and take the daemon
@@ -133,6 +149,7 @@ class Server
     std::set<int> activeConnFds;
 
     std::atomic<unsigned> activeRequests{0};
+    std::atomic<u64> inflightCells{0};
 
     mutable std::mutex countersMtx;
     Counters stats;

@@ -1,5 +1,6 @@
 #include "sim/result_cache.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cctype>
 #include <cstdio>
@@ -10,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/fault.hh"
 #include "common/fnv.hh"
 #include "common/logging.hh"
 #include "core/pipeline.hh"
@@ -309,6 +311,26 @@ ResultCache::store(const CacheKey &key, const PhaseResult &pr)
     std::string body = serializeRecord(key, pr);
     std::string text = body + "checksum = " + hex64(fnv1a64(body)) + "\n";
 
+    // "cache.write" faults: an errno mode behaves as the write failing
+    // (store reports false, the cell stays uncached); short leaves a
+    // torn temp file behind; truncate *publishes* the torn record —
+    // simulating silent on-disk corruption the next load() must catch
+    // and quarantine.
+    fault::Injected winj = fault::point("cache.write");
+    if (winj.kind == fault::Kind::Delay) {
+        fault::sleepMicros(winj.amount);
+        winj.kind = fault::Kind::None;
+    }
+    if (winj.kind == fault::Kind::Errno) {
+        ++nIoErrors;
+        return false;
+    }
+    std::string_view out_text = text;
+    if (winj.kind == fault::Kind::ShortWrite ||
+        winj.kind == fault::Kind::Truncate)
+        out_text = out_text.substr(
+            0, std::min<size_t>(winj.amount, out_text.size()));
+
     // Atomic publish: a concurrent reader sees the old record or the
     // new one, never a torn write. The temp name is per-process so
     // overlapping shards pointed at one directory cannot collide.
@@ -321,7 +343,7 @@ ResultCache::store(const CacheKey &key, const PhaseResult &pr)
             ++nIoErrors;
             return false;
         }
-        os << text;
+        os << out_text;
         os.flush();
         if (!os) {
             ++nIoErrors;
@@ -329,6 +351,24 @@ ResultCache::store(const CacheKey &key, const PhaseResult &pr)
             return false;
         }
     }
+    if (winj.kind == fault::Kind::ShortWrite) {
+        ++nIoErrors;
+        fs::remove(tmp, ec);
+        return false;
+    }
+
+    fault::Injected rinj = fault::point("cache.rename");
+    if (rinj.kind == fault::Kind::Delay) {
+        fault::sleepMicros(rinj.amount);
+        rinj.kind = fault::Kind::None;
+    }
+    if (rinj.kind != fault::Kind::None) {
+        // Any non-delay mode fails the publish step itself.
+        ++nIoErrors;
+        fs::remove(tmp, ec);
+        return false;
+    }
+
     fs::rename(tmp, path, ec);
     if (ec) {
         ++nIoErrors;

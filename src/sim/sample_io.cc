@@ -1,7 +1,9 @@
 #include "sim/sample_io.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/fault.hh"
 #include "common/fnv.hh"
 
 namespace fs = std::filesystem;
@@ -178,7 +181,14 @@ parseSamplesText(std::string_view text, const std::string &origin,
     // "\nchecksum = " + 16 hex + "\n"
     constexpr size_t trailerBytes = 12 + 16 + 1;
     if (text.size() < pos || text.size() - pos < trailerBytes)
-        return fail("truncated trailer");
+        return fail("truncated trailer: " +
+                    std::to_string(text.size() < pos
+                                       ? 0
+                                       : text.size() - pos) +
+                    " bytes after the header (offset " +
+                    std::to_string(pos) + "), need at least " +
+                    std::to_string(trailerBytes) +
+                    " for the checksum trailer");
     u64 payload_bytes = text.size() - pos - trailerBytes;
     // Every field takes at least one varint byte; reject absurd row
     // counts before reserve() can abort on a corrupt header.
@@ -192,9 +202,16 @@ parseSamplesText(std::string_view text, const std::string &origin,
     u64 want = 0;
     if (trailer.substr(0, 12) != "\nchecksum = " || trailer.back() != '\n' ||
         !parseHex64(std::string(trailer.substr(12, 16)), want))
-        return fail("truncated samples or missing checksum trailer");
-    if (fnv1a64(payload) != want)
-        return fail("checksum mismatch");
+        return fail("truncated samples or missing checksum trailer at "
+                    "offset " +
+                    std::to_string(pos + payload_bytes));
+    u64 got = fnv1a64(payload);
+    if (got != want)
+        return fail("checksum mismatch over " +
+                    std::to_string(payload_bytes) +
+                    " payload bytes at offset " + std::to_string(pos) +
+                    ": expected " + hex64(want) + ", computed " +
+                    hex64(got));
 
     const char *p = payload.data();
     const char *end = p + payload.size();
@@ -207,7 +224,12 @@ parseSamplesText(std::string_view text, const std::string &origin,
                 ok = ok && getVarint(p, end, f);
             });
         if (!ok)
-            return fail("truncated payload at row " + std::to_string(r));
+            return fail("truncated payload at row " + std::to_string(r) +
+                        " (payload offset " +
+                        std::to_string(
+                            static_cast<u64>(p - payload.data())) +
+                        " of " + std::to_string(payload.size()) +
+                        " bytes)");
         out.rows.push_back(row);
     }
     if (p != end)
@@ -250,6 +272,21 @@ writeSamplesFile(const std::string &path, const SampleSeriesHeader &header,
     SampleSeriesHeader h = header;
     h.rows = rows.size();
     std::string text = serializeSamples(h, rows);
+
+    // "rts.flush" faults: errno modes fail the flush; short fails it
+    // leaving no file; truncate *publishes* a torn series — the next
+    // parse must report the truncation, never assert.
+    std::string_view out_text = text;
+    fault::Injected winj = fault::point("rts.flush");
+    if (winj.kind == fault::Kind::Delay)
+        fault::sleepMicros(winj.amount);
+    else if (winj.kind == fault::Kind::Errno)
+        return fail(std::string("injected ") + std::strerror(winj.err));
+    else if (winj.kind == fault::Kind::ShortWrite ||
+             winj.kind == fault::Kind::Truncate)
+        out_text = out_text.substr(
+            0, std::min<size_t>(winj.amount, out_text.size()));
+
     // Atomic publish (cf. writeTraceFile): pid + process-wide sequence
     // number in the temp name — a matrix run flushes many cells'
     // series from one process.
@@ -261,12 +298,18 @@ writeSamplesFile(const std::string &path, const SampleSeriesHeader &header,
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)
             return fail("cannot open temp file for writing");
-        os << text;
+        os << out_text;
         os.flush();
         if (!os) {
             fs::remove(tmp, ec);
             return fail("write failed");
         }
+    }
+    if (winj.kind == fault::Kind::ShortWrite) {
+        fs::remove(tmp, ec);
+        return fail("injected short write (" +
+                    std::to_string(out_text.size()) + " of " +
+                    std::to_string(text.size()) + " bytes)");
     }
     fs::rename(tmp, path, ec);
     if (ec) {

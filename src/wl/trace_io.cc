@@ -1,8 +1,10 @@
 #include "wl/trace_io.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/fault.hh"
 #include "common/fnv.hh"
 #include "common/logging.hh"
 #include "common/mmap_file.hh"
@@ -191,36 +194,37 @@ decodePayloadV2(std::string_view payload, u64 count, Emit &&emit,
     u32 prev_next = 0;
     u64 prev_result = 0;
     Addr prev_eff = 0;
+    // Truncation diagnostics carry the byte offset: a torn download or
+    // short copy fails here, and "record 48127" alone doesn't say
+    // where in the file to look.
+    auto bad = [&](const char *what, u64 i) {
+        msg = std::string(what) + " at record " + std::to_string(i) +
+              " (payload offset " +
+              std::to_string(static_cast<u64>(p - payload.data())) +
+              " of " + std::to_string(payload.size()) + " bytes)";
+        return false;
+    };
     for (u64 i = 0; i < count; ++i) {
-        if (p == end) {
-            msg = "truncated payload at record " + std::to_string(i);
-            return false;
-        }
+        if (p == end)
+            return bad("truncated payload", i);
         u8 flags = static_cast<u8>(*p++);
         DynRecord r;
         u64 v = 0;
         if (flags & f2SameStatic) {
             r.staticIdx = prev_next;
         } else {
-            if (!getVarint(p, end, v) || v > 0xffffffffull) {
-                msg = "bad staticIdx varint at record " +
-                      std::to_string(i);
-                return false;
-            }
+            if (!getVarint(p, end, v) || v > 0xffffffffull)
+                return bad("bad staticIdx varint", i);
             r.staticIdx = static_cast<u32>(v);
         }
         if (flags & f2SeqNext) {
             r.nextIdx = r.staticIdx + 1;
         } else {
-            if (!getVarint(p, end, v)) {
-                msg = "bad nextIdx varint at record " + std::to_string(i);
-                return false;
-            }
+            if (!getVarint(p, end, v))
+                return bad("bad nextIdx varint", i);
             u64 next = static_cast<u64>(r.staticIdx) + 1 + unzigzag(v);
-            if ((next & 0xffffffffull) != next) {
-                msg = "nextIdx overflow at record " + std::to_string(i);
-                return false;
-            }
+            if ((next & 0xffffffffull) != next)
+                return bad("nextIdx overflow", i);
             r.nextIdx = static_cast<u32>(next);
         }
         if (flags & f2ResultZero) {
@@ -228,19 +232,15 @@ decodePayloadV2(std::string_view payload, u64 count, Emit &&emit,
         } else if (flags & f2ResultSame) {
             r.result = prev_result;
         } else {
-            if (!getVarint(p, end, v)) {
-                msg = "bad result varint at record " + std::to_string(i);
-                return false;
-            }
+            if (!getVarint(p, end, v))
+                return bad("bad result varint", i);
             r.result = prev_result + unzigzag(v);
         }
         if (flags & f2EffZero) {
             r.effAddr = 0;
         } else {
-            if (!getVarint(p, end, v)) {
-                msg = "bad effAddr varint at record " + std::to_string(i);
-                return false;
-            }
+            if (!getVarint(p, end, v))
+                return bad("bad effAddr varint", i);
             r.effAddr = prev_eff + unzigzag(v);
             prev_eff = r.effAddr;
         }
@@ -356,7 +356,14 @@ parseEnvelope(std::string_view text, const std::string &origin)
     // "\nchecksum = " + 16 hex + "\n"
     constexpr size_t trailerBytes = 12 + 16 + 1;
     if (text.size() < pos || text.size() - pos < trailerBytes)
-        return fail("truncated trailer");
+        return fail("truncated trailer: " +
+                    std::to_string(text.size() < pos
+                                       ? 0
+                                       : text.size() - pos) +
+                    " bytes after the header (offset " +
+                    std::to_string(pos) + "), need at least " +
+                    std::to_string(trailerBytes) +
+                    " for the checksum trailer");
     u64 payload_bytes = text.size() - pos - trailerBytes;
     if (out.header.version == 1) {
         // v1 is fixed-width: the payload size is implied by the record
@@ -386,12 +393,46 @@ parseEnvelope(std::string_view text, const std::string &origin)
     if (trailer.substr(0, 12) != "\nchecksum = " ||
         trailer.back() != '\n' ||
         !parseHex64(std::string(trailer.substr(12, 16)), want))
-        return fail("truncated trace or missing checksum trailer");
-    if (fnv1a64(payload) != want)
-        return fail("checksum mismatch");
+        return fail("truncated trace or missing checksum trailer at "
+                    "offset " +
+                    std::to_string(pos + payload_bytes));
+    u64 got = fnv1a64(payload);
+    if (got != want)
+        return fail("checksum mismatch over " +
+                    std::to_string(payload_bytes) +
+                    " payload bytes at offset " + std::to_string(pos) +
+                    ": expected " + hex64(want) + ", computed " +
+                    hex64(got));
     out.payload = payload;
     out.checksum = want;
     return out;
+}
+
+/**
+ * Apply an armed trace fault to a file image about to be parsed.
+ * Errno modes fail the read outright ("injected <what>"); truncate and
+ * short cut the image view — the envelope's size and checksum guards
+ * downstream must turn that into a diagnostic, which is exactly what
+ * the fault matrix asserts. Returns false when the read should fail.
+ */
+bool
+injectTraceFault(const char *point_name, std::string_view &text,
+                 const std::string &origin, std::string &error)
+{
+    fault::Injected inj = fault::point(point_name);
+    if (!inj)
+        return true;
+    if (inj.kind == fault::Kind::Delay) {
+        fault::sleepMicros(inj.amount);
+        return true;
+    }
+    if (inj.kind == fault::Kind::Errno) {
+        error = origin + ": " + point_name + ": injected " +
+                std::strerror(inj.err);
+        return false;
+    }
+    text = text.substr(0, std::min<size_t>(inj.amount, text.size()));
+    return true;
 }
 
 } // namespace
@@ -460,6 +501,13 @@ DecodedTraceParse
 decodeTraceImage(std::string_view text, const std::string &origin)
 {
     DecodedTraceParse out;
+    // "trace.decode" injects here so every decode path — the tooling
+    // loader and the shared DecodedTraceCache alike — is covered.
+    std::string inj_err;
+    if (!injectTraceFault("trace.decode", text, origin, inj_err)) {
+        out.error = std::move(inj_err);
+        return out;
+    }
     Envelope env = parseEnvelope(text, origin);
     if (!env.ok()) {
         out.error = std::move(env.error);
@@ -493,7 +541,13 @@ readTraceFile(const std::string &path, bool header_only)
         out.error = err;
         return out;
     }
-    return parseTrace(file.view(), path, header_only);
+    std::string_view view = file.view();
+    if (!injectTraceFault("trace.read", view, path, err)) {
+        TraceParse out;
+        out.error = err;
+        return out;
+    }
+    return parseTrace(view, path, header_only);
 }
 
 DecodedTraceParse
@@ -539,6 +593,21 @@ writeTraceFile(const std::string &path, const TraceHeader &header,
             return fail(ec.message());
     }
     std::string text = serializeTrace(header, records);
+
+    // "trace.write" faults: errno modes fail the write; short fails it
+    // after leaving no file behind; truncate *publishes* a torn trace —
+    // the checksum trailer is gone, so the next read must diagnose it.
+    std::string_view out_text = text;
+    fault::Injected winj = fault::point("trace.write");
+    if (winj.kind == fault::Kind::Delay)
+        fault::sleepMicros(winj.amount);
+    else if (winj.kind == fault::Kind::Errno)
+        return fail(std::string("injected ") + std::strerror(winj.err));
+    else if (winj.kind == fault::Kind::ShortWrite ||
+             winj.kind == fault::Kind::Truncate)
+        out_text = out_text.substr(
+            0, std::min<size_t>(winj.amount, out_text.size()));
+
     // Atomic publish (cf. the result cache): a concurrent reader sees
     // the old trace or the new one, never a torn write. The temp name
     // carries pid AND a process-wide sequence number: one matrix run
@@ -552,12 +621,18 @@ writeTraceFile(const std::string &path, const TraceHeader &header,
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)
             return fail("cannot open temp file for writing");
-        os << text;
+        os << out_text;
         os.flush();
         if (!os) {
             fs::remove(tmp, ec);
             return fail("write failed");
         }
+    }
+    if (winj.kind == fault::Kind::ShortWrite) {
+        fs::remove(tmp, ec);
+        return fail("injected short write (" +
+                    std::to_string(out_text.size()) + " of " +
+                    std::to_string(text.size()) + " bytes)");
     }
     fs::rename(tmp, path, ec);
     if (ec) {

@@ -13,6 +13,7 @@
 
 #include <unistd.h>
 
+#include "common/fault.hh"
 #include "sim/cache_gc.hh"
 #include "sim/result_cache.hh"
 #include "sim/scenario.hh"
@@ -144,6 +145,51 @@ TEST(CacheGc, QuarantineDebrisIsCollected)
     EXPECT_EQ(report.corruptRemoved, 1u);
     EXPECT_FALSE(fs::exists(cell + ".corrupt"));
     EXPECT_TRUE(fs::exists(cell));
+    fs::remove_all(dir);
+}
+
+TEST(CacheGc, InjectedQuarantineAccumulationCollectsAndRepopulates)
+{
+    fault::disarmAll();
+    std::string dir = scratchDir("quarantine_accum");
+    ResultCache cache(dir);
+    std::string hash = "cccccccccccccccc";
+    std::string err;
+
+    // Two torn publishes via fault injection, two loads: the loader
+    // leaves two distinct .corrupt files — debris accumulates, it is
+    // never silently overwritten.
+    ASSERT_TRUE(fault::armFromSpec(
+        "cache.write:fail=truncate:bytes=40:count=2", &err))
+        << err;
+    CacheKey k0{"mcf", hash, 0, 0x5eed};
+    CacheKey k1{"mcf", hash, 1, 0x5eed};
+    EXPECT_TRUE(cache.store(k0, samplePhase()));
+    EXPECT_TRUE(cache.store(k1, samplePhase()));
+    EXPECT_FALSE(cache.load(k0).has_value());
+    EXPECT_FALSE(cache.load(k1).has_value());
+    EXPECT_TRUE(fs::exists(cache.cellPath(k0) + ".corrupt"));
+    EXPECT_TRUE(fs::exists(cache.cellPath(k1) + ".corrupt"));
+    EXPECT_EQ(cache.counters().quarantined, 2u);
+
+    // `rsep_merge --gc` removes exactly the quarantined files; the
+    // live record survives.
+    std::string live = storeCell(cache, "mcf", hash, 2);
+    GcOptions opts;
+    opts.cacheDir = dir;
+    GcReport report;
+    ASSERT_EQ(runCacheGc(opts, report), "");
+    EXPECT_EQ(report.corruptRemoved, 2u);
+    EXPECT_FALSE(fs::exists(cache.cellPath(k0) + ".corrupt"));
+    EXPECT_FALSE(fs::exists(cache.cellPath(k1) + ".corrupt"));
+    EXPECT_TRUE(fs::exists(live));
+
+    // A re-run repopulates the collected cells and serves them again.
+    EXPECT_TRUE(cache.store(k0, samplePhase()));
+    EXPECT_TRUE(cache.store(k1, samplePhase()));
+    EXPECT_TRUE(cache.load(k0).has_value());
+    EXPECT_TRUE(cache.load(k1).has_value());
+    fault::disarmAll();
     fs::remove_all(dir);
 }
 

@@ -16,6 +16,7 @@
 
 #include <unistd.h>
 
+#include "common/fault.hh"
 #include "sim/result_cache.hh"
 #include "sim/runner.hh"
 #include "sim/scenario.hh"
@@ -201,6 +202,53 @@ TEST(ResultCache, CorruptionQuarantines)
     // After all that abuse a fresh store still works.
     ASSERT_TRUE(cache.store(key, pr));
     EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST(ResultCache, InjectedStoreFaultsFailCleanOrQuarantine)
+{
+    fault::disarmAll();
+    TempDir tmp;
+    ResultCache cache(tmp.path);
+
+    SimConfig cfg = shrunk(SimConfig::baseline());
+    PhaseResult pr = runPhase(cfg, "mcf", 0);
+    CacheKey key{"mcf", configHash(cfg), 0, cfg.seed};
+    std::string path = cache.cellPath(key);
+    std::string err;
+
+    // cache.write errno: the store fails, nothing is published.
+    ASSERT_TRUE(fault::armFromSpec("cache.write:fail=enospc", &err))
+        << err;
+    EXPECT_FALSE(cache.store(key, pr));
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_GE(cache.counters().ioErrors, 1u);
+
+    // cache.rename errno: the publish fails, and no temp debris stays
+    // behind to confuse a later GC.
+    ASSERT_TRUE(fault::armFromSpec("cache.rename:fail=enospc", &err))
+        << err;
+    EXPECT_FALSE(cache.store(key, pr));
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::is_empty(fs::path(path).parent_path()));
+
+    // cache.write truncate: the torn record PUBLISHES — simulated
+    // silent on-disk corruption. The next load must quarantine it, and
+    // an unarmed re-store repopulates the cell.
+    ASSERT_TRUE(fault::armFromSpec("cache.write:fail=truncate:bytes=64",
+                                   &err))
+        << err;
+    EXPECT_TRUE(cache.store(key, pr));
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_FALSE(cache.load(key).has_value());
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path + ".corrupt"));
+    EXPECT_GE(cache.counters().quarantined, 1u);
+
+    EXPECT_TRUE(cache.store(key, pr));
+    auto hit = cache.load(key);
+    ASSERT_TRUE(hit.has_value());
+    expectSamePhase(pr, *hit);
+    fault::disarmAll();
 }
 
 TEST(ResultCache, WarmMatrixSimulatesNothingAndMatchesCold)

@@ -16,6 +16,7 @@
 #include <cstring>
 
 #include "common/env.hh"
+#include "common/fault.hh"
 #include "serve/server.hh"
 #include "sim/runner.hh"
 #include "wl/trace_cache.hh"
@@ -43,6 +44,19 @@ usage(int rc)
         "                      by every request\n"
         "  --trace-cache-mb N  bound the decoded-trace cache (LRU);\n"
         "                      0 = unlimited (default 1024)\n"
+        "  --max-inflight-cells N\n"
+        "                      admission control: answer Busy (with a\n"
+        "                      retry-after hint) instead of queueing\n"
+        "                      when the server-wide in-flight cell\n"
+        "                      count would exceed N (0 = unlimited)\n"
+        "  --max-queue-depth N admission control: at most N Submit\n"
+        "                      requests in flight before new ones are\n"
+        "                      answered Busy (0 = unlimited)\n"
+        "  --idle-timeout SEC  reap connections idle longer than SEC\n"
+        "                      between requests (0 = never)\n"
+        "  --fault SPEC        arm deterministic fault injection\n"
+        "                      (testing; same grammar as RSEP_FAULT —\n"
+        "                      DESIGN.md §14)\n"
         "  --quiet             no per-request progress on stderr\n"
         "  --help, -h          show this help\n"
         "\nClients: any driver with --connect PATH, e.g.\n"
@@ -57,6 +71,7 @@ usage(int rc)
 int
 main(int argc, char **argv)
 {
+    fault::initFromEnv();
     serve::ServeOptions opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -111,6 +126,39 @@ main(int argc, char **argv)
                 return 2;
             }
             wl::traceCache().setCapacityBytes(mb << 20);
+            continue;
+        }
+        if ((hit = valueOf("--max-inflight-cells", value)) != 0) {
+            if (hit < 0 || !parseU64(value, opts.maxInflightCells)) {
+                std::fprintf(stderr,
+                             "rsep_serve: invalid --max-inflight-cells\n");
+                return 2;
+            }
+            continue;
+        }
+        if ((hit = valueOf("--max-queue-depth", value)) != 0) {
+            if (hit < 0 || !parseU64(value, opts.maxQueueDepth)) {
+                std::fprintf(stderr,
+                             "rsep_serve: invalid --max-queue-depth\n");
+                return 2;
+            }
+            continue;
+        }
+        if ((hit = valueOf("--idle-timeout", value)) != 0) {
+            if (hit < 0 || !parseU64(value, opts.idleTimeoutSec)) {
+                std::fprintf(stderr,
+                             "rsep_serve: invalid --idle-timeout\n");
+                return 2;
+            }
+            continue;
+        }
+        if ((hit = valueOf("--fault", value)) != 0) {
+            if (hit < 0 || !fault::armFromSpec(value, &err)) {
+                std::fprintf(stderr, "rsep_serve: %s\n",
+                             hit < 0 ? "--fault requires a spec"
+                                     : err.c_str());
+                return 2;
+            }
             continue;
         }
         if (a == "--jobs" || a == "-j" || a.rfind("--jobs=", 0) == 0 ||
@@ -177,5 +225,12 @@ main(int argc, char **argv)
             tc.hits == 1 ? "" : "s",
             static_cast<unsigned long long>(tc.misses),
             tc.misses == 1 ? "" : "es");
+    if (opts.progress)
+        std::fprintf(
+            stderr,
+            "[serve] serve.retries_served=%llu "
+            "serve.busy_rejections=%llu\n",
+            static_cast<unsigned long long>(c.retriesServed),
+            static_cast<unsigned long long>(c.busyRejections));
     return 0;
 }
